@@ -1,0 +1,78 @@
+//! Timing side of the A-series ablations (accuracy side lives in the
+//! `repro_ablations` binary): sampling strategy, Q capacity, and the cost
+//! of H-monitoring relative to plain distinguishing.
+
+use adjstream_bench::workloads;
+use adjstream_core::common::EdgeSampling;
+use adjstream_core::triangle::{TriangleDistinguisher, TwoPassTriangle, TwoPassTriangleConfig};
+use adjstream_stream::{PassOrders, Runner, StreamOrder};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_ablations(c: &mut Criterion) {
+    let w = workloads::clique_triangles(12, 40); // dense-ish triangle load
+    let n = w.n();
+    let m = w.m();
+    let order = PassOrders::Same(StreamOrder::shuffled(n, 2));
+    let budget = m / 8;
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(15);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.throughput(Throughput::Elements(2 * m as u64));
+
+    // A5 timing: bottom-k maintains a heap; threshold is a pure hash.
+    for (name, sampling) in [
+        ("a5_bottomk", EdgeSampling::BottomK { k: budget }),
+        (
+            "a5_threshold",
+            EdgeSampling::Threshold {
+                p: budget as f64 / m as f64,
+            },
+        ),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let cfg = TwoPassTriangleConfig {
+                    seed: 3,
+                    edge_sampling: sampling,
+                    pair_capacity: budget,
+                };
+                Runner::run(&w.graph, TwoPassTriangle::new(cfg), &order).0
+            })
+        });
+    }
+
+    // A3 timing: unbounded Q pays for every discovered pair.
+    for (name, cap) in [("a3_q_capped", budget), ("a3_q_unbounded", usize::MAX)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let cfg = TwoPassTriangleConfig {
+                    seed: 3,
+                    edge_sampling: EdgeSampling::BottomK { k: budget },
+                    pair_capacity: cap,
+                };
+                Runner::run(&w.graph, TwoPassTriangle::new(cfg), &order).0
+            })
+        });
+    }
+
+    // H-monitoring overhead: the full Thm 3.7 machinery vs the bare
+    // distinguisher at the same sample size.
+    g.bench_function("h_monitoring_on", |b| {
+        b.iter(|| {
+            let cfg = TwoPassTriangleConfig {
+                seed: 3,
+                edge_sampling: EdgeSampling::BottomK { k: budget },
+                pair_capacity: budget,
+            };
+            Runner::run(&w.graph, TwoPassTriangle::new(cfg), &order).0
+        })
+    });
+    g.bench_function("h_monitoring_off_distinguisher", |b| {
+        b.iter(|| Runner::run(&w.graph, TriangleDistinguisher::new(3, budget), &order).0)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

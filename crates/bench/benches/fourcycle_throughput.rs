@@ -1,0 +1,54 @@
+//! Throughput of the Section 4 two-pass 4-cycle algorithm (both estimator
+//! variants) and the exact streaming baseline.
+
+use adjstream_bench::workloads;
+use adjstream_core::exact_stream::{ExactKind, ExactStreamCounter};
+use adjstream_core::fourcycle::{FourCycleEstimator, TwoPassFourCycle, TwoPassFourCycleConfig};
+use adjstream_stream::{PassOrders, Runner, StreamOrder};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_fourcycle(c: &mut Criterion) {
+    let w = workloads::bipartite_four_cycles(250, 8_000, 1);
+    let n = w.n();
+    let m = w.m();
+    let order = PassOrders::PerPass(vec![
+        StreamOrder::shuffled(n, 1),
+        StreamOrder::shuffled(n, 2),
+    ]);
+    let mut g = c.benchmark_group("fourcycle");
+    g.sample_size(15);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.throughput(Throughput::Elements(2 * m as u64));
+    for (name, est) in [
+        ("distinct", FourCycleEstimator::DistinctCycles),
+        ("multiplicity", FourCycleEstimator::WedgeMultiplicity),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let cfg = TwoPassFourCycleConfig {
+                    seed: 3,
+                    edge_sample_size: m / 16,
+                    estimator: est,
+                    max_wedges: None,
+                };
+                Runner::run(&w.graph, TwoPassFourCycle::new(cfg), &order).0
+            })
+        });
+    }
+    let single = PassOrders::Same(StreamOrder::shuffled(n, 1));
+    g.bench_function("exact_store_all", |b| {
+        b.iter(|| {
+            Runner::run(
+                &w.graph,
+                ExactStreamCounter::new(ExactKind::FourCycles),
+                &single,
+            )
+            .0
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fourcycle);
+criterion_main!(benches);

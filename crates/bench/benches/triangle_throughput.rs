@@ -1,0 +1,91 @@
+//! Throughput of every triangle algorithm on a fixed mixed workload,
+//! measured in stream items per second (the per-pass cost the paper's
+//! space bounds trade against).
+
+use adjstream_bench::workloads;
+use adjstream_core::common::EdgeSampling;
+use adjstream_core::triangle::{
+    OnePassTriangle, ThreePassTriangle, TriangleDistinguisher, TwoPassTriangle,
+    TwoPassTriangleConfig, WedgeSamplerTriangle,
+};
+use adjstream_core::triangle::{RandomOrderTriangle, TriestBase};
+use adjstream_stream::arbitrary::{run_edge_stream, ArbitraryOrderStream};
+use adjstream_stream::{PassOrders, Runner, StreamOrder};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_triangle(c: &mut Criterion) {
+    let w = workloads::planted_triangles(10_000, 256, 1);
+    let n = w.n();
+    let m = w.m();
+    let budget = m / 16;
+    let order = PassOrders::Same(StreamOrder::shuffled(n, 2));
+    let mut g = c.benchmark_group("triangle");
+    g.sample_size(15);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.throughput(Throughput::Elements(2 * m as u64));
+
+    g.bench_function("one_pass_bottomk", |b| {
+        b.iter(|| {
+            Runner::run(
+                &w.graph,
+                OnePassTriangle::new(3, EdgeSampling::BottomK { k: budget }),
+                &order,
+            )
+            .0
+        })
+    });
+    g.bench_function("one_pass_threshold", |b| {
+        b.iter(|| {
+            Runner::run(
+                &w.graph,
+                OnePassTriangle::new(
+                    3,
+                    EdgeSampling::Threshold {
+                        p: budget as f64 / m as f64,
+                    },
+                ),
+                &order,
+            )
+            .0
+        })
+    });
+    g.bench_function("two_pass_thm37", |b| {
+        b.iter(|| {
+            let cfg = TwoPassTriangleConfig {
+                seed: 3,
+                edge_sampling: EdgeSampling::BottomK { k: budget },
+                pair_capacity: budget,
+            };
+            Runner::run(&w.graph, TwoPassTriangle::new(cfg), &order).0
+        })
+    });
+    g.bench_function("three_pass_s21", |b| {
+        b.iter(|| {
+            Runner::run(
+                &w.graph,
+                ThreePassTriangle::new(3, EdgeSampling::BottomK { k: budget }, budget),
+                &order,
+            )
+            .0
+        })
+    });
+    g.bench_function("wedge_sampler_1k_slots", |b| {
+        b.iter(|| Runner::run(&w.graph, WedgeSamplerTriangle::new(3, 1000), &order).0)
+    });
+    g.bench_function("distinguisher", |b| {
+        b.iter(|| Runner::run(&w.graph, TriangleDistinguisher::new(3, budget), &order).0)
+    });
+    // Arbitrary-order competitors (model comparison).
+    let arb = ArbitraryOrderStream::new(&w.graph, 9);
+    g.bench_function("arbitrary_triest", |b| {
+        b.iter(|| run_edge_stream(&arb, TriestBase::new(3, budget)).0)
+    });
+    g.bench_function("arbitrary_random_order", |b| {
+        b.iter(|| run_edge_stream(&arb, RandomOrderTriangle::new(3, budget as f64 / m as f64)).0)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_triangle);
+criterion_main!(benches);

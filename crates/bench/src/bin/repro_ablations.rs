@@ -1,0 +1,200 @@
+//! Ablation experiments A1–A5 (DESIGN.md §4): the design choices Sections
+//! 2.1–2.2 call out, each isolated and measured.
+
+use adjstream_bench::report::{fbytes, fnum, Table};
+use adjstream_bench::sweeps::{run_triangle_once, sweep_fourcycle_point, TriangleAlgo};
+use adjstream_bench::workloads;
+use adjstream_core::common::EdgeSampling;
+use adjstream_core::fourcycle::FourCycleEstimator;
+use adjstream_core::triangle::{TwoPassTriangle, TwoPassTriangleConfig};
+use adjstream_stream::estimator::{mean, median, variance};
+use adjstream_stream::{PassOrders, Runner, StreamOrder};
+
+/// Run the two-pass algorithm once, returning (lightest-edge estimate,
+/// naive estimate, peak bytes).
+fn two_pass_both(
+    w: &workloads::Workload,
+    sampling: EdgeSampling,
+    cap: usize,
+    seed: u64,
+) -> (f64, f64, usize) {
+    let cfg = TwoPassTriangleConfig {
+        seed,
+        edge_sampling: sampling,
+        pair_capacity: cap,
+    };
+    let (est, r) = Runner::run(
+        &w.graph,
+        TwoPassTriangle::new(cfg),
+        &PassOrders::Same(StreamOrder::shuffled(w.n(), seed ^ 0xAB1)),
+    );
+    (est.estimate, est.naive_estimate, r.peak_state_bytes)
+}
+
+fn main() {
+    let reps = 41u64;
+
+    println!("== A1: lightest-edge rule vs naive per-edge counting (heavy-edge book graph) ==\n");
+    let mut t = Table::new(["workload", "T", "estimator", "mean", "median", "std-dev"]);
+    for w in [
+        workloads::book_triangles(4_000, 256, 1),
+        workloads::clique_triangles(6, 13), // T = 260, no heavy edge
+    ] {
+        let budget = (w.m() / 10).max(32);
+        let mut rho = Vec::new();
+        let mut naive = Vec::new();
+        for seed in 0..reps {
+            let (a, b, _) = two_pass_both(&w, EdgeSampling::BottomK { k: budget }, budget, seed);
+            rho.push(a);
+            naive.push(b);
+        }
+        for (name, vals) in [("lightest-edge (Thm 3.7)", &rho), ("naive k*T'/3", &naive)] {
+            t.row([
+                w.name.clone(),
+                w.truth.to_string(),
+                name.to_string(),
+                fnum(mean(vals)),
+                fnum(median(vals)),
+                fnum(variance(vals).sqrt()),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+
+    println!("== A2: H (2-pass suffix proxy) vs exact T_e (3-pass) at equal budget ==\n");
+    let mut t = Table::new(["workload", "T", "algorithm", "median-est", "rel-err"]);
+    for w in [
+        workloads::book_triangles(4_000, 256, 2),
+        workloads::planted_triangles(8_000, 512, 3),
+    ] {
+        let budget = (w.m() / 10).max(32);
+        for algo in [TriangleAlgo::TwoPass, TriangleAlgo::ThreePass] {
+            let vals: Vec<f64> = (0..reps)
+                .map(|s| run_triangle_once(algo, &w, budget, s).0)
+                .collect();
+            let med = median(&vals);
+            t.row([
+                w.name.clone(),
+                w.truth.to_string(),
+                algo.label().to_string(),
+                fnum(med),
+                fnum((med - w.truth as f64).abs() / w.truth as f64),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+
+    println!("== A3: Q subsampling on/off (space on triangle-dense input) ==\n");
+    let w = workloads::clique_triangles(24, 12); // T = 12 * 2024
+    let mut t = Table::new(["pair-capacity", "peak-space", "median-est", "rel-err"]);
+    for cap in [256usize, usize::MAX] {
+        let mut peaks = 0usize;
+        let vals: Vec<f64> = (0..11u64)
+            .map(|seed| {
+                let (e, _, p) =
+                    two_pass_both(&w, EdgeSampling::BottomK { k: w.m() / 4 }, cap, seed);
+                peaks = peaks.max(p);
+                e
+            })
+            .collect();
+        let med = median(&vals);
+        t.row([
+            if cap == usize::MAX {
+                "unbounded".to_string()
+            } else {
+                cap.to_string()
+            },
+            fbytes(peaks),
+            fnum(med),
+            fnum((med - w.truth as f64).abs() / w.truth as f64),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!(
+        "== A4: 4-cycle estimator — distinct cycles vs wedge multiplicity (heavy-wedge theta) ==\n"
+    );
+    let mut t = Table::new(["workload", "T", "estimator", "median-est", "ratio est/T"]);
+    for w in [
+        workloads::theta_four_cycles(1_500, 64),
+        workloads::planted_four_cycles(4_000, 256),
+    ] {
+        let budget = (w.m() / 6).max(16);
+        for est in [
+            FourCycleEstimator::DistinctCycles,
+            FourCycleEstimator::WedgeMultiplicity,
+        ] {
+            let p = sweep_fourcycle_point(&w, budget, est, 21, 7);
+            t.row([
+                w.name.clone(),
+                w.truth.to_string(),
+                format!("{est:?}"),
+                fnum(p.median_estimate),
+                fnum(p.median_estimate / w.truth as f64),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+
+    println!("== A6 (extension): wedge cap for the 4-cycle wedge set Q ==\n");
+    {
+        use adjstream_core::fourcycle::{TwoPassFourCycle, TwoPassFourCycleConfig};
+        use adjstream_stream::{PassOrders, Runner, StreamOrder};
+        let w = workloads::theta_four_cycles(800, 64); // hub wedges dominate Q
+        let n = w.n();
+        let mut t = Table::new(["max-wedges", "peak-space", "median-est", "ratio est/T"]);
+        for cap in [Some(200usize), None] {
+            let mut peak = 0usize;
+            let vals: Vec<f64> = (0..21u64)
+                .map(|seed| {
+                    let cfg = TwoPassFourCycleConfig {
+                        seed,
+                        edge_sample_size: w.m() / 2,
+                        estimator: FourCycleEstimator::WedgeMultiplicity,
+                        max_wedges: cap,
+                    };
+                    let (est, r) = Runner::run(
+                        &w.graph,
+                        TwoPassFourCycle::new(cfg),
+                        &PassOrders::PerPass(vec![
+                            StreamOrder::shuffled(n, seed),
+                            StreamOrder::shuffled(n, seed + 50),
+                        ]),
+                    );
+                    peak = peak.max(r.peak_state_bytes);
+                    est.estimate
+                })
+                .collect();
+            let med = median(&vals);
+            t.row([
+                cap.map(|c| c.to_string())
+                    .unwrap_or_else(|| "none (paper)".into()),
+                fbytes(peak),
+                fnum(med),
+                fnum(med / w.truth as f64),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+
+    println!("== A5: Bernoulli threshold vs bottom-k edge sampling ==\n");
+    let w = workloads::planted_triangles(12_000, 512, 9);
+    let budget = (w.m() / 12).max(32);
+    let p = budget as f64 / w.m() as f64;
+    let mut t = Table::new(["sampling", "mean", "median", "std-dev"]);
+    for (name, sampling) in [
+        ("bottom-k (fixed size)", EdgeSampling::BottomK { k: budget }),
+        ("threshold (Bernoulli)", EdgeSampling::Threshold { p }),
+    ] {
+        let vals: Vec<f64> = (0..reps)
+            .map(|s| two_pass_both(&w, sampling, budget, s).0)
+            .collect();
+        t.row([
+            name.to_string(),
+            fnum(mean(&vals)),
+            fnum(median(&vals)),
+            fnum(variance(&vals).sqrt()),
+        ]);
+    }
+    println!("{}", t.render());
+}

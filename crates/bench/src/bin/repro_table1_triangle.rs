@@ -1,0 +1,113 @@
+//! Reproduces the triangle upper-bound rows of **Table 1**:
+//!
+//! * row `Õ(P₂/T)` (1-pass wedge sampling, Buriol et al. \[12\]),
+//! * row `Õ(m/√T)` (1-pass edge sampling, \[27\]),
+//! * row `Õ(m^{3/2}/T)`-style 3-pass (Section 2.1 exact-lightest variant),
+//! * row `Õ(m/T^{2/3})` (2-pass, **Theorem 3.7** — the paper's headline).
+//!
+//! Part A fixes the graph and sweeps the planted triangle count `T`, giving
+//! each algorithm its own paper budget: errors should stay flat while the
+//! budget (and measured space) falls at the predicted rate.
+//!
+//! Part B fixes a *common* space budget and compares errors: at small `T`
+//! the two-pass algorithm dominates the one-pass `m/√T` sampler, matching
+//! the `T^{2/3}` vs `T^{1/2}` separation.
+
+use adjstream_bench::report::{fbytes, fnum, Table};
+use adjstream_bench::sweeps::{sweep_triangle_point, TriangleAlgo};
+use adjstream_bench::workloads;
+
+fn main() {
+    let reps = 11;
+    let algos = [
+        TriangleAlgo::WedgeSampler,
+        TriangleAlgo::OnePass,
+        TriangleAlgo::TwoPass,
+        TriangleAlgo::ThreePass,
+    ];
+
+    println!("== Table 1 (triangle upper bounds): error at each algorithm's paper budget ==\n");
+    let mut t = Table::new([
+        "workload",
+        "m",
+        "T",
+        "algorithm",
+        "budget",
+        "peak-space",
+        "median-est",
+        "rel-err",
+    ]);
+    for exp in [4u32, 6, 8, 10, 12] {
+        let tt = 1usize << exp;
+        let w = workloads::planted_triangles(20_000, tt, 42 + exp as u64);
+        let p2 = w.graph.wedge_count();
+        for algo in algos {
+            let budget = (6.0 * algo.paper_budget(w.m(), w.truth, p2)).ceil() as usize;
+            let budget = budget.clamp(8, w.m());
+            let point = sweep_triangle_point(algo, &w, budget, reps, 7 * exp as u64);
+            t.row([
+                w.name.clone(),
+                w.m().to_string(),
+                w.truth.to_string(),
+                algo.label().to_string(),
+                point.budget.to_string(),
+                fbytes(point.peak_bytes),
+                fnum(point.median_estimate),
+                fnum(point.rel_error),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+
+    println!("== Table 1 crossover: equal space budget, who wins? ==\n");
+    let mut t = Table::new(["T", "budget", "algorithm", "median-est", "rel-err"]);
+    for exp in [5u32, 8, 11] {
+        let tt = 1usize << exp;
+        let w = workloads::planted_triangles(20_000, tt, 99 + exp as u64);
+        // Common budget: the two-pass paper budget.
+        let budget = (6.0 * TriangleAlgo::TwoPass.paper_budget(w.m(), w.truth, 0)).ceil() as usize;
+        for algo in [
+            TriangleAlgo::OnePass,
+            TriangleAlgo::TwoPass,
+            TriangleAlgo::ThreePass,
+        ] {
+            let point = sweep_triangle_point(algo, &w, budget, reps, 11 * exp as u64);
+            t.row([
+                tt.to_string(),
+                budget.to_string(),
+                algo.label().to_string(),
+                fnum(point.median_estimate),
+                fnum(point.rel_error),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+
+    println!("== Power-law (Chung–Lu) workload: all algorithms at paper budgets ==\n");
+    let w = workloads::chung_lu_triangles(4_000, 10.0, 5);
+    let p2 = w.graph.wedge_count();
+    let mut t = Table::new([
+        "workload",
+        "m",
+        "T",
+        "algorithm",
+        "budget",
+        "median-est",
+        "rel-err",
+    ]);
+    for algo in algos {
+        let budget = (6.0 * algo.paper_budget(w.m(), w.truth, p2)).ceil() as usize;
+        let budget = budget.clamp(8, w.m());
+        let point = sweep_triangle_point(algo, &w, budget, reps, 17);
+        t.row([
+            w.name.clone(),
+            w.m().to_string(),
+            w.truth.to_string(),
+            algo.label().to_string(),
+            budget.to_string(),
+            fnum(point.median_estimate),
+            fnum(point.rel_error),
+        ]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,21 @@
+//! Experiment harness: workload registry, space–accuracy sweeps, and table
+//! rendering shared by the `repro_*` binaries and the Criterion benches.
+//!
+//! Every table and figure of the paper maps to one binary (see DESIGN.md §4
+//! for the index):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `repro_table1_triangle` | Table 1 upper-bound rows for triangles (1/2/3-pass + wedge sampling), incl. crossovers |
+//! | `repro_table1_distinguish` | Table 1 distinguisher row (0 vs T, `Õ(m/T^{2/3})`) |
+//! | `repro_table1_fourcycle` | Table 1 4-cycle upper bound (`Õ(m/T^{3/8})`, Thm 4.6) |
+//! | `repro_fig1_triangle_lb` | Figure 1a/1b gadgets + protocol simulation (Thms 5.1, 5.2) |
+//! | `repro_fig1_fourcycle_lb` | Figure 1c/1d gadgets (Thms 5.3, 5.4) |
+//! | `repro_fig1_longcycle_lb` | Figure 1e gadget, ℓ ∈ {5..8} (Thm 5.5) |
+//! | `repro_ablations` | Ablations A1–A5 from DESIGN.md §4 |
+
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod sweeps;
+pub mod workloads;

@@ -1,0 +1,166 @@
+//! Workload registry: graph families with known (or exactly computed)
+//! cycle counts, parameterized so `m` and `T` can be dialed independently —
+//! the knobs every Table-1 experiment sweeps.
+
+use adjstream_graph::{exact, gen, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A prepared workload: a graph plus its exact cycle count ground truth.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short name for tables.
+    pub name: String,
+    /// The graph.
+    pub graph: Graph,
+    /// Exact count of the target cycle (triangles or 4-cycles depending on
+    /// the family).
+    pub truth: u64,
+}
+
+impl Workload {
+    /// Edge count.
+    pub fn m(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// Vertex count.
+    pub fn n(&self) -> usize {
+        self.graph.vertex_count()
+    }
+}
+
+/// Triangle workload: bipartite background (triangle-free) of ~`m_bg` edges
+/// plus `t` planted disjoint triangles. `T = t` exactly.
+pub fn planted_triangles(m_bg: usize, t: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let side = ((m_bg as f64).sqrt() as usize * 2).max(16);
+    let g = gen::planted_triangles_on_bipartite(side, side, m_bg.min(side * side), t, &mut rng);
+    Workload {
+        name: format!("planted-tri(m_bg={m_bg},T={t})"),
+        graph: g,
+        truth: t as u64,
+    }
+}
+
+/// Triangle workload: `k` disjoint `K_s` cliques (clustered triangles,
+/// moderate per-edge counts `s − 2`).
+pub fn clique_triangles(s: usize, k: usize) -> Workload {
+    let g = gen::disjoint_cliques(s, k);
+    let truth = (k * s * (s - 1) * (s - 2) / 6) as u64;
+    Workload {
+        name: format!("cliques(s={s},k={k})"),
+        graph: g,
+        truth,
+    }
+}
+
+/// Triangle workload: book graph (all triangles share one heavy spine
+/// edge) padded with a triangle-free background — the heavy-edge adversary.
+pub fn book_triangles(m_bg: usize, t: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let side = ((m_bg as f64).sqrt() as usize * 2).max(16);
+    let bg = gen::bipartite_gnm(side, side, m_bg.min(side * side), &mut rng);
+    let g = bg.disjoint_union(&gen::book(t));
+    Workload {
+        name: format!("book(m_bg={m_bg},T={t})"),
+        graph: g,
+        truth: t as u64,
+    }
+}
+
+/// Triangle workload: Chung–Lu power-law graph (exact count computed).
+pub fn chung_lu_triangles(n: usize, avg_deg: f64, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = gen::chung_lu(n, 2.3, avg_deg, &mut rng);
+    let truth = exact::count_triangles(&g);
+    Workload {
+        name: format!("chung-lu(n={n},d̄={avg_deg})"),
+        graph: g,
+        truth,
+    }
+}
+
+/// 4-cycle workload: triangle background (4-cycle-free) plus `t` planted
+/// disjoint 4-cycles. `T = t` exactly.
+pub fn planted_four_cycles(bg_triangles: usize, t: usize) -> Workload {
+    let bg = gen::disjoint_triangles(bg_triangles);
+    let g = bg.disjoint_union(&gen::disjoint_four_cycles(t));
+    Workload {
+        name: format!("planted-c4(bg={bg_triangles},T={t})"),
+        graph: g,
+        truth: t as u64,
+    }
+}
+
+/// 4-cycle workload: `K_{2,k}` theta graph plus background — the
+/// heavy-wedge adversary (`C(k,2)` cycles all through one leaf pair).
+pub fn theta_four_cycles(bg_triangles: usize, k: usize) -> Workload {
+    let bg = gen::disjoint_triangles(bg_triangles);
+    let g = bg.disjoint_union(&gen::theta_k2k(k));
+    Workload {
+        name: format!("theta(bg={bg_triangles},k={k})"),
+        graph: g,
+        truth: (k * (k - 1) / 2) as u64,
+    }
+}
+
+/// 4-cycle workload: bipartite `G(a,b,m)` (exact count computed).
+pub fn bipartite_four_cycles(side: usize, m: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = gen::bipartite_gnm(side, side, m, &mut rng);
+    let truth = exact::count_four_cycles(&g);
+    Workload {
+        name: format!("bip-gnm(side={side},m={m})"),
+        graph: g,
+        truth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planted_triangle_truth_is_exact() {
+        let w = planted_triangles(2000, 64, 1);
+        assert_eq!(w.truth, 64);
+        assert_eq!(exact::count_triangles(&w.graph), 64);
+        assert!(w.m() >= 2000);
+    }
+
+    #[test]
+    fn clique_truth_formula() {
+        let w = clique_triangles(6, 5);
+        assert_eq!(w.truth, 100);
+        assert_eq!(exact::count_triangles(&w.graph), 100);
+    }
+
+    #[test]
+    fn book_truth() {
+        let w = book_triangles(500, 32, 2);
+        assert_eq!(exact::count_triangles(&w.graph), 32);
+    }
+
+    #[test]
+    fn planted_c4_truth() {
+        let w = planted_four_cycles(100, 40);
+        assert_eq!(exact::count_four_cycles(&w.graph), 40);
+        assert_eq!(w.truth, 40);
+    }
+
+    #[test]
+    fn theta_truth() {
+        let w = theta_four_cycles(50, 9);
+        assert_eq!(w.truth, 36);
+        assert_eq!(exact::count_four_cycles(&w.graph), 36);
+    }
+
+    #[test]
+    fn computed_truth_families() {
+        let w = chung_lu_triangles(400, 6.0, 3);
+        assert_eq!(w.truth, exact::count_triangles(&w.graph));
+        let w = bipartite_four_cycles(40, 400, 4);
+        assert_eq!(w.truth, exact::count_four_cycles(&w.graph));
+    }
+}

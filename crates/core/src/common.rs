@@ -1,0 +1,246 @@
+//! Shared machinery: the pair-completion watcher and sampling configuration.
+
+use std::collections::HashMap;
+
+use adjstream_graph::VertexId;
+use adjstream_stream::meter::{hashmap_bytes, SpaceUsage};
+
+/// How the first-pass edge sample `S` is drawn (DESIGN.md §2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EdgeSampling {
+    /// Hash-threshold (Bernoulli) sampling: every edge independently with
+    /// probability `p`. `|S| ~ Binomial(m, p)`; no evictions, so downstream
+    /// reservoirs are exactly uniform.
+    Threshold {
+        /// Inclusion probability.
+        p: f64,
+    },
+    /// Bottom-k hashing: `S` is exactly the `k` smallest-hashed edges — the
+    /// paper's fixed-size uniform subset. Evictions mid-pass purge dependent
+    /// state.
+    BottomK {
+        /// Sample size `m′`.
+        k: usize,
+    },
+}
+
+/// Watches vertex pairs for *completion*: a watched pair `{a, b}` completes
+/// in the adjacency list of `z` when both `a` and `b` occur in that list
+/// (equivalently, `z` is adjacent to both — so `z` closes a triangle over an
+/// edge `{a,b}`, or a 4-cycle over a wedge with leaves `{a,b}`).
+///
+/// This is the "two extra bits per edge" flagging technique of Section 3.3.1
+/// generalized to arbitrary vertex pairs (Section 4 watches wedge leaf pairs
+/// that need not be edges). Pairs are refcounted so several consumers can
+/// watch the same pair; completion is reported once per (pair, list).
+#[derive(Debug, Default)]
+pub struct PairWatcher {
+    /// vertex → packed pairs containing it.
+    incident: HashMap<u32, Vec<u64>>,
+    /// packed pair → number of watchers.
+    refcount: HashMap<u64, u32>,
+    /// packed pair → epoch of its last single hit.
+    hit_epoch: HashMap<u64, u32>,
+    epoch: u32,
+}
+
+/// Pack an unordered vertex pair (canonical ascending).
+#[inline]
+pub fn pack_pair(a: VertexId, b: VertexId) -> u64 {
+    let (lo, hi) = if a.0 <= b.0 { (a, b) } else { (b, a) };
+    ((lo.0 as u64) << 32) | hi.0 as u64
+}
+
+/// Unpack a canonical vertex pair.
+#[inline]
+pub fn unpack_pair(p: u64) -> (VertexId, VertexId) {
+    (VertexId((p >> 32) as u32), VertexId(p as u32))
+}
+
+impl PairWatcher {
+    /// An empty watcher.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Begin watching the pair `{a, b}` (increments its refcount).
+    pub fn watch(&mut self, a: VertexId, b: VertexId) {
+        let key = pack_pair(a, b);
+        let rc = self.refcount.entry(key).or_insert(0);
+        *rc += 1;
+        if *rc == 1 {
+            let (lo, hi) = unpack_pair(key);
+            self.incident.entry(lo.0).or_default().push(key);
+            self.incident.entry(hi.0).or_default().push(key);
+        }
+    }
+
+    /// Stop one watch of `{a, b}`; fully unregisters at refcount zero.
+    pub fn unwatch(&mut self, a: VertexId, b: VertexId) {
+        let key = pack_pair(a, b);
+        let rc = self
+            .refcount
+            .get_mut(&key)
+            .expect("unwatch of unwatched pair");
+        *rc -= 1;
+        if *rc == 0 {
+            self.refcount.remove(&key);
+            self.hit_epoch.remove(&key);
+            let (lo, hi) = unpack_pair(key);
+            for v in [lo.0, hi.0] {
+                let list = self.incident.get_mut(&v).expect("incident list exists");
+                let pos = list.iter().position(|&p| p == key).expect("pair in list");
+                list.swap_remove(pos);
+                if list.is_empty() {
+                    self.incident.remove(&v);
+                }
+            }
+        }
+    }
+
+    /// Whether `{a, b}` is currently watched.
+    pub fn is_watched(&self, a: VertexId, b: VertexId) -> bool {
+        self.refcount.contains_key(&pack_pair(a, b))
+    }
+
+    /// Number of distinct watched pairs.
+    pub fn watched_pairs(&self) -> usize {
+        self.refcount.len()
+    }
+
+    /// A new adjacency list is starting: reset per-list hit state.
+    pub fn begin_list(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+    }
+
+    /// Process one item `src → x` of the current list; invoke `completed`
+    /// for every watched pair whose second endpoint this is (i.e. both
+    /// endpoints now seen in the current list).
+    pub fn on_item<F: FnMut(u64)>(&mut self, x: VertexId, mut completed: F) {
+        let Some(pairs) = self.incident.get(&x.0) else {
+            return;
+        };
+        for &key in pairs {
+            match self.hit_epoch.get_mut(&key) {
+                Some(e) if *e == self.epoch => {
+                    // Second endpoint within the same list: completion.
+                    // Bump past the epoch so a (malformed) triple hit
+                    // wouldn't re-report; valid streams never do this.
+                    *e = self.epoch.wrapping_add(u32::MAX / 2);
+                    completed(key);
+                }
+                other => {
+                    let _ = other;
+                    self.hit_epoch.insert(key, self.epoch);
+                }
+            }
+        }
+    }
+}
+
+impl SpaceUsage for PairWatcher {
+    fn space_bytes(&self) -> usize {
+        let incident_entries: usize = self.incident.values().map(|v| v.capacity() * 8 + 24).sum();
+        hashmap_bytes(&self.incident)
+            + incident_entries
+            + hashmap_bytes(&self.refcount)
+            + hashmap_bytes(&self.hit_epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: u32) -> VertexId {
+        VertexId(x)
+    }
+
+    fn completions(w: &mut PairWatcher, list: &[u32]) -> Vec<u64> {
+        let mut out = Vec::new();
+        w.begin_list();
+        for &x in list {
+            w.on_item(v(x), |k| out.push(k));
+        }
+        out
+    }
+
+    #[test]
+    fn detects_completion_when_both_endpoints_in_list() {
+        let mut w = PairWatcher::new();
+        w.watch(v(1), v(2));
+        assert_eq!(
+            completions(&mut w, &[3, 1, 4, 2, 5]),
+            vec![pack_pair(v(1), v(2))]
+        );
+    }
+
+    #[test]
+    fn no_completion_with_single_endpoint() {
+        let mut w = PairWatcher::new();
+        w.watch(v(1), v(2));
+        assert!(completions(&mut w, &[1, 3, 4]).is_empty());
+        // State resets between lists: endpoint in a *different* list does
+        // not pair with the earlier one.
+        assert!(completions(&mut w, &[2, 5]).is_empty());
+    }
+
+    #[test]
+    fn reports_once_per_list_and_pair() {
+        let mut w = PairWatcher::new();
+        w.watch(v(1), v(2));
+        w.watch(v(1), v(2)); // refcount 2, still one report
+        assert_eq!(completions(&mut w, &[1, 2]).len(), 1);
+        // And again in a later list.
+        assert_eq!(completions(&mut w, &[2, 1]).len(), 1);
+    }
+
+    #[test]
+    fn multiple_pairs_on_shared_vertex() {
+        let mut w = PairWatcher::new();
+        w.watch(v(1), v(2));
+        w.watch(v(1), v(3));
+        let got = completions(&mut w, &[2, 3, 1]);
+        assert_eq!(got.len(), 2);
+        assert!(got.contains(&pack_pair(v(1), v(2))));
+        assert!(got.contains(&pack_pair(v(1), v(3))));
+    }
+
+    #[test]
+    fn unwatch_respects_refcounts() {
+        let mut w = PairWatcher::new();
+        w.watch(v(1), v(2));
+        w.watch(v(1), v(2));
+        w.unwatch(v(1), v(2));
+        assert!(w.is_watched(v(1), v(2)));
+        assert_eq!(completions(&mut w, &[1, 2]).len(), 1);
+        w.unwatch(v(1), v(2));
+        assert!(!w.is_watched(v(1), v(2)));
+        assert!(completions(&mut w, &[1, 2]).is_empty());
+        assert_eq!(w.watched_pairs(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unwatch of unwatched")]
+    fn unwatch_unknown_pair_panics() {
+        let mut w = PairWatcher::new();
+        w.unwatch(v(8), v(9));
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let k = pack_pair(v(7), v(3));
+        assert_eq!(unpack_pair(k), (v(3), v(7)));
+        assert_eq!(k, pack_pair(v(3), v(7)));
+    }
+
+    #[test]
+    fn space_reporting_grows_and_shrinks() {
+        let mut w = PairWatcher::new();
+        let empty = w.space_bytes();
+        for i in 0..100 {
+            w.watch(v(i), v(i + 1000));
+        }
+        assert!(w.space_bytes() > empty);
+    }
+}

@@ -1,0 +1,224 @@
+//! High-level estimation drivers: the `(ε, δ)` interface of Theorems 3.7
+//! and 4.6, plus a guess-and-verify driver for unknown `T`.
+//!
+//! The low-level algorithms take a raw sample budget, exactly like the
+//! paper's pseudocode ("choose a sample size m′"). These drivers wrap them
+//! the way the theorem statements are used: pick `m′ = Θ(m/(ε²T^{2/3}))`
+//! from an accuracy target and a `T` lower bound, run `Θ(log 1/δ)`
+//! repetitions, and take the median.
+
+use adjstream_graph::Graph;
+use adjstream_stream::estimator::repetitions_for_confidence;
+use adjstream_stream::{PassOrders, Runner, StreamOrder};
+
+use crate::amplify::{median_of_runs, MedianReport};
+use crate::common::EdgeSampling;
+use crate::fourcycle::{FourCycleEstimator, TwoPassFourCycle, TwoPassFourCycleConfig};
+use crate::triangle::{TwoPassTriangle, TwoPassTriangleConfig};
+
+/// Accuracy contract for the drivers.
+#[derive(Debug, Clone, Copy)]
+pub struct Accuracy {
+    /// Multiplicative error target `ε` (Theorem 3.7) — ignored by the
+    /// 4-cycle driver, whose guarantee is a fixed constant factor.
+    pub epsilon: f64,
+    /// Failure probability `δ`.
+    pub delta: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker threads for the repetitions.
+    pub threads: usize,
+}
+
+impl Default for Accuracy {
+    fn default() -> Self {
+        Accuracy {
+            epsilon: 0.25,
+            delta: 0.1,
+            seed: 2019,
+            threads: 4,
+        }
+    }
+}
+
+/// Result of a high-level estimation.
+#[derive(Debug, Clone)]
+pub struct CountEstimate {
+    /// The amplified estimate.
+    pub count: f64,
+    /// Edge-sample budget used per run.
+    pub budget: usize,
+    /// Repetitions run.
+    pub repetitions: usize,
+    /// Per-run diagnostics.
+    pub report: MedianReport,
+}
+
+/// Budget `m′ = c·m/(ε²·T^{2/3})` clamped to `[16, m]`.
+pub fn triangle_budget(m: usize, t_lower: u64, epsilon: f64) -> usize {
+    let t = t_lower.max(1) as f64;
+    let raw = 4.0 * m as f64 / (epsilon * epsilon * t.powf(2.0 / 3.0));
+    (raw.ceil() as usize).clamp(16, m.max(16))
+}
+
+/// Budget `m′ = c·m/T^{3/8}` clamped to `[16, m]`.
+pub fn four_cycle_budget(m: usize, t_lower: u64) -> usize {
+    let t = t_lower.max(1) as f64;
+    let raw = 8.0 * m as f64 / t.powf(3.0 / 8.0);
+    (raw.ceil() as usize).clamp(16, m.max(16))
+}
+
+/// Estimate the triangle count with the Theorem 3.7 algorithm, given a
+/// lower bound `t_lower ≤ T` (the theorem's implicit promise — without any
+/// bound, use [`estimate_triangles_auto`]).
+pub fn estimate_triangles(
+    g: &Graph,
+    order: &StreamOrder,
+    t_lower: u64,
+    acc: Accuracy,
+) -> CountEstimate {
+    let budget = triangle_budget(g.edge_count(), t_lower, acc.epsilon);
+    let reps = repetitions_for_confidence(acc.delta);
+    let report = median_of_runs(reps, acc.seed, acc.threads, |seed| {
+        let cfg = TwoPassTriangleConfig {
+            seed,
+            edge_sampling: EdgeSampling::BottomK { k: budget },
+            pair_capacity: budget,
+        };
+        let (est, _) = Runner::run(
+            g,
+            TwoPassTriangle::new(cfg),
+            &PassOrders::Same(order.clone()),
+        );
+        est.estimate
+    });
+    CountEstimate {
+        count: report.median,
+        budget,
+        repetitions: reps,
+        report,
+    }
+}
+
+/// Estimate the triangle count with *no* prior bound on `T`: standard
+/// guess-and-verify. Guesses descend geometrically from `m^{3/2}` (the
+/// maximum possible `T`); each level runs the two-pass algorithm at the
+/// budget its guess implies and accepts once the estimate is consistent
+/// with (at least half) the guess. Costs `O(log T)` two-pass rounds in the
+/// worst case; the accepted level's budget matches what a known-`T` run
+/// would have used. (Running all levels inside one two-pass execution would
+/// restore pass-optimality at the price of summing the budgets.)
+pub fn estimate_triangles_auto(g: &Graph, order: &StreamOrder, acc: Accuracy) -> CountEstimate {
+    let m = g.edge_count();
+    let t_max = (m as f64).powf(1.5).max(1.0);
+    let mut guess = t_max;
+    let mut last = None;
+    while guess >= 1.0 {
+        let est = estimate_triangles(g, order, guess as u64, acc);
+        let accept = est.count >= guess / 2.0;
+        let done = accept || guess <= 1.0;
+        last = Some(est);
+        if done {
+            break;
+        }
+        guess /= 4.0;
+    }
+    last.expect("at least one level runs")
+}
+
+/// Estimate the 4-cycle count with the Theorem 4.6 algorithm (constant-
+/// factor approximation), given a lower bound `t_lower ≤ T`.
+pub fn estimate_four_cycles(
+    g: &Graph,
+    orders: [&StreamOrder; 2],
+    t_lower: u64,
+    acc: Accuracy,
+) -> CountEstimate {
+    let budget = four_cycle_budget(g.edge_count(), t_lower);
+    let reps = repetitions_for_confidence(acc.delta);
+    let report = median_of_runs(reps, acc.seed, acc.threads, |seed| {
+        let cfg = TwoPassFourCycleConfig {
+            seed,
+            edge_sample_size: budget,
+            estimator: FourCycleEstimator::DistinctCycles,
+            max_wedges: None,
+        };
+        let (est, _) = Runner::run(
+            g,
+            TwoPassFourCycle::new(cfg),
+            &PassOrders::PerPass(vec![orders[0].clone(), orders[1].clone()]),
+        );
+        est.estimate
+    });
+    CountEstimate {
+        count: report.median,
+        budget,
+        repetitions: reps,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adjstream_graph::{exact, gen};
+
+    fn acc() -> Accuracy {
+        Accuracy {
+            epsilon: 0.3,
+            delta: 0.2,
+            seed: 5,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn budgets_scale_and_clamp() {
+        assert_eq!(triangle_budget(1000, 0, 0.5), 1000); // T unknown-small: full
+        let b = triangle_budget(100_000, 1_000_000, 1.0);
+        assert!((16..100_000).contains(&b));
+        assert!(triangle_budget(10, 1_000_000_000, 1.0) >= 16);
+        assert!(four_cycle_budget(50_000, 4096) < 50_000);
+    }
+
+    #[test]
+    fn estimate_triangles_with_bound() {
+        let g = gen::disjoint_cliques(6, 12); // T = 240
+        let order = StreamOrder::shuffled(g.vertex_count(), 3);
+        let est = estimate_triangles(&g, &order, 240, acc());
+        let rel = (est.count - 240.0).abs() / 240.0;
+        assert!(rel < 0.3, "estimate {}", est.count);
+        assert!(est.repetitions >= 3);
+        assert!(est.budget <= g.edge_count());
+    }
+
+    #[test]
+    fn auto_mode_finds_t_without_a_bound() {
+        let g = gen::disjoint_cliques(6, 12); // T = 240, m = 180
+        let order = StreamOrder::shuffled(g.vertex_count(), 4);
+        let est = estimate_triangles_auto(&g, &order, acc());
+        let rel = (est.count - 240.0).abs() / 240.0;
+        assert!(rel < 0.35, "auto estimate {}", est.count);
+    }
+
+    #[test]
+    fn auto_mode_handles_triangle_free() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = gen::bipartite_gnm(30, 30, 250, &mut rng);
+        let order = StreamOrder::shuffled(g.vertex_count(), 1);
+        let est = estimate_triangles_auto(&g, &order, acc());
+        assert_eq!(est.count, 0.0);
+    }
+
+    #[test]
+    fn estimate_four_cycles_constant_factor() {
+        let g = gen::disjoint_four_cycles(200);
+        let truth = exact::count_four_cycles(&g) as f64;
+        let o1 = StreamOrder::shuffled(g.vertex_count(), 1);
+        let o2 = StreamOrder::shuffled(g.vertex_count(), 2);
+        let est = estimate_four_cycles(&g, [&o1, &o2], 200, acc());
+        let ratio = est.count / truth;
+        assert!((0.2..=5.0).contains(&ratio), "ratio {ratio}");
+    }
+}

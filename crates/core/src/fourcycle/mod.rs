@@ -1,0 +1,7 @@
+//! 4-cycle counting (Section 4).
+
+mod two_pass;
+
+pub use two_pass::{
+    FourCycleEstimate, FourCycleEstimator, TwoPassFourCycle, TwoPassFourCycleConfig,
+};

@@ -1,0 +1,159 @@
+//! Naive sampled-subgraph ℓ-cycle estimation — the strawman Theorem 5.5
+//! dooms.
+//!
+//! Keep a uniform `k`-edge sample, count the ℓ-cycles that survive inside
+//! the sample, and scale by `(m/k)^ℓ` (a cycle survives iff all ℓ of its
+//! edges are sampled, probability `≈ (k/m)^ℓ`). For ℓ ≥ 5 the paper proves
+//! `Ω(m)` space is required by *any* constant-pass algorithm; this
+//! estimator makes the obstruction concrete: at sublinear `k` the survival
+//! probability `(k/m)^ℓ` collapses, so the estimate is almost always `0`
+//! (with rare astronomically-scaled spikes), and the yes/no gadget
+//! instances of Figure 1e become indistinguishable — which is what the
+//! `repro_fig1_longcycle_lb` experiment exhibits.
+
+use adjstream_graph::{exact, GraphBuilder, VertexId};
+use adjstream_stream::meter::SpaceUsage;
+use adjstream_stream::runner::MultiPassAlgorithm;
+use adjstream_stream::sampling::BottomKSampler;
+
+use crate::common::{pack_pair, unpack_pair};
+
+/// Result of a [`SampledSubgraphCycles`] run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampledCycleEstimate {
+    /// `survivors · (m/k)^ℓ`.
+    pub estimate: f64,
+    /// ℓ-cycles found entirely inside the edge sample.
+    pub survivors: u64,
+    /// Final sample size.
+    pub edges_sampled: usize,
+    /// Stream edge count.
+    pub m: u64,
+}
+
+/// One-pass naive ℓ-cycle estimator over a uniform edge sample.
+pub struct SampledSubgraphCycles {
+    ell: usize,
+    sampler: BottomKSampler,
+    items: u64,
+}
+
+impl SampledSubgraphCycles {
+    /// Estimator for cycles of length `ell` with a `k`-edge sample.
+    pub fn new(seed: u64, ell: usize, k: usize) -> Self {
+        assert!(ell >= 3);
+        SampledSubgraphCycles {
+            ell,
+            sampler: BottomKSampler::new(seed, k),
+            items: 0,
+        }
+    }
+}
+
+impl SpaceUsage for SampledSubgraphCycles {
+    fn space_bytes(&self) -> usize {
+        self.sampler.space_bytes() + 16
+    }
+}
+
+impl MultiPassAlgorithm for SampledSubgraphCycles {
+    type Output = SampledCycleEstimate;
+
+    fn passes(&self) -> usize {
+        1
+    }
+
+    fn begin_pass(&mut self, _pass: usize) {}
+
+    fn item(&mut self, src: VertexId, dst: VertexId) {
+        self.items += 1;
+        self.sampler.offer(pack_pair(src, dst));
+    }
+
+    fn finish(self) -> SampledCycleEstimate {
+        let m = self.items / 2;
+        let keys: Vec<u64> = self.sampler.keys().collect();
+        let k = keys.len();
+        if k == 0 {
+            return SampledCycleEstimate {
+                estimate: 0.0,
+                survivors: 0,
+                edges_sampled: 0,
+                m,
+            };
+        }
+        let max_v = keys
+            .iter()
+            .map(|&key| {
+                let (a, b) = unpack_pair(key);
+                a.0.max(b.0)
+            })
+            .max()
+            .unwrap_or(0);
+        let mut b = GraphBuilder::with_capacity(max_v as usize + 1, k);
+        for &key in &keys {
+            let (u, v) = unpack_pair(key);
+            b.add_edge(u, v).expect("sampled edges valid");
+        }
+        let g = b.build().expect("valid");
+        let survivors = exact::count_cycles(&g, self.ell);
+        let scale = (m as f64 / k as f64).powi(self.ell as i32);
+        SampledCycleEstimate {
+            estimate: survivors as f64 * scale,
+            survivors,
+            edges_sampled: k,
+            m,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adjstream_graph::gen;
+    use adjstream_stream::{PassOrders, Runner, StreamOrder};
+
+    fn run(g: &adjstream_graph::Graph, ell: usize, k: usize, seed: u64) -> SampledCycleEstimate {
+        let n = g.vertex_count();
+        let (est, _) = Runner::run(
+            g,
+            SampledSubgraphCycles::new(seed, ell, k),
+            &PassOrders::Same(StreamOrder::shuffled(n, seed)),
+        );
+        est
+    }
+
+    #[test]
+    fn full_sample_is_exact() {
+        let g = gen::disjoint_cycles(5, 7);
+        let est = run(&g, 5, g.edge_count(), 1);
+        assert_eq!(est.survivors, 7);
+        assert_eq!(est.estimate, 7.0);
+    }
+
+    #[test]
+    fn sublinear_sample_almost_never_sees_a_long_cycle() {
+        // 40 disjoint 6-cycles (m = 240); a 10% sample keeps a specific
+        // cycle with probability ~1e-6.
+        let g = gen::disjoint_cycles(6, 40);
+        let zeros = (0..20)
+            .filter(|&seed| run(&g, 6, 24, seed).survivors == 0)
+            .count();
+        assert!(
+            zeros >= 19,
+            "survivors appeared in {} of 20 runs",
+            20 - zeros
+        );
+    }
+
+    #[test]
+    fn scaling_matches_survival_probability() {
+        let g = gen::disjoint_cycles(5, 4); // m = 20
+        let est = run(&g, 5, 10, 3);
+        if est.survivors > 0 {
+            assert_eq!(est.estimate, est.survivors as f64 * 32.0); // (20/10)^5
+        } else {
+            assert_eq!(est.estimate, 0.0);
+        }
+    }
+}

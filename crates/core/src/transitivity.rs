@@ -1,0 +1,243 @@
+//! Streaming transitivity (global clustering coefficient) estimation —
+//! the quantity the paper's motivating applications actually consume
+//! (spam detection, community structure, thematic web analysis all use
+//! `κ = 3T/P₂` rather than the raw triangle count).
+//!
+//! In the adjacency-list model the wedge count `P₂ = Σ_v C(deg v, 2)` is
+//! *exactly* computable in one pass with `O(log n)` space (each list
+//! reveals its owner's degree), so transitivity inherits the triangle
+//! algorithm's guarantee: `(1±ε)` in `Õ(m/T^{2/3})` space over the same
+//! two passes. [`TransitivityTwoPass`] fuses the wedge counter into pass 1
+//! of [`crate::triangle::TwoPassTriangle`].
+
+use adjstream_graph::VertexId;
+use adjstream_stream::meter::SpaceUsage;
+use adjstream_stream::runner::MultiPassAlgorithm;
+
+use crate::triangle::{TwoPassTriangle, TwoPassTriangleConfig};
+
+/// Result of a [`TransitivityTwoPass`] run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransitivityEstimate {
+    /// Estimated global transitivity `3T̂ / P₂` (0 if the graph has no
+    /// wedges).
+    pub transitivity: f64,
+    /// The triangle estimate `T̂`.
+    pub triangles: f64,
+    /// Exact wedge count `P₂`.
+    pub wedges: u64,
+}
+
+/// One-pass exact wedge counter (`O(log n)` state): accumulates
+/// `C(deg, 2)` per adjacency list.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WedgeCountStream {
+    current_len: u64,
+    total: u64,
+}
+
+impl WedgeCountStream {
+    /// Fresh counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SpaceUsage for WedgeCountStream {
+    fn space_bytes(&self) -> usize {
+        16
+    }
+}
+
+impl MultiPassAlgorithm for WedgeCountStream {
+    type Output = u64;
+
+    fn passes(&self) -> usize {
+        1
+    }
+
+    fn begin_pass(&mut self, _pass: usize) {}
+
+    fn begin_list(&mut self, _owner: VertexId) {
+        self.current_len = 0;
+    }
+
+    fn item(&mut self, _src: VertexId, _dst: VertexId) {
+        self.current_len += 1;
+    }
+
+    fn end_list(&mut self, _owner: VertexId) {
+        self.total += self.current_len * self.current_len.saturating_sub(1) / 2;
+    }
+
+    fn finish(self) -> u64 {
+        self.total
+    }
+}
+
+/// Two-pass transitivity estimator: Theorem 3.7 triangle estimation with
+/// the exact wedge counter fused into pass 1.
+pub struct TransitivityTwoPass {
+    triangle: TwoPassTriangle,
+    pass: usize,
+    wedges: WedgeCountStream,
+}
+
+impl TransitivityTwoPass {
+    /// Build from a triangle-algorithm configuration.
+    pub fn new(cfg: TwoPassTriangleConfig) -> Self {
+        TransitivityTwoPass {
+            triangle: TwoPassTriangle::new(cfg),
+            pass: 0,
+            wedges: WedgeCountStream::new(),
+        }
+    }
+}
+
+impl SpaceUsage for TransitivityTwoPass {
+    fn space_bytes(&self) -> usize {
+        self.triangle.space_bytes() + self.wedges.space_bytes()
+    }
+}
+
+impl MultiPassAlgorithm for TransitivityTwoPass {
+    type Output = TransitivityEstimate;
+
+    fn passes(&self) -> usize {
+        2
+    }
+
+    fn requires_same_order(&self) -> bool {
+        true
+    }
+
+    fn begin_pass(&mut self, pass: usize) {
+        self.pass = pass;
+        self.triangle.begin_pass(pass);
+        if pass == 0 {
+            self.wedges.begin_pass(0);
+        }
+    }
+
+    fn begin_list(&mut self, owner: VertexId) {
+        self.triangle.begin_list(owner);
+        if self.pass == 0 {
+            self.wedges.begin_list(owner);
+        }
+    }
+
+    fn item(&mut self, src: VertexId, dst: VertexId) {
+        self.triangle.item(src, dst);
+        if self.pass == 0 {
+            self.wedges.item(src, dst);
+        }
+    }
+
+    fn end_list(&mut self, owner: VertexId) {
+        self.triangle.end_list(owner);
+        if self.pass == 0 {
+            self.wedges.end_list(owner);
+        }
+    }
+
+    fn end_pass(&mut self, pass: usize) {
+        self.triangle.end_pass(pass);
+    }
+
+    fn finish(self) -> TransitivityEstimate {
+        let triangles = self.triangle.finish();
+        let wedges = self.wedges.finish();
+        let transitivity = if wedges == 0 {
+            0.0
+        } else {
+            3.0 * triangles.estimate / wedges as f64
+        };
+        TransitivityEstimate {
+            transitivity,
+            triangles: triangles.estimate,
+            wedges,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::EdgeSampling;
+    use adjstream_graph::{exact, gen};
+    use adjstream_stream::{PassOrders, Runner, StreamOrder};
+
+    #[test]
+    fn wedge_counter_is_exact() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..6 {
+            let g = gen::gnm(40, 200, &mut rng);
+            let (w, report) = Runner::run(
+                &g,
+                WedgeCountStream::new(),
+                &PassOrders::Same(StreamOrder::shuffled(40, trial)),
+            );
+            assert_eq!(w, g.wedge_count(), "trial {trial}");
+            assert_eq!(report.peak_state_bytes, 16);
+        }
+    }
+
+    #[test]
+    fn transitivity_exact_under_exhaustive_sampling() {
+        let g = gen::disjoint_cliques(5, 6);
+        let truth_t = exact::count_triangles(&g) as f64;
+        let truth_k = 3.0 * truth_t / g.wedge_count() as f64;
+        let cfg = TwoPassTriangleConfig {
+            seed: 1,
+            edge_sampling: EdgeSampling::Threshold { p: 1.0 },
+            pair_capacity: usize::MAX,
+        };
+        let (est, _) = Runner::run(
+            &g,
+            TransitivityTwoPass::new(cfg),
+            &PassOrders::Same(StreamOrder::shuffled(g.vertex_count(), 5)),
+        );
+        assert_eq!(est.triangles, truth_t);
+        assert_eq!(est.wedges, g.wedge_count());
+        assert!((est.transitivity - truth_k).abs() < 1e-12);
+        // Cliques: transitivity is exactly 1.
+        assert!((est.transitivity - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangle_free_has_zero_transitivity() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = gen::bipartite_gnm(20, 20, 150, &mut rng);
+        let cfg = TwoPassTriangleConfig {
+            seed: 1,
+            edge_sampling: EdgeSampling::Threshold { p: 1.0 },
+            pair_capacity: usize::MAX,
+        };
+        let (est, _) = Runner::run(
+            &g,
+            TransitivityTwoPass::new(cfg),
+            &PassOrders::Same(StreamOrder::natural(40)),
+        );
+        assert_eq!(est.transitivity, 0.0);
+        assert!(est.wedges > 0);
+    }
+
+    #[test]
+    fn empty_graph_is_defined() {
+        let g = adjstream_graph::Graph::empty(3);
+        let cfg = TwoPassTriangleConfig {
+            seed: 1,
+            edge_sampling: EdgeSampling::Threshold { p: 1.0 },
+            pair_capacity: 8,
+        };
+        let (est, _) = Runner::run(
+            &g,
+            TransitivityTwoPass::new(cfg),
+            &PassOrders::Same(StreamOrder::natural(3)),
+        );
+        assert_eq!(est.transitivity, 0.0);
+        assert_eq!(est.wedges, 0);
+    }
+}

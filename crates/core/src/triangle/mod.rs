@@ -1,0 +1,20 @@
+//! Triangle counting algorithms (Sections 2.1, 3, and the Table 1 baseline
+//! rows).
+
+mod distinguish;
+mod multi_level;
+mod one_pass;
+mod random_order;
+mod three_pass;
+mod triest;
+mod two_pass;
+mod wedge_sampler;
+
+pub use distinguish::{DistinguishVerdict, TriangleDistinguisher};
+pub use multi_level::{MultiLevelEstimate, MultiLevelTriangle};
+pub use one_pass::{OnePassEstimate, OnePassTriangle};
+pub use random_order::{RandomOrderEstimate, RandomOrderTriangle};
+pub use three_pass::{ThreePassEstimate, ThreePassTriangle};
+pub use triest::{TriestBase, TriestEstimate};
+pub use two_pass::{TriangleEstimate, TwoPassTriangle, TwoPassTriangleConfig};
+pub use wedge_sampler::{WedgeSamplerEstimate, WedgeSamplerTriangle};

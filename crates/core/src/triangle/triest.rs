@@ -1,0 +1,199 @@
+//! TRIÈST-style arbitrary-order triangle estimation (De Stefani, Epasto,
+//! Riondato, Upfal; KDD 2016) — the natural *arbitrary-order* competitor
+//! used by the model-comparison experiment.
+//!
+//! Maintain a uniform reservoir of `M` edges; when edge `{u, v}` arrives at
+//! time `t`, every common neighbor of `u` and `v` inside the reservoir
+//! witnesses a triangle, weighted by the inverse probability
+//! `ξ_t = max(1, (t−1)(t−2) / (M(M−1)))` that both reservoir edges
+//! survived. The running weighted total is an unbiased estimate of the
+//! triangle count seen so far.
+//!
+//! In the arbitrary-order model, one-pass triangle counting needs `Ω(m)`
+//! space in the worst case \[9\]; this estimator is the practical
+//! state-of-the-art there, and comparing it at equal space against
+//! [`super::OnePassTriangle`] (which exploits the adjacency-list promise)
+//! quantifies what the promise buys — the model gap Section 1.1 discusses.
+
+use std::collections::HashMap;
+
+use adjstream_graph::{EdgeKey, VertexId};
+use adjstream_stream::arbitrary::EdgeStreamAlgorithm;
+use adjstream_stream::hashing::SplitMix64;
+use adjstream_stream::meter::{hashmap_bytes, vec_bytes, SpaceUsage};
+
+/// Result of a [`TriestBase`] run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TriestEstimate {
+    /// The weighted triangle estimate.
+    pub estimate: f64,
+    /// Raw (unweighted) triangles witnessed in the reservoir.
+    pub witnessed: u64,
+    /// Edges processed.
+    pub m: u64,
+}
+
+/// TRIÈST-base: fixed-size edge reservoir with inverse-probability
+/// weighting. See module docs.
+pub struct TriestBase {
+    capacity: usize,
+    t: u64,
+    reservoir: Vec<EdgeKey>,
+    /// Adjacency of the sampled subgraph: vertex → neighbors (in sample).
+    adj: HashMap<u32, Vec<u32>>,
+    estimate: f64,
+    witnessed: u64,
+    rng: SplitMix64,
+}
+
+impl TriestBase {
+    /// Estimator with reservoir capacity `m_prime`.
+    pub fn new(seed: u64, m_prime: usize) -> Self {
+        assert!(m_prime >= 2, "TRIÈST needs at least two reservoir slots");
+        TriestBase {
+            capacity: m_prime,
+            t: 0,
+            reservoir: Vec::with_capacity(m_prime.min(1 << 20)),
+            adj: HashMap::new(),
+            estimate: 0.0,
+            witnessed: 0,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    fn next_below(&mut self, bound: u64) -> u64 {
+        let zone = u64::MAX - u64::MAX % bound;
+        loop {
+            let x = self.rng.next_u64();
+            if x < zone {
+                return x % bound;
+            }
+        }
+    }
+
+    fn add_adj(&mut self, e: EdgeKey) {
+        self.adj.entry(e.lo().0).or_default().push(e.hi().0);
+        self.adj.entry(e.hi().0).or_default().push(e.lo().0);
+    }
+
+    fn remove_adj(&mut self, e: EdgeKey) {
+        for (a, b) in [(e.lo().0, e.hi().0), (e.hi().0, e.lo().0)] {
+            let list = self.adj.get_mut(&a).expect("adjacency present");
+            let pos = list.iter().position(|&x| x == b).expect("neighbor present");
+            list.swap_remove(pos);
+            if list.is_empty() {
+                self.adj.remove(&a);
+            }
+        }
+    }
+
+    /// Common neighbors of `u`, `v` in the sampled subgraph.
+    fn common_count(&self, u: VertexId, v: VertexId) -> u64 {
+        let (Some(nu), Some(nv)) = (self.adj.get(&u.0), self.adj.get(&v.0)) else {
+            return 0;
+        };
+        let (small, large) = if nu.len() <= nv.len() {
+            (nu, nv)
+        } else {
+            (nv, nu)
+        };
+        let large: std::collections::HashSet<u32> = large.iter().copied().collect();
+        small.iter().filter(|x| large.contains(x)).count() as u64
+    }
+}
+
+impl SpaceUsage for TriestBase {
+    fn space_bytes(&self) -> usize {
+        let adj_inner: usize = self.adj.values().map(|v| v.capacity() * 4 + 24).sum();
+        vec_bytes(&self.reservoir) + hashmap_bytes(&self.adj) + adj_inner + 48
+    }
+}
+
+impl EdgeStreamAlgorithm for TriestBase {
+    type Output = TriestEstimate;
+
+    fn edge(&mut self, e: EdgeKey) {
+        self.t += 1;
+        // Count triangles this edge closes within the current sample.
+        let c = self.common_count(e.lo(), e.hi());
+        if c > 0 {
+            self.witnessed += c;
+            let m = self.capacity as f64;
+            let t = self.t as f64;
+            let xi = (((t - 1.0) * (t - 2.0)) / (m * (m - 1.0))).max(1.0);
+            self.estimate += c as f64 * xi;
+        }
+        // Reservoir-insert.
+        if self.reservoir.len() < self.capacity {
+            self.reservoir.push(e);
+            self.add_adj(e);
+        } else {
+            let j = self.next_below(self.t);
+            if (j as usize) < self.capacity {
+                let old = std::mem::replace(&mut self.reservoir[j as usize], e);
+                self.remove_adj(old);
+                self.add_adj(e);
+            }
+        }
+    }
+
+    fn finish(self) -> TriestEstimate {
+        TriestEstimate {
+            estimate: self.estimate,
+            witnessed: self.witnessed,
+            m: self.t,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adjstream_graph::{exact, gen};
+    use adjstream_stream::arbitrary::{run_edge_stream, ArbitraryOrderStream};
+
+    fn run(g: &adjstream_graph::Graph, m_prime: usize, seed: u64) -> TriestEstimate {
+        let s = ArbitraryOrderStream::new(g, seed ^ 0x0DD);
+        let (est, _) = run_edge_stream(&s, TriestBase::new(seed, m_prime));
+        est
+    }
+
+    /// With M ≥ m the reservoir holds everything: every triangle is
+    /// witnessed exactly once (when its last edge arrives) at weight 1.
+    #[test]
+    fn full_reservoir_is_exact() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2);
+        for trial in 0..6 {
+            let g = gen::gnm(30, 140, &mut rng);
+            let truth = exact::count_triangles(&g);
+            let est = run(&g, 140, trial);
+            assert_eq!(est.witnessed, truth, "trial {trial}");
+            assert_eq!(est.estimate, truth as f64);
+        }
+    }
+
+    #[test]
+    fn subsampled_is_unbiased() {
+        let g = gen::disjoint_cliques(5, 12); // T = 120
+        let reps = 300;
+        let mean: f64 = (0..reps).map(|s| run(&g, 40, s).estimate).sum::<f64>() / reps as f64;
+        assert!((mean - 120.0).abs() < 18.0, "mean {mean}");
+    }
+
+    #[test]
+    fn triangle_free_estimates_zero() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = gen::bipartite_gnm(20, 20, 150, &mut rng);
+        let est = run(&g, 40, 1);
+        assert_eq!(est.estimate, 0.0);
+        assert_eq!(est.m, 150);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_tiny_reservoir() {
+        TriestBase::new(1, 1);
+    }
+}

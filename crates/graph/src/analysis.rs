@@ -1,0 +1,266 @@
+//! Structural analytics used by the experiment harness for reporting.
+
+use crate::csr::Graph;
+
+/// Summary statistics of a graph's degree sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree `2m/n`.
+    pub mean: f64,
+    /// Median degree.
+    pub median: usize,
+    /// Number of isolated vertices.
+    pub isolated: usize,
+}
+
+impl DegreeStats {
+    /// Compute degree statistics; `n = 0` yields all-zero stats.
+    pub fn compute(g: &Graph) -> Self {
+        let n = g.vertex_count();
+        if n == 0 {
+            return DegreeStats {
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                median: 0,
+                isolated: 0,
+            };
+        }
+        let mut degs: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
+        degs.sort_unstable();
+        DegreeStats {
+            min: degs[0],
+            max: degs[n - 1],
+            mean: 2.0 * g.edge_count() as f64 / n as f64,
+            median: degs[n / 2],
+            isolated: degs.iter().take_while(|&&d| d == 0).count(),
+        }
+    }
+}
+
+/// The quantity `m / T^{2/3}` — the paper's two-pass triangle space bound —
+/// for reporting expected sample sizes. Returns `m` when `t == 0`.
+pub fn triangle_two_pass_budget(m: usize, t: u64) -> f64 {
+    if t == 0 {
+        m as f64
+    } else {
+        m as f64 / (t as f64).powf(2.0 / 3.0)
+    }
+}
+
+/// `m / √T`, the one-pass triangle bound.
+pub fn triangle_one_pass_budget(m: usize, t: u64) -> f64 {
+    if t == 0 {
+        m as f64
+    } else {
+        m as f64 / (t as f64).sqrt()
+    }
+}
+
+/// `m^{3/2} / T`, the multipass arbitrary-order bound used as a baseline row.
+pub fn triangle_three_pass_budget(m: usize, t: u64) -> f64 {
+    if t == 0 {
+        m as f64
+    } else {
+        (m as f64).powf(1.5) / t as f64
+    }
+}
+
+/// `m / T^{3/8}`, the two-pass 4-cycle bound.
+pub fn four_cycle_budget(m: usize, t: u64) -> f64 {
+    if t == 0 {
+        m as f64
+    } else {
+        m as f64 / (t as f64).powf(3.0 / 8.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::gen;
+
+    #[test]
+    fn degree_stats_basic() {
+        let g = GraphBuilder::from_edges(5, [(0, 1), (1, 2), (1, 3)]).unwrap();
+        let s = DegreeStats::compute(&g);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 3);
+        assert_eq!(s.isolated, 1);
+        assert!((s.mean - 6.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_stats_regular() {
+        let g = gen::cycle(8);
+        let s = DegreeStats::compute(&g);
+        assert_eq!((s.min, s.max, s.median), (2, 2, 2));
+        assert_eq!(s.isolated, 0);
+    }
+
+    #[test]
+    fn budgets_scale_correctly() {
+        assert_eq!(triangle_two_pass_budget(1000, 0), 1000.0);
+        let b1 = triangle_two_pass_budget(1_000_000, 1000);
+        assert!((b1 - 10_000.0).abs() < 1e-6); // 10^6 / 10^2
+        let b2 = triangle_one_pass_budget(1_000_000, 10_000);
+        assert!((b2 - 10_000.0).abs() < 1e-6);
+        let b3 = triangle_three_pass_budget(10_000, 100);
+        assert!((b3 - 10_000.0).abs() < 1e-6);
+        let b4 = four_cycle_budget(1 << 16, 1 << 16);
+        assert!((b4 - 2f64.powf(16.0 - 6.0)).abs() < 1e-6);
+    }
+}
+
+/// Connected components: labels (`labels[v] = component id`, ids dense from
+/// 0 in discovery order) and the component count.
+pub fn connected_components(g: &Graph) -> (Vec<u32>, usize) {
+    let n = g.vertex_count();
+    let mut labels = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut stack = Vec::new();
+    for s in 0..n {
+        if labels[s] != u32::MAX {
+            continue;
+        }
+        labels[s] = next;
+        stack.push(s as u32);
+        while let Some(v) = stack.pop() {
+            for &w in g.neighbors(crate::ids::VertexId(v)) {
+                if labels[w.index()] == u32::MAX {
+                    labels[w.index()] = next;
+                    stack.push(w.0);
+                }
+            }
+        }
+        next += 1;
+    }
+    (labels, next as usize)
+}
+
+/// Degeneracy (the maximum `k` such that a `k`-core exists) and a
+/// degeneracy ordering, via linear-time peeling (Matula–Beck).
+///
+/// The degeneracy bounds the forward-algorithm work of the exact triangle
+/// counter and characterizes how clustered a workload is; the harness
+/// reports it alongside heavy-edge statistics.
+pub fn degeneracy(g: &Graph) -> (usize, Vec<crate::ids::VertexId>) {
+    let n = g.vertex_count();
+    if n == 0 {
+        return (0, Vec::new());
+    }
+    let mut deg: Vec<usize> = (0..n)
+        .map(|v| g.degree(crate::ids::VertexId(v as u32)))
+        .collect();
+    let max_d = deg.iter().copied().max().unwrap_or(0);
+    // Bucket queue over current degrees.
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_d + 1];
+    for (v, &d) in deg.iter().enumerate() {
+        buckets[d].push(v as u32);
+    }
+    let mut removed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut degeneracy = 0usize;
+    let mut cursor = 0usize;
+    for _ in 0..n {
+        // Find the smallest non-empty bucket; the cursor can retreat by at
+        // most one per removal, so start one below the last position.
+        while cursor > 0 && !buckets[cursor - 1].is_empty() {
+            cursor -= 1;
+        }
+        while buckets[cursor].is_empty() {
+            cursor += 1;
+        }
+        // Pop a vertex with current minimum degree (skip stale entries).
+        let v = loop {
+            match buckets[cursor].pop() {
+                Some(v) if !removed[v as usize] && deg[v as usize] == cursor => break v,
+                Some(_) => continue,
+                None => {
+                    // Bucket ran dry of live entries; rescan.
+                    while buckets[cursor].is_empty() {
+                        cursor += 1;
+                    }
+                }
+            }
+        };
+        degeneracy = degeneracy.max(cursor);
+        removed[v as usize] = true;
+        order.push(crate::ids::VertexId(v));
+        for &w in g.neighbors(crate::ids::VertexId(v)) {
+            if !removed[w.index()] {
+                let d = deg[w.index()];
+                deg[w.index()] = d - 1;
+                buckets[d - 1].push(w.0);
+            }
+        }
+    }
+    (degeneracy, order)
+}
+
+#[cfg(test)]
+mod structure_tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::gen;
+
+    #[test]
+    fn components_of_disjoint_union() {
+        let g = gen::complete(4).disjoint_union(&gen::cycle(5));
+        let (labels, count) = connected_components(&g);
+        assert_eq!(count, 2);
+        assert!(labels[..4].iter().all(|&l| l == labels[0]));
+        assert!(labels[4..].iter().all(|&l| l == labels[4]));
+        assert_ne!(labels[0], labels[4]);
+    }
+
+    #[test]
+    fn isolated_vertices_are_singleton_components() {
+        let g = GraphBuilder::from_edges(5, [(0, 1)]).unwrap();
+        let (_, count) = connected_components(&g);
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn degeneracy_of_standard_families() {
+        assert_eq!(degeneracy(&gen::complete(6)).0, 5);
+        assert_eq!(degeneracy(&gen::cycle(8)).0, 2);
+        assert_eq!(degeneracy(&gen::star(9)).0, 1);
+        let tree = GraphBuilder::from_edges(6, [(0, 1), (1, 2), (1, 3), (3, 4), (3, 5)]).unwrap();
+        assert_eq!(degeneracy(&tree).0, 1);
+        assert_eq!(degeneracy(&gen::complete_bipartite(3, 7)).0, 3);
+        assert_eq!(degeneracy(&crate::Graph::empty(4)).0, 0);
+    }
+
+    #[test]
+    fn degeneracy_ordering_is_a_permutation_witnessing_the_bound() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = gen::gnm(60, 300, &mut rng);
+        let (d, order) = degeneracy(&g);
+        assert_eq!(order.len(), 60);
+        let mut seen = [false; 60];
+        for v in &order {
+            assert!(!seen[v.index()]);
+            seen[v.index()] = true;
+        }
+        // Each vertex has at most `d` neighbors later in the order.
+        let mut pos = vec![0usize; 60];
+        for (i, v) in order.iter().enumerate() {
+            pos[v.index()] = i;
+        }
+        for (i, v) in order.iter().enumerate() {
+            let later = g
+                .neighbors(*v)
+                .iter()
+                .filter(|w| pos[w.index()] > i)
+                .count();
+            assert!(later <= d, "vertex {v}: {later} later neighbors > {d}");
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! Exact 4-cycle counting.
+//!
+//! The count uses the codegree identity: every 4-cycle is determined by its
+//! two diagonal (opposite-vertex) pairs, so
+//! `C₄(G) = ½ · Σ_{u<v} C(codeg(u,v), 2)`, where the sum ranges over vertex
+//! pairs and each cycle is counted once per diagonal pair (there are two).
+//! Codegrees are accumulated by enumerating wedges, `O(Σ deg²)` time.
+//!
+//! Enumeration produces each 4-cycle exactly once by restricting to the
+//! diagonal pair containing the cycle's minimum vertex.
+
+use std::collections::HashMap;
+
+use super::EdgeIndexMap;
+use crate::csr::Graph;
+use crate::ids::{FourCycleKey, VertexId, WedgeKey};
+
+/// Pack an ascending vertex pair into a `u64` map key.
+#[inline]
+fn pack_pair(a: VertexId, b: VertexId) -> u64 {
+    debug_assert!(a.0 < b.0);
+    ((a.0 as u64) << 32) | b.0 as u64
+}
+
+/// Codegree table over all vertex pairs joined by at least one wedge.
+fn codegree_table(g: &Graph) -> HashMap<u64, u32> {
+    let mut codeg: HashMap<u64, u32> = HashMap::new();
+    for c in g.vertices() {
+        let nb = g.neighbors(c);
+        for i in 0..nb.len() {
+            for j in (i + 1)..nb.len() {
+                *codeg.entry(pack_pair(nb[i], nb[j])).or_insert(0) += 1;
+            }
+        }
+    }
+    codeg
+}
+
+/// Exact number of 4-cycles via the codegree identity.
+pub fn count_four_cycles(g: &Graph) -> u64 {
+    let codeg = codegree_table(g);
+    let twice: u64 = codeg
+        .values()
+        .map(|&c| {
+            let c = c as u64;
+            c * (c - 1) / 2
+        })
+        .sum();
+    debug_assert_eq!(twice % 2, 0, "each 4-cycle has exactly two diagonal pairs");
+    twice / 2
+}
+
+/// Enumerate every 4-cycle exactly once, invoking `f` on its canonical key.
+///
+/// For each vertex pair `(a, c)` with `a < c`, and each pair `{b, d}` of their
+/// common neighbors with `a < b < d`, report the cycle `a—b—c—d—a`. Requiring
+/// `a < b` (hence `a < d`) selects the diagonal pair containing the cycle's
+/// minimum vertex, so each cycle fires for exactly one `(a, c)`.
+pub fn enumerate_four_cycles<F: FnMut(FourCycleKey)>(g: &Graph, mut f: F) {
+    // Group common neighbors per pair. To keep memory proportional to the
+    // number of wedge-connected pairs we build lists lazily per pair.
+    let mut common: HashMap<u64, Vec<VertexId>> = HashMap::new();
+    for c in g.vertices() {
+        let nb = g.neighbors(c);
+        for i in 0..nb.len() {
+            for j in (i + 1)..nb.len() {
+                common.entry(pack_pair(nb[i], nb[j])).or_default().push(c);
+            }
+        }
+    }
+    for (&pair, centers) in &common {
+        let a = VertexId((pair >> 32) as u32);
+        let c = VertexId(pair as u32);
+        // centers are the common neighbors of {a, c}.
+        for i in 0..centers.len() {
+            for j in (i + 1)..centers.len() {
+                let (b, d) = (centers[i], centers[j]);
+                // Canonical-selection rule: only when a is the global min.
+                if a < b && a < d {
+                    f(FourCycleKey::from_diagonals(a, c, b, d));
+                }
+            }
+        }
+    }
+}
+
+/// Per-edge 4-cycle counts, indexed by `idx`, plus the total count.
+pub fn four_cycle_edge_counts(g: &Graph, idx: &EdgeIndexMap) -> (Vec<u64>, u64) {
+    let mut per_edge = vec![0u64; idx.len()];
+    let mut total = 0u64;
+    enumerate_four_cycles(g, |c| {
+        total += 1;
+        for e in c.edges() {
+            per_edge[idx.index_of(e).expect("cycle edge must exist")] += 1;
+        }
+    });
+    (per_edge, total)
+}
+
+/// Per-wedge 4-cycle counts.
+///
+/// For a wedge `u—c—v`, the number of 4-cycles containing it equals the
+/// number of common neighbors of `u` and `v` other than `c`, i.e.
+/// `codeg(u, v) − 1`. Returns a map over all wedges with a nonzero count,
+/// plus the total 4-cycle count.
+pub fn four_cycle_wedge_counts(g: &Graph) -> (HashMap<WedgeKey, u64>, u64) {
+    let codeg = codegree_table(g);
+    let mut per_wedge = HashMap::new();
+    for c in g.vertices() {
+        let nb = g.neighbors(c);
+        for i in 0..nb.len() {
+            for j in (i + 1)..nb.len() {
+                let (u, v) = (nb[i], nb[j]);
+                let cd = codeg[&pack_pair(u, v)] as u64;
+                if cd > 1 {
+                    per_wedge.insert(WedgeKey::new(u, c, v), cd - 1);
+                }
+            }
+        }
+    }
+    (per_wedge, count_four_cycles(g))
+}
+
+/// Heaviness statistics mirroring Definition 4.1 of the paper.
+///
+/// With `T` the 4-cycle count: an edge is *heavy* if it lies on at least
+/// `40√T` 4-cycles; a wedge is *overused* if it lies on at least `40·T^{1/4}`
+/// 4-cycles; a wedge is *bad* if overused or containing a heavy edge; a cycle
+/// is *good* if it has at least one good (non-bad) wedge. Lemma 4.2 proves
+/// the number of good cycles is `Ω(T)` (at least `T/50`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FourCycleStats {
+    /// Total 4-cycle count `T`.
+    pub total: u64,
+    /// Max per-edge 4-cycle count.
+    pub max_edge_count: u64,
+    /// Max per-wedge 4-cycle count.
+    pub max_wedge_count: u64,
+    /// Number of heavy edges (`≥ 40√T` cycles).
+    pub heavy_edges: u64,
+    /// Number of overused wedges (`≥ 40·T^{1/4}` cycles).
+    pub overused_wedges: u64,
+    /// Number of good cycles (≥ 1 good wedge).
+    pub good_cycles: u64,
+}
+
+impl FourCycleStats {
+    /// Compute the Definition-4.1 statistics for `g`.
+    pub fn compute(g: &Graph) -> Self {
+        let idx = EdgeIndexMap::new(g);
+        let (per_edge, total) = four_cycle_edge_counts(g, &idx);
+        let (per_wedge, _) = four_cycle_wedge_counts(g);
+        if total == 0 {
+            return FourCycleStats {
+                total: 0,
+                max_edge_count: 0,
+                max_wedge_count: 0,
+                heavy_edges: 0,
+                overused_wedges: 0,
+                good_cycles: 0,
+            };
+        }
+        let tf = total as f64;
+        let heavy_edge_thresh = 40.0 * tf.sqrt();
+        let overused_thresh = 40.0 * tf.powf(0.25);
+        let is_heavy_edge =
+            |e: crate::ids::EdgeKey| per_edge[idx.index_of(e).unwrap()] as f64 >= heavy_edge_thresh;
+        let wedge_cycles = |w: &WedgeKey| per_wedge.get(w).copied().unwrap_or(0);
+        let is_bad_wedge = |w: &WedgeKey| {
+            let (e1, e2) = w.edges();
+            wedge_cycles(w) as f64 >= overused_thresh || is_heavy_edge(e1) || is_heavy_edge(e2)
+        };
+        let heavy_edges = idx.iter().filter(|&(_, e)| is_heavy_edge(e)).count() as u64;
+        let overused_wedges = per_wedge
+            .values()
+            .filter(|&&c| c as f64 >= overused_thresh)
+            .count() as u64;
+        let mut good_cycles = 0u64;
+        let mut max_edge = 0u64;
+        let mut max_wedge = 0u64;
+        enumerate_four_cycles(g, |c| {
+            if c.wedges().iter().any(|w| !is_bad_wedge(w)) {
+                good_cycles += 1;
+            }
+        });
+        for &c in &per_edge {
+            max_edge = max_edge.max(c);
+        }
+        for &c in per_wedge.values() {
+            max_wedge = max_wedge.max(c);
+        }
+        FourCycleStats {
+            total,
+            max_edge_count: max_edge,
+            max_wedge_count: max_wedge,
+            heavy_edges,
+            overused_wedges,
+            good_cycles,
+        }
+    }
+}
+
+/// Brute-force 4-cycle count (`O(n⁴)`), for cross-checking on tiny graphs.
+pub fn count_four_cycles_brute(g: &Graph) -> u64 {
+    let n = g.vertex_count() as u32;
+    let mut total = 0u64;
+    // Canonical traversal a-b-c-d with a = min, b < d (kills reflection).
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if !g.has_edge(VertexId(a), VertexId(b)) {
+                continue;
+            }
+            for c in (a + 1)..n {
+                if c == b || !g.has_edge(VertexId(b), VertexId(c)) {
+                    continue;
+                }
+                for d in (b + 1)..n {
+                    if d == c
+                        || !g.has_edge(VertexId(c), VertexId(d))
+                        || !g.has_edge(VertexId(d), VertexId(a))
+                    {
+                        continue;
+                    }
+                    total += 1;
+                }
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn single_cycle() {
+        let g = GraphBuilder::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        assert_eq!(count_four_cycles(&g), 1);
+        assert_eq!(count_four_cycles_brute(&g), 1);
+    }
+
+    #[test]
+    fn complete_graph_formula() {
+        // K_n has 3·C(n,4) four-cycles.
+        for n in 4..=8u64 {
+            let g = gen::complete(n as usize);
+            let expect = 3 * n * (n - 1) * (n - 2) * (n - 3) / 24;
+            assert_eq!(count_four_cycles(&g), expect, "K{n}");
+            assert_eq!(count_four_cycles_brute(&g), expect, "K{n} brute");
+        }
+    }
+
+    #[test]
+    fn complete_bipartite_formula() {
+        // K_{a,b} has C(a,2)·C(b,2) four-cycles.
+        for (a, b) in [(2u64, 2u64), (3, 4), (4, 4), (2, 5)] {
+            let g = gen::complete_bipartite(a as usize, b as usize);
+            let expect = (a * (a - 1) / 2) * (b * (b - 1) / 2);
+            assert_eq!(count_four_cycles(&g), expect, "K{a},{b}");
+        }
+    }
+
+    #[test]
+    fn count_matches_brute_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..15 {
+            let g = gen::gnm(18, 55, &mut rng);
+            assert_eq!(
+                count_four_cycles(&g),
+                count_four_cycles_brute(&g),
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn enumeration_is_duplicate_free_and_complete() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = gen::gnm(16, 50, &mut rng);
+        let mut seen = std::collections::HashSet::new();
+        enumerate_four_cycles(&g, |c| {
+            assert!(seen.insert(c), "duplicate cycle {c:?}");
+            let [a, b, cc, d] = c.vertices();
+            assert!(g.has_edge(a, b) && g.has_edge(b, cc) && g.has_edge(cc, d) && g.has_edge(d, a));
+        });
+        assert_eq!(seen.len() as u64, count_four_cycles_brute(&g));
+    }
+
+    #[test]
+    fn edge_counts_sum_to_four_t() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = gen::gnm(20, 70, &mut rng);
+        let idx = EdgeIndexMap::new(&g);
+        let (per_edge, total) = four_cycle_edge_counts(&g, &idx);
+        assert_eq!(per_edge.iter().sum::<u64>(), 4 * total);
+    }
+
+    #[test]
+    fn wedge_counts_sum_to_four_t() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let g = gen::gnm(20, 70, &mut rng);
+        let (per_wedge, total) = four_cycle_wedge_counts(&g);
+        assert_eq!(per_wedge.values().sum::<u64>(), 4 * total);
+    }
+
+    #[test]
+    fn wedge_count_is_codegree_minus_one() {
+        let g = gen::complete_bipartite(3, 3);
+        let (per_wedge, total) = four_cycle_wedge_counts(&g);
+        assert_eq!(total, 9);
+        // Every wedge leaf pair in K_{3,3} (same side) has codegree 3 -> 2.
+        for (&w, &c) in per_wedge.iter().take(3) {
+            let _ = w;
+            assert_eq!(c, 2);
+        }
+    }
+
+    #[test]
+    fn stats_good_cycles_lower_bound() {
+        // Lemma 4.2: |F_G| >= T/50. On moderate graphs every cycle is good
+        // because nothing is heavy relative to 40√T.
+        let mut rng = StdRng::seed_from_u64(17);
+        let g = gen::gnm(40, 250, &mut rng);
+        let stats = FourCycleStats::compute(&g);
+        assert!(stats.good_cycles * 50 >= stats.total);
+        // With thresholds this large and counts this small, all cycles good.
+        assert_eq!(stats.good_cycles, stats.total);
+        assert_eq!(stats.heavy_edges, 0);
+    }
+
+    #[test]
+    fn four_cycle_free_graphs() {
+        let g = gen::complete(3);
+        assert_eq!(count_four_cycles(&g), 0);
+        let tree = GraphBuilder::from_edges(6, [(0, 1), (0, 2), (1, 3), (1, 4), (2, 5)]).unwrap();
+        assert_eq!(count_four_cycles(&tree), 0);
+        let stats = FourCycleStats::compute(&tree);
+        assert_eq!(stats.total, 0);
+    }
+}

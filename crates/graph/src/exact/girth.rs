@@ -1,0 +1,122 @@
+//! Girth (length of a shortest cycle).
+//!
+//! Used to certify the projective-plane incidence graphs are 4-cycle-free
+//! (girth 6), which the Section 5.2 lower-bound constructions rely on.
+
+use std::collections::VecDeque;
+
+use crate::csr::Graph;
+
+/// Girth of `g`: the length of its shortest cycle, or `None` if acyclic.
+///
+/// Runs one BFS per vertex (`O(n·m)`): during the BFS from `r`, a non-tree
+/// edge between vertices at depths `d(x)` and `d(y)` closes a cycle of length
+/// `d(x) + d(y) + 1` through `r`'s BFS tree. The minimum over all roots and
+/// all non-tree edges is the girth (every shortest cycle is discovered from
+/// each of its own vertices).
+pub fn girth(g: &Graph) -> Option<usize> {
+    let n = g.vertex_count();
+    let mut best: Option<usize> = None;
+    let mut dist = vec![usize::MAX; n];
+    let mut parent = vec![u32::MAX; n];
+    let mut touched: Vec<usize> = Vec::new();
+    let mut queue = VecDeque::new();
+    for r in g.vertices() {
+        // Reset only what the previous BFS touched.
+        for &t in &touched {
+            dist[t] = usize::MAX;
+            parent[t] = u32::MAX;
+        }
+        touched.clear();
+        queue.clear();
+        dist[r.index()] = 0;
+        touched.push(r.index());
+        queue.push_back(r);
+        while let Some(x) = queue.pop_front() {
+            // Cycles through deeper vertices can't beat the current best.
+            if let Some(b) = best {
+                if 2 * dist[x.index()] + 1 >= b {
+                    break;
+                }
+            }
+            for &y in g.neighbors(x) {
+                if dist[y.index()] == usize::MAX {
+                    dist[y.index()] = dist[x.index()] + 1;
+                    parent[y.index()] = x.0;
+                    touched.push(y.index());
+                    queue.push_back(y);
+                } else if parent[x.index()] != y.0 {
+                    // Non-tree edge: cycle through the BFS tree.
+                    let len = dist[x.index()] + dist[y.index()] + 1;
+                    if best.is_none_or(|b| len < b) {
+                        best = Some(len);
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Check that `g` contains no cycle of length `< min_girth`.
+pub fn has_girth_at_least(g: &Graph, min_girth: usize) -> bool {
+    girth(g).is_none_or(|gi| gi >= min_girth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::gen;
+
+    #[test]
+    fn acyclic_graphs_have_no_girth() {
+        let tree = GraphBuilder::from_edges(5, [(0, 1), (1, 2), (1, 3), (3, 4)]).unwrap();
+        assert_eq!(girth(&tree), None);
+        assert!(has_girth_at_least(&tree, 100));
+        let g = crate::Graph::empty(4);
+        assert_eq!(girth(&g), None);
+    }
+
+    #[test]
+    fn cycle_graphs() {
+        for len in 3..=9usize {
+            assert_eq!(girth(&gen::cycle(len)), Some(len));
+        }
+    }
+
+    #[test]
+    fn complete_graphs_have_girth_three() {
+        for n in 3..=6usize {
+            assert_eq!(girth(&gen::complete(n)), Some(3));
+        }
+    }
+
+    #[test]
+    fn complete_bipartite_has_girth_four() {
+        assert_eq!(girth(&gen::complete_bipartite(3, 3)), Some(4));
+        assert_eq!(girth(&gen::complete_bipartite(2, 5)), Some(4));
+    }
+
+    #[test]
+    fn petersen_has_girth_five() {
+        let outer = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)];
+        let spokes = [(0, 5), (1, 6), (2, 7), (3, 8), (4, 9)];
+        let inner = [(5, 7), (7, 9), (9, 6), (6, 8), (8, 5)];
+        let edges = outer.iter().chain(&spokes).chain(&inner).copied();
+        let g = GraphBuilder::from_edges(10, edges).unwrap();
+        assert_eq!(girth(&g), Some(5));
+        assert!(has_girth_at_least(&g, 5));
+        assert!(!has_girth_at_least(&g, 6));
+    }
+
+    #[test]
+    fn cycle_with_chord() {
+        // C6 with a chord splitting it into a C4 and a C4... 0-1-2-3-4-5-0
+        // plus chord 0-3 creates two 4-cycles; girth 4.
+        let g =
+            GraphBuilder::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)])
+                .unwrap();
+        assert_eq!(girth(&g), Some(4));
+    }
+}

@@ -1,0 +1,98 @@
+//! Exact (non-streaming) subgraph counters.
+//!
+//! Every streaming experiment in this repository compares against these
+//! counters, so they are deliberately written three different ways where
+//! feasible (fast algorithm, combinatorial formula, brute force) and
+//! cross-checked in tests.
+
+pub mod cycles;
+pub mod fourcycles;
+pub mod girth;
+pub mod triangles;
+pub mod wedges;
+
+use crate::csr::Graph;
+use crate::ids::EdgeKey;
+
+pub use cycles::{count_cycles, enumerate_cycles};
+pub use fourcycles::{
+    count_four_cycles, enumerate_four_cycles, four_cycle_edge_counts, four_cycle_wedge_counts,
+    FourCycleStats,
+};
+pub use girth::girth;
+pub use triangles::{
+    count_triangles, count_triangles_brute, enumerate_triangles, triangle_edge_counts,
+    triangle_vertex_counts, TriangleStats,
+};
+pub use wedges::{enumerate_wedges, wedge_count};
+
+/// A compact map from canonical edges to dense indices `0..m`.
+///
+/// The exact counters hand back per-edge statistics as `Vec`s indexed by this
+/// map; binary search over the packed, sorted edge keys keeps lookups
+/// allocation-free and cache-friendly.
+#[derive(Debug, Clone)]
+pub struct EdgeIndexMap {
+    packed: Vec<u64>,
+}
+
+impl EdgeIndexMap {
+    /// Build the index for `g`. Edges are numbered in ascending canonical
+    /// `(lo, hi)` order, matching `Graph::edges()` iteration order.
+    pub fn new(g: &Graph) -> Self {
+        let packed: Vec<u64> = g.edges().map(|e| e.pack()).collect();
+        debug_assert!(packed.windows(2).all(|w| w[0] < w[1]));
+        EdgeIndexMap { packed }
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.packed.len()
+    }
+
+    /// Whether the graph had no edges.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.packed.is_empty()
+    }
+
+    /// Dense index of `e`, or `None` if `e` is not an edge of the graph.
+    #[inline]
+    pub fn index_of(&self, e: EdgeKey) -> Option<usize> {
+        self.packed.binary_search(&e.pack()).ok()
+    }
+
+    /// The edge at dense index `i`.
+    #[inline]
+    pub fn edge_at(&self, i: usize) -> EdgeKey {
+        EdgeKey::unpack(self.packed[i])
+    }
+
+    /// Iterate `(index, edge)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, EdgeKey)> + '_ {
+        self.packed
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (i, EdgeKey::unpack(p)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::ids::VertexId;
+
+    #[test]
+    fn edge_index_roundtrip() {
+        let g = GraphBuilder::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        let idx = EdgeIndexMap::new(&g);
+        assert_eq!(idx.len(), 5);
+        for (i, e) in idx.iter() {
+            assert_eq!(idx.index_of(e), Some(i));
+            assert_eq!(idx.edge_at(i), e);
+        }
+        assert_eq!(idx.index_of(EdgeKey::new(VertexId(0), VertexId(2))), None);
+    }
+}

@@ -1,0 +1,99 @@
+//! Barabási–Albert preferential attachment graphs.
+//!
+//! Along with Chung–Lu, the other standard synthetic model for the
+//! heavy-tailed networks the paper's applications target. Each arriving
+//! vertex attaches to `k` existing vertices chosen proportionally to
+//! degree, via the repeated-endpoints trick (sample a uniform endpoint of
+//! an existing edge), which realizes preferential attachment exactly
+//! without maintaining a degree distribution.
+
+use rand::{Rng, RngExt};
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::ids::VertexId;
+
+/// Sample a Barabási–Albert graph: start from a `k+1`-clique, then each new
+/// vertex attaches to `k` distinct degree-proportional targets, up to `n`
+/// vertices total.
+pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Graph {
+    assert!(k >= 1, "attachment count must be positive");
+    assert!(n > k + 1, "need more vertices than the seed clique");
+    let mut builder = GraphBuilder::with_capacity(n, k * n);
+    // Flat list of edge endpoints: sampling a uniform element is sampling
+    // a vertex with probability proportional to its degree.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * k * n);
+    for u in 0..=k as u32 {
+        for v in (u + 1)..=k as u32 {
+            builder.add_edge(VertexId(u), VertexId(v)).expect("seed");
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for v in (k + 1)..n {
+        let mut targets = Vec::with_capacity(k);
+        while targets.len() < k {
+            let t = endpoints[rng.random_range(0..endpoints.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            builder
+                .add_edge(VertexId(v as u32), VertexId(t))
+                .expect("in range");
+            endpoints.push(v as u32);
+            endpoints.push(t);
+        }
+    }
+    builder.build().expect("valid construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn edge_count_formula() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (n, k) = (500, 3);
+        let g = barabasi_albert(n, k, &mut rng);
+        assert_eq!(g.vertex_count(), n);
+        // Seed clique C(k+1, 2) plus k per later vertex.
+        assert_eq!(g.edge_count(), k * (k + 1) / 2 + k * (n - k - 1));
+    }
+
+    #[test]
+    fn degrees_are_heavy_tailed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = barabasi_albert(2_000, 4, &mut rng);
+        let mean = 2.0 * g.edge_count() as f64 / 2_000.0;
+        let max = g.max_degree() as f64;
+        assert!(max > 5.0 * mean, "max {max} vs mean {mean}");
+        // Early vertices accumulate degree.
+        assert!(g.degree(VertexId(0)) > g.degree(VertexId(1_999)));
+    }
+
+    #[test]
+    fn minimum_degree_is_k() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = barabasi_albert(300, 2, &mut rng);
+        assert!(g.vertices().all(|v| g.degree(v) >= 2));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g1 = barabasi_albert(200, 3, &mut StdRng::seed_from_u64(9));
+        let g2 = barabasi_albert(200, 3, &mut StdRng::seed_from_u64(9));
+        assert_eq!(g1.edge_vec(), g2.edge_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "seed clique")]
+    fn rejects_tiny_n() {
+        let mut rng = StdRng::seed_from_u64(1);
+        barabasi_albert(3, 3, &mut rng);
+    }
+}

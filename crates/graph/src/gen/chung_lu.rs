@@ -1,0 +1,112 @@
+//! Chung–Lu random graphs with power-law expected degrees.
+//!
+//! The paper motivates triangle counting with massive social-network
+//! analysis; Chung–Lu graphs are the standard synthetic stand-in for such
+//! skew-degree networks and are what the `social_network` example and the
+//! heavy-edge ablations stream.
+
+use rand::{Rng, RngExt};
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::ids::VertexId;
+
+/// Sample a Chung–Lu graph on `n` vertices with power-law exponent `gamma`
+/// (typically 2–3) and average expected degree `avg_degree`.
+///
+/// Vertex `i` gets weight `w_i ∝ (i + i₀)^{-1/(γ-1)}`, scaled so the mean
+/// weight is `avg_degree`; the pair `{i, j}` is an edge with probability
+/// `min(1, w_i w_j / W)` where `W = Σ w_k`. Uses the Miller–Hagberg skipping
+/// sampler, `O(n + m)` expected time.
+pub fn chung_lu<R: Rng + ?Sized>(n: usize, gamma: f64, avg_degree: f64, rng: &mut R) -> Graph {
+    assert!(gamma > 1.0, "power-law exponent must exceed 1");
+    assert!(n >= 2);
+    // Weights descending in i.
+    let i0 = 1.0;
+    let exp = -1.0 / (gamma - 1.0);
+    let mut w: Vec<f64> = (0..n).map(|i| (i as f64 + i0).powf(exp)).collect();
+    let mean: f64 = w.iter().sum::<f64>() / n as f64;
+    let scale = avg_degree / mean;
+    for wi in &mut w {
+        *wi *= scale;
+    }
+    let total: f64 = w.iter().sum();
+    let mut b = GraphBuilder::new(n);
+    // Miller–Hagberg: for each i, scan j > i with geometric skips at rate
+    // q = min(1, w_i w_j / W) bounded above by p = min(1, w_i w_{i+1} / W)
+    // (weights are non-increasing), then accept with prob q/p.
+    for i in 0..n - 1 {
+        let mut j = i + 1;
+        let mut p = (w[i] * w[j] / total).min(1.0);
+        if p <= 0.0 {
+            continue;
+        }
+        while j < n && p > 0.0 {
+            if p < 1.0 {
+                let r: f64 = rng.random();
+                let skip = ((1.0 - r).ln() / (1.0 - p).ln()).floor() as usize;
+                j += skip;
+            }
+            if j >= n {
+                break;
+            }
+            let q = (w[i] * w[j] / total).min(1.0);
+            if rng.random::<f64>() < q / p {
+                b.add_edge(VertexId(i as u32), VertexId(j as u32)).unwrap();
+            }
+            p = q;
+            j += 1;
+        }
+    }
+    b.build().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn average_degree_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let n = 2000;
+        let avg = 8.0;
+        let g = chung_lu(n, 2.5, avg, &mut rng);
+        let got = 2.0 * g.edge_count() as f64 / n as f64;
+        // Truncation at p=1 loses a little mass; allow a wide band.
+        assert!(
+            got > avg * 0.5 && got < avg * 1.5,
+            "average degree {got} not near {avg}"
+        );
+    }
+
+    #[test]
+    fn degrees_are_skewed() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 2000;
+        let g = chung_lu(n, 2.2, 6.0, &mut rng);
+        let max = g.max_degree() as f64;
+        let mean = 2.0 * g.edge_count() as f64 / n as f64;
+        assert!(
+            max > 6.0 * mean,
+            "expected heavy tail: max {max}, mean {mean}"
+        );
+        // Early (high-weight) vertices should dominate.
+        assert!(g.degree(VertexId(0)) > g.degree(VertexId((n - 1) as u32)));
+    }
+
+    #[test]
+    fn seed_deterministic() {
+        let g1 = chung_lu(300, 2.5, 5.0, &mut StdRng::seed_from_u64(42));
+        let g2 = chung_lu(300, 2.5, 5.0, &mut StdRng::seed_from_u64(42));
+        assert_eq!(g1.edge_vec(), g2.edge_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1")]
+    fn rejects_flat_exponent() {
+        let mut rng = StdRng::seed_from_u64(1);
+        chung_lu(10, 1.0, 2.0, &mut rng);
+    }
+}

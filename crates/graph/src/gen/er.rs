@@ -1,0 +1,223 @@
+//! Erdős–Rényi random graphs.
+
+use std::collections::HashSet;
+
+use rand::{Rng, RngExt};
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::ids::{EdgeKey, VertexId};
+
+/// `G(n, m)`: a uniform graph with exactly `m` distinct edges.
+///
+/// Uses rejection sampling while the graph is sparse and switches to a
+/// partial Fisher–Yates over the full pair space when `m` exceeds 40% of
+/// `C(n,2)` (where rejection would thrash).
+pub fn gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Graph {
+    let max_m = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= max_m, "requested m={m} exceeds C({n},2)={max_m}");
+    let mut b = GraphBuilder::with_capacity(n, m);
+    if max_m == 0 || m == 0 {
+        return b.build().unwrap();
+    }
+    if m * 5 <= max_m * 2 {
+        // Sparse: rejection-sample canonical keys.
+        let mut chosen: HashSet<u64> = HashSet::with_capacity(m * 2);
+        while chosen.len() < m {
+            let u = rng.random_range(0..n as u32);
+            let v = rng.random_range(0..n as u32);
+            if u == v {
+                continue;
+            }
+            let key = EdgeKey::new(VertexId(u), VertexId(v));
+            if chosen.insert(key.pack()) {
+                b.add_edge(key.lo(), key.hi()).unwrap();
+            }
+        }
+    } else {
+        // Dense: partial Fisher–Yates over the enumerated pair space.
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(max_m);
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                pairs.push((u, v));
+            }
+        }
+        for i in 0..m {
+            let j = rng.random_range(i..pairs.len());
+            pairs.swap(i, j);
+            let (u, v) = pairs[i];
+            b.add_edge(VertexId(u), VertexId(v)).unwrap();
+        }
+    }
+    b.build().unwrap()
+}
+
+/// `G(n, p)`: each pair independently an edge with probability `p`.
+///
+/// Implemented with geometric skipping, `O(n + m)` expected time.
+pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut b = GraphBuilder::new(n);
+    if p == 0.0 || n < 2 {
+        return b.build().unwrap();
+    }
+    if p == 1.0 {
+        return super::complete(n);
+    }
+    // Walk the linearized upper-triangular pair index with geometric skips.
+    let log_q = (1.0 - p).ln();
+    let total = n as u64 * (n as u64 - 1) / 2;
+    let mut idx: i64 = -1;
+    loop {
+        let r: f64 = rng.random();
+        let skip = ((1.0 - r).ln() / log_q).floor() as i64 + 1;
+        idx += skip.max(1);
+        if idx as u64 >= total {
+            break;
+        }
+        let (u, v) = unrank_pair(idx as u64, n as u64);
+        b.add_edge(VertexId(u as u32), VertexId(v as u32)).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// Invert the row-major linearization of upper-triangular pairs `(u, v)`,
+/// `u < v`, of `0..n`.
+fn unrank_pair(idx: u64, n: u64) -> (u64, u64) {
+    // Row u starts at offset u*n - u*(u+1)/2 - u ... solve by scanning rows
+    // is O(n) worst; use the closed form via quadratic formula.
+    // Offset of row u: f(u) = u*(2n - u - 1)/2.
+    let fidx = idx as f64;
+    let nf = n as f64;
+    // Solve u from f(u) <= idx: u ≈ n - 0.5 - sqrt((n-0.5)^2 - 2 idx).
+    let mut u = (nf - 0.5 - ((nf - 0.5) * (nf - 0.5) - 2.0 * fidx).max(0.0).sqrt()) as u64;
+    // Fix floating error.
+    while row_offset(u + 1, n) <= idx {
+        u += 1;
+    }
+    while row_offset(u, n) > idx {
+        u -= 1;
+    }
+    let v = u + 1 + (idx - row_offset(u, n));
+    (u, v)
+}
+
+#[inline]
+fn row_offset(u: u64, n: u64) -> u64 {
+    u * (2 * n - u - 1) / 2
+}
+
+/// Uniform bipartite graph with sides of size `a` (vertices `0..a`) and `b`
+/// (vertices `a..a+b`) and exactly `m` cross edges. Triangle-free by
+/// construction, which the distinguishing experiments rely on.
+pub fn bipartite_gnm<R: Rng + ?Sized>(a: usize, b: usize, m: usize, rng: &mut R) -> Graph {
+    let max_m = a * b;
+    assert!(m <= max_m, "requested m={m} exceeds a*b={max_m}");
+    let mut builder = GraphBuilder::with_capacity(a + b, m);
+    let mut chosen: HashSet<(u32, u32)> = HashSet::with_capacity(m * 2);
+    if m * 5 <= max_m * 2 {
+        while chosen.len() < m {
+            let u = rng.random_range(0..a as u32);
+            let v = rng.random_range(0..b as u32);
+            if chosen.insert((u, v)) {
+                builder
+                    .add_edge(VertexId(u), VertexId(a as u32 + v))
+                    .unwrap();
+            }
+        }
+    } else {
+        let mut pairs: Vec<(u32, u32)> = (0..a as u32)
+            .flat_map(|u| (0..b as u32).map(move |v| (u, v)))
+            .collect();
+        for i in 0..m {
+            let j = rng.random_range(i..pairs.len());
+            pairs.swap(i, j);
+            let (u, v) = pairs[i];
+            builder
+                .add_edge(VertexId(u), VertexId(a as u32 + v))
+                .unwrap();
+        }
+    }
+    builder.build().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::count_triangles;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &(n, m) in &[(10, 0), (10, 45), (50, 100), (20, 150)] {
+            let g = gnm(n, m, &mut rng);
+            assert_eq!(g.edge_count(), m, "n={n} m={m}");
+            assert_eq!(g.vertex_count(), n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn gnm_rejects_overfull() {
+        let mut rng = StdRng::seed_from_u64(1);
+        gnm(5, 11, &mut rng);
+    }
+
+    #[test]
+    fn gnp_density_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 200;
+        let p = 0.1;
+        let g = gnp(n, p, &mut rng);
+        let expect = (n * (n - 1) / 2) as f64 * p;
+        let got = g.edge_count() as f64;
+        assert!(
+            (got - expect).abs() < 4.0 * expect.sqrt() + 10.0,
+            "edges {got} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(gnp(30, 0.0, &mut rng).edge_count(), 0);
+        assert_eq!(gnp(6, 1.0, &mut rng).edge_count(), 15);
+    }
+
+    #[test]
+    fn unrank_pair_is_exact() {
+        let n = 7u64;
+        let mut idx = 0u64;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                assert_eq!(unrank_pair(idx, n), (u, v), "idx={idx}");
+                idx += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn bipartite_is_triangle_free() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = bipartite_gnm(30, 40, 500, &mut rng);
+        assert_eq!(g.edge_count(), 500);
+        assert_eq!(count_triangles(&g), 0);
+    }
+
+    #[test]
+    fn bipartite_dense_path() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = bipartite_gnm(10, 10, 95, &mut rng);
+        assert_eq!(g.edge_count(), 95);
+        assert_eq!(count_triangles(&g), 0);
+    }
+
+    #[test]
+    fn gnm_is_seed_deterministic() {
+        let g1 = gnm(40, 120, &mut StdRng::seed_from_u64(77));
+        let g2 = gnm(40, 120, &mut StdRng::seed_from_u64(77));
+        assert_eq!(g1.edge_vec(), g2.edge_vec());
+    }
+}

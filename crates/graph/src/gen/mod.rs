@@ -1,0 +1,20 @@
+//! Graph generators: structured families, random models, planted-subgraph
+//! workloads, and the projective-plane incidence graphs used by the Section 5
+//! lower-bound constructions.
+
+mod barabasi_albert;
+mod chung_lu;
+mod er;
+mod planted;
+mod projective;
+mod structured;
+
+pub use barabasi_albert::barabasi_albert;
+pub use chung_lu::chung_lu;
+pub use er::{bipartite_gnm, gnm, gnp};
+pub use planted::{
+    book, disjoint_cliques, disjoint_cycles, disjoint_four_cycles, disjoint_triangles,
+    planted_triangles_on_bipartite, theta_k2k,
+};
+pub use projective::{plane_order_for, projective_plane_incidence, ProjectivePlane};
+pub use structured::{complete, complete_bipartite, cycle, path, star};

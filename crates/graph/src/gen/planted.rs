@@ -1,0 +1,155 @@
+//! Planted-subgraph workloads with *known* cycle counts.
+//!
+//! The space–accuracy experiments need graph families where `m` and the cycle
+//! count `T` can be dialed independently. The generators here combine
+//! cycle-free backgrounds (bipartite for triangles, forests/odd structures
+//! for 4-cycles) with planted vertex-disjoint cycles, so the planted count is
+//! exact; tests verify against the exact counters.
+
+use rand::Rng;
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::gen::bipartite_gnm;
+use crate::ids::VertexId;
+
+/// `t` vertex-disjoint triangles (3t vertices, 3t edges, exactly `t`
+/// triangles).
+pub fn disjoint_triangles(t: usize) -> Graph {
+    disjoint_cycles(3, t)
+}
+
+/// `t` vertex-disjoint 4-cycles.
+pub fn disjoint_four_cycles(t: usize) -> Graph {
+    disjoint_cycles(4, t)
+}
+
+/// `t` vertex-disjoint cycles of length `len`.
+pub fn disjoint_cycles(len: usize, t: usize) -> Graph {
+    assert!(len >= 3);
+    let n = len * t;
+    let mut b = GraphBuilder::with_capacity(n, n);
+    for c in 0..t {
+        let base = (c * len) as u32;
+        for i in 0..len as u32 {
+            b.add_edge(VertexId(base + i), VertexId(base + (i + 1) % len as u32))
+                .unwrap();
+        }
+    }
+    b.build().unwrap()
+}
+
+/// `k` vertex-disjoint complete graphs `K_s` (`k·C(s,3)` triangles, spread
+/// across `k·C(s,2)` edges — a moderately clustered triangle workload).
+pub fn disjoint_cliques(s: usize, k: usize) -> Graph {
+    let n = s * k;
+    let mut b = GraphBuilder::with_capacity(n, k * s * (s - 1) / 2);
+    for c in 0..k {
+        let base = (c * s) as u32;
+        for i in 0..s as u32 {
+            for j in (i + 1)..s as u32 {
+                b.add_edge(VertexId(base + i), VertexId(base + j)).unwrap();
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+/// The *book* graph `B_t`: one spine edge `{0,1}` shared by `t` triangles
+/// (pages `2..t+2`). The spine lies on all `t` triangles — the canonical
+/// heavy-edge adversary for sampling estimators (Section 2.1).
+pub fn book(t: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(t + 2, 2 * t + 1);
+    b.add_edge(VertexId(0), VertexId(1)).unwrap();
+    for p in 0..t as u32 {
+        b.add_edge(VertexId(0), VertexId(2 + p)).unwrap();
+        b.add_edge(VertexId(1), VertexId(2 + p)).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// The *theta* workload `K_{2,k}`: two hub vertices joined to `k` spokes,
+/// giving `C(k,2)` 4-cycles all sharing the hub pair — the heavy-wedge
+/// adversary for 4-cycle sampling (Section 2.2).
+pub fn theta_k2k(k: usize) -> Graph {
+    super::complete_bipartite(2, k)
+}
+
+/// A triangle workload with independent `m` and `T` knobs: a bipartite
+/// `G(a, b, m_bg)` background (triangle-free) plus `t` vertex-disjoint
+/// planted triangles on fresh vertices. Exactly `t` triangles total.
+pub fn planted_triangles_on_bipartite<R: Rng + ?Sized>(
+    a: usize,
+    b: usize,
+    m_bg: usize,
+    t: usize,
+    rng: &mut R,
+) -> Graph {
+    let bg = bipartite_gnm(a, b, m_bg, rng);
+    let tri = disjoint_triangles(t);
+    bg.disjoint_union(&tri)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::{count_cycles, count_four_cycles, count_triangles};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn disjoint_triangles_exact_count() {
+        for t in [0, 1, 5, 40] {
+            let g = disjoint_triangles(t);
+            assert_eq!(count_triangles(&g), t as u64);
+            assert_eq!(g.edge_count(), 3 * t);
+        }
+    }
+
+    #[test]
+    fn disjoint_four_cycles_exact_count() {
+        for t in [1, 7, 25] {
+            let g = disjoint_four_cycles(t);
+            assert_eq!(count_four_cycles(&g), t as u64);
+            assert_eq!(count_triangles(&g), 0);
+        }
+    }
+
+    #[test]
+    fn disjoint_long_cycles_exact_count() {
+        for len in 5..=7 {
+            let g = disjoint_cycles(len, 9);
+            assert_eq!(count_cycles(&g, len), 9);
+            assert_eq!(count_cycles(&g, len - 1), 0);
+        }
+    }
+
+    #[test]
+    fn disjoint_cliques_count() {
+        let g = disjoint_cliques(5, 3);
+        assert_eq!(count_triangles(&g), 3 * 10);
+        assert_eq!(g.edge_count(), 3 * 10);
+    }
+
+    #[test]
+    fn book_is_heavy_on_spine() {
+        let g = book(10);
+        assert_eq!(count_triangles(&g), 10);
+        assert_eq!(g.codegree(VertexId(0), VertexId(1)), 10);
+    }
+
+    #[test]
+    fn theta_heavy_wedges() {
+        let g = theta_k2k(6);
+        assert_eq!(count_four_cycles(&g), 15); // C(6,2)
+        assert_eq!(count_triangles(&g), 0);
+    }
+
+    #[test]
+    fn planted_background_does_not_disturb_count() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let g = planted_triangles_on_bipartite(40, 40, 400, 12, &mut rng);
+        assert_eq!(count_triangles(&g), 12);
+        assert_eq!(g.edge_count(), 400 + 36);
+    }
+}

@@ -1,0 +1,208 @@
+//! Projective plane incidence graphs (Section 5.2 of the paper).
+//!
+//! For a prime `q`, the field plane `PG(2, q)` has `q² + q + 1` points and as
+//! many lines; its bipartite point–line incidence graph is `(q+1)`-regular
+//! with `(q²+q+1)(q+1) = Θ(r^{3/2})` edges on `r = 2(q²+q+1)` vertices, and
+//! — because two points share exactly one line and two lines exactly one
+//! point — contains **no 4-cycles** (girth 6). The Theorem 5.3 / 5.4 gadgets
+//! build on exactly this graph.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::ids::VertexId;
+
+/// A constructed field plane `PG(2, q)` for prime `q`.
+#[derive(Debug, Clone)]
+pub struct ProjectivePlane {
+    /// The (prime) order of the plane.
+    pub q: u32,
+    /// Canonical homogeneous coordinates of the points (first nonzero
+    /// coordinate is 1); lines use the same representative set.
+    pub points: Vec<[u32; 3]>,
+}
+
+impl ProjectivePlane {
+    /// Construct the plane of prime order `q`.
+    ///
+    /// Panics if `q` is not prime. (Prime powers also yield planes, but need
+    /// extension-field arithmetic which the experiments never require; see
+    /// DESIGN.md §2.)
+    pub fn new(q: u32) -> Self {
+        assert!(is_prime(q), "projective plane order must be prime, got {q}");
+        let mut points = Vec::with_capacity((q * q + q + 1) as usize);
+        // Canonical representatives: (1, y, z), (0, 1, z), (0, 0, 1).
+        for y in 0..q {
+            for z in 0..q {
+                points.push([1, y, z]);
+            }
+        }
+        for z in 0..q {
+            points.push([0, 1, z]);
+        }
+        points.push([0, 0, 1]);
+        debug_assert_eq!(points.len(), (q * q + q + 1) as usize);
+        ProjectivePlane { q, points }
+    }
+
+    /// Number of points (= number of lines) `q² + q + 1`.
+    pub fn size(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether point `p` lies on line `l` (dot product ≡ 0 mod q).
+    #[inline]
+    pub fn incident(&self, p: usize, l: usize) -> bool {
+        let a = self.points[p];
+        let b = self.points[l];
+        let dot = a[0] as u64 * b[0] as u64 + a[1] as u64 * b[1] as u64 + a[2] as u64 * b[2] as u64;
+        dot.is_multiple_of(self.q as u64)
+    }
+
+    /// The bipartite incidence graph: points are `0..size`, lines are
+    /// `size..2·size`.
+    pub fn incidence_graph(&self) -> Graph {
+        let s = self.size();
+        let mut b = GraphBuilder::with_capacity(2 * s, s * (self.q as usize + 1));
+        for p in 0..s {
+            for l in 0..s {
+                if self.incident(p, l) {
+                    b.add_edge(VertexId(p as u32), VertexId((s + l) as u32))
+                        .unwrap();
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    /// Edges of the incidence structure as `(point, line)` index pairs.
+    /// The lower-bound gadgets index *these* (the "bits" of the INDEX/DISJ
+    /// strings correspond to incidences).
+    pub fn incidence_pairs(&self) -> Vec<(usize, usize)> {
+        let s = self.size();
+        let mut out = Vec::with_capacity(s * (self.q as usize + 1));
+        for p in 0..s {
+            for l in 0..s {
+                if self.incident(p, l) {
+                    out.push((p, l));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Convenience: the incidence graph of `PG(2, q)` directly.
+pub fn projective_plane_incidence(q: u32) -> Graph {
+    ProjectivePlane::new(q).incidence_graph()
+}
+
+/// Smallest prime `q` such that the plane's point count `q²+q+1` is at least
+/// `min_size`. Used by the gadget builders to pick a plane large enough for a
+/// requested instance size.
+pub fn plane_order_for(min_size: usize) -> u32 {
+    let mut q = 2u32;
+    loop {
+        if is_prime(q) && (q as usize * q as usize + q as usize + 1) >= min_size {
+            return q;
+        }
+        q += 1;
+    }
+}
+
+fn is_prime(q: u32) -> bool {
+    if q < 2 {
+        return false;
+    }
+    let mut d = 2u32;
+    while d * d <= q {
+        if q.is_multiple_of(d) {
+            return false;
+        }
+        d += 1;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::{count_four_cycles, girth};
+
+    #[test]
+    fn fano_plane() {
+        let pl = ProjectivePlane::new(2);
+        assert_eq!(pl.size(), 7);
+        let g = pl.incidence_graph();
+        assert_eq!(g.vertex_count(), 14);
+        assert_eq!(g.edge_count(), 21); // 7 lines × 3 points
+        assert!(g.vertices().all(|v| g.degree(v) == 3));
+        assert_eq!(girth(&g), Some(6));
+    }
+
+    #[test]
+    fn planes_are_regular_and_four_cycle_free() {
+        for q in [2u32, 3, 5, 7] {
+            let pl = ProjectivePlane::new(q);
+            let g = pl.incidence_graph();
+            let s = pl.size();
+            assert_eq!(g.vertex_count(), 2 * s);
+            assert_eq!(g.edge_count(), s * (q as usize + 1));
+            assert!(
+                g.vertices().all(|v| g.degree(v) == q as usize + 1),
+                "q={q} not regular"
+            );
+            assert_eq!(count_four_cycles(&g), 0, "q={q} has a 4-cycle");
+        }
+    }
+
+    #[test]
+    fn two_points_share_exactly_one_line() {
+        let pl = ProjectivePlane::new(3);
+        let g = pl.incidence_graph();
+        let s = pl.size();
+        for p1 in 0..s {
+            for p2 in (p1 + 1)..s {
+                let c = g.codegree(VertexId(p1 as u32), VertexId(p2 as u32));
+                assert_eq!(c, 1, "points {p1},{p2} share {c} lines");
+            }
+        }
+    }
+
+    #[test]
+    fn incidence_pairs_match_graph() {
+        let pl = ProjectivePlane::new(3);
+        let g = pl.incidence_graph();
+        let pairs = pl.incidence_pairs();
+        assert_eq!(pairs.len(), g.edge_count());
+        for &(p, l) in &pairs {
+            assert!(g.has_edge(VertexId(p as u32), VertexId((pl.size() + l) as u32)));
+        }
+    }
+
+    #[test]
+    fn plane_order_for_sizes() {
+        assert_eq!(plane_order_for(1), 2);
+        assert_eq!(plane_order_for(7), 2);
+        assert_eq!(plane_order_for(8), 3);
+        assert_eq!(plane_order_for(13), 3);
+        assert_eq!(plane_order_for(14), 5); // q=4 not prime, skip to 31
+        assert_eq!(plane_order_for(100), 11); // 11²+11+1 = 133 ≥ 100; q=7 gives 57
+    }
+
+    #[test]
+    #[should_panic(expected = "prime")]
+    fn rejects_composite_order() {
+        ProjectivePlane::new(4);
+    }
+
+    #[test]
+    fn edge_density_is_theta_r_three_halves() {
+        // m = s(q+1) where s = q²+q+1 ≈ r/2: check m ≥ (r/2)^{3/2} / 4.
+        for q in [3u32, 5, 7, 11] {
+            let g = projective_plane_incidence(q);
+            let r = g.vertex_count() as f64;
+            let m = g.edge_count() as f64;
+            assert!(m >= (r / 2.0).powf(1.5) / 4.0, "q={q}: m={m} r={r}");
+        }
+    }
+}

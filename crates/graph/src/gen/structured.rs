@@ -1,0 +1,100 @@
+//! Deterministic structured graph families.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::ids::VertexId;
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n * (n.saturating_sub(1)) / 2);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            b.add_edge(VertexId(u), VertexId(v)).unwrap();
+        }
+    }
+    b.build().unwrap()
+}
+
+/// Complete bipartite graph `K_{a,b}` with sides `0..a` and `a..a+b`.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut builder = GraphBuilder::with_capacity(a + b, a * b);
+    for u in 0..a as u32 {
+        for v in 0..b as u32 {
+            builder
+                .add_edge(VertexId(u), VertexId(a as u32 + v))
+                .unwrap();
+        }
+    }
+    builder.build().unwrap()
+}
+
+/// Cycle graph `C_n` on vertices `0..n` (requires `n ≥ 3`).
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    let mut b = GraphBuilder::with_capacity(n, n);
+    for u in 0..n as u32 {
+        b.add_edge(VertexId(u), VertexId((u + 1) % n as u32))
+            .unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// Path graph `P_n` on vertices `0..n` (`n - 1` edges).
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for u in 1..n as u32 {
+        b.add_edge(VertexId(u - 1), VertexId(u)).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// Star graph: center `0` joined to leaves `1..=k`.
+pub fn star(k: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(k + 1, k);
+    for u in 1..=k as u32 {
+        b.add_edge(VertexId(0), VertexId(u)).unwrap();
+    }
+    b.build().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_edge_counts() {
+        assert_eq!(complete(1).edge_count(), 0);
+        assert_eq!(complete(5).edge_count(), 10);
+        assert_eq!(complete(5).max_degree(), 4);
+    }
+
+    #[test]
+    fn complete_bipartite_shape() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.vertex_count(), 7);
+        assert_eq!(g.edge_count(), 12);
+        assert_eq!(g.degree(VertexId(0)), 4);
+        assert_eq!(g.degree(VertexId(3)), 3);
+        assert!(!g.has_edge(VertexId(0), VertexId(1)));
+        assert!(g.has_edge(VertexId(0), VertexId(3)));
+    }
+
+    #[test]
+    fn cycle_and_path_shape() {
+        let c = cycle(6);
+        assert_eq!(c.edge_count(), 6);
+        assert!(c.vertices().all(|v| c.degree(v) == 2));
+        let p = path(6);
+        assert_eq!(p.edge_count(), 5);
+        assert_eq!(p.degree(VertexId(0)), 1);
+        assert_eq!(p.degree(VertexId(3)), 2);
+    }
+
+    #[test]
+    fn star_shape() {
+        let s = star(7);
+        assert_eq!(s.degree(VertexId(0)), 7);
+        assert_eq!(s.edge_count(), 7);
+        assert_eq!(s.wedge_count(), 21);
+    }
+}

@@ -1,0 +1,34 @@
+//! Graph substrate for the PODS 2019 adjacency-list streaming reproduction.
+//!
+//! This crate provides everything the streaming layer and the algorithms need
+//! to know about *static* graphs:
+//!
+//! * a compact [`Graph`] type in CSR (compressed sparse row) form, built
+//!   through a validating [`GraphBuilder`],
+//! * workload generators in [`gen`] (Erdős–Rényi, Chung–Lu power law, planted
+//!   cycle/clique families, projective-plane incidence graphs, and structured
+//!   graphs used by the lower-bound gadgets),
+//! * exact (non-streaming) subgraph counters in [`exact`] — triangles,
+//!   4-cycles, general ℓ-cycles, wedges, per-edge and per-wedge incidence
+//!   counts — used as ground truth by every experiment and test,
+//! * structural analytics in [`analysis`] (degree statistics, heavy-edge
+//!   profiles, girth).
+//!
+//! All graphs are **simple and undirected**: no self loops, no multi-edges.
+//! Vertices are dense `u32` indices. This matches the paper's model, where a
+//! stream presents each undirected edge `{x, y}` twice, once in each
+//! endpoint's adjacency list.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod builder;
+pub mod csr;
+pub mod exact;
+pub mod gen;
+pub mod ids;
+pub mod io;
+
+pub use builder::{BuildError, GraphBuilder};
+pub use csr::Graph;
+pub use ids::{EdgeKey, VertexId};

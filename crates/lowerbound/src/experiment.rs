@@ -1,0 +1,116 @@
+//! Success-probability sweeps over hard instances.
+//!
+//! A lower bound manifests empirically as a *threshold*: algorithms given
+//! space at or above the matching upper bound distinguish the yes/no gadget
+//! instances reliably, while sketches well below the bound degrade toward
+//! chance. These helpers measure that success probability for any
+//! (gadget-family, algorithm) pairing; the `repro_fig1_*` binaries sweep
+//! them across instance sizes and budgets.
+
+use crate::gadgets::Gadget;
+
+/// Outcome of a distinguishing sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuccessReport {
+    /// Trials run per answer class.
+    pub trials: usize,
+    /// Yes-instances classified correctly (estimate ≥ threshold).
+    pub yes_correct: usize,
+    /// No-instances classified correctly (estimate < threshold).
+    pub no_correct: usize,
+}
+
+impl SuccessReport {
+    /// Overall success probability across both classes.
+    pub fn success_rate(&self) -> f64 {
+        (self.yes_correct + self.no_correct) as f64 / (2 * self.trials) as f64
+    }
+
+    /// One-sided rates.
+    pub fn yes_rate(&self) -> f64 {
+        self.yes_correct as f64 / self.trials as f64
+    }
+
+    /// One-sided rates.
+    pub fn no_rate(&self) -> f64 {
+        self.no_correct as f64 / self.trials as f64
+    }
+}
+
+/// Run `trials` yes- and no-instances through an estimator and classify by
+/// comparing the estimate against half the promised cycle count.
+///
+/// `build` maps `(answer, seed)` to a gadget; `estimate` runs the algorithm
+/// over the gadget (typically via [`crate::protocol::run_protocol`] or the
+/// plain runner) and returns the estimated cycle count.
+pub fn distinguishing_success<B, E>(trials: usize, mut build: B, mut estimate: E) -> SuccessReport
+where
+    B: FnMut(bool, u64) -> Gadget,
+    E: FnMut(&Gadget, u64) -> f64,
+{
+    let mut yes_correct = 0;
+    let mut no_correct = 0;
+    for seed in 0..trials as u64 {
+        let yes = build(true, seed);
+        let threshold = yes.promised_cycles as f64 / 2.0;
+        if estimate(&yes, seed) >= threshold {
+            yes_correct += 1;
+        }
+        let no = build(false, seed);
+        if estimate(&no, seed) < threshold {
+            no_correct += 1;
+        }
+    }
+    SuccessReport {
+        trials,
+        yes_correct,
+        no_correct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gadgets::disj3_triangle_gadget;
+    use crate::problems::Disj3Instance;
+    use adjstream_core::exact_stream::{ExactKind, ExactStreamCounter};
+    use adjstream_stream::order::WithinListOrder;
+
+    #[test]
+    fn exact_counter_always_succeeds() {
+        let report = distinguishing_success(
+            6,
+            |answer, seed| {
+                let inst = Disj3Instance::random_promise(6, 0.4, answer, seed);
+                disj3_triangle_gadget(&inst, 2)
+            },
+            |g, _seed| {
+                let (count, _) = crate::protocol::run_protocol(
+                    g,
+                    ExactStreamCounter::new(ExactKind::Triangles),
+                    WithinListOrder::Sorted,
+                );
+                count as f64
+            },
+        );
+        assert_eq!(report.success_rate(), 1.0);
+        assert_eq!(report.yes_rate(), 1.0);
+        assert_eq!(report.no_rate(), 1.0);
+    }
+
+    #[test]
+    fn blind_estimator_is_at_chance_or_worse() {
+        // An estimator that always answers 0 gets every yes-instance wrong.
+        let report = distinguishing_success(
+            5,
+            |answer, seed| {
+                let inst = Disj3Instance::random_promise(6, 0.4, answer, seed);
+                disj3_triangle_gadget(&inst, 2)
+            },
+            |_g, _seed| 0.0,
+        );
+        assert_eq!(report.yes_correct, 0);
+        assert_eq!(report.no_correct, 5);
+        assert_eq!(report.success_rate(), 0.5);
+    }
+}

@@ -1,0 +1,101 @@
+//! Figure 1a: one-pass triangle counting from 3-PJ (Theorem 5.1).
+//!
+//! Vertex sets: `A = {a_1..a_r}` (Alice), `B` of size `k` (Bob), and
+//! `C_1..C_r` of size `k` each (Charlie). Edges:
+//!
+//! * `E₁` (the single pointer `v* → V₂[i*]`): all `k²` edges `B × C_{i*}`,
+//! * `E₂` (`V₂[i] → V₃[j]`): `k` edges `C_i × {a_j}`,
+//! * `E₃` (`V₃[j] → v₄₁`): `k` edges `{a_j} × B`; pointers to `v₄₀` add
+//!   nothing.
+//!
+//! The only possible triangles use one `B–C`, one `C–a` and one `a–B` edge;
+//! they exist iff the pointer path ends at `v₄₁`, giving exactly `k²`
+//! triangles (one per `(b, c) ∈ B × C_{i*}`).
+
+use adjstream_graph::{GraphBuilder, VertexId};
+
+use super::{block, Gadget};
+use crate::problems::Pj3Instance;
+
+/// Build the Theorem 5.1 gadget for `inst` with block size `k`.
+pub fn pj3_triangle_gadget(inst: &Pj3Instance, k: usize) -> Gadget {
+    let r = inst.len();
+    assert!(r >= 1 && k >= 1);
+    // Layout: A = [0, r), B = [r, r+k), C_i = [r + k + i·k, …).
+    let a_base = 0u32;
+    let b_base = r as u32;
+    let c_base = (r + k) as u32;
+    let c_block = |i: usize| c_base + (i * k) as u32;
+    let n = r + k + r * k;
+    let mut builder = GraphBuilder::new(n);
+    // E1: B × C_{i*}.
+    for b in 0..k as u32 {
+        for c in 0..k as u32 {
+            builder
+                .add_edge(VertexId(b_base + b), VertexId(c_block(inst.e1) + c))
+                .expect("in range");
+        }
+    }
+    // E2: C_i × a_{e2[i]}.
+    for (i, &j) in inst.e2.iter().enumerate() {
+        for c in 0..k as u32 {
+            builder
+                .add_edge(VertexId(c_block(i) + c), VertexId(a_base + j as u32))
+                .expect("in range");
+        }
+    }
+    // E3: a_j × B for pointers to v41.
+    for (j, &bit) in inst.e3.iter().enumerate() {
+        if bit {
+            for b in 0..k as u32 {
+                builder
+                    .add_edge(VertexId(a_base + j as u32), VertexId(b_base + b))
+                    .expect("in range");
+            }
+        }
+    }
+    let graph = builder.build().expect("valid gadget");
+    Gadget {
+        graph,
+        players: vec![block(a_base, r), block(b_base, k), block(c_base, r * k)],
+        cycle_len: 3,
+        promised_cycles: (k * k) as u64,
+        answer: inst.answer(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adjstream_graph::exact::count_triangles;
+
+    #[test]
+    fn yes_instances_have_k_squared_triangles() {
+        for seed in 0..10 {
+            let inst = Pj3Instance::random_with_answer(8, true, seed);
+            let g = pj3_triangle_gadget(&inst, 4);
+            assert_eq!(count_triangles(&g.graph), 16, "seed {seed}");
+            assert_eq!(g.expected_cycles(), 16);
+            assert!(g.players_partition_vertices());
+        }
+    }
+
+    #[test]
+    fn no_instances_are_triangle_free() {
+        for seed in 0..10 {
+            let inst = Pj3Instance::random_with_answer(8, false, seed);
+            let g = pj3_triangle_gadget(&inst, 4);
+            assert_eq!(count_triangles(&g.graph), 0, "seed {seed}");
+            assert_eq!(g.expected_cycles(), 0);
+        }
+    }
+
+    #[test]
+    fn edge_count_scales_as_rk_plus_k_squared() {
+        let inst = Pj3Instance::random_with_answer(20, true, 3);
+        let g = pj3_triangle_gadget(&inst, 5);
+        let m = g.graph.edge_count();
+        // k² (E1) + rk (E2) + |ones|·k (E3) ≤ k² + 2rk.
+        assert!((25 + 100..=25 + 200).contains(&m), "m = {m}");
+    }
+}

@@ -1,0 +1,89 @@
+//! Figure 1b: multi-pass triangle counting from 3-DISJ (Theorem 5.2).
+//!
+//! Blocks `A_i, B_i, C_i` of size `k` for each coordinate `i ∈ [r]`; for
+//! each `i`, complete bipartite bundles `A_i×C_i` iff `s¹_i`, `A_i×B_i` iff
+//! `s²_i`, `B_i×C_i` iff `s³_i`. A triangle needs all three bundles of one
+//! coordinate, so the graph has `k³` triangles iff the three sets intersect
+//! (uniquely, under the promise) and none otherwise.
+
+use adjstream_graph::{GraphBuilder, VertexId};
+
+use super::{block, Gadget};
+use crate::problems::Disj3Instance;
+
+/// Build the Theorem 5.2 gadget for `inst` with block size `k`.
+pub fn disj3_triangle_gadget(inst: &Disj3Instance, k: usize) -> Gadget {
+    let r = inst.len();
+    assert!(r >= 1 && k >= 1);
+    let a_block = |i: usize| (i * k) as u32;
+    let b_block = |i: usize| ((r + i) * k) as u32;
+    let c_block = |i: usize| ((2 * r + i) * k) as u32;
+    let n = 3 * r * k;
+    let mut builder = GraphBuilder::new(n);
+    let mut bundle = |base1: u32, base2: u32| {
+        for x in 0..k as u32 {
+            for y in 0..k as u32 {
+                builder
+                    .add_edge(VertexId(base1 + x), VertexId(base2 + y))
+                    .expect("in range");
+            }
+        }
+    };
+    for i in 0..r {
+        if inst.s1[i] {
+            bundle(a_block(i), c_block(i));
+        }
+        if inst.s2[i] {
+            bundle(a_block(i), b_block(i));
+        }
+        if inst.s3[i] {
+            bundle(b_block(i), c_block(i));
+        }
+    }
+    let graph = builder.build().expect("valid gadget");
+    Gadget {
+        graph,
+        players: vec![
+            block(0, r * k),
+            block((r * k) as u32, r * k),
+            block((2 * r * k) as u32, r * k),
+        ],
+        cycle_len: 3,
+        promised_cycles: (k * k * k) as u64,
+        answer: inst.answer(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adjstream_graph::exact::count_triangles;
+
+    #[test]
+    fn yes_instances_have_k_cubed_triangles() {
+        for seed in 0..10 {
+            let inst = Disj3Instance::random_promise(10, 0.4, true, seed);
+            let g = disj3_triangle_gadget(&inst, 3);
+            assert_eq!(count_triangles(&g.graph), 27, "seed {seed}");
+            assert!(g.players_partition_vertices());
+        }
+    }
+
+    #[test]
+    fn no_instances_are_triangle_free() {
+        for seed in 0..10 {
+            let inst = Disj3Instance::random_promise(10, 0.4, false, seed);
+            let g = disj3_triangle_gadget(&inst, 3);
+            assert_eq!(count_triangles(&g.graph), 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn blocks_are_assigned_per_player() {
+        let inst = Disj3Instance::random_promise(4, 0.5, true, 1);
+        let g = disj3_triangle_gadget(&inst, 2);
+        assert_eq!(g.players.len(), 3);
+        assert_eq!(g.players[0].len(), 8);
+        assert_eq!(g.graph.vertex_count(), 24);
+    }
+}

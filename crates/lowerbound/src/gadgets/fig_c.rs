@@ -1,0 +1,123 @@
+//! Figure 1c: one-pass 4-cycle counting from INDEX (Theorem 5.3).
+//!
+//! Alice holds `A = {a_i}`, `B = {b_j}` (the two sides of a 4-cycle-free
+//! bipartite graph `H` — a projective-plane incidence graph, Section 5.2)
+//! and keeps the `H`-edge for bit `t` iff `s_t = 1`. Bob holds blocks
+//! `C_i, D_j` of size `k` with the fixed stars `a_i×C_i`, `b_j×D_j`, plus a
+//! size-`k` matching between `C_{i*}` and `D_{j*}` where `(i*, j*)` is the
+//! `H`-edge for his index `x`. The graph then contains exactly `k` 4-cycles
+//! `a_{i*} – C_{i*}(t) – D_{j*}(t) – b_{j*}` iff `s_x = 1`, and none
+//! otherwise — `H`'s girth kills every other candidate.
+
+use adjstream_graph::gen::ProjectivePlane;
+use adjstream_graph::{GraphBuilder, VertexId};
+
+use super::{block, Gadget};
+use crate::problems::IndexInstance;
+
+/// Build the Theorem 5.3 gadget from an INDEX instance over the incidence
+/// bits of `PG(2, q)`. The instance length must equal the plane's edge
+/// count `(q²+q+1)(q+1)`; `k` is the planted cycle count `T`.
+pub fn index_four_cycle_gadget(inst: &IndexInstance, q: u32, k: usize) -> Gadget {
+    let plane = ProjectivePlane::new(q);
+    let pairs = plane.incidence_pairs();
+    assert_eq!(
+        inst.len(),
+        pairs.len(),
+        "INDEX string must have one bit per incidence of PG(2,{q})"
+    );
+    let r = plane.size();
+    // Layout: A = [0, r), B = [r, 2r), C_i = [2r + i·k, …),
+    // D_j = [2r + rk + j·k, …).
+    let a_base = 0u32;
+    let b_base = r as u32;
+    let c_base = (2 * r) as u32;
+    let d_base = (2 * r + r * k) as u32;
+    let c_block = |i: usize| c_base + (i * k) as u32;
+    let d_block = |j: usize| d_base + (j * k) as u32;
+    let n = 2 * r + 2 * r * k;
+    let mut builder = GraphBuilder::new(n);
+    // Alice: H edges with bit 1.
+    for (t, &(i, j)) in pairs.iter().enumerate() {
+        if inst.s[t] {
+            builder
+                .add_edge(VertexId(a_base + i as u32), VertexId(b_base + j as u32))
+                .expect("in range");
+        }
+    }
+    // Bob: matching C_{i*} × D_{j*} along his index's H-edge.
+    let (i_star, j_star) = pairs[inst.x];
+    for t in 0..k as u32 {
+        builder
+            .add_edge(VertexId(c_block(i_star) + t), VertexId(d_block(j_star) + t))
+            .expect("in range");
+    }
+    // Fixed stars: a_i × C_i and b_j × D_j.
+    for i in 0..r {
+        for t in 0..k as u32 {
+            builder
+                .add_edge(VertexId(a_base + i as u32), VertexId(c_block(i) + t))
+                .expect("in range");
+            builder
+                .add_edge(VertexId(b_base + i as u32), VertexId(d_block(i) + t))
+                .expect("in range");
+        }
+    }
+    let graph = builder.build().expect("valid gadget");
+    Gadget {
+        graph,
+        players: vec![block(0, 2 * r), block(c_base, 2 * r * k)],
+        cycle_len: 4,
+        promised_cycles: k as u64,
+        answer: inst.answer(),
+    }
+}
+
+/// Convenience: a random INDEX instance of the right size for `PG(2, q)`
+/// with the given forced answer.
+pub fn random_index_instance_for_plane(q: u32, answer: bool, seed: u64) -> IndexInstance {
+    let plane = ProjectivePlane::new(q);
+    let len = plane.incidence_pairs().len();
+    IndexInstance::random_with_answer(len, answer, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adjstream_graph::exact::count_four_cycles;
+
+    #[test]
+    fn yes_instances_have_k_four_cycles() {
+        for seed in 0..6 {
+            let inst = random_index_instance_for_plane(2, true, seed);
+            let g = index_four_cycle_gadget(&inst, 2, 5);
+            assert_eq!(count_four_cycles(&g.graph), 5, "seed {seed}");
+            assert!(g.players_partition_vertices());
+        }
+    }
+
+    #[test]
+    fn no_instances_are_four_cycle_free() {
+        for seed in 0..6 {
+            let inst = random_index_instance_for_plane(2, false, seed);
+            let g = index_four_cycle_gadget(&inst, 2, 5);
+            assert_eq!(count_four_cycles(&g.graph), 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn larger_plane_still_clean() {
+        let inst = random_index_instance_for_plane(3, true, 9);
+        let g = index_four_cycle_gadget(&inst, 3, 7);
+        assert_eq!(count_four_cycles(&g.graph), 7);
+        // m = |ones| + k + 2rk where r = 13.
+        assert!(g.graph.edge_count() > 2 * 13 * 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "one bit per incidence")]
+    fn wrong_sized_instance_rejected() {
+        let inst = IndexInstance::random(10, 1);
+        index_four_cycle_gadget(&inst, 2, 3);
+    }
+}

@@ -1,0 +1,130 @@
+//! Figure 1d: multi-pass 4-cycle counting from DISJ (Theorem 5.4).
+//!
+//! Two 4-cycle-free bipartite graphs: `H₁` (sides of size `r`, one DISJ bit
+//! per edge) and `H₂` (sides of size `k`). Alice holds blocks
+//! `A_1..A_r, B_1..B_r` of size `k`; Bob holds `C_1..C_r, D_1..D_r`. Fixed
+//! copies of `H₂` join `A_i↔C_i` and `B_i↔D_i`. For each `H₁`-edge
+//! `(i, j)` with bit index `t`: Alice adds the size-`k` matching `A_i↔B_j`
+//! iff `s¹_t = 1`, Bob adds `C_i↔D_j` iff `s²_t = 1`. On an intersecting
+//! coordinate the composite `A_i(p) – B_j(p) – D_j(l) – C_i(l) – A_i(p)`
+//! closes once per `H₂`-edge `(p, l)`, giving `|E(H₂)| = Θ(k^{3/2})`
+//! 4-cycles; with no intersection the girth-6 pieces leave none.
+
+use adjstream_graph::gen::ProjectivePlane;
+use adjstream_graph::{GraphBuilder, VertexId};
+
+use super::{block, Gadget};
+use crate::problems::DisjInstance;
+
+/// Build the Theorem 5.4 gadget: `q1` is the order of the outer plane `H₁`
+/// (instance length = its edge count), `q2` the order of the inner plane
+/// `H₂` (block size `k = q2² + q2 + 1`; planted cycles `k·(q2+1)`).
+pub fn disj_four_cycle_gadget(inst: &DisjInstance, q1: u32, q2: u32) -> Gadget {
+    let h1 = ProjectivePlane::new(q1);
+    let h1_pairs = h1.incidence_pairs();
+    assert_eq!(
+        inst.len(),
+        h1_pairs.len(),
+        "DISJ strings must have one bit per incidence of PG(2,{q1})"
+    );
+    let h2 = ProjectivePlane::new(q2);
+    let h2_pairs = h2.incidence_pairs();
+    let r = h1.size();
+    let k = h2.size();
+    // Layout: A_i = [i·k, …), B_i = [(r+i)·k, …), C_i = [(2r+i)·k, …),
+    // D_i = [(3r+i)·k, …).
+    let a_block = |i: usize| (i * k) as u32;
+    let b_block = |i: usize| ((r + i) * k) as u32;
+    let c_block = |i: usize| ((2 * r + i) * k) as u32;
+    let d_block = |i: usize| ((3 * r + i) * k) as u32;
+    let n = 4 * r * k;
+    let mut builder = GraphBuilder::new(n);
+    // Fixed H₂ copies.
+    for i in 0..r {
+        for &(p, l) in &h2_pairs {
+            builder
+                .add_edge(
+                    VertexId(a_block(i) + p as u32),
+                    VertexId(c_block(i) + l as u32),
+                )
+                .expect("in range");
+            builder
+                .add_edge(
+                    VertexId(b_block(i) + p as u32),
+                    VertexId(d_block(i) + l as u32),
+                )
+                .expect("in range");
+        }
+    }
+    // Input-dependent matchings along H₁ edges.
+    for (t, &(i, j)) in h1_pairs.iter().enumerate() {
+        if inst.s1[t] {
+            for x in 0..k as u32 {
+                builder
+                    .add_edge(VertexId(a_block(i) + x), VertexId(b_block(j) + x))
+                    .expect("in range");
+            }
+        }
+        if inst.s2[t] {
+            for x in 0..k as u32 {
+                builder
+                    .add_edge(VertexId(c_block(i) + x), VertexId(d_block(j) + x))
+                    .expect("in range");
+            }
+        }
+    }
+    let graph = builder.build().expect("valid gadget");
+    Gadget {
+        graph,
+        players: vec![block(0, 2 * r * k), block((2 * r * k) as u32, 2 * r * k)],
+        cycle_len: 4,
+        promised_cycles: h2_pairs.len() as u64,
+        answer: inst.answer(),
+    }
+}
+
+/// Convenience: a random promise DISJ instance sized for outer plane `q1`.
+pub fn random_disj_instance_for_plane(
+    q1: u32,
+    density: f64,
+    intersect: bool,
+    seed: u64,
+) -> DisjInstance {
+    let len = ProjectivePlane::new(q1).incidence_pairs().len();
+    DisjInstance::random_promise(len, density, intersect, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adjstream_graph::exact::count_four_cycles;
+
+    #[test]
+    fn yes_instances_have_h2_edge_count_cycles() {
+        for seed in 0..4 {
+            let inst = random_disj_instance_for_plane(2, 0.3, true, seed);
+            let g = disj_four_cycle_gadget(&inst, 2, 2);
+            // |E(H₂)| for q2=2 is 7·3 = 21.
+            assert_eq!(count_four_cycles(&g.graph), 21, "seed {seed}");
+            assert_eq!(g.promised_cycles, 21);
+            assert!(g.players_partition_vertices());
+        }
+    }
+
+    #[test]
+    fn no_instances_are_four_cycle_free() {
+        for seed in 0..4 {
+            let inst = random_disj_instance_for_plane(2, 0.3, false, seed);
+            let g = disj_four_cycle_gadget(&inst, 2, 2);
+            assert_eq!(count_four_cycles(&g.graph), 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn vertex_layout_is_four_blocks() {
+        let inst = random_disj_instance_for_plane(2, 0.2, true, 7);
+        let g = disj_four_cycle_gadget(&inst, 2, 2);
+        assert_eq!(g.graph.vertex_count(), 4 * 7 * 7);
+        assert_eq!(g.players.len(), 2);
+    }
+}

@@ -1,0 +1,115 @@
+//! Figure 1e: multi-pass ℓ-cycle counting for ℓ ≥ 5 from DISJ
+//! (Theorem 5.5) — the `Ω(m)` bound showing no sublinear algorithm exists
+//! for longer cycles in any constant number of passes.
+//!
+//! Alice holds `a_1..a_{r+1}`; Bob holds `b_1..b_r`, `c_1..c_T`, and a path
+//! `d_1 – … – d_{ℓ-4}`. Fixed edges: `(a_i, b_i)`, `(a_{r+1}, c_t)`,
+//! `(d_{ℓ-4}, c_t)`, and the `d`-path. Input edges: `(a_i, a_{r+1})` iff
+//! `s¹_i`, `(b_i, d_1)` iff `s²_i`. An ℓ-cycle must traverse
+//! `a_{r+1} → c_t → d_{ℓ-4} → … → d_1 → b_x → a_x → a_{r+1}`, which exists
+//! iff `s¹_x = s²_x = 1`; one cycle per `c_t` gives exactly `T`.
+
+use adjstream_graph::{GraphBuilder, VertexId};
+
+use super::{block, Gadget};
+use crate::problems::DisjInstance;
+
+/// Build the Theorem 5.5 gadget for cycle length `ell ≥ 5` planting `t`
+/// cycles on a yes-instance.
+pub fn disj_long_cycle_gadget(inst: &DisjInstance, ell: usize, t: usize) -> Gadget {
+    assert!(ell >= 5, "Theorem 5.5 concerns ℓ ≥ 5");
+    assert!(t >= 1);
+    let r = inst.len();
+    let d_len = ell - 4;
+    // Layout: a_1..a_{r+1} = [0, r+1), b = [r+1, 2r+1), c = [2r+1, 2r+1+t),
+    // d = [2r+1+t, 2r+1+t+d_len).
+    let a = |i: usize| i as u32; // a_{r+1} is a(r)
+    let b = |i: usize| (r + 1 + i) as u32;
+    let c = |i: usize| (2 * r + 1 + i) as u32;
+    let d = |i: usize| (2 * r + 1 + t + i) as u32;
+    let n = 2 * r + 1 + t + d_len;
+    let mut builder = GraphBuilder::new(n);
+    for i in 0..r {
+        builder
+            .add_edge(VertexId(a(i)), VertexId(b(i)))
+            .expect("in range");
+    }
+    for i in 0..t {
+        builder
+            .add_edge(VertexId(a(r)), VertexId(c(i)))
+            .expect("in range");
+        builder
+            .add_edge(VertexId(d(d_len - 1)), VertexId(c(i)))
+            .expect("in range");
+    }
+    for i in 1..d_len {
+        builder
+            .add_edge(VertexId(d(i - 1)), VertexId(d(i)))
+            .expect("in range");
+    }
+    for i in 0..r {
+        if inst.s1[i] {
+            builder
+                .add_edge(VertexId(a(i)), VertexId(a(r)))
+                .expect("in range");
+        }
+        if inst.s2[i] {
+            builder
+                .add_edge(VertexId(b(i)), VertexId(d(0)))
+                .expect("in range");
+        }
+    }
+    let graph = builder.build().expect("valid gadget");
+    Gadget {
+        graph,
+        players: vec![block(0, r + 1), block((r + 1) as u32, r + t + d_len)],
+        cycle_len: ell,
+        promised_cycles: t as u64,
+        answer: inst.answer(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adjstream_graph::exact::count_cycles;
+
+    #[test]
+    fn yes_instances_have_t_cycles_for_each_length() {
+        for ell in 5..=8 {
+            for seed in 0..5 {
+                let inst = DisjInstance::random_promise(12, 0.3, true, seed);
+                let g = disj_long_cycle_gadget(&inst, ell, 6);
+                assert_eq!(count_cycles(&g.graph, ell), 6, "ell {ell} seed {seed}");
+                assert!(g.players_partition_vertices());
+            }
+        }
+    }
+
+    #[test]
+    fn no_instances_are_cycle_free() {
+        for ell in 5..=8 {
+            for seed in 0..5 {
+                let inst = DisjInstance::random_promise(12, 0.3, false, seed);
+                let g = disj_long_cycle_gadget(&inst, ell, 6);
+                assert_eq!(count_cycles(&g.graph, ell), 0, "ell {ell} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_count_is_theta_r_plus_t() {
+        let inst = DisjInstance::random_promise(40, 0.25, true, 2);
+        let g = disj_long_cycle_gadget(&inst, 6, 15);
+        let m = g.graph.edge_count();
+        // r fixed + 2t around c + path + input edges ≤ 2r.
+        assert!((40 + 30..=3 * 40 + 2 * 15 + 2).contains(&m), "m = {m}");
+    }
+
+    #[test]
+    #[should_panic(expected = "ℓ ≥ 5")]
+    fn rejects_short_cycles() {
+        let inst = DisjInstance::random_promise(5, 0.2, true, 1);
+        disj_long_cycle_gadget(&inst, 4, 2);
+    }
+}

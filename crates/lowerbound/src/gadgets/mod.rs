@@ -1,0 +1,109 @@
+//! The five Figure-1 gadget constructions.
+//!
+//! Each builder encodes one communication-problem instance as an adjacency
+//! list stream: a graph plus an assignment of vertices to players in
+//! speaking order. The graph has `promised_cycles` ℓ-cycles if the
+//! instance's answer is 1 and **zero** otherwise — so any streaming
+//! algorithm distinguishing `0` from `T` cycles solves the problem when run
+//! as a protocol ([`crate::protocol`]), transferring its state at each
+//! player handoff.
+
+mod fig_a;
+mod fig_b;
+mod fig_c;
+mod fig_d;
+mod fig_e;
+
+use adjstream_graph::{Graph, VertexId};
+use adjstream_stream::order::{StreamOrder, WithinListOrder};
+
+pub use fig_a::pj3_triangle_gadget;
+pub use fig_b::disj3_triangle_gadget;
+pub use fig_c::{index_four_cycle_gadget, random_index_instance_for_plane};
+pub use fig_d::{disj_four_cycle_gadget, random_disj_instance_for_plane};
+pub use fig_e::disj_long_cycle_gadget;
+
+/// A built lower-bound gadget.
+#[derive(Debug, Clone)]
+pub struct Gadget {
+    /// The encoded graph.
+    pub graph: Graph,
+    /// Vertex sets per player, in speaking order (Alice first). The sets
+    /// partition the vertex set; each player streams the adjacency lists of
+    /// its own vertices.
+    pub players: Vec<Vec<VertexId>>,
+    /// Length of the cycles being counted.
+    pub cycle_len: usize,
+    /// Number of `cycle_len`-cycles the graph contains if the instance's
+    /// answer is 1 (it contains zero when the answer is 0).
+    pub promised_cycles: u64,
+    /// The instance's ground-truth answer.
+    pub answer: bool,
+}
+
+impl Gadget {
+    /// The ℓ-cycle count this graph is promised to have.
+    pub fn expected_cycles(&self) -> u64 {
+        if self.answer {
+            self.promised_cycles
+        } else {
+            0
+        }
+    }
+
+    /// The stream order induced by the speaking order: each player's lists
+    /// in sequence. `within` controls neighbor order inside lists.
+    pub fn stream_order(&self, within: WithinListOrder) -> StreamOrder {
+        let lists: Vec<VertexId> = self.players.iter().flatten().copied().collect();
+        StreamOrder::custom(lists, within)
+    }
+
+    /// Sanity check: players partition the vertex set.
+    pub fn players_partition_vertices(&self) -> bool {
+        let n = self.graph.vertex_count();
+        let mut seen = vec![false; n];
+        let mut count = 0usize;
+        for p in &self.players {
+            for v in p {
+                if v.index() >= n || seen[v.index()] {
+                    return false;
+                }
+                seen[v.index()] = true;
+                count += 1;
+            }
+        }
+        count == n
+    }
+}
+
+/// Contiguous vertex-id block `[start, start + len)`.
+pub(crate) fn block(start: u32, len: usize) -> Vec<VertexId> {
+    (start..start + len as u32).map(VertexId).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adjstream_graph::GraphBuilder;
+
+    #[test]
+    fn partition_check_catches_overlap() {
+        let g = GraphBuilder::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let good = Gadget {
+            graph: g.clone(),
+            players: vec![block(0, 2), block(2, 1)],
+            cycle_len: 3,
+            promised_cycles: 0,
+            answer: false,
+        };
+        assert!(good.players_partition_vertices());
+        let bad = Gadget {
+            graph: g,
+            players: vec![block(0, 2), block(1, 2)],
+            cycle_len: 3,
+            promised_cycles: 0,
+            answer: false,
+        };
+        assert!(!bad.players_partition_vertices());
+    }
+}

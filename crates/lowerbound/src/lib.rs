@@ -1,0 +1,29 @@
+//! Lower-bound constructions from Section 5 of the paper.
+//!
+//! Lower bounds cannot be *proven* by running code, but every ingredient of
+//! the paper's proofs is constructive, and this crate builds all of them:
+//!
+//! * [`problems`] — the four communication problems (INDEX, DISJ, 3-PJ,
+//!   3-DISJ) with seeded instance generators,
+//! * [`gadgets`] — the five Figure-1 encodings of those problems into
+//!   adjacency-list streams whose graphs have either `0` or `T` ℓ-cycles,
+//! * [`protocol`] — a simulator that runs any streaming algorithm as the
+//!   players' protocol, measuring the communication (= algorithm state at
+//!   each handoff) that a space-`s` algorithm would imply,
+//! * [`experiment`] — success-probability sweeps: how often does a given
+//!   algorithm at a given space budget solve the hard instances?
+//!
+//! Together these reproduce Figure 1 and the lower-bound rows of Table 1:
+//! the gadget generators verify the promised cycle gaps, and the sweeps
+//! exhibit the success-probability threshold as the sketch size crosses the
+//! bound the theorems predict.
+
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod gadgets;
+pub mod problems;
+pub mod protocol;
+
+pub use gadgets::Gadget;
+pub use protocol::{run_protocol, ProtocolReport};

@@ -1,0 +1,100 @@
+//! Two-party set disjointness: Alice holds `s¹`, Bob `s²`; output 1 iff
+//! some coordinate has `s¹_x = s²_x = 1`. Randomized communication `Ω(r)`
+//! (Kalyanasundaram–Schnitger, Razborov).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A DISJ instance (promise form: at most one intersecting coordinate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisjInstance {
+    /// Alice's set (characteristic vector).
+    pub s1: Vec<bool>,
+    /// Bob's set.
+    pub s2: Vec<bool>,
+}
+
+impl DisjInstance {
+    /// 1 iff the sets intersect.
+    pub fn answer(&self) -> bool {
+        self.s1.iter().zip(&self.s2).any(|(&a, &b)| a && b)
+    }
+
+    /// Instance size `r`.
+    pub fn len(&self) -> usize {
+        self.s1.len()
+    }
+
+    /// Whether the instance is empty (never true for generated instances).
+    pub fn is_empty(&self) -> bool {
+        self.s1.is_empty()
+    }
+
+    /// Number of intersecting coordinates.
+    pub fn intersection_size(&self) -> usize {
+        self.s1
+            .iter()
+            .zip(&self.s2)
+            .filter(|&(&a, &b)| a && b)
+            .count()
+    }
+
+    /// Random promise instance: each player holds ~`density·r` elements,
+    /// made disjoint, then (if `intersect`) one uniformly chosen coordinate
+    /// is put in both sets.
+    pub fn random_promise(r: usize, density: f64, intersect: bool, seed: u64) -> Self {
+        assert!(r >= 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s1: Vec<bool> = (0..r).map(|_| rng.random::<f64>() < density).collect();
+        let mut s2: Vec<bool> = (0..r).map(|_| rng.random::<f64>() < density).collect();
+        // Enforce disjointness by flipping Bob's copy of collisions.
+        for i in 0..r {
+            if s1[i] && s2[i] {
+                s2[i] = false;
+            }
+        }
+        if intersect {
+            let x = rng.random_range(0..r);
+            s1[x] = true;
+            s2[x] = true;
+        }
+        DisjInstance { s1, s2 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn answer_detects_intersection() {
+        let yes = DisjInstance {
+            s1: vec![true, false, true],
+            s2: vec![false, false, true],
+        };
+        assert!(yes.answer());
+        let no = DisjInstance {
+            s1: vec![true, false, true],
+            s2: vec![false, true, false],
+        };
+        assert!(!no.answer());
+    }
+
+    #[test]
+    fn promise_instances_have_correct_answers() {
+        for seed in 0..30 {
+            let yes = DisjInstance::random_promise(40, 0.3, true, seed);
+            assert!(yes.answer(), "seed {seed}");
+            assert_eq!(yes.intersection_size(), 1, "unique intersection");
+            let no = DisjInstance::random_promise(40, 0.3, false, seed);
+            assert!(!no.answer(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn density_zero_gives_empty_sets() {
+        let inst = DisjInstance::random_promise(20, 0.0, false, 1);
+        assert!(inst.s1.iter().all(|&b| !b));
+        assert!(inst.s2.iter().all(|&b| !b));
+    }
+}

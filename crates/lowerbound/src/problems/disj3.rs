@@ -1,0 +1,97 @@
+//! Three-party number-on-forehead disjointness (3-DISJ): strings
+//! `s¹, s², s³`; Alice sees `(s¹, s²)`, Bob `(s², s³)`, Charlie `(s³, s¹)`;
+//! output 1 iff some coordinate is 1 in all three. Best known lower bound
+//! `Ω(√r)` (Sherstov); conjectured `Ω̃(r)`.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A 3-DISJ instance (promise form: at most one triple-intersection).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Disj3Instance {
+    /// First string.
+    pub s1: Vec<bool>,
+    /// Second string.
+    pub s2: Vec<bool>,
+    /// Third string.
+    pub s3: Vec<bool>,
+}
+
+impl Disj3Instance {
+    /// 1 iff some coordinate is in all three sets.
+    pub fn answer(&self) -> bool {
+        (0..self.s1.len()).any(|i| self.s1[i] && self.s2[i] && self.s3[i])
+    }
+
+    /// Instance size `r`.
+    pub fn len(&self) -> usize {
+        self.s1.len()
+    }
+
+    /// Whether the instance is empty (never true for generated instances).
+    pub fn is_empty(&self) -> bool {
+        self.s1.is_empty()
+    }
+
+    /// Number of triple-intersecting coordinates.
+    pub fn intersection_size(&self) -> usize {
+        (0..self.s1.len())
+            .filter(|&i| self.s1[i] && self.s2[i] && self.s3[i])
+            .count()
+    }
+
+    /// Random promise instance: independent `density` bits, triple
+    /// collisions broken by clearing `s³`, then (if `intersect`) one
+    /// coordinate set in all three.
+    pub fn random_promise(r: usize, density: f64, intersect: bool, seed: u64) -> Self {
+        assert!(r >= 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s1: Vec<bool> = (0..r).map(|_| rng.random::<f64>() < density).collect();
+        let mut s2: Vec<bool> = (0..r).map(|_| rng.random::<f64>() < density).collect();
+        let mut s3: Vec<bool> = (0..r).map(|_| rng.random::<f64>() < density).collect();
+        for i in 0..r {
+            if s1[i] && s2[i] && s3[i] {
+                s3[i] = false;
+            }
+        }
+        if intersect {
+            let x = rng.random_range(0..r);
+            s1[x] = true;
+            s2[x] = true;
+            s3[x] = true;
+        }
+        Disj3Instance { s1, s2, s3 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn answer_requires_triple_intersection() {
+        let inst = Disj3Instance {
+            s1: vec![true, true],
+            s2: vec![true, false],
+            s3: vec![false, true],
+        };
+        assert!(!inst.answer());
+        let inst2 = Disj3Instance {
+            s1: vec![true],
+            s2: vec![true],
+            s3: vec![true],
+        };
+        assert!(inst2.answer());
+    }
+
+    #[test]
+    fn promise_instances_have_correct_answers() {
+        for seed in 0..30 {
+            let yes = Disj3Instance::random_promise(30, 0.4, true, seed);
+            assert!(yes.answer());
+            assert_eq!(yes.intersection_size(), 1);
+            let no = Disj3Instance::random_promise(30, 0.4, false, seed);
+            assert!(!no.answer());
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! INDEX: Alice holds `s ∈ {0,1}^r`, Bob holds `x ∈ [r]`, Bob must output
+//! `s_x`. One-way communication complexity `Ω(r)` (Kremer–Nisan–Ron).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// An INDEX instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexInstance {
+    /// Alice's string.
+    pub s: Vec<bool>,
+    /// Bob's index into `s`.
+    pub x: usize,
+}
+
+impl IndexInstance {
+    /// The answer `s_x`.
+    pub fn answer(&self) -> bool {
+        self.s[self.x]
+    }
+
+    /// Instance size `r`.
+    pub fn len(&self) -> usize {
+        self.s.len()
+    }
+
+    /// Whether the string is empty.
+    pub fn is_empty(&self) -> bool {
+        self.s.is_empty()
+    }
+
+    /// Uniformly random string and index.
+    pub fn random(r: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        IndexInstance {
+            s: (0..r).map(|_| rng.random()).collect(),
+            x: rng.random_range(0..r),
+        }
+    }
+
+    /// Random instance with the answer forced to `answer` (the bit at the
+    /// queried index is set accordingly; the rest stays uniform).
+    pub fn random_with_answer(r: usize, answer: bool, seed: u64) -> Self {
+        let mut inst = Self::random(r, seed);
+        inst.s[inst.x] = answer;
+        inst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn answer_reads_the_indexed_bit() {
+        let inst = IndexInstance {
+            s: vec![false, true, false],
+            x: 1,
+        };
+        assert!(inst.answer());
+        assert_eq!(inst.len(), 3);
+    }
+
+    #[test]
+    fn forced_answers() {
+        for seed in 0..20 {
+            assert!(IndexInstance::random_with_answer(50, true, seed).answer());
+            assert!(!IndexInstance::random_with_answer(50, false, seed).answer());
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        assert_eq!(IndexInstance::random(30, 5), IndexInstance::random(30, 5));
+        assert_ne!(IndexInstance::random(30, 5), IndexInstance::random(30, 6));
+    }
+}

@@ -1,0 +1,17 @@
+//! Communication complexity problems (Section 5 definitions).
+//!
+//! Each type holds one instance; `answer()` computes the ground truth. The
+//! generators produce *promise* instances — for the disjointness variants,
+//! the intersecting case has a unique intersecting coordinate, which is the
+//! hard regime used by the reductions (and keeps the gadget cycle count
+//! exactly `T` rather than a multiple).
+
+mod disj;
+mod disj3;
+mod index;
+mod pj3;
+
+pub use disj::DisjInstance;
+pub use disj3::Disj3Instance;
+pub use index::IndexInstance;
+pub use pj3::Pj3Instance;

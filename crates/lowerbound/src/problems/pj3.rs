@@ -1,0 +1,74 @@
+//! Three-party number-on-forehead pointer jumping (3-PJ).
+//!
+//! A layered digraph `V₁ = {v*}`, `V₂`, `V₃` (size `r` each),
+//! `V₄ = {v₄₀, v₄₁}`; every vertex of layers 1–3 has out-degree exactly one.
+//! Alice sees `(E₂, E₃)`, Bob `(E₁, E₃)`, Charlie `(E₁, E₂)`; speaking
+//! one-way Alice → Bob → Charlie they must output which of `v₄₀/v₄₁` the
+//! pointer path from `v*` reaches. Best known lower bound `Ω(√r)`
+//! (Viola–Wigderson); conjectured `Ω̃(r)`.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A 3-PJ instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pj3Instance {
+    /// `E₁`: the single pointer `v* → V₂[e1]`.
+    pub e1: usize,
+    /// `E₂`: pointers `V₂[i] → V₃[e2[i]]`.
+    pub e2: Vec<usize>,
+    /// `E₃`: pointers `V₃[i] → v₄_{e3[i]}` (`true` = `v₄₁`).
+    pub e3: Vec<bool>,
+}
+
+impl Pj3Instance {
+    /// Follow the pointers: `true` iff the path from `v*` ends at `v₄₁`.
+    pub fn answer(&self) -> bool {
+        self.e3[self.e2[self.e1]]
+    }
+
+    /// Layer size `r`.
+    pub fn len(&self) -> usize {
+        self.e2.len()
+    }
+
+    /// Whether the instance is empty (never true for generated instances).
+    pub fn is_empty(&self) -> bool {
+        self.e2.is_empty()
+    }
+
+    /// Uniformly random instance with the final pointer forced so the
+    /// answer is `answer`.
+    pub fn random_with_answer(r: usize, answer: bool, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let e1 = rng.random_range(0..r);
+        let e2: Vec<usize> = (0..r).map(|_| rng.random_range(0..r)).collect();
+        let mut e3: Vec<bool> = (0..r).map(|_| rng.random()).collect();
+        e3[e2[e1]] = answer;
+        Pj3Instance { e1, e2, e3 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn answer_follows_the_path() {
+        let inst = Pj3Instance {
+            e1: 1,
+            e2: vec![0, 2, 1],
+            e3: vec![false, false, true],
+        };
+        // v* -> V2[1] -> V3[2] -> v41.
+        assert!(inst.answer());
+    }
+
+    #[test]
+    fn forced_answers() {
+        for seed in 0..20 {
+            assert!(Pj3Instance::random_with_answer(25, true, seed).answer());
+            assert!(!Pj3Instance::random_with_answer(25, false, seed).answer());
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Generating adjacency list streams from static graphs.
+
+use adjstream_graph::{Graph, VertexId};
+
+use crate::item::StreamItem;
+use crate::order::StreamOrder;
+
+/// A replayable adjacency list stream: a graph plus a [`StreamOrder`].
+///
+/// Iterating yields [`StreamItem`]s satisfying the model's promise. The same
+/// `AdjListStream` can be iterated repeatedly, producing byte-identical
+/// passes — exactly what the Section 3 algorithm's "P2 has the same ordering
+/// as P1" requirement needs.
+pub struct AdjListStream<'g> {
+    graph: &'g Graph,
+    order: StreamOrder,
+}
+
+impl<'g> AdjListStream<'g> {
+    /// Bind `graph` to `order`. Panics if `order` does not cover exactly the
+    /// graph's vertex set.
+    pub fn new(graph: &'g Graph, order: StreamOrder) -> Self {
+        assert_eq!(
+            order.lists().len(),
+            graph.vertex_count(),
+            "order must list every vertex exactly once"
+        );
+        debug_assert!({
+            let mut seen = vec![false; graph.vertex_count()];
+            order.lists().iter().all(|v| {
+                let fresh = !seen[v.index()];
+                seen[v.index()] = true;
+                fresh
+            })
+        });
+        AdjListStream { graph, order }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The layout.
+    pub fn order(&self) -> &StreamOrder {
+        &self.order
+    }
+
+    /// Total number of items in one pass (`2m`).
+    pub fn len(&self) -> usize {
+        2 * self.graph.edge_count()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.graph.edge_count() == 0
+    }
+
+    /// Iterate one pass of items.
+    pub fn items(&self) -> impl Iterator<Item = StreamItem> + '_ {
+        self.order.lists().iter().flat_map(move |&v| {
+            self.order
+                .arrange_list(v, self.graph.neighbors(v))
+                .into_iter()
+                .map(move |w| StreamItem::new(v, w))
+        })
+    }
+
+    /// Iterate one pass list-by-list: yields `(owner, neighbors-in-order)`
+    /// for every **non-empty** adjacency list. Isolated vertices never
+    /// appear in the stream, matching the model.
+    pub fn lists(&self) -> impl Iterator<Item = (VertexId, Vec<VertexId>)> + '_ {
+        self.order.lists().iter().filter_map(move |&v| {
+            let nb = self.graph.neighbors(v);
+            if nb.is_empty() {
+                None
+            } else {
+                Some((v, self.order.arrange_list(v, nb)))
+            }
+        })
+    }
+
+    /// Collect the whole pass into a vector (tests and the communication
+    /// simulator, which needs to slice streams between players).
+    pub fn collect_items(&self) -> Vec<StreamItem> {
+        self.items().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adjstream_graph::GraphBuilder;
+
+    fn v(x: u32) -> VertexId {
+        VertexId(x)
+    }
+
+    fn triangle() -> Graph {
+        GraphBuilder::from_edges(3, [(0, 1), (1, 2), (0, 2)]).unwrap()
+    }
+
+    #[test]
+    fn natural_order_stream() {
+        let g = triangle();
+        let s = AdjListStream::new(&g, StreamOrder::natural(3));
+        let items = s.collect_items();
+        assert_eq!(items.len(), 6);
+        assert_eq!(items[0], StreamItem::new(v(0), v(1)));
+        assert_eq!(items[1], StreamItem::new(v(0), v(2)));
+        assert_eq!(items[2], StreamItem::new(v(1), v(0)));
+    }
+
+    #[test]
+    fn every_edge_appears_twice() {
+        let g = triangle();
+        for order in [
+            StreamOrder::natural(3),
+            StreamOrder::reversed(3),
+            StreamOrder::shuffled(3, 4),
+        ] {
+            let s = AdjListStream::new(&g, order);
+            let mut count = std::collections::HashMap::new();
+            for it in s.items() {
+                *count.entry(it.edge()).or_insert(0) += 1;
+            }
+            assert_eq!(count.len(), 3);
+            assert!(count.values().all(|&c| c == 2));
+        }
+    }
+
+    #[test]
+    fn replay_is_identical() {
+        let g = triangle();
+        let s = AdjListStream::new(&g, StreamOrder::shuffled(3, 99));
+        assert_eq!(s.collect_items(), s.collect_items());
+    }
+
+    #[test]
+    fn isolated_vertices_are_invisible() {
+        let g = GraphBuilder::from_edges(4, [(0, 1)]).unwrap();
+        let s = AdjListStream::new(&g, StreamOrder::natural(4));
+        assert_eq!(s.lists().count(), 2);
+        assert_eq!(s.items().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "every vertex")]
+    fn rejects_wrong_sized_order() {
+        let g = triangle();
+        AdjListStream::new(&g, StreamOrder::natural(5));
+    }
+
+    #[test]
+    fn lists_match_items() {
+        let g = triangle();
+        let s = AdjListStream::new(&g, StreamOrder::shuffled(3, 5));
+        let from_lists: Vec<StreamItem> = s
+            .lists()
+            .flat_map(|(owner, nbs)| {
+                nbs.into_iter()
+                    .map(move |w| StreamItem::new(owner, w))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        assert_eq!(from_lists, s.collect_items());
+    }
+}

@@ -1,0 +1,100 @@
+//! Adversarial stream layouts.
+//!
+//! The model lets an adversary pick both the list order and the within-list
+//! order. These generators produce the orders that stress specific
+//! algorithmic choices:
+//!
+//! * [`hubs_first`] / [`hubs_last`] — high-degree vertices at the start or
+//!   end of the stream. Hubs-last starves one-pass algorithms of early
+//!   wedge context; hubs-first maximizes the memory pressure of anything
+//!   that buffers per-list state.
+//! * [`apexes_before_edges`] — for a target edge set, order every common
+//!   neighborhood *before* the edge's own endpoints, forcing the two-pass
+//!   algorithm's discoveries into pass 2 (exercising the `P2^{<uv}`
+//!   discovery path and the activation machinery end to end).
+//!
+//! Order-robustness of the Section 3 algorithm — its estimate is unbiased
+//! under *every* one of these — is covered by tests here and the exactness
+//! property tests.
+
+use adjstream_graph::{EdgeKey, Graph, VertexId};
+
+use crate::order::{StreamOrder, WithinListOrder};
+
+/// Lists sorted by descending degree (hubs first), ties by id.
+pub fn hubs_first(g: &Graph) -> StreamOrder {
+    let mut lists: Vec<VertexId> = g.vertices().collect();
+    lists.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v.0));
+    StreamOrder::custom(lists, WithinListOrder::Sorted)
+}
+
+/// Lists sorted by ascending degree (hubs last), ties by id.
+pub fn hubs_last(g: &Graph) -> StreamOrder {
+    let mut lists: Vec<VertexId> = g.vertices().collect();
+    lists.sort_by_key(|&v| (g.degree(v), v.0));
+    StreamOrder::custom(lists, WithinListOrder::Sorted)
+}
+
+/// For each target edge, move both endpoints' lists as late as possible so
+/// that every apex completing a triangle over the edge arrives *before*
+/// the edge is first seen: discoveries must happen in pass 2.
+///
+/// Implementation: endpoints of `targets` stream last (in id order), all
+/// other vertices first.
+pub fn apexes_before_edges(g: &Graph, targets: &[EdgeKey]) -> StreamOrder {
+    let n = g.vertex_count();
+    let mut is_endpoint = vec![false; n];
+    for e in targets {
+        is_endpoint[e.lo().index()] = true;
+        is_endpoint[e.hi().index()] = true;
+    }
+    let mut lists: Vec<VertexId> = g.vertices().filter(|v| !is_endpoint[v.index()]).collect();
+    lists.extend(g.vertices().filter(|v| is_endpoint[v.index()]));
+    StreamOrder::custom(lists, WithinListOrder::Sorted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adjstream_graph::gen;
+
+    #[test]
+    fn hub_orders_are_permutations() {
+        let g = gen::star(6);
+        let first = hubs_first(&g);
+        let last = hubs_last(&g);
+        assert_eq!(first.lists()[0], VertexId(0)); // the center
+        assert_eq!(*last.lists().last().unwrap(), VertexId(0));
+        let mut f: Vec<u32> = first.lists().iter().map(|v| v.0).collect();
+        f.sort_unstable();
+        assert_eq!(f, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn apexes_before_edges_defers_endpoints() {
+        let g = gen::complete(5);
+        let target = EdgeKey::new(VertexId(1), VertexId(3));
+        let order = apexes_before_edges(&g, &[target]);
+        let pos = order.positions();
+        for apex in [0u32, 2, 4] {
+            assert!(pos[apex as usize] < pos[1]);
+            assert!(pos[apex as usize] < pos[3]);
+        }
+    }
+
+    #[test]
+    fn orders_cover_every_vertex_once() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = gen::gnm(30, 100, &mut rng);
+        for order in [
+            hubs_first(&g),
+            hubs_last(&g),
+            apexes_before_edges(&g, &g.edge_vec()[..5]),
+        ] {
+            let mut seen: Vec<u32> = order.lists().iter().map(|v| v.0).collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..30).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Estimator amplification.
+//!
+//! Theorems 3.7 and 4.6 both turn a constant-success-probability estimator
+//! into a `1 − δ` one by running `Θ(log 1/δ)` independent copies and taking
+//! the median. These helpers implement that (plus mean / median-of-means,
+//! used by the harness for variance diagnostics).
+
+/// Median of a sample (average of the two central order statistics for even
+/// lengths). Panics on an empty slice.
+pub fn median(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "median of empty sample");
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in estimates"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Arithmetic mean. Panics on an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "mean of empty sample");
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Sample variance (unbiased, `n−1` denominator); 0 for singletons.
+pub fn variance(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64
+}
+
+/// Median-of-means: split into `groups` contiguous groups, average each,
+/// take the median of the averages. `groups` is clamped to the sample size.
+pub fn median_of_means(values: &[f64], groups: usize) -> f64 {
+    assert!(!values.is_empty(), "median_of_means of empty sample");
+    let groups = groups.clamp(1, values.len());
+    let means: Vec<f64> = values
+        .chunks(values.len().div_ceil(groups))
+        .map(mean)
+        .collect();
+    median(&means)
+}
+
+/// Number of repetitions `D·log(1/δ)` the theorems prescribe for failure
+/// probability `δ`, with the constant chosen so a per-run success
+/// probability of 2/3 amplifies correctly (Chernoff); always odd so the
+/// median is a sample point.
+pub fn repetitions_for_confidence(delta: f64) -> usize {
+    assert!(delta > 0.0 && delta < 1.0, "δ must be in (0,1)");
+    let r = (18.0 * (1.0 / delta).ln()).ceil() as usize;
+    let r = r.max(1);
+    if r.is_multiple_of(2) {
+        r + 1
+    } else {
+        r
+    }
+}
+
+/// Relative error `|estimate − truth| / truth`; if `truth` is 0, returns 0
+/// when the estimate is also 0 and `+∞` otherwise.
+pub fn relative_error(estimate: f64, truth: f64) -> f64 {
+    if truth == 0.0 {
+        if estimate == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (estimate - truth).abs() / truth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[5.0]), 5.0);
+    }
+
+    #[test]
+    fn median_robust_to_outliers() {
+        let vals = [10.0, 11.0, 9.0, 10.5, 1e9];
+        assert!((median(&vals) - 10.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        let vals = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&vals), 5.0);
+        assert!((variance(&vals) - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(variance(&[3.0]), 0.0);
+    }
+
+    #[test]
+    fn median_of_means_reduces_outlier_pull() {
+        let mut vals = vec![10.0; 30];
+        vals.push(1e12);
+        let mom = median_of_means(&vals, 5);
+        assert!(mom < 100.0, "mom={mom}");
+    }
+
+    #[test]
+    fn repetition_count_grows_with_confidence() {
+        let r1 = repetitions_for_confidence(0.1);
+        let r2 = repetitions_for_confidence(0.01);
+        assert!(r2 > r1);
+        assert_eq!(r1 % 2, 1);
+        assert_eq!(r2 % 2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn median_empty_panics() {
+        median(&[]);
+    }
+
+    #[test]
+    fn relative_error_conventions() {
+        assert_eq!(
+            relative_error(110.0, 100.0),
+            0.1_f64.max(0.0999999999999999)
+        );
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert!(relative_error(1.0, 0.0).is_infinite());
+    }
+}

@@ -1,0 +1,61 @@
+//! Stream items.
+
+use adjstream_graph::{EdgeKey, VertexId};
+
+/// One element of an adjacency list stream: the ordered pair `xy`, meaning
+/// "`y` occurs in the adjacency list of `x`".
+///
+/// Every undirected edge `{x, y}` contributes two items over the course of a
+/// pass: `xy` inside `x`'s list and `yx` inside `y`'s list.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamItem {
+    /// The vertex whose adjacency list this item belongs to.
+    pub src: VertexId,
+    /// The neighbor being reported.
+    pub dst: VertexId,
+}
+
+impl StreamItem {
+    /// Construct an item. A self-loop (`src == dst`) is representable so the
+    /// validator can *reject* malformed streams, but [`StreamItem::edge`]
+    /// panics on one in debug builds.
+    #[inline]
+    pub fn new(src: VertexId, dst: VertexId) -> Self {
+        StreamItem { src, dst }
+    }
+
+    /// Canonical key of the underlying undirected edge.
+    #[inline]
+    pub fn edge(self) -> EdgeKey {
+        EdgeKey::new(self.src, self.dst)
+    }
+
+    /// The reversed item `yx` (the edge's other appearance).
+    #[inline]
+    pub fn reversed(self) -> Self {
+        StreamItem {
+            src: self.dst,
+            dst: self.src,
+        }
+    }
+}
+
+impl std::fmt::Debug for StreamItem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}→{}", self.src, self.dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_is_canonical() {
+        let a = StreamItem::new(VertexId(5), VertexId(2));
+        let b = a.reversed();
+        assert_eq!(a.edge(), b.edge());
+        assert_eq!(b.src, VertexId(2));
+        assert_eq!(b.reversed(), a);
+    }
+}

@@ -1,0 +1,47 @@
+//! The adjacency list streaming model (Section 1.2 of the paper).
+//!
+//! A stream is a sequence of ordered pairs `xy`; for each undirected edge
+//! `{x, y}` **both** `xy` and `yx` appear, and all pairs sharing a first
+//! vertex — that vertex's adjacency list — appear consecutively. The order of
+//! the lists, and the order within each list, is adversarial.
+//!
+//! This crate supplies the machinery shared by every algorithm:
+//!
+//! * [`item::StreamItem`] and [`order::StreamOrder`] — what a stream is and
+//!   how one is laid out (list permutation × within-list order),
+//! * [`adjlist::AdjListStream`] — generate the stream of a
+//!   [`adjstream_graph::Graph`] under a given order, replayable for
+//!   multi-pass algorithms,
+//! * [`validate`] — check the adjacency-list promise on arbitrary item
+//!   sequences (failure injection tests feed this malformed streams),
+//! * [`runner`] — drive a [`runner::MultiPassAlgorithm`] over one or more
+//!   passes, recording the peak state size,
+//! * [`meter::SpaceUsage`] — how algorithms report their live state size,
+//! * [`hashing`] and [`sampling`] — seeded hash families and the edge/pair
+//!   samplers (threshold, bottom-k, reservoir) that realize the paper's
+//!   "sample a uniform size-m′ subset" steps,
+//! * [`estimator`] — median / median-of-means amplification used to turn
+//!   constant-probability estimators into `1 − δ` ones (Theorems 3.7, 4.6).
+
+#![warn(missing_docs)]
+
+pub mod adjlist;
+pub mod adversarial;
+pub mod arbitrary;
+pub mod estimator;
+pub mod hashing;
+pub mod item;
+pub mod meter;
+pub mod order;
+pub mod runner;
+pub mod sampling;
+pub mod trace;
+pub mod validate;
+
+pub use adjlist::AdjListStream;
+pub use arbitrary::ArbitraryOrderStream;
+pub use item::StreamItem;
+pub use meter::SpaceUsage;
+pub use order::{StreamOrder, WithinListOrder};
+pub use runner::{MultiPassAlgorithm, PassOrders, RunReport, Runner};
+pub use validate::{validate_stream, StreamError};

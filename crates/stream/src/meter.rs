@@ -1,0 +1,108 @@
+//! Space accounting.
+//!
+//! The paper measures algorithms by words of working state, not process
+//! memory. Every algorithm implements [`SpaceUsage`] by summing the bytes of
+//! its live sample structures; the [`crate::runner::Runner`] polls it at
+//! adjacency-list boundaries and records the high-water mark, which is what
+//! experiments report against the `m/T^{2/3}`-style bounds.
+
+/// Report the current heap + inline size of a piece of algorithm state, in
+/// bytes.
+pub trait SpaceUsage {
+    /// Bytes of live state right now.
+    fn space_bytes(&self) -> usize;
+}
+
+/// Bytes held by a `Vec` of plain-old-data elements (capacity, not length:
+/// allocated space is what a space-bounded algorithm pays for).
+pub fn vec_bytes<T>(v: &Vec<T>) -> usize {
+    v.capacity() * std::mem::size_of::<T>() + std::mem::size_of::<Vec<T>>()
+}
+
+/// Approximate bytes held by a `HashMap` with POD keys and values.
+///
+/// Accounts for the table's control bytes and bucket slots at the standard
+/// ~8/7 load-factor overhead of hashbrown.
+pub fn hashmap_bytes<K, V>(m: &std::collections::HashMap<K, V>) -> usize {
+    let slot = std::mem::size_of::<(K, V)>() + 1; // entry + control byte
+    m.capacity() * slot + std::mem::size_of::<std::collections::HashMap<K, V>>()
+}
+
+/// Approximate bytes held by a `HashSet` with POD elements.
+pub fn hashset_bytes<T>(s: &std::collections::HashSet<T>) -> usize {
+    let slot = std::mem::size_of::<T>() + 1;
+    s.capacity() * slot + std::mem::size_of::<std::collections::HashSet<T>>()
+}
+
+impl SpaceUsage for () {
+    fn space_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// A tiny helper that tracks the high-water mark of a sequence of
+/// [`SpaceUsage`] polls.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PeakTracker {
+    peak: usize,
+}
+
+impl PeakTracker {
+    /// Start at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an observation.
+    #[inline]
+    pub fn observe(&mut self, bytes: usize) {
+        if bytes > self.peak {
+            self.peak = bytes;
+        }
+    }
+
+    /// The largest observation so far.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    #[test]
+    fn vec_bytes_tracks_capacity() {
+        let v: Vec<u64> = Vec::with_capacity(100);
+        assert!(vec_bytes(&v) >= 800);
+        let empty: Vec<u64> = Vec::new();
+        assert_eq!(empty.capacity(), 0);
+        assert_eq!(vec_bytes(&empty), std::mem::size_of::<Vec<u64>>());
+    }
+
+    #[test]
+    fn hash_structures_scale_with_capacity() {
+        let mut m: HashMap<u64, u64> = HashMap::new();
+        let empty_bytes = hashmap_bytes(&m);
+        for i in 0..1000 {
+            m.insert(i, i);
+        }
+        assert!(hashmap_bytes(&m) > empty_bytes + 1000 * 16);
+        let mut s: HashSet<u32> = HashSet::new();
+        for i in 0..100 {
+            s.insert(i);
+        }
+        assert!(hashset_bytes(&s) >= 100 * 5);
+    }
+
+    #[test]
+    fn peak_tracker_is_monotone() {
+        let mut p = PeakTracker::new();
+        p.observe(10);
+        p.observe(5);
+        assert_eq!(p.peak(), 10);
+        p.observe(25);
+        assert_eq!(p.peak(), 25);
+    }
+}

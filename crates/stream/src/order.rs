@@ -1,0 +1,153 @@
+//! Stream orderings.
+//!
+//! An adjacency list stream is determined by (a) the order in which vertex
+//! adjacency lists appear and (b) the order of neighbors within each list.
+//! Both are adversarial in the model, so experiments exercise several
+//! layouts; the Section 3 algorithm additionally requires pass 2 to repeat
+//! pass 1's order, which replaying the same [`StreamOrder`] guarantees.
+
+use adjstream_graph::VertexId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::hashing::SplitMix64;
+
+/// How neighbors are ordered inside one adjacency list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WithinListOrder {
+    /// Ascending by vertex id (the CSR's native order).
+    Sorted,
+    /// Descending by vertex id.
+    Reversed,
+    /// Per-list pseudo-random shuffle derived from this seed and the list's
+    /// owner, so replaying the order reproduces the exact same stream.
+    Shuffled(u64),
+}
+
+/// A complete layout for one pass: the sequence of adjacency lists plus the
+/// within-list order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamOrder {
+    lists: Vec<VertexId>,
+    within: WithinListOrder,
+}
+
+impl StreamOrder {
+    /// Lists in ascending vertex order, neighbors sorted.
+    pub fn natural(n: usize) -> Self {
+        StreamOrder {
+            lists: (0..n as u32).map(VertexId).collect(),
+            within: WithinListOrder::Sorted,
+        }
+    }
+
+    /// Lists in descending vertex order, neighbors descending.
+    pub fn reversed(n: usize) -> Self {
+        StreamOrder {
+            lists: (0..n as u32).rev().map(VertexId).collect(),
+            within: WithinListOrder::Reversed,
+        }
+    }
+
+    /// Uniformly random list order and per-list shuffles, derived
+    /// deterministically from `seed`.
+    pub fn shuffled(n: usize, seed: u64) -> Self {
+        let mut lists: Vec<VertexId> = (0..n as u32).map(VertexId).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        lists.shuffle(&mut rng);
+        StreamOrder {
+            lists,
+            within: WithinListOrder::Shuffled(SplitMix64::new(seed).mix(0x5741_7448)),
+        }
+    }
+
+    /// An explicit, possibly adversarial layout. `lists` must be a
+    /// permutation of `0..n` for the graph it is used with; the stream
+    /// generator checks this.
+    pub fn custom(lists: Vec<VertexId>, within: WithinListOrder) -> Self {
+        StreamOrder { lists, within }
+    }
+
+    /// The adjacency list sequence.
+    pub fn lists(&self) -> &[VertexId] {
+        &self.lists
+    }
+
+    /// The within-list ordering policy.
+    pub fn within(&self) -> WithinListOrder {
+        self.within
+    }
+
+    /// Arrival position of every vertex: `positions()[v] = i` iff `v`'s list
+    /// is the `i`-th to appear. Used by tests and exact reference
+    /// computations (streaming algorithms must *not* materialize this).
+    pub fn positions(&self) -> Vec<u32> {
+        let mut pos = vec![u32::MAX; self.lists.len()];
+        for (i, v) in self.lists.iter().enumerate() {
+            pos[v.index()] = i as u32;
+        }
+        pos
+    }
+
+    /// Materialize the neighbor order for `owner`'s list given its sorted
+    /// CSR neighbors.
+    pub(crate) fn arrange_list(&self, owner: VertexId, sorted: &[VertexId]) -> Vec<VertexId> {
+        let mut nb = sorted.to_vec();
+        match self.within {
+            WithinListOrder::Sorted => {}
+            WithinListOrder::Reversed => nb.reverse(),
+            WithinListOrder::Shuffled(seed) => {
+                let mut rng = StdRng::seed_from_u64(SplitMix64::new(seed).mix(owner.0 as u64 + 1));
+                nb.shuffle(&mut rng);
+            }
+        }
+        nb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn natural_positions() {
+        let o = StreamOrder::natural(4);
+        assert_eq!(o.positions(), vec![0, 1, 2, 3]);
+        assert_eq!(o.lists().len(), 4);
+    }
+
+    #[test]
+    fn reversed_positions() {
+        let o = StreamOrder::reversed(4);
+        assert_eq!(o.positions(), vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn shuffled_is_permutation_and_deterministic() {
+        let o1 = StreamOrder::shuffled(50, 9);
+        let o2 = StreamOrder::shuffled(50, 9);
+        assert_eq!(o1, o2);
+        let mut sorted: Vec<u32> = o1.lists().iter().map(|v| v.0).collect();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        let o3 = StreamOrder::shuffled(50, 10);
+        assert_ne!(o1, o3);
+    }
+
+    #[test]
+    fn arrange_list_policies() {
+        let owner = VertexId(3);
+        let nb: Vec<VertexId> = [1u32, 4, 7, 9].into_iter().map(VertexId).collect();
+        let sorted = StreamOrder::natural(10).arrange_list(owner, &nb);
+        assert_eq!(sorted, nb);
+        let rev = StreamOrder::reversed(10).arrange_list(owner, &nb);
+        assert_eq!(rev, nb.iter().rev().copied().collect::<Vec<_>>());
+        let sh1 = StreamOrder::shuffled(10, 5).arrange_list(owner, &nb);
+        let sh2 = StreamOrder::shuffled(10, 5).arrange_list(owner, &nb);
+        assert_eq!(sh1, sh2);
+        let mut back = sh1.clone();
+        back.sort_unstable();
+        assert_eq!(back, nb);
+    }
+}

@@ -1,0 +1,284 @@
+//! Driving multi-pass algorithms over adjacency list streams.
+
+use adjstream_graph::{Graph, VertexId};
+
+use crate::adjlist::AdjListStream;
+use crate::meter::{PeakTracker, SpaceUsage};
+use crate::order::StreamOrder;
+
+/// A streaming algorithm taking one or more passes over an adjacency list
+/// stream.
+///
+/// The driver announces list boundaries because the model makes them
+/// observable: a list boundary is exactly a change of the source vertex in
+/// the item sequence, which any algorithm can detect with `O(log n)` state.
+/// Receiving explicit `begin_list`/`end_list` calls keeps each algorithm free
+/// of that boilerplate without granting it any extra power.
+pub trait MultiPassAlgorithm: SpaceUsage {
+    /// What the algorithm returns after its final pass.
+    type Output;
+
+    /// Number of passes required.
+    fn passes(&self) -> usize;
+
+    /// Whether later passes must replay pass 1's order (true for the
+    /// Section 3 triangle algorithm, false for the Section 4 4-cycle one).
+    fn requires_same_order(&self) -> bool {
+        false
+    }
+
+    /// Called once at the start of pass `pass` (0-based).
+    fn begin_pass(&mut self, pass: usize);
+
+    /// A new adjacency list (owned by `owner`) is starting.
+    fn begin_list(&mut self, owner: VertexId) {
+        let _ = owner;
+    }
+
+    /// One stream item `src → dst` (always within `src`'s list).
+    fn item(&mut self, src: VertexId, dst: VertexId);
+
+    /// The current adjacency list (owned by `owner`) ended.
+    fn end_list(&mut self, owner: VertexId) {
+        let _ = owner;
+    }
+
+    /// The current pass ended.
+    fn end_pass(&mut self, pass: usize) {
+        let _ = pass;
+    }
+
+    /// Consume the algorithm and produce its output.
+    fn finish(self) -> Self::Output;
+}
+
+/// Stream layouts for each pass.
+#[derive(Debug, Clone)]
+pub enum PassOrders {
+    /// Every pass replays the same layout.
+    Same(StreamOrder),
+    /// One layout per pass (length must equal the algorithm's pass count).
+    PerPass(Vec<StreamOrder>),
+}
+
+impl PassOrders {
+    fn order_for(&self, pass: usize) -> &StreamOrder {
+        match self {
+            PassOrders::Same(o) => o,
+            PassOrders::PerPass(os) => &os[pass],
+        }
+    }
+
+    fn is_same_order(&self) -> bool {
+        match self {
+            PassOrders::Same(_) => true,
+            PassOrders::PerPass(os) => os.windows(2).all(|w| w[0] == w[1]),
+        }
+    }
+}
+
+/// Execution summary of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunReport {
+    /// High-water mark of the algorithm's reported state, in bytes, sampled
+    /// at every adjacency-list boundary.
+    pub peak_state_bytes: usize,
+    /// Total stream items processed across all passes.
+    pub items_processed: usize,
+    /// Number of passes executed.
+    pub passes: usize,
+}
+
+/// Drives algorithms over graphs and records space usage.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Runner;
+
+impl Runner {
+    /// Run `algo` to completion over `graph` streamed per `orders`.
+    ///
+    /// Panics if the algorithm requires identical pass orders and `orders`
+    /// provides differing ones — that would silently violate the algorithm's
+    /// correctness contract.
+    pub fn run<A: MultiPassAlgorithm>(
+        graph: &Graph,
+        mut algo: A,
+        orders: &PassOrders,
+    ) -> (A::Output, RunReport) {
+        if algo.requires_same_order() {
+            assert!(
+                orders.is_same_order(),
+                "algorithm requires identical pass orders"
+            );
+        }
+        if let PassOrders::PerPass(os) = orders {
+            assert_eq!(os.len(), algo.passes(), "one order per pass required");
+        }
+        let mut peak = PeakTracker::new();
+        let mut items = 0usize;
+        let passes = algo.passes();
+        for pass in 0..passes {
+            let stream = AdjListStream::new(graph, orders.order_for(pass).clone());
+            algo.begin_pass(pass);
+            for (owner, neighbors) in stream.lists() {
+                algo.begin_list(owner);
+                for w in neighbors {
+                    algo.item(owner, w);
+                    items += 1;
+                }
+                algo.end_list(owner);
+                peak.observe(algo.space_bytes());
+            }
+            algo.end_pass(pass);
+            peak.observe(algo.space_bytes());
+        }
+        (
+            algo.finish(),
+            RunReport {
+                peak_state_bytes: peak.peak(),
+                items_processed: items,
+                passes,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adjstream_graph::gen;
+
+    /// Counts edges (items / 2) in one pass; state is one counter.
+    struct EdgeCounter {
+        items: usize,
+    }
+
+    impl SpaceUsage for EdgeCounter {
+        fn space_bytes(&self) -> usize {
+            std::mem::size_of::<usize>()
+        }
+    }
+
+    impl MultiPassAlgorithm for EdgeCounter {
+        type Output = usize;
+        fn passes(&self) -> usize {
+            1
+        }
+        fn begin_pass(&mut self, _pass: usize) {}
+        fn item(&mut self, _src: VertexId, _dst: VertexId) {
+            self.items += 1;
+        }
+        fn finish(self) -> usize {
+            self.items / 2
+        }
+    }
+
+    /// Records per-pass list boundary sequences to verify replay semantics.
+    struct BoundaryRecorder {
+        passes: usize,
+        same_order: bool,
+        seen: Vec<Vec<VertexId>>,
+    }
+
+    impl SpaceUsage for BoundaryRecorder {
+        fn space_bytes(&self) -> usize {
+            self.seen.iter().map(|v| v.len() * 4).sum()
+        }
+    }
+
+    impl MultiPassAlgorithm for BoundaryRecorder {
+        type Output = Vec<Vec<VertexId>>;
+        fn passes(&self) -> usize {
+            self.passes
+        }
+        fn requires_same_order(&self) -> bool {
+            self.same_order
+        }
+        fn begin_pass(&mut self, _pass: usize) {
+            self.seen.push(Vec::new());
+        }
+        fn item(&mut self, _src: VertexId, _dst: VertexId) {}
+        fn begin_list(&mut self, owner: VertexId) {
+            self.seen.last_mut().unwrap().push(owner);
+        }
+        fn finish(self) -> Self::Output {
+            self.seen
+        }
+    }
+
+    #[test]
+    fn edge_counter_counts() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = gen::gnm(40, 111, &mut rng);
+        let (m, report) = Runner::run(
+            &g,
+            EdgeCounter { items: 0 },
+            &PassOrders::Same(StreamOrder::shuffled(40, 3)),
+        );
+        assert_eq!(m, 111);
+        assert_eq!(report.items_processed, 222);
+        assert_eq!(report.passes, 1);
+        assert_eq!(report.peak_state_bytes, 8);
+    }
+
+    #[test]
+    fn same_order_replays_identically() {
+        let g = gen::complete(6);
+        let (seen, _) = Runner::run(
+            &g,
+            BoundaryRecorder {
+                passes: 2,
+                same_order: true,
+                seen: Vec::new(),
+            },
+            &PassOrders::Same(StreamOrder::shuffled(6, 17)),
+        );
+        assert_eq!(seen[0], seen[1]);
+    }
+
+    #[test]
+    fn per_pass_orders_differ() {
+        let g = gen::complete(6);
+        let (seen, _) = Runner::run(
+            &g,
+            BoundaryRecorder {
+                passes: 2,
+                same_order: false,
+                seen: Vec::new(),
+            },
+            &PassOrders::PerPass(vec![StreamOrder::natural(6), StreamOrder::reversed(6)]),
+        );
+        assert_ne!(seen[0], seen[1]);
+        assert_eq!(seen[0], seen[1].iter().rev().copied().collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "identical pass orders")]
+    fn same_order_requirement_is_enforced() {
+        let g = gen::complete(4);
+        let _ = Runner::run(
+            &g,
+            BoundaryRecorder {
+                passes: 2,
+                same_order: true,
+                seen: Vec::new(),
+            },
+            &PassOrders::PerPass(vec![StreamOrder::natural(4), StreamOrder::reversed(4)]),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one order per pass")]
+    fn per_pass_length_is_enforced() {
+        let g = gen::complete(4);
+        let _ = Runner::run(
+            &g,
+            BoundaryRecorder {
+                passes: 2,
+                same_order: false,
+                seen: Vec::new(),
+            },
+            &PassOrders::PerPass(vec![StreamOrder::natural(4)]),
+        );
+    }
+}

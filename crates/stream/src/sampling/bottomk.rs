@@ -1,0 +1,212 @@
+//! Bottom-k sampling: keep the `k` keys with smallest hash values.
+//!
+//! This realizes the paper's *fixed-size* uniform sample: over any key
+//! universe, the set of `k` smallest hashes is a uniform `k`-subset.
+//! Crucially for streaming, once a key that belongs to the final sample is
+//! first seen, it remains in the working sample forever (later insertions
+//! can only evict keys with *larger* hashes), so an algorithm can begin
+//! monitoring it immediately — the property Section 3.3.1 uses to collect
+//! triangles "from the first of the two times it appears".
+
+use std::collections::hash_map::Entry;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::hashing::HashFn;
+use crate::meter::{hashmap_bytes, SpaceUsage};
+
+/// Outcome of offering a key to the sampler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BottomKEvent {
+    /// Key entered the sample; nothing left.
+    Inserted,
+    /// Key entered the sample, evicting the returned key.
+    InsertedEvicting(u64),
+    /// Key was already in the sample (e.g. the edge's second appearance).
+    AlreadyPresent,
+    /// Key's hash is too large for the current sample.
+    Rejected,
+}
+
+/// A bottom-k sample over `u64` keys.
+#[derive(Debug, Clone)]
+pub struct BottomKSampler {
+    k: usize,
+    hash: HashFn,
+    /// Max-heap of (hash, key) for the current sample.
+    heap: BinaryHeap<(u64, u64)>,
+    /// Membership index: key → hash.
+    members: HashMap<u64, u64>,
+}
+
+impl BottomKSampler {
+    /// Sampler retaining the `k` smallest-hashed keys.
+    pub fn new(seed: u64, k: usize) -> Self {
+        BottomKSampler {
+            k,
+            hash: HashFn::from_seed(seed, 0xB077_0A1C),
+            heap: BinaryHeap::with_capacity(k + 1),
+            members: HashMap::with_capacity(k * 2),
+        }
+    }
+
+    /// Capacity `k`.
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+
+    /// Current sample size (`min(k, distinct keys offered)`).
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether no key has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether `key` is currently sampled.
+    pub fn contains(&self, key: u64) -> bool {
+        self.members.contains_key(&key)
+    }
+
+    /// Offer a key; idempotent for keys already present.
+    pub fn offer(&mut self, key: u64) -> BottomKEvent {
+        if self.k == 0 {
+            return BottomKEvent::Rejected;
+        }
+        let h = self.hash.hash(key);
+        match self.members.entry(key) {
+            Entry::Occupied(_) => BottomKEvent::AlreadyPresent,
+            Entry::Vacant(slot) => {
+                if self.heap.len() < self.k {
+                    slot.insert(h);
+                    self.heap.push((h, key));
+                    return BottomKEvent::Inserted;
+                }
+                let &(max_h, max_key) = self.heap.peek().expect("heap full");
+                if h >= max_h {
+                    return BottomKEvent::Rejected;
+                }
+                slot.insert(h);
+                self.heap.pop();
+                self.heap.push((h, key));
+                self.members.remove(&max_key);
+                BottomKEvent::InsertedEvicting(max_key)
+            }
+        }
+    }
+
+    /// Iterate the sampled keys (arbitrary order).
+    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.members.keys().copied()
+    }
+}
+
+impl SpaceUsage for BottomKSampler {
+    fn space_bytes(&self) -> usize {
+        self.heap.capacity() * std::mem::size_of::<(u64, u64)>() + hashmap_bytes(&self.members)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_k_smallest_hashes() {
+        let mut s = BottomKSampler::new(5, 10);
+        let keys: Vec<u64> = (0..200).collect();
+        for &k in &keys {
+            s.offer(k);
+        }
+        assert_eq!(s.len(), 10);
+        // Verify against a direct sort by the same hash.
+        let h = HashFn::from_seed(5, 0xB077_0A1C);
+        let mut by_hash = keys.clone();
+        by_hash.sort_by_key(|&k| h.hash(k));
+        let expect: std::collections::HashSet<u64> = by_hash[..10].iter().copied().collect();
+        let got: std::collections::HashSet<u64> = s.keys().collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn final_members_never_leave_once_inserted() {
+        // Property from the doc comment: replay the stream; every key in the
+        // final sample must be in the working sample continuously from its
+        // first offer.
+        let mut s = BottomKSampler::new(9, 8);
+        let keys: Vec<u64> = (0..150).map(|i| i * 7 + 3).collect();
+        for &k in &keys {
+            s.offer(k);
+        }
+        let finals: std::collections::HashSet<u64> = s.keys().collect();
+        let mut s2 = BottomKSampler::new(9, 8);
+        let mut inserted_at: std::collections::HashMap<u64, usize> = Default::default();
+        for (i, &k) in keys.iter().enumerate() {
+            match s2.offer(k) {
+                BottomKEvent::Inserted | BottomKEvent::InsertedEvicting(_) => {
+                    inserted_at.insert(k, i);
+                }
+                BottomKEvent::Rejected => {
+                    assert!(!finals.contains(&k), "final member {k} rejected");
+                }
+                BottomKEvent::AlreadyPresent => {}
+            }
+        }
+        for &k in &finals {
+            assert!(inserted_at.contains_key(&k));
+            assert!(s2.contains(k));
+        }
+    }
+
+    #[test]
+    fn idempotent_reoffers() {
+        let mut s = BottomKSampler::new(1, 4);
+        assert_eq!(s.offer(42), BottomKEvent::Inserted);
+        assert_eq!(s.offer(42), BottomKEvent::AlreadyPresent);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn eviction_reports_the_evicted_key() {
+        let mut s = BottomKSampler::new(2, 1);
+        s.offer(1);
+        let h = HashFn::from_seed(2, 0xB077_0A1C);
+        // Find a key hashing below key 1.
+        let smaller = (2..).find(|&k| h.hash(k) < h.hash(1)).unwrap();
+        assert_eq!(s.offer(smaller), BottomKEvent::InsertedEvicting(1));
+        assert!(s.contains(smaller) && !s.contains(1));
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let mut s = BottomKSampler::new(3, 0);
+        assert_eq!(s.offer(9), BottomKEvent::Rejected);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn uniformity_sanity() {
+        // Each key should land in the bottom-k sample with roughly equal
+        // frequency across seeds.
+        let universe: Vec<u64> = (0..40).collect();
+        let mut hits = vec![0u32; universe.len()];
+        let trials = 2000;
+        for seed in 0..trials {
+            let mut s = BottomKSampler::new(seed, 10);
+            for &k in &universe {
+                s.offer(k);
+            }
+            for k in s.keys() {
+                hits[k as usize] += 1;
+            }
+        }
+        let expect = trials as f64 * 10.0 / 40.0;
+        for (k, &h) in hits.iter().enumerate() {
+            assert!(
+                (h as f64 - expect).abs() < expect * 0.25,
+                "key {k}: {h} vs {expect}"
+            );
+        }
+    }
+}

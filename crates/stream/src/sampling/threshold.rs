@@ -1,0 +1,84 @@
+//! Hash-threshold (Bernoulli) sampling.
+
+use crate::hashing::HashFn;
+
+/// Decides membership of keys in the sample by hashing: key `x` is sampled
+/// iff `h(x) < p·2^64`. Deterministic per seed, so the two stream
+/// appearances of an edge always agree — the "hash-based sampling method"
+/// Section 3.3.1 relies on.
+///
+/// Each key is included independently with probability `p`; the sample size
+/// is `Binomial(m, p)` rather than exactly `m′ = pm`.
+#[derive(Debug, Clone, Copy)]
+pub struct ThresholdSampler {
+    hash: HashFn,
+    threshold: u64,
+    p: f64,
+}
+
+impl ThresholdSampler {
+    /// Sampler with inclusion probability `p` (clamped to `[0, 1]`).
+    pub fn new(seed: u64, p: f64) -> Self {
+        let p = p.clamp(0.0, 1.0);
+        let threshold = if p >= 1.0 {
+            u64::MAX
+        } else {
+            (p * u64::MAX as f64) as u64
+        };
+        ThresholdSampler {
+            hash: HashFn::from_seed(seed, 0x7E57),
+            threshold,
+            p,
+        }
+    }
+
+    /// The configured inclusion probability.
+    pub fn probability(&self) -> f64 {
+        self.p
+    }
+
+    /// Whether `key` belongs to the sample.
+    #[inline]
+    pub fn accepts(&self, key: u64) -> bool {
+        if self.p >= 1.0 {
+            true
+        } else {
+            self.hash.hash(key) < self.threshold
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let s1 = ThresholdSampler::new(1, 0.3);
+        let s2 = ThresholdSampler::new(1, 0.3);
+        for k in 0..100 {
+            assert_eq!(s1.accepts(k), s2.accepts(k));
+        }
+    }
+
+    #[test]
+    fn acceptance_rate_close_to_p() {
+        for &p in &[0.1, 0.5, 0.9] {
+            let s = ThresholdSampler::new(7, p);
+            let n = 100_000u64;
+            let hits = (0..n).filter(|&k| s.accepts(k)).count() as f64;
+            let rate = hits / n as f64;
+            assert!((rate - p).abs() < 0.01, "p={p} rate={rate}");
+        }
+    }
+
+    #[test]
+    fn extremes() {
+        let all = ThresholdSampler::new(3, 1.0);
+        assert!((0..1000).all(|k| all.accepts(k)));
+        let none = ThresholdSampler::new(3, 0.0);
+        assert!((0..1000).all(|k| !none.accepts(k)));
+        let clamped = ThresholdSampler::new(3, 2.0);
+        assert_eq!(clamped.probability(), 1.0);
+    }
+}

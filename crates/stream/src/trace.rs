@@ -1,0 +1,224 @@
+//! Item traces: run algorithms on externally supplied streams.
+//!
+//! Everything else in this crate generates streams from in-memory graphs;
+//! a *trace* is the reverse direction — a raw sequence of `src dst` items
+//! (e.g. produced by another system, or the CLI's `stream` command) that is
+//! validated against the adjacency-list promise and then driven through any
+//! [`MultiPassAlgorithm`]. Multi-pass algorithms replay the same trace per
+//! pass, which is exactly the model's "same ordering" semantics.
+
+use std::io::{BufRead, BufReader, Read};
+
+use adjstream_graph::VertexId;
+
+use crate::item::StreamItem;
+use crate::meter::PeakTracker;
+use crate::runner::{MultiPassAlgorithm, RunReport};
+use crate::validate::{validate_stream, StreamError};
+
+/// A validated, replayable item trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ItemTrace {
+    items: Vec<StreamItem>,
+    edges: usize,
+}
+
+/// Errors loading a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Line that is not `src dst`.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The items violate the adjacency-list promise.
+    Invalid(StreamError),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "I/O error: {e}"),
+            TraceError::Malformed { line } => write!(f, "malformed trace at line {line}"),
+            TraceError::Invalid(e) => write!(f, "invalid stream: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl ItemTrace {
+    /// Build from items, validating the promise.
+    pub fn new(items: Vec<StreamItem>) -> Result<Self, StreamError> {
+        let edges = validate_stream(items.iter().copied())?;
+        Ok(ItemTrace { items, edges })
+    }
+
+    /// Parse a whitespace `src dst` per line trace (`#` comments allowed)
+    /// and validate it.
+    pub fn read<R: Read>(reader: R) -> Result<Self, TraceError> {
+        let mut items = Vec::new();
+        let buf = BufReader::new(reader);
+        for (lineno, line) in buf.lines().enumerate() {
+            let line = line.map_err(TraceError::Io)?;
+            let t = line.trim();
+            if t.is_empty() || t.starts_with('#') {
+                continue;
+            }
+            let mut parts = t.split_whitespace();
+            let (Some(a), Some(b)) = (parts.next(), parts.next()) else {
+                return Err(TraceError::Malformed { line: lineno + 1 });
+            };
+            let (Ok(a), Ok(b)) = (a.parse::<u32>(), b.parse::<u32>()) else {
+                return Err(TraceError::Malformed { line: lineno + 1 });
+            };
+            items.push(StreamItem::new(VertexId(a), VertexId(b)));
+        }
+        Self::new(items).map_err(TraceError::Invalid)
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of undirected edges.
+    pub fn edges(&self) -> usize {
+        self.edges
+    }
+
+    /// The items.
+    pub fn items(&self) -> &[StreamItem] {
+        &self.items
+    }
+
+    /// Drive a multi-pass algorithm over the trace, replaying it for each
+    /// pass and reporting peak state, exactly like
+    /// [`crate::runner::Runner::run`] does for generated streams.
+    pub fn run<A: MultiPassAlgorithm>(&self, mut algo: A) -> (A::Output, RunReport) {
+        let mut peak = PeakTracker::new();
+        let mut processed = 0usize;
+        let passes = algo.passes();
+        for pass in 0..passes {
+            algo.begin_pass(pass);
+            let mut current: Option<VertexId> = None;
+            for &item in &self.items {
+                if current != Some(item.src) {
+                    if let Some(prev) = current {
+                        algo.end_list(prev);
+                        peak.observe(algo.space_bytes());
+                    }
+                    algo.begin_list(item.src);
+                    current = Some(item.src);
+                }
+                algo.item(item.src, item.dst);
+                processed += 1;
+            }
+            if let Some(prev) = current {
+                algo.end_list(prev);
+            }
+            algo.end_pass(pass);
+            peak.observe(algo.space_bytes());
+        }
+        (
+            algo.finish(),
+            RunReport {
+                peak_state_bytes: peak.peak(),
+                items_processed: processed,
+                passes,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjlist::AdjListStream;
+    use crate::order::StreamOrder;
+    use adjstream_graph::gen;
+
+    #[test]
+    fn trace_roundtrips_generated_stream() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = gen::gnm(25, 90, &mut rng);
+        let s = AdjListStream::new(&g, StreamOrder::shuffled(25, 4));
+        let trace = ItemTrace::new(s.collect_items()).unwrap();
+        assert_eq!(trace.edges(), 90);
+        assert_eq!(trace.len(), 180);
+    }
+
+    #[test]
+    fn rejects_invalid_traces() {
+        let items = vec![
+            StreamItem::new(VertexId(0), VertexId(1)),
+            StreamItem::new(VertexId(0), VertexId(2)),
+        ];
+        assert!(matches!(
+            ItemTrace::new(items),
+            Err(StreamError::MissingReverse { .. })
+        ));
+    }
+
+    #[test]
+    fn parses_text_form() {
+        let text = "# comment\n0 1\n0 2\n1 0\n2 0\n";
+        let trace = ItemTrace::read(text.as_bytes()).unwrap();
+        assert_eq!(trace.edges(), 2);
+        let bad = ItemTrace::read("0 x\n".as_bytes());
+        assert!(matches!(bad, Err(TraceError::Malformed { line: 1 })));
+    }
+
+    #[test]
+    fn runs_algorithms_identically_to_the_runner() {
+        use crate::runner::{PassOrders, Runner};
+        use crate::SpaceUsage;
+        struct ListCounter {
+            lists: usize,
+            items: usize,
+        }
+        impl SpaceUsage for ListCounter {
+            fn space_bytes(&self) -> usize {
+                16
+            }
+        }
+        impl MultiPassAlgorithm for ListCounter {
+            type Output = (usize, usize);
+            fn passes(&self) -> usize {
+                2
+            }
+            fn begin_pass(&mut self, _p: usize) {}
+            fn begin_list(&mut self, _o: VertexId) {
+                self.lists += 1;
+            }
+            fn item(&mut self, _s: VertexId, _d: VertexId) {
+                self.items += 1;
+            }
+            fn finish(self) -> (usize, usize) {
+                (self.lists, self.items)
+            }
+        }
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = gen::gnm(20, 60, &mut rng);
+        let order = StreamOrder::shuffled(20, 7);
+        let s = AdjListStream::new(&g, order.clone());
+        let trace = ItemTrace::new(s.collect_items()).unwrap();
+        let (from_trace, rep_t) = trace.run(ListCounter { lists: 0, items: 0 });
+        let (from_runner, rep_r) = Runner::run(
+            &g,
+            ListCounter { lists: 0, items: 0 },
+            &PassOrders::Same(order),
+        );
+        assert_eq!(from_trace, from_runner);
+        assert_eq!(rep_t.items_processed, rep_r.items_processed);
+    }
+}

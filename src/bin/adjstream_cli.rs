@@ -1,0 +1,443 @@
+//! `adjstream-cli` — command-line access to the library: generate
+//! workloads, inspect graphs, count cycles exactly, estimate them in the
+//! streaming model, dump and validate adjacency-list streams, and emit
+//! lower-bound gadgets.
+//!
+//! ```text
+//! adjstream-cli gen gnm --n 1000 --m 5000 --seed 1 -o g.txt
+//! adjstream-cli info g.txt
+//! adjstream-cli count g.txt --kind triangles
+//! adjstream-cli estimate g.txt --kind triangles --epsilon 0.2 --delta 0.1
+//! adjstream-cli stream g.txt --seed 3 -o items.txt
+//! adjstream-cli validate-stream items.txt
+//! adjstream-cli gadget fig-e --ell 6 --r 100 --t 16 --answer yes -o gadget.txt
+//! ```
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::process::ExitCode;
+
+use adjstream::algo::estimate::{
+    estimate_four_cycles, estimate_triangles, estimate_triangles_auto, Accuracy,
+};
+use adjstream::graph::analysis::{connected_components, degeneracy, DegreeStats};
+use adjstream::graph::io::{load_edge_list, save_edge_list};
+use adjstream::graph::{exact, gen, Graph, VertexId};
+use adjstream::lowerbound::gadgets as gd;
+use adjstream::lowerbound::problems::{Disj3Instance, DisjInstance, Pj3Instance};
+use adjstream::stream::{validate_stream, AdjListStream, StreamItem, StreamOrder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> ExitCode {
+    // Exit quietly when stdout is closed early (`adjstream-cli ... | head`):
+    // Rust panics on EPIPE by default, which would print a backtrace for a
+    // completely normal shell pattern.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info.payload().downcast_ref::<String>().cloned();
+        if msg.as_deref().is_some_and(|m| m.contains("Broken pipe")) {
+            std::process::exit(0);
+        }
+        default_hook(info);
+    }));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  adjstream-cli gen <gnm|gnp|ba|chung-lu|cliques|bipartite|plane|planted-triangles|planted-c4> [--key value ...] -o FILE
+  adjstream-cli info FILE
+  adjstream-cli count FILE --kind <triangles|c4|cycles> [--len L]
+  adjstream-cli estimate FILE --kind <triangles|c4> [--epsilon E] [--delta D] [--t-lower T] [--seed S]
+  adjstream-cli stream FILE [--seed S] [-o FILE]
+  adjstream-cli validate-stream FILE
+  adjstream-cli estimate-stream FILE [--budget K] [--seed S]
+  adjstream-cli gadget <fig-a|fig-b|fig-c|fig-d|fig-e> [--key value ...] [--answer yes|no] [-o FILE]";
+
+/// Parse `--key value` flags (plus `-o`), returning the map.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .or_else(|| (args[i] == "-o").then_some("o"))
+            .ok_or_else(|| format!("unexpected argument {:?}", args[i]))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("flag --{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn get<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("invalid --{key} {v:?}")),
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let (cmd, rest) = args.split_first().ok_or("missing command")?;
+    match cmd.as_str() {
+        "gen" => cmd_gen(rest),
+        "info" => cmd_info(rest),
+        "count" => cmd_count(rest),
+        "estimate" => cmd_estimate(rest),
+        "stream" => cmd_stream(rest),
+        "validate-stream" => cmd_validate_stream(rest),
+        "estimate-stream" => cmd_estimate_stream(rest),
+        "gadget" => cmd_gadget(rest),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn load(flags_file: Option<&String>) -> Result<Graph, String> {
+    let path = flags_file.ok_or("missing input file")?;
+    let loaded = load_edge_list(path).map_err(|e| e.to_string())?;
+    if loaded.self_loops_dropped > 0 {
+        eprintln!("note: dropped {} self-loops", loaded.self_loops_dropped);
+    }
+    Ok(loaded.graph)
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let (family, rest) = args.split_first().ok_or("gen: missing family")?;
+    let flags = parse_flags(rest)?;
+    let seed: u64 = get(&flags, "seed", 1)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = match family.as_str() {
+        "gnm" => gen::gnm(get(&flags, "n", 1000)?, get(&flags, "m", 5000)?, &mut rng),
+        "gnp" => gen::gnp(get(&flags, "n", 1000)?, get(&flags, "p", 0.01)?, &mut rng),
+        "ba" => gen::barabasi_albert(get(&flags, "n", 1000)?, get(&flags, "k", 3)?, &mut rng),
+        "chung-lu" => gen::chung_lu(
+            get(&flags, "n", 1000)?,
+            get(&flags, "gamma", 2.5)?,
+            get(&flags, "avg-degree", 8.0)?,
+            &mut rng,
+        ),
+        "cliques" => gen::disjoint_cliques(get(&flags, "s", 5)?, get(&flags, "k", 10)?),
+        "bipartite" => gen::bipartite_gnm(
+            get(&flags, "a", 100)?,
+            get(&flags, "b", 100)?,
+            get(&flags, "m", 1000)?,
+            &mut rng,
+        ),
+        "plane" => gen::projective_plane_incidence(get(&flags, "q", 5)?),
+        "planted-triangles" => gen::planted_triangles_on_bipartite(
+            get(&flags, "side", 100)?,
+            get(&flags, "side", 100)?,
+            get(&flags, "m-bg", 2000)?,
+            get(&flags, "t", 64)?,
+            &mut rng,
+        ),
+        "planted-c4" => gen::disjoint_triangles(get(&flags, "bg", 500)?)
+            .disjoint_union(&gen::disjoint_four_cycles(get(&flags, "t", 64)?)),
+        other => return Err(format!("unknown family {other:?}")),
+    };
+    emit(&g, flags.get("o"))?;
+    eprintln!(
+        "generated {family}: n = {}, m = {}",
+        g.vertex_count(),
+        g.edge_count()
+    );
+    Ok(())
+}
+
+fn emit(g: &Graph, out: Option<&String>) -> Result<(), String> {
+    match out {
+        Some(path) => save_edge_list(g, path).map_err(|e| e.to_string()),
+        None => {
+            let stdout = std::io::stdout();
+            adjstream::graph::io::write_edge_list(g, stdout.lock()).map_err(|e| e.to_string())
+        }
+    }
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let g = load(args.first())?;
+    let stats = DegreeStats::compute(&g);
+    let (_, components) = connected_components(&g);
+    let (degen, _) = degeneracy(&g);
+    println!("vertices      {}", g.vertex_count());
+    println!("edges         {}", g.edge_count());
+    println!("wedges (P2)   {}", g.wedge_count());
+    println!(
+        "degree        min {} / median {} / mean {:.2} / max {}",
+        stats.min, stats.median, stats.mean, stats.max
+    );
+    println!("isolated      {}", stats.isolated);
+    println!("components    {components}");
+    println!("degeneracy    {degen}");
+    Ok(())
+}
+
+fn cmd_count(args: &[String]) -> Result<(), String> {
+    let g = load(args.first())?;
+    let flags = parse_flags(&args[1..])?;
+    let kind = flags.get("kind").map(String::as_str).unwrap_or("triangles");
+    let count = match kind {
+        "triangles" => exact::count_triangles(&g),
+        "c4" => exact::count_four_cycles(&g),
+        "cycles" => exact::count_cycles(&g, get(&flags, "len", 5usize)?),
+        other => return Err(format!("unknown kind {other:?}")),
+    };
+    println!("{count}");
+    Ok(())
+}
+
+fn cmd_estimate(args: &[String]) -> Result<(), String> {
+    let g = load(args.first())?;
+    let flags = parse_flags(&args[1..])?;
+    let acc = Accuracy {
+        epsilon: get(&flags, "epsilon", 0.25)?,
+        delta: get(&flags, "delta", 0.1)?,
+        seed: get(&flags, "seed", 2019)?,
+        threads: get(&flags, "threads", 4)?,
+    };
+    let order = StreamOrder::shuffled(g.vertex_count(), acc.seed);
+    let kind = flags.get("kind").map(String::as_str).unwrap_or("triangles");
+    match kind {
+        "triangles" => {
+            let est = match flags.get("t-lower") {
+                Some(t) => {
+                    estimate_triangles(&g, &order, t.parse().map_err(|_| "invalid --t-lower")?, acc)
+                }
+                None => estimate_triangles_auto(&g, &order, acc),
+            };
+            println!("estimate      {:.1}", est.count);
+            println!("edge budget   {} of {}", est.budget, g.edge_count());
+            println!("repetitions   {}", est.repetitions);
+            println!("run std-dev   {:.1}", est.report.variance.sqrt());
+        }
+        "c4" => {
+            let t_lower = get(&flags, "t-lower", 1u64)?;
+            let o2 = StreamOrder::shuffled(g.vertex_count(), acc.seed ^ 0xC4);
+            let est = estimate_four_cycles(&g, [&order, &o2], t_lower, acc);
+            println!("estimate      {:.1} (O(1)-factor approximation)", est.count);
+            println!("edge budget   {} of {}", est.budget, g.edge_count());
+            println!("repetitions   {}", est.repetitions);
+        }
+        other => return Err(format!("unknown kind {other:?}")),
+    }
+    Ok(())
+}
+
+fn cmd_stream(args: &[String]) -> Result<(), String> {
+    let g = load(args.first())?;
+    let flags = parse_flags(&args[1..])?;
+    let seed: u64 = get(&flags, "seed", 1)?;
+    let s = AdjListStream::new(&g, StreamOrder::shuffled(g.vertex_count(), seed));
+    let write = |w: &mut dyn Write| -> std::io::Result<()> {
+        let mut w = std::io::BufWriter::new(w);
+        for item in s.items() {
+            writeln!(w, "{} {}", item.src, item.dst)?;
+        }
+        w.flush()
+    };
+    match flags.get("o") {
+        Some(path) => {
+            let mut f = std::fs::File::create(path).map_err(|e| e.to_string())?;
+            write(&mut f).map_err(|e| e.to_string())?;
+        }
+        None => {
+            let stdout = std::io::stdout();
+            write(&mut stdout.lock()).map_err(|e| e.to_string())?;
+        }
+    }
+    eprintln!("wrote {} items", s.len());
+    Ok(())
+}
+
+fn cmd_validate_stream(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing stream file")?;
+    let content = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let mut items = Vec::new();
+    for (lineno, line) in content.lines().enumerate() {
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let (Some(a), Some(b)) = (parts.next(), parts.next()) else {
+            return Err(format!("line {}: expected 'src dst'", lineno + 1));
+        };
+        let (Ok(a), Ok(b)) = (a.parse::<u32>(), b.parse::<u32>()) else {
+            return Err(format!("line {}: expected integers", lineno + 1));
+        };
+        items.push(StreamItem::new(VertexId(a), VertexId(b)));
+    }
+    match validate_stream(items) {
+        Ok(edges) => {
+            println!("valid adjacency list stream: {edges} edges");
+            Ok(())
+        }
+        Err(e) => Err(format!("invalid stream: {e}")),
+    }
+}
+
+/// Estimate triangles directly from an item trace file: the trace is
+/// validated, then the Theorem 3.7 algorithm replays it twice.
+fn cmd_estimate_stream(args: &[String]) -> Result<(), String> {
+    use adjstream::algo::common::EdgeSampling;
+    use adjstream::algo::triangle::{TwoPassTriangle, TwoPassTriangleConfig};
+    use adjstream::stream::trace::ItemTrace;
+    let path = args.first().ok_or("missing stream file")?;
+    let flags = parse_flags(&args[1..])?;
+    let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
+    let trace = ItemTrace::read(file).map_err(|e| e.to_string())?;
+    let m = trace.edges();
+    let budget: usize = get(&flags, "budget", (m / 10).max(16))?;
+    let seed: u64 = get(&flags, "seed", 2019)?;
+    let cfg = TwoPassTriangleConfig {
+        seed,
+        edge_sampling: EdgeSampling::BottomK { k: budget },
+        pair_capacity: budget,
+    };
+    let (est, report) = trace.run(TwoPassTriangle::new(cfg));
+    println!("stream        {} items, {m} edges (validated)", trace.len());
+    println!("estimate      {:.1}", est.estimate);
+    println!("edge budget   {budget}");
+    println!("peak state    {} bytes", report.peak_state_bytes);
+    Ok(())
+}
+
+fn cmd_gadget(args: &[String]) -> Result<(), String> {
+    let (fig, rest) = args.split_first().ok_or("gadget: missing figure")?;
+    let flags = parse_flags(rest)?;
+    let seed: u64 = get(&flags, "seed", 1)?;
+    let answer = match flags.get("answer").map(String::as_str).unwrap_or("yes") {
+        "yes" => true,
+        "no" => false,
+        other => return Err(format!("--answer must be yes|no, got {other:?}")),
+    };
+    let gadget = match fig.as_str() {
+        "fig-a" => gd::pj3_triangle_gadget(
+            &Pj3Instance::random_with_answer(get(&flags, "r", 32)?, answer, seed),
+            get(&flags, "k", 6)?,
+        ),
+        "fig-b" => gd::disj3_triangle_gadget(
+            &Disj3Instance::random_promise(get(&flags, "r", 32)?, 0.3, answer, seed),
+            get(&flags, "k", 4)?,
+        ),
+        "fig-c" => {
+            let q = get(&flags, "q", 3)?;
+            gd::index_four_cycle_gadget(
+                &gd::random_index_instance_for_plane(q, answer, seed),
+                q,
+                get(&flags, "t", 6)?,
+            )
+        }
+        "fig-d" => {
+            let q1 = get(&flags, "q1", 3)?;
+            gd::disj_four_cycle_gadget(
+                &gd::random_disj_instance_for_plane(q1, 0.3, answer, seed),
+                q1,
+                get(&flags, "q2", 2)?,
+            )
+        }
+        "fig-e" => gd::disj_long_cycle_gadget(
+            &DisjInstance::random_promise(get(&flags, "r", 100)?, 0.3, answer, seed),
+            get(&flags, "ell", 5)?,
+            get(&flags, "t", 16)?,
+        ),
+        other => return Err(format!("unknown gadget {other:?}")),
+    };
+    emit(&gadget.graph, flags.get("o"))?;
+    eprintln!(
+        "{fig}: n = {}, m = {}, {}-cycles = {} (answer {})",
+        gadget.graph.vertex_count(),
+        gadget.graph.edge_count(),
+        gadget.cycle_len,
+        gadget.expected_cycles(),
+        answer
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_flags_handles_pairs_and_output() {
+        let flags = parse_flags(&args(&["--n", "100", "-o", "file.txt", "--seed", "7"])).unwrap();
+        assert_eq!(flags.get("n").unwrap(), "100");
+        assert_eq!(flags.get("o").unwrap(), "file.txt");
+        assert_eq!(flags.get("seed").unwrap(), "7");
+    }
+
+    #[test]
+    fn parse_flags_rejects_bare_values_and_dangling_flags() {
+        assert!(parse_flags(&args(&["100"])).is_err());
+        assert!(parse_flags(&args(&["--n"])).is_err());
+    }
+
+    #[test]
+    fn get_parses_with_defaults() {
+        let flags = parse_flags(&args(&["--n", "42"])).unwrap();
+        assert_eq!(get(&flags, "n", 0usize).unwrap(), 42);
+        assert_eq!(get(&flags, "missing", 9usize).unwrap(), 9);
+        assert!(get(&flags, "n", 0.5f64).is_ok());
+        let bad = parse_flags(&args(&["--n", "xyz"])).unwrap();
+        assert!(get(&bad, "n", 0usize).is_err());
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(run(&args(&["frobnicate"])).is_err());
+        assert!(run(&args(&[])).is_err());
+    }
+
+    #[test]
+    fn gen_count_estimate_roundtrip_via_files() {
+        let dir = std::env::temp_dir();
+        let gpath = dir.join(format!("adjstream-cli-test-{}.txt", std::process::id()));
+        let gs = gpath.to_string_lossy().to_string();
+        run(&args(&[
+            "gen", "cliques", "--s", "5", "--k", "4", "-o", &gs,
+        ]))
+        .unwrap();
+        run(&args(&["count", &gs, "--kind", "triangles"])).unwrap();
+        run(&args(&["info", &gs])).unwrap();
+        let spath = dir.join(format!("adjstream-cli-stream-{}.txt", std::process::id()));
+        let ss = spath.to_string_lossy().to_string();
+        run(&args(&["stream", &gs, "--seed", "3", "-o", &ss])).unwrap();
+        run(&args(&["validate-stream", &ss])).unwrap();
+        run(&args(&["estimate-stream", &ss, "--budget", "40"])).unwrap();
+        std::fs::remove_file(&gpath).ok();
+        std::fs::remove_file(&spath).ok();
+    }
+
+    #[test]
+    fn gadget_command_builds_each_figure() {
+        for fig in ["fig-a", "fig-b", "fig-c", "fig-d", "fig-e"] {
+            let out = std::env::temp_dir().join(format!(
+                "adjstream-cli-gadget-{fig}-{}.txt",
+                std::process::id()
+            ));
+            let os = out.to_string_lossy().to_string();
+            run(&args(&["gadget", fig, "-o", &os])).unwrap();
+            std::fs::remove_file(&out).ok();
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! # adjstream
+//!
+//! A production-quality reproduction of *The Complexity of Counting Cycles
+//! in the Adjacency List Streaming Model* (Kallaugher, McGregor, Price,
+//! Vorotnikova; PODS 2019).
+//!
+//! This facade re-exports the workspace's public API:
+//!
+//! * [`graph`] — CSR graphs, generators, exact counters
+//!   ([`adjstream_graph`]),
+//! * [`stream`] — the adjacency-list streaming model: orders, validation,
+//!   samplers, space metering, the multi-pass runner
+//!   ([`adjstream_stream`]),
+//! * [`algo`] — the paper's algorithms and the baselines
+//!   ([`adjstream_core`]),
+//! * [`lowerbound`] — Section 5 gadgets and protocol simulation
+//!   ([`adjstream_lowerbound`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use adjstream::algo::common::EdgeSampling;
+//! use adjstream::algo::triangle::{TwoPassTriangle, TwoPassTriangleConfig};
+//! use adjstream::graph::gen;
+//! use adjstream::stream::{PassOrders, Runner, StreamOrder};
+//!
+//! // A graph with exactly 50 triangles, streamed in random list order.
+//! let g = gen::disjoint_cliques(5, 5); // 5 disjoint K5s: 5 * 10 = 50
+//! let cfg = TwoPassTriangleConfig {
+//!     seed: 7,
+//!     edge_sampling: EdgeSampling::Threshold { p: 1.0 },
+//!     pair_capacity: usize::MAX,
+//! };
+//! let order = PassOrders::Same(StreamOrder::shuffled(g.vertex_count(), 1));
+//! let (estimate, report) = Runner::run(&g, TwoPassTriangle::new(cfg), &order);
+//! assert_eq!(estimate.estimate, 50.0); // exhaustive sampling is exact
+//! assert_eq!(report.passes, 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod paper;
+
+pub use adjstream_core as algo;
+pub use adjstream_graph as graph;
+pub use adjstream_lowerbound as lowerbound;
+pub use adjstream_stream as stream;
+
+/// Crate version, for examples that print provenance.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -1,0 +1,285 @@
+//! Cross-crate integration tests: generate → order → stream → estimate →
+//! compare to exact, through the public facade API only.
+
+use adjstream::algo::amplify::median_of_runs;
+use adjstream::algo::common::EdgeSampling;
+use adjstream::algo::exact_stream::{ExactKind, ExactStreamCounter};
+use adjstream::algo::fourcycle::{FourCycleEstimator, TwoPassFourCycle, TwoPassFourCycleConfig};
+use adjstream::algo::triangle::{
+    OnePassTriangle, TriangleDistinguisher, TwoPassTriangle, TwoPassTriangleConfig,
+};
+use adjstream::graph::{exact, gen, Graph};
+use adjstream::stream::{validate_stream, AdjListStream, PassOrders, Runner, StreamOrder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn mixed_graph(seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bg = gen::gnm(300, 1500, &mut rng);
+    bg.disjoint_union(&gen::disjoint_cliques(6, 8))
+}
+
+#[test]
+fn generated_streams_always_satisfy_the_promise() {
+    let g = mixed_graph(1);
+    let n = g.vertex_count();
+    for order in [
+        StreamOrder::natural(n),
+        StreamOrder::reversed(n),
+        StreamOrder::shuffled(n, 42),
+    ] {
+        let s = AdjListStream::new(&g, order);
+        assert_eq!(validate_stream(s.items()), Ok(g.edge_count()));
+    }
+}
+
+#[test]
+fn two_pass_triangle_pipeline_matches_exact_at_full_budget() {
+    let g = mixed_graph(2);
+    let truth = exact::count_triangles(&g) as f64;
+    let cfg = TwoPassTriangleConfig {
+        seed: 9,
+        edge_sampling: EdgeSampling::Threshold { p: 1.0 },
+        pair_capacity: usize::MAX,
+    };
+    let (est, report) = Runner::run(
+        &g,
+        TwoPassTriangle::new(cfg),
+        &PassOrders::Same(StreamOrder::shuffled(g.vertex_count(), 4)),
+    );
+    assert_eq!(est.estimate, truth);
+    assert_eq!(report.passes, 2);
+    assert_eq!(report.items_processed, 4 * g.edge_count());
+}
+
+#[test]
+fn amplified_two_pass_estimate_concentrates_at_paper_budget() {
+    let g = mixed_graph(3);
+    let truth = exact::count_triangles(&g) as f64;
+    let m = g.edge_count();
+    let budget = ((8.0 * m as f64 / truth.powf(2.0 / 3.0)).ceil() as usize).min(m);
+    let rep = median_of_runs(11, 5, 2, |seed| {
+        let cfg = TwoPassTriangleConfig {
+            seed,
+            edge_sampling: EdgeSampling::BottomK { k: budget },
+            pair_capacity: budget,
+        };
+        let (est, _) = Runner::run(
+            &g,
+            TwoPassTriangle::new(cfg),
+            &PassOrders::Same(StreamOrder::shuffled(g.vertex_count(), seed)),
+        );
+        est.estimate
+    });
+    let rel = (rep.median - truth).abs() / truth;
+    assert!(
+        rel < 0.3,
+        "median {} vs truth {truth} (rel {rel})",
+        rep.median
+    );
+}
+
+#[test]
+fn one_and_two_pass_agree_with_exact_stream_counter() {
+    let g = mixed_graph(4);
+    let n = g.vertex_count();
+    let order = PassOrders::Same(StreamOrder::shuffled(n, 8));
+    let (exact_t, _) = Runner::run(&g, ExactStreamCounter::new(ExactKind::Triangles), &order);
+    let (one, _) = Runner::run(
+        &g,
+        OnePassTriangle::new(1, EdgeSampling::Threshold { p: 1.0 }),
+        &order,
+    );
+    assert_eq!(one.estimate, exact_t as f64);
+    assert_eq!(exact_t, exact::count_triangles(&g));
+}
+
+#[test]
+fn four_cycle_pipeline_exact_at_full_budget_across_orders() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let g = gen::bipartite_gnm(40, 40, 320, &mut rng);
+    let truth = exact::count_four_cycles(&g);
+    let n = g.vertex_count();
+    let cfg = TwoPassFourCycleConfig {
+        seed: 3,
+        edge_sample_size: g.edge_count(),
+        estimator: FourCycleEstimator::DistinctCycles,
+        max_wedges: None,
+    };
+    let (est, _) = Runner::run(
+        &g,
+        TwoPassFourCycle::new(cfg),
+        &PassOrders::PerPass(vec![StreamOrder::shuffled(n, 1), StreamOrder::reversed(n)]),
+    );
+    assert_eq!(est.estimate, truth as f64);
+}
+
+#[test]
+fn distinguisher_one_sided_error_end_to_end() {
+    // No: bipartite. Yes: same plus one planted triangle.
+    let mut rng = StdRng::seed_from_u64(6);
+    let no = gen::bipartite_gnm(50, 50, 600, &mut rng);
+    let yes = no.disjoint_union(&gen::disjoint_triangles(1));
+    for seed in 0..10u64 {
+        let (v, _) = Runner::run(
+            &no,
+            TriangleDistinguisher::new(seed, 100),
+            &PassOrders::Same(StreamOrder::shuffled(no.vertex_count(), seed)),
+        );
+        assert!(!v.found_triangle, "false positive, seed {seed}");
+    }
+    // Full budget always finds the planted triangle.
+    let (v, _) = Runner::run(
+        &yes,
+        TriangleDistinguisher::new(0, yes.edge_count()),
+        &PassOrders::Same(StreamOrder::shuffled(yes.vertex_count(), 0)),
+    );
+    assert!(v.found_triangle);
+}
+
+#[test]
+fn space_reported_tracks_budget() {
+    let g = mixed_graph(7);
+    let n = g.vertex_count();
+    let run = |k: usize| {
+        let cfg = TwoPassTriangleConfig {
+            seed: 2,
+            edge_sampling: EdgeSampling::BottomK { k },
+            pair_capacity: k,
+        };
+        let (_, r) = Runner::run(
+            &g,
+            TwoPassTriangle::new(cfg),
+            &PassOrders::Same(StreamOrder::natural(n)),
+        );
+        r.peak_state_bytes
+    };
+    let small = run(20);
+    let large = run(1200);
+    assert!(small * 4 < large, "small {small} large {large}");
+}
+
+#[test]
+fn two_pass_is_exact_under_adversarial_orders() {
+    use adjstream::stream::adversarial;
+    let g = mixed_graph(11);
+    let truth = exact::count_triangles(&g) as f64;
+    let targets = g.edge_vec();
+    for order in [
+        adversarial::hubs_first(&g),
+        adversarial::hubs_last(&g),
+        adversarial::apexes_before_edges(&g, &targets[..targets.len().min(40)]),
+    ] {
+        let cfg = TwoPassTriangleConfig {
+            seed: 13,
+            edge_sampling: EdgeSampling::Threshold { p: 1.0 },
+            pair_capacity: usize::MAX,
+        };
+        let (est, _) = Runner::run(&g, TwoPassTriangle::new(cfg), &PassOrders::Same(order));
+        assert_eq!(est.estimate, truth);
+    }
+}
+
+#[test]
+fn apexes_before_edges_forces_pass_two_discoveries() {
+    use adjstream::graph::{EdgeKey, VertexId};
+    use adjstream::stream::adversarial;
+    // Book graph with the spine as the target: every page (apex) streams
+    // before the spine endpoints, so all spine-pair discoveries happen in
+    // pass 2 — and the count is still exact.
+    let g = gen::book(10);
+    let spine = EdgeKey::new(VertexId(0), VertexId(1));
+    let order = adversarial::apexes_before_edges(&g, &[spine]);
+    let pos = order.positions();
+    assert!((2..12).all(|p| pos[p] < pos[0] && pos[p] < pos[1]));
+    let cfg = TwoPassTriangleConfig {
+        seed: 3,
+        edge_sampling: EdgeSampling::Threshold { p: 1.0 },
+        pair_capacity: usize::MAX,
+    };
+    let (est, _) = Runner::run(&g, TwoPassTriangle::new(cfg), &PassOrders::Same(order));
+    assert_eq!(est.estimate, 10.0);
+    assert_eq!(est.pairs_discovered, 30);
+}
+
+#[test]
+fn transitivity_pipeline_end_to_end() {
+    use adjstream::algo::transitivity::TransitivityTwoPass;
+    let g = mixed_graph(15);
+    let truth_t = exact::count_triangles(&g) as f64;
+    let truth_k = 3.0 * truth_t / g.wedge_count() as f64;
+    let cfg = TwoPassTriangleConfig {
+        seed: 8,
+        edge_sampling: EdgeSampling::Threshold { p: 1.0 },
+        pair_capacity: usize::MAX,
+    };
+    let (est, _) = Runner::run(
+        &g,
+        TransitivityTwoPass::new(cfg),
+        &PassOrders::Same(StreamOrder::shuffled(g.vertex_count(), 2)),
+    );
+    assert!((est.transitivity - truth_k).abs() < 1e-12);
+}
+
+#[test]
+fn io_roundtrip_preserves_stream_estimates() {
+    use adjstream::graph::io::{read_edge_list, write_edge_list};
+    let g = mixed_graph(16);
+    let mut buf = Vec::new();
+    write_edge_list(&g, &mut buf).unwrap();
+    let loaded = read_edge_list(&buf[..]).unwrap().graph;
+    assert_eq!(exact::count_triangles(&loaded), exact::count_triangles(&g));
+    assert_eq!(loaded.edge_count(), g.edge_count());
+}
+
+/// Moderate-scale smoke: a ~30k-edge stream through the full two-pass
+/// machinery in one test, checking both the estimate and that space stays
+/// far below linear.
+#[test]
+fn moderate_scale_smoke() {
+    let mut rng = StdRng::seed_from_u64(20);
+    let g = gen::gnm(5_000, 28_000, &mut rng).disjoint_union(&gen::disjoint_cliques(8, 24));
+    let truth = exact::count_triangles(&g) as f64; // >= 24·56
+    let m = g.edge_count();
+    let budget = ((8.0 * m as f64 / truth.powf(2.0 / 3.0)).ceil() as usize).min(m);
+    let mut peak_at_budget = 0usize;
+    let rep = {
+        let peak = std::sync::Mutex::new(&mut peak_at_budget);
+        median_of_runs(5, 3, 4, |seed| {
+            let cfg = TwoPassTriangleConfig {
+                seed,
+                edge_sampling: EdgeSampling::BottomK { k: budget },
+                pair_capacity: budget,
+            };
+            let (est, r) = Runner::run(
+                &g,
+                TwoPassTriangle::new(cfg),
+                &PassOrders::Same(StreamOrder::shuffled(g.vertex_count(), seed)),
+            );
+            let mut p = peak.lock().unwrap();
+            **p = (**p).max(r.peak_state_bytes);
+            est.estimate
+        })
+    };
+    let rel = (rep.median - truth).abs() / truth;
+    assert!(rel < 0.35, "median {} vs {truth}", rep.median);
+    // Space scales with the budget, not the graph: a full-budget run costs
+    // several times more state than the paper-budget run.
+    let full = {
+        let cfg = TwoPassTriangleConfig {
+            seed: 1,
+            edge_sampling: EdgeSampling::BottomK { k: m },
+            pair_capacity: m,
+        };
+        let (_, r) = Runner::run(
+            &g,
+            TwoPassTriangle::new(cfg),
+            &PassOrders::Same(StreamOrder::shuffled(g.vertex_count(), 1)),
+        );
+        r.peak_state_bytes
+    };
+    assert!(
+        peak_at_budget * 3 < full,
+        "budget peak {peak_at_budget} vs full {full}"
+    );
+}
