@@ -1,0 +1,76 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace only uses `crossbeam::thread::scope` for structured
+//! fork/join parallelism, which `std::thread::scope` (Rust ≥ 1.63) covers
+//! directly. This shim adapts std's scope to crossbeam's signature: the
+//! spawned closure receives the scope (so it could spawn recursively), and
+//! `scope` returns `Err` instead of unwinding when a child thread panics.
+
+#![warn(missing_docs)]
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// The error payload of a panicked scope: the panic value of one of its
+    /// threads.
+    pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle; crossbeam passes this to every spawned closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread guaranteed to join before the scope ends. The
+        /// closure receives the scope, mirroring crossbeam's API.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope in which threads borrowing from the environment
+    /// can be spawned; all of them join before `scope` returns. Returns
+    /// `Err` with the panic payload if any spawned thread panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let mut data = vec![0u64; 8];
+        super::thread::scope(|scope| {
+            for (i, slot) in data.iter_mut().enumerate() {
+                scope.spawn(move |_| {
+                    *slot = i as u64 + 1;
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(data, (1..=8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn child_panic_becomes_err() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = super::thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        std::panic::set_hook(prev);
+        assert!(r.is_err());
+    }
+}

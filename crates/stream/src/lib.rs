@@ -13,9 +13,14 @@
 //!   [`adjstream_graph::Graph`] under a given order, replayable for
 //!   multi-pass algorithms,
 //! * [`validate`] — check the adjacency-list promise on arbitrary item
-//!   sequences (failure injection tests feed this malformed streams),
+//!   sequences, offline ([`validate::validate_stream`]) or incrementally
+//!   during ingestion ([`validate::OnlineValidator`]),
+//! * [`fault`] — seeded, replayable injection of every promise violation,
+//! * [`guard`] — wrap any algorithm with online validation and an explicit
+//!   degradation policy (strict / repair / observe),
 //! * [`runner`] — drive a [`runner::MultiPassAlgorithm`] over one or more
-//!   passes, recording the peak state size,
+//!   passes, recording the peak state size; fallible `try_run` entry points
+//!   degrade to typed [`runner::RunError`]s instead of panicking,
 //! * [`meter::SpaceUsage`] — how algorithms report their live state size,
 //! * [`hashing`] and [`sampling`] — seeded hash families and the edge/pair
 //!   samplers (threshold, bottom-k, reservoir) that realize the paper's
@@ -29,6 +34,8 @@ pub mod adjlist;
 pub mod adversarial;
 pub mod arbitrary;
 pub mod estimator;
+pub mod fault;
+pub mod guard;
 pub mod hashing;
 pub mod item;
 pub mod meter;
@@ -40,8 +47,12 @@ pub mod validate;
 
 pub use adjlist::AdjListStream;
 pub use arbitrary::ArbitraryOrderStream;
+pub use fault::{CorruptedStream, FaultKind, FaultPlan, InjectedFault};
+pub use guard::{GuardPolicy, Guarded};
 pub use item::StreamItem;
 pub use meter::SpaceUsage;
 pub use order::{StreamOrder, WithinListOrder};
-pub use runner::{MultiPassAlgorithm, PassOrders, RunReport, Runner};
-pub use validate::{validate_stream, StreamError};
+pub use runner::{
+    run_item_passes, GuardStats, MultiPassAlgorithm, PassOrders, RunError, RunReport, Runner,
+};
+pub use validate::{validate_online, validate_stream, OnlineValidator, StreamError, ValidatorMode};

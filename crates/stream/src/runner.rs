@@ -1,10 +1,21 @@
 //! Driving multi-pass algorithms over adjacency list streams.
+//!
+//! All entry points — [`Runner`] for generated streams, [`run_item_passes`]
+//! for raw per-pass item sequences, and [`crate::trace::ItemTrace`] for
+//! validated traces — share one pass driver, [`drive_pass`]: it detects list
+//! boundaries, announces them to the algorithm, samples peak state at every
+//! boundary, and aborts with a typed [`RunError`] if the algorithm (e.g. a
+//! [`crate::guard::Guarded`] wrapper in strict mode) reports a fatal stream
+//! violation. The panicking entry points are thin wrappers over the fallible
+//! ones.
 
 use adjstream_graph::{Graph, VertexId};
 
 use crate::adjlist::AdjListStream;
+use crate::item::StreamItem;
 use crate::meter::{PeakTracker, SpaceUsage};
 use crate::order::StreamOrder;
+use crate::validate::StreamError;
 
 /// A streaming algorithm taking one or more passes over an adjacency list
 /// stream.
@@ -48,6 +59,22 @@ pub trait MultiPassAlgorithm: SpaceUsage {
         let _ = pass;
     }
 
+    /// A fatal stream violation this algorithm wants the run aborted for.
+    ///
+    /// Fallible drivers poll this after every item and pass boundary; a
+    /// `Some` stops the run with [`RunError::Invalid`]. Plain algorithms
+    /// never abort (the default); [`crate::guard::Guarded`] overrides this
+    /// to surface validation failures under the strict policy.
+    fn abort_error(&self) -> Option<StreamError> {
+        None
+    }
+
+    /// Ingestion-guard statistics to publish in the [`RunReport`], if this
+    /// algorithm collects any (see [`crate::guard::Guarded`]).
+    fn guard_stats(&self) -> Option<GuardStats> {
+        None
+    }
+
     /// Consume the algorithm and produce its output.
     fn finish(self) -> Self::Output;
 }
@@ -77,6 +104,67 @@ impl PassOrders {
     }
 }
 
+/// Why a fallible run stopped early.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The algorithm requires identical pass orders but the supplied orders
+    /// differ.
+    OrderMismatch,
+    /// [`PassOrders::PerPass`] length does not match the pass count.
+    WrongOrderCount {
+        /// Passes the algorithm takes.
+        expected: usize,
+        /// Orders supplied.
+        got: usize,
+    },
+    /// The stream violated the adjacency-list promise (reported by a
+    /// guarded algorithm running under the strict policy).
+    Invalid {
+        /// 0-based pass the violation surfaced in.
+        pass: usize,
+        /// The violation itself (carries the item position when one exists).
+        error: StreamError,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::OrderMismatch => write!(f, "algorithm requires identical pass orders"),
+            RunError::WrongOrderCount { expected, got } => {
+                write!(
+                    f,
+                    "one order per pass required: expected {expected}, got {got}"
+                )
+            }
+            RunError::Invalid { pass, error } => {
+                write!(f, "invalid stream in pass {}: {error}", pass + 1)
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Counters published by an ingestion guard (see [`crate::guard::Guarded`]).
+///
+/// Detection/repair counters tally *distinct* faults, counted in the first
+/// pass only — a fault repaired again on replay in later passes is not
+/// recounted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GuardStats {
+    /// Promise violations detected (first pass).
+    pub faults_detected: usize,
+    /// Items dropped to restore the promise (first pass).
+    pub items_repaired: usize,
+    /// Edges found unmatched at the end of the first pass and suppressed in
+    /// later passes.
+    pub edges_quarantined: usize,
+    /// Peak bytes of validator + guard bookkeeping, separated out so
+    /// experiments can distinguish algorithm state from guard overhead.
+    pub validator_peak_bytes: usize,
+}
+
 /// Execution summary of a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunReport {
@@ -87,6 +175,94 @@ pub struct RunReport {
     pub items_processed: usize,
     /// Number of passes executed.
     pub passes: usize,
+    /// Ingestion-guard counters, when the algorithm was wrapped in one.
+    pub guard: Option<GuardStats>,
+}
+
+/// Drive one pass of `items` through `algo`: announce the pass and every
+/// list boundary, sample peak state at each boundary, and poll
+/// [`MultiPassAlgorithm::abort_error`] after every item and at pass end.
+///
+/// This is the single boundary-detection loop every runner in this crate
+/// uses; `items` may be any item sequence, including malformed ones fed to
+/// a [`crate::guard::Guarded`] algorithm.
+pub fn drive_pass<A, I>(
+    algo: &mut A,
+    pass: usize,
+    items: I,
+    peak: &mut PeakTracker,
+    processed: &mut usize,
+) -> Result<(), RunError>
+where
+    A: MultiPassAlgorithm,
+    I: IntoIterator<Item = StreamItem>,
+{
+    algo.begin_pass(pass);
+    let mut current: Option<VertexId> = None;
+    for item in items {
+        if current != Some(item.src) {
+            if let Some(prev) = current {
+                algo.end_list(prev);
+                peak.observe(algo.space_bytes());
+            }
+            algo.begin_list(item.src);
+            current = Some(item.src);
+        }
+        algo.item(item.src, item.dst);
+        *processed += 1;
+        if let Some(error) = algo.abort_error() {
+            return Err(RunError::Invalid { pass, error });
+        }
+    }
+    if let Some(prev) = current {
+        algo.end_list(prev);
+        peak.observe(algo.space_bytes());
+    }
+    algo.end_pass(pass);
+    peak.observe(algo.space_bytes());
+    if let Some(error) = algo.abort_error() {
+        return Err(RunError::Invalid { pass, error });
+    }
+    Ok(())
+}
+
+/// Run `algo` over explicit per-pass item sequences produced by
+/// `items_for_pass` (called once per pass, 0-based).
+///
+/// This is the entry point for streams that exist only as raw items — e.g.
+/// corrupted sequences from [`crate::fault::FaultPlan`], which may replay
+/// *differently* per pass to model reorder faults.
+pub fn run_item_passes<A, F, I>(
+    mut algo: A,
+    mut items_for_pass: F,
+) -> Result<(A::Output, RunReport), RunError>
+where
+    A: MultiPassAlgorithm,
+    F: FnMut(usize) -> I,
+    I: IntoIterator<Item = StreamItem>,
+{
+    let mut peak = PeakTracker::new();
+    let mut processed = 0usize;
+    let passes = algo.passes();
+    for pass in 0..passes {
+        drive_pass(
+            &mut algo,
+            pass,
+            items_for_pass(pass),
+            &mut peak,
+            &mut processed,
+        )?;
+    }
+    let guard = algo.guard_stats();
+    Ok((
+        algo.finish(),
+        RunReport {
+            peak_state_bytes: peak.peak(),
+            items_processed: processed,
+            passes,
+            guard,
+        },
+    ))
 }
 
 /// Drives algorithms over graphs and records space usage.
@@ -94,51 +270,64 @@ pub struct RunReport {
 pub struct Runner;
 
 impl Runner {
+    /// Run `algo` to completion over `graph` streamed per `orders`,
+    /// reporting failures as typed [`RunError`]s instead of panicking.
+    pub fn try_run<A: MultiPassAlgorithm>(
+        graph: &Graph,
+        mut algo: A,
+        orders: &PassOrders,
+    ) -> Result<(A::Output, RunReport), RunError> {
+        if algo.requires_same_order() && !orders.is_same_order() {
+            return Err(RunError::OrderMismatch);
+        }
+        if let PassOrders::PerPass(os) = orders {
+            if os.len() != algo.passes() {
+                return Err(RunError::WrongOrderCount {
+                    expected: algo.passes(),
+                    got: os.len(),
+                });
+            }
+        }
+        let mut peak = PeakTracker::new();
+        let mut processed = 0usize;
+        let passes = algo.passes();
+        for pass in 0..passes {
+            let stream = AdjListStream::new(graph, orders.order_for(pass).clone());
+            drive_pass(&mut algo, pass, stream.items(), &mut peak, &mut processed)?;
+        }
+        let guard = algo.guard_stats();
+        Ok((
+            algo.finish(),
+            RunReport {
+                peak_state_bytes: peak.peak(),
+                items_processed: processed,
+                passes,
+                guard,
+            },
+        ))
+    }
+
     /// Run `algo` to completion over `graph` streamed per `orders`.
     ///
     /// Panics if the algorithm requires identical pass orders and `orders`
     /// provides differing ones — that would silently violate the algorithm's
-    /// correctness contract.
+    /// correctness contract. Prefer [`Runner::try_run`] when the input is
+    /// not known to be well-formed.
     pub fn run<A: MultiPassAlgorithm>(
         graph: &Graph,
-        mut algo: A,
+        algo: A,
         orders: &PassOrders,
     ) -> (A::Output, RunReport) {
-        if algo.requires_same_order() {
-            assert!(
-                orders.is_same_order(),
-                "algorithm requires identical pass orders"
-            );
-        }
-        if let PassOrders::PerPass(os) = orders {
-            assert_eq!(os.len(), algo.passes(), "one order per pass required");
-        }
-        let mut peak = PeakTracker::new();
-        let mut items = 0usize;
-        let passes = algo.passes();
-        for pass in 0..passes {
-            let stream = AdjListStream::new(graph, orders.order_for(pass).clone());
-            algo.begin_pass(pass);
-            for (owner, neighbors) in stream.lists() {
-                algo.begin_list(owner);
-                for w in neighbors {
-                    algo.item(owner, w);
-                    items += 1;
-                }
-                algo.end_list(owner);
-                peak.observe(algo.space_bytes());
+        match Self::try_run(graph, algo, orders) {
+            Ok(out) => out,
+            Err(e @ RunError::OrderMismatch) => {
+                panic!("algorithm requires identical pass orders: {e}")
             }
-            algo.end_pass(pass);
-            peak.observe(algo.space_bytes());
+            Err(e @ RunError::WrongOrderCount { .. }) => {
+                panic!("one order per pass required: {e}")
+            }
+            Err(e) => panic!("stream validation failed: {e}"),
         }
-        (
-            algo.finish(),
-            RunReport {
-                peak_state_bytes: peak.peak(),
-                items_processed: items,
-                passes,
-            },
-        )
     }
 }
 
@@ -219,6 +408,7 @@ mod tests {
         assert_eq!(report.items_processed, 222);
         assert_eq!(report.passes, 1);
         assert_eq!(report.peak_state_bytes, 8);
+        assert_eq!(report.guard, None);
     }
 
     #[test]
@@ -280,5 +470,80 @@ mod tests {
             },
             &PassOrders::PerPass(vec![StreamOrder::natural(4)]),
         );
+    }
+
+    #[test]
+    fn try_run_returns_typed_errors() {
+        let g = gen::complete(4);
+        let r = Runner::try_run(
+            &g,
+            BoundaryRecorder {
+                passes: 2,
+                same_order: true,
+                seen: Vec::new(),
+            },
+            &PassOrders::PerPass(vec![StreamOrder::natural(4), StreamOrder::reversed(4)]),
+        );
+        assert_eq!(r.unwrap_err(), RunError::OrderMismatch);
+        let r = Runner::try_run(
+            &g,
+            BoundaryRecorder {
+                passes: 2,
+                same_order: false,
+                seen: Vec::new(),
+            },
+            &PassOrders::PerPass(vec![StreamOrder::natural(4)]),
+        );
+        assert_eq!(
+            r.unwrap_err(),
+            RunError::WrongOrderCount {
+                expected: 2,
+                got: 1
+            }
+        );
+    }
+
+    #[test]
+    fn equal_per_pass_orders_count_as_same() {
+        // An algorithm requiring identical orders accepts PerPass entries
+        // that are all equal — equality of layout is what matters, not the
+        // enum variant used to express it.
+        let g = gen::complete(5);
+        let order = StreamOrder::shuffled(5, 9);
+        let (seen, report) = Runner::run(
+            &g,
+            BoundaryRecorder {
+                passes: 3,
+                same_order: true,
+                seen: Vec::new(),
+            },
+            &PassOrders::PerPass(vec![order.clone(), order.clone(), order]),
+        );
+        assert_eq!(seen[0], seen[1]);
+        assert_eq!(seen[1], seen[2]);
+        assert_eq!(report.passes, 3);
+    }
+
+    #[test]
+    fn run_item_passes_allows_per_pass_divergence() {
+        use crate::item::StreamItem;
+        let p0 = vec![
+            StreamItem::new(VertexId(0), VertexId(1)),
+            StreamItem::new(VertexId(1), VertexId(0)),
+        ];
+        let p1: Vec<StreamItem> = p0.iter().rev().copied().collect();
+        let passes = [p0, p1];
+        let (seen, report) = run_item_passes(
+            BoundaryRecorder {
+                passes: 2,
+                same_order: false,
+                seen: Vec::new(),
+            },
+            |p| passes[p].clone(),
+        )
+        .unwrap();
+        assert_eq!(seen[0], vec![VertexId(0), VertexId(1)]);
+        assert_eq!(seen[1], vec![VertexId(1), VertexId(0)]);
+        assert_eq!(report.items_processed, 4);
     }
 }

@@ -6,17 +6,23 @@
 //! validated against the adjacency-list promise and then driven through any
 //! [`MultiPassAlgorithm`]. Multi-pass algorithms replay the same trace per
 //! pass, which is exactly the model's "same ordering" semantics.
+//!
+//! Traces built by [`ItemTrace::new`]/[`ItemTrace::read`] are certified
+//! valid up front. [`ItemTrace::new_unchecked`] skips certification so that
+//! corrupted streams (from [`crate::fault::FaultPlan`] or hostile inputs)
+//! can be driven through a [`crate::guard::Guarded`] algorithm via
+//! [`ItemTrace::try_run`], which degrades to a typed [`RunError`] instead
+//! of panicking.
 
 use std::io::{BufRead, BufReader, Read};
 
 use adjstream_graph::VertexId;
 
 use crate::item::StreamItem;
-use crate::meter::PeakTracker;
-use crate::runner::{MultiPassAlgorithm, RunReport};
+use crate::runner::{run_item_passes, MultiPassAlgorithm, RunError, RunReport};
 use crate::validate::{validate_stream, StreamError};
 
-/// A validated, replayable item trace.
+/// A replayable item trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ItemTrace {
     items: Vec<StreamItem>,
@@ -56,9 +62,33 @@ impl ItemTrace {
         Ok(ItemTrace { items, edges })
     }
 
+    /// Build from items **without** validating the promise.
+    ///
+    /// For deliberately malformed streams (fault-injection tests, untrusted
+    /// inputs) that will be driven through a [`crate::guard::Guarded`]
+    /// algorithm. [`edges`](Self::edges) reports `items / 2`, which is only
+    /// an upper bound when the promise is broken.
+    pub fn new_unchecked(items: Vec<StreamItem>) -> Self {
+        let edges = items.len() / 2;
+        ItemTrace { items, edges }
+    }
+
     /// Parse a whitespace `src dst` per line trace (`#` comments allowed)
-    /// and validate it.
+    /// and validate it. CRLF line endings are accepted; lines with extra
+    /// tokens or vertex ids that do not fit in `u32` are rejected as
+    /// [`TraceError::Malformed`].
     pub fn read<R: Read>(reader: R) -> Result<Self, TraceError> {
+        let items = Self::parse_items(reader)?;
+        Self::new(items).map_err(TraceError::Invalid)
+    }
+
+    /// Parse like [`ItemTrace::read`] but skip promise validation, for
+    /// streams that are expected to be malformed.
+    pub fn read_unchecked<R: Read>(reader: R) -> Result<Self, TraceError> {
+        Ok(Self::new_unchecked(Self::parse_items(reader)?))
+    }
+
+    fn parse_items<R: Read>(reader: R) -> Result<Vec<StreamItem>, TraceError> {
         let mut items = Vec::new();
         let buf = BufReader::new(reader);
         for (lineno, line) in buf.lines().enumerate() {
@@ -68,7 +98,7 @@ impl ItemTrace {
                 continue;
             }
             let mut parts = t.split_whitespace();
-            let (Some(a), Some(b)) = (parts.next(), parts.next()) else {
+            let (Some(a), Some(b), None) = (parts.next(), parts.next(), parts.next()) else {
                 return Err(TraceError::Malformed { line: lineno + 1 });
             };
             let (Ok(a), Ok(b)) = (a.parse::<u32>(), b.parse::<u32>()) else {
@@ -76,7 +106,7 @@ impl ItemTrace {
             };
             items.push(StreamItem::new(VertexId(a), VertexId(b)));
         }
-        Self::new(items).map_err(TraceError::Invalid)
+        Ok(items)
     }
 
     /// Number of items.
@@ -100,41 +130,20 @@ impl ItemTrace {
     }
 
     /// Drive a multi-pass algorithm over the trace, replaying it for each
+    /// pass, reporting failures as typed [`RunError`]s instead of panicking.
+    pub fn try_run<A: MultiPassAlgorithm>(
+        &self,
+        algo: A,
+    ) -> Result<(A::Output, RunReport), RunError> {
+        run_item_passes(algo, |_pass| self.items.iter().copied())
+    }
+
+    /// Drive a multi-pass algorithm over the trace, replaying it for each
     /// pass and reporting peak state, exactly like
     /// [`crate::runner::Runner::run`] does for generated streams.
-    pub fn run<A: MultiPassAlgorithm>(&self, mut algo: A) -> (A::Output, RunReport) {
-        let mut peak = PeakTracker::new();
-        let mut processed = 0usize;
-        let passes = algo.passes();
-        for pass in 0..passes {
-            algo.begin_pass(pass);
-            let mut current: Option<VertexId> = None;
-            for &item in &self.items {
-                if current != Some(item.src) {
-                    if let Some(prev) = current {
-                        algo.end_list(prev);
-                        peak.observe(algo.space_bytes());
-                    }
-                    algo.begin_list(item.src);
-                    current = Some(item.src);
-                }
-                algo.item(item.src, item.dst);
-                processed += 1;
-            }
-            if let Some(prev) = current {
-                algo.end_list(prev);
-            }
-            algo.end_pass(pass);
-            peak.observe(algo.space_bytes());
-        }
-        (
-            algo.finish(),
-            RunReport {
-                peak_state_bytes: peak.peak(),
-                items_processed: processed,
-                passes,
-            },
-        )
+    pub fn run<A: MultiPassAlgorithm>(&self, algo: A) -> (A::Output, RunReport) {
+        self.try_run(algo)
+            .unwrap_or_else(|e| panic!("stream validation failed: {e}"))
     }
 }
 
@@ -175,6 +184,47 @@ mod tests {
         assert_eq!(trace.edges(), 2);
         let bad = ItemTrace::read("0 x\n".as_bytes());
         assert!(matches!(bad, Err(TraceError::Malformed { line: 1 })));
+    }
+
+    #[test]
+    fn parses_crlf_line_endings() {
+        let text = "# comment\r\n0 1\r\n1 0\r\n";
+        let trace = ItemTrace::read(text.as_bytes()).unwrap();
+        assert_eq!(trace.edges(), 1);
+        assert_eq!(trace.len(), 2);
+    }
+
+    #[test]
+    fn rejects_vertex_ids_overflowing_u32() {
+        let text = "0 4294967296\n"; // u32::MAX + 1
+        assert!(matches!(
+            ItemTrace::read(text.as_bytes()),
+            Err(TraceError::Malformed { line: 1 })
+        ));
+        // u32::MAX itself is in range (parse succeeds; the lone item then
+        // fails stream validation, not parsing).
+        let edge = "0 4294967295\n4294967295 0\n";
+        assert_eq!(ItemTrace::read(edge.as_bytes()).unwrap().edges(), 1);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(matches!(
+            ItemTrace::read("0 1 junk\n1 0\n".as_bytes()),
+            Err(TraceError::Malformed { line: 1 })
+        ));
+        assert!(matches!(
+            ItemTrace::read("0 1\n1 0 0\n".as_bytes()),
+            Err(TraceError::Malformed { line: 2 })
+        ));
+    }
+
+    #[test]
+    fn unchecked_constructors_accept_malformed_streams() {
+        let t = ItemTrace::read_unchecked("0 1\n0 1\n0 0\n".as_bytes()).unwrap();
+        assert_eq!(t.len(), 3);
+        let t2 = ItemTrace::new_unchecked(vec![StreamItem::new(VertexId(0), VertexId(0))]);
+        assert_eq!(t2.len(), 1);
     }
 
     #[test]
@@ -220,5 +270,6 @@ mod tests {
         );
         assert_eq!(from_trace, from_runner);
         assert_eq!(rep_t.items_processed, rep_r.items_processed);
+        assert_eq!(rep_t.peak_state_bytes, rep_r.peak_state_bytes);
     }
 }

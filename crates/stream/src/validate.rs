@@ -1,8 +1,23 @@
 //! Validation of the adjacency-list promise.
 //!
 //! The model *promises* a particular stream shape; a production system must
-//! reject malformed inputs rather than silently miscount on them. The
-//! validator checks, for an arbitrary item sequence:
+//! reject malformed inputs rather than silently miscount on them. Two
+//! checkers enforce that promise:
+//!
+//! * [`validate_stream`] — the offline reference: buffers per-edge state for
+//!   the whole stream and reports the first violation. Used to certify test
+//!   inputs and as the ground truth the online checker is tested against.
+//! * [`OnlineValidator`] — the incremental checker that runs *inside*
+//!   ingestion (see [`crate::guard::Guarded`]): items are fed one at a time,
+//!   each either accepted or rejected with a [`StreamError`], and the
+//!   validator's own state is metered through [`SpaceUsage`] so experiments
+//!   can account for its overhead. [Exact mode](OnlineValidator::exact)
+//!   matches the offline checker decision-for-decision;
+//!   [bounded mode](OnlineValidator::bounded) keeps only open-list state, a
+//!   recent-list window, and a seeded edge-parity sketch, trading split-list
+//!   completeness for `O(Δ + window)` memory.
+//!
+//! The checked promise, for an arbitrary item sequence:
 //!
 //! 1. no self-loops,
 //! 2. all items with the same source are contiguous (the adjacency-list
@@ -10,11 +25,13 @@
 //! 3. no neighbor repeats within one list (simple graph),
 //! 4. each undirected edge appears exactly twice, once per direction.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use adjstream_graph::VertexId;
 
+use crate::hashing::HashFn;
 use crate::item::StreamItem;
+use crate::meter::{hashmap_bytes, hashset_bytes, SpaceUsage};
 
 /// Ways a purported adjacency list stream can be malformed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,6 +66,25 @@ pub enum StreamError {
         /// Its neighbor.
         dst: VertexId,
     },
+    /// At end of stream, the bounded validator's edge-parity sketch was
+    /// non-zero but could not be attributed to a single edge: two or more
+    /// directed items lack their reverse.
+    UnbalancedEdges {
+        /// The sketch residue (nonzero XOR of unmatched edge hashes).
+        parity: u64,
+    },
+    /// A later pass replayed a different list order than pass 1 even though
+    /// the algorithm declared [`requires_same_order`]. Reported by the
+    /// guarded runner, not by single-pass validation.
+    ///
+    /// [`requires_same_order`]: crate::runner::MultiPassAlgorithm::requires_same_order
+    PassOrderChanged {
+        /// The 0-based pass whose order diverged from pass 1's.
+        pass: usize,
+        /// Index of the first diverging adjacency list, when known
+        /// (`usize::MAX` when only the end-of-pass fingerprint differs).
+        list_index: usize,
+    },
 }
 
 impl std::fmt::Display for StreamError {
@@ -68,28 +104,67 @@ impl std::fmt::Display for StreamError {
             StreamError::MissingReverse { src, dst } => {
                 write!(f, "edge {src}→{dst} never appeared as {dst}→{src}")
             }
+            StreamError::UnbalancedEdges { parity } => write!(
+                f,
+                "edge-parity sketch nonzero ({parity:#x}): two or more directed items lack their reverse"
+            ),
+            StreamError::PassOrderChanged { pass, list_index } => {
+                if *list_index == usize::MAX {
+                    write!(f, "pass {} replayed a different list order than pass 1", pass + 1)
+                } else {
+                    write!(
+                        f,
+                        "pass {} replayed a different list order than pass 1 (first divergence at list {list_index})",
+                        pass + 1
+                    )
+                }
+            }
         }
     }
 }
 
 impl std::error::Error for StreamError {}
 
+impl StreamError {
+    /// The item index the error was detected at, for errors tied to one
+    /// item. End-of-stream errors ([`StreamError::MissingReverse`],
+    /// [`StreamError::UnbalancedEdges`]) have no single item and return
+    /// `None`.
+    pub fn position(&self) -> Option<usize> {
+        match self {
+            StreamError::SelfLoop { position, .. }
+            | StreamError::ListNotContiguous { position, .. }
+            | StreamError::DuplicateNeighbor { position, .. } => Some(*position),
+            StreamError::MissingReverse { .. }
+            | StreamError::UnbalancedEdges { .. }
+            | StreamError::PassOrderChanged { .. } => None,
+        }
+    }
+}
+
+/// Pack the canonical (unordered) form of `{a, b}` into a `u64`.
+#[inline]
+pub(crate) fn pack_edge(a: VertexId, b: VertexId) -> u64 {
+    let (lo, hi) = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+    ((lo as u64) << 32) | hi as u64
+}
+
 /// Validate an item sequence against the adjacency-list promise.
 ///
-/// Returns the number of undirected edges on success. This is an offline
-/// checker (it stores the full edge set); it exists to certify test inputs
-/// and to reject malformed streams in the examples, not to run inside
-/// space-bounded algorithms.
+/// Returns the number of undirected edges on success. This is the offline
+/// reference checker (it stores the full edge set); it certifies test inputs
+/// and serves as the ground truth for [`OnlineValidator`]'s exact mode,
+/// which must agree with it decision-for-decision.
 pub fn validate_stream<I>(items: I) -> Result<usize, StreamError>
 where
     I: IntoIterator<Item = StreamItem>,
 {
-    // Per directed pair: appearance count. Per source: whether its list is
-    // finished.
+    // Per directed pair: index of first appearance. Per source: whether its
+    // list is finished.
     let mut directed: HashMap<(u32, u32), usize> = HashMap::new();
-    let mut finished: HashMap<u32, ()> = HashMap::new();
+    let mut finished: HashSet<u32> = HashSet::new();
     let mut current: Option<VertexId> = None;
-    let mut current_seen: HashMap<u32, ()> = HashMap::new();
+    let mut current_seen: HashSet<u32> = HashSet::new();
     for (position, it) in items.into_iter().enumerate() {
         if it.src == it.dst {
             return Err(StreamError::SelfLoop {
@@ -99,9 +174,9 @@ where
         }
         if current != Some(it.src) {
             if let Some(prev) = current {
-                finished.insert(prev.0, ());
+                finished.insert(prev.0);
             }
-            if finished.contains_key(&it.src.0) {
+            if finished.contains(&it.src.0) {
                 return Err(StreamError::ListNotContiguous {
                     vertex: it.src,
                     position,
@@ -110,26 +185,308 @@ where
             current = Some(it.src);
             current_seen.clear();
         }
-        if current_seen.insert(it.dst.0, ()).is_some() {
+        if !current_seen.insert(it.dst.0) {
             return Err(StreamError::DuplicateNeighbor {
                 src: it.src,
                 dst: it.dst,
                 position,
             });
         }
-        *directed.entry((it.src.0, it.dst.0)).or_insert(0) += 1;
+        directed.entry((it.src.0, it.dst.0)).or_insert(position);
     }
     // Symmetry: each direction exactly once. (Within-list duplicates were
-    // already rejected, so counts are 0 or 1.)
-    for (&(s, d), _) in directed.iter() {
-        if !directed.contains_key(&(d, s)) {
-            return Err(StreamError::MissingReverse {
-                src: VertexId(s),
-                dst: VertexId(d),
-            });
+    // already rejected, so counts are 0 or 1.) Report the unmatched
+    // direction that appeared *earliest* so the result is deterministic.
+    let mut earliest: Option<(usize, (u32, u32))> = None;
+    for (&(s, d), &pos) in directed.iter() {
+        if !directed.contains_key(&(d, s)) && earliest.is_none_or(|(p, _)| pos < p) {
+            earliest = Some((pos, (s, d)));
         }
     }
+    if let Some((_, (s, d))) = earliest {
+        return Err(StreamError::MissingReverse {
+            src: VertexId(s),
+            dst: VertexId(d),
+        });
+    }
     Ok(directed.len() / 2)
+}
+
+/// Which bookkeeping strategy an [`OnlineValidator`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValidatorMode {
+    /// Full per-vertex and per-edge state: every violation the offline
+    /// checker finds is found here, at the same item, with the same
+    /// payload. Memory `O(n + m)`.
+    Exact,
+    /// Open-list state plus a window of recently finished lists plus a
+    /// seeded edge-parity sketch. Memory `O(Δ + window)`. Detects
+    /// self-loops and duplicate neighbors exactly, split lists only when
+    /// the list resumes within `window` closed lists, and missing reverse
+    /// edges with probability `1 - 2^{-64}` via the sketch (attributing
+    /// the edge exactly when a single direction is unmatched).
+    Bounded {
+        /// Seed of the sketch hash function.
+        seed: u64,
+        /// How many recently closed lists are remembered for split
+        /// detection.
+        window: usize,
+    },
+}
+
+/// Incremental checker of the adjacency-list promise.
+///
+/// Feed every stream item to [`observe`](Self::observe); each call either
+/// accepts the item (committing it to the validator's state) or rejects it
+/// with the violation. Rejected items are **not** committed, so a caller
+/// that drops them (repair mode) leaves the validator consistent with the
+/// repaired stream. After the last item, [`finish`](Self::finish) runs the
+/// end-of-stream reverse-edge check.
+#[derive(Debug, Clone)]
+pub struct OnlineValidator {
+    mode: ValidatorMode,
+    position: usize,
+    current: Option<VertexId>,
+    current_seen: HashSet<u32>,
+    // Exact mode.
+    finished: HashSet<u32>,
+    /// Canonical edge → (direction seen first, first position); removed when
+    /// matched by the reverse direction.
+    pending: HashMap<u64, (u32, u32, usize)>,
+    matched: usize,
+    // Bounded mode.
+    recent: VecDeque<u32>,
+    recent_set: HashSet<u32>,
+    sketch_hash: u64,
+    sketch_key: u64,
+    sketch_items: usize,
+    hasher: HashFn,
+}
+
+impl OnlineValidator {
+    /// An exact validator, agreeing with [`validate_stream`]
+    /// decision-for-decision. Memory `O(n + m)`.
+    pub fn exact() -> Self {
+        Self::with_mode(ValidatorMode::Exact)
+    }
+
+    /// A bounded-memory validator; see [`ValidatorMode::Bounded`].
+    pub fn bounded(seed: u64, window: usize) -> Self {
+        Self::with_mode(ValidatorMode::Bounded { seed, window })
+    }
+
+    /// Build for an explicit mode.
+    pub fn with_mode(mode: ValidatorMode) -> Self {
+        let seed = match mode {
+            ValidatorMode::Bounded { seed, .. } => seed,
+            ValidatorMode::Exact => 0,
+        };
+        OnlineValidator {
+            mode,
+            position: 0,
+            current: None,
+            current_seen: HashSet::new(),
+            finished: HashSet::new(),
+            pending: HashMap::new(),
+            matched: 0,
+            recent: VecDeque::new(),
+            recent_set: HashSet::new(),
+            sketch_hash: 0,
+            sketch_key: 0,
+            sketch_items: 0,
+            hasher: HashFn::from_seed(seed, 0x7A11_DA7E),
+        }
+    }
+
+    /// The mode this validator runs in.
+    pub fn mode(&self) -> ValidatorMode {
+        self.mode
+    }
+
+    /// Index the next observed item will occupy.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
+    /// Forget everything; ready to validate a fresh pass.
+    pub fn reset(&mut self) {
+        let mode = self.mode;
+        *self = Self::with_mode(mode);
+    }
+
+    /// Record that one stream position was consumed without being shown to
+    /// the validator (a repaired/suppressed item), keeping subsequently
+    /// reported positions aligned with the raw stream.
+    pub fn note_suppressed(&mut self) {
+        self.position += 1;
+    }
+
+    /// Check `item` and, if it honors the promise so far, commit it.
+    ///
+    /// On `Err` the item is **not** committed: the validator's state is
+    /// exactly as if the item had never arrived (its stream position is
+    /// still consumed).
+    pub fn observe(&mut self, item: StreamItem) -> Result<(), StreamError> {
+        let position = self.position;
+        self.position += 1;
+        if item.src == item.dst {
+            return Err(StreamError::SelfLoop {
+                vertex: item.src,
+                position,
+            });
+        }
+        let boundary = self.current != Some(item.src);
+        if boundary {
+            let closed = self.current;
+            // Check *before* committing the list close, so a rejected item
+            // leaves even the boundary state untouched? No: the previous
+            // list genuinely ended the moment a different source arrived,
+            // whether or not the new item survives. Commit the close first.
+            if let Some(prev) = closed {
+                self.close_list(prev);
+            }
+            let split = match self.mode {
+                ValidatorMode::Exact => self.finished.contains(&item.src.0),
+                ValidatorMode::Bounded { .. } => self.recent_set.contains(&item.src.0),
+            };
+            if split {
+                // The offending list stays closed; current remains None so
+                // a following item of the same source re-reports (callers
+                // quarantine the segment instead, see `guard`).
+                self.current = None;
+                self.current_seen.clear();
+                return Err(StreamError::ListNotContiguous {
+                    vertex: item.src,
+                    position,
+                });
+            }
+            self.current = Some(item.src);
+            self.current_seen.clear();
+        }
+        if self.current_seen.contains(&item.dst.0) {
+            return Err(StreamError::DuplicateNeighbor {
+                src: item.src,
+                dst: item.dst,
+                position,
+            });
+        }
+        self.current_seen.insert(item.dst.0);
+        let key = pack_edge(item.src, item.dst);
+        match self.mode {
+            ValidatorMode::Exact => match self.pending.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    // The reverse direction was pending (the same direction
+                    // can only repeat after a split/duplicate error, which
+                    // never commits).
+                    e.remove();
+                    self.matched += 1;
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert((item.src.0, item.dst.0, position));
+                }
+            },
+            ValidatorMode::Bounded { .. } => {
+                self.sketch_hash ^= self.hasher.hash(key);
+                self.sketch_key ^= key;
+                self.sketch_items += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn close_list(&mut self, owner: VertexId) {
+        match self.mode {
+            ValidatorMode::Exact => {
+                self.finished.insert(owner.0);
+            }
+            ValidatorMode::Bounded { window, .. } => {
+                if window > 0 {
+                    if self.recent.len() == window {
+                        if let Some(old) = self.recent.pop_front() {
+                            self.recent_set.remove(&old);
+                        }
+                    }
+                    self.recent.push_back(owner.0);
+                    self.recent_set.insert(owner.0);
+                }
+            }
+        }
+    }
+
+    /// End-of-stream check. Returns the number of undirected edges on
+    /// success (exact mode counts matches; bounded mode derives it from the
+    /// accepted item count).
+    pub fn finish(&self) -> Result<usize, StreamError> {
+        match self.mode {
+            ValidatorMode::Exact => {
+                let mut earliest: Option<&(u32, u32, usize)> = None;
+                for v in self.pending.values() {
+                    if earliest.is_none_or(|e| v.2 < e.2) {
+                        earliest = Some(v);
+                    }
+                }
+                match earliest {
+                    Some(&(s, d, _)) => Err(StreamError::MissingReverse {
+                        src: VertexId(s),
+                        dst: VertexId(d),
+                    }),
+                    None => Ok(self.matched),
+                }
+            }
+            ValidatorMode::Bounded { .. } => {
+                if self.sketch_hash == 0 {
+                    Ok(self.sketch_items / 2)
+                } else if self.sketch_key != 0
+                    && self.hasher.hash(self.sketch_key) == self.sketch_hash
+                {
+                    // Exactly one unmatched direction: the key XOR is that
+                    // edge itself (verified against the hash XOR).
+                    Err(StreamError::MissingReverse {
+                        src: VertexId((self.sketch_key >> 32) as u32),
+                        dst: VertexId(self.sketch_key as u32),
+                    })
+                } else {
+                    Err(StreamError::UnbalancedEdges {
+                        parity: self.sketch_hash,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Every edge still missing its reverse direction (exact mode), as
+    /// `(src, dst)` of the direction that appeared, ordered by first
+    /// appearance. Empty in bounded mode — the sketch cannot enumerate.
+    pub fn unmatched_edges(&self) -> Vec<(VertexId, VertexId)> {
+        let mut v: Vec<&(u32, u32, usize)> = self.pending.values().collect();
+        v.sort_by_key(|e| e.2);
+        v.into_iter()
+            .map(|&(s, d, _)| (VertexId(s), VertexId(d)))
+            .collect()
+    }
+}
+
+impl SpaceUsage for OnlineValidator {
+    fn space_bytes(&self) -> usize {
+        hashset_bytes(&self.current_seen)
+            + hashset_bytes(&self.finished)
+            + hashmap_bytes(&self.pending)
+            + hashset_bytes(&self.recent_set)
+            + self.recent.capacity() * std::mem::size_of::<u32>()
+            + 64 // sketch words, cursors, hasher keys
+    }
+}
+
+/// Drive a full item sequence through an [`OnlineValidator`] (observe every
+/// item, then finish). Stops at the first violation.
+pub fn validate_online<I>(validator: &mut OnlineValidator, items: I) -> Result<usize, StreamError>
+where
+    I: IntoIterator<Item = StreamItem>,
+{
+    for it in items {
+        validator.observe(it)?;
+    }
+    validator.finish()
 }
 
 #[cfg(test)]
@@ -177,10 +534,13 @@ mod tests {
         // 0's list is [1, 2] but contiguity: items are 0,1,0 -> split!
         // Use a properly ordered version instead.
         let items2 = vec![it(0, 1), it(0, 2), it(1, 0)];
-        assert!(matches!(
+        assert_eq!(
             validate_stream(items2),
-            Err(StreamError::MissingReverse { .. })
-        ));
+            Err(StreamError::MissingReverse {
+                src: VertexId(0),
+                dst: VertexId(2)
+            })
+        );
         let _ = items;
     }
 
@@ -221,5 +581,168 @@ mod tests {
             dst: VertexId(8),
         };
         assert!(e.to_string().contains("3→8"));
+    }
+
+    #[test]
+    fn missing_reverse_reports_earliest_unmatched_direction() {
+        // Lists: 0: [1, 2, 3]; 1: [0]; but 2 and 3 never reciprocate.
+        // Earliest unmatched direction is 0→2 (position 1).
+        let items = vec![it(0, 1), it(0, 2), it(0, 3), it(1, 0)];
+        assert_eq!(
+            validate_stream(items),
+            Err(StreamError::MissingReverse {
+                src: VertexId(0),
+                dst: VertexId(2)
+            })
+        );
+    }
+
+    // ---- OnlineValidator: exact mode ----
+
+    fn online_exact<I: IntoIterator<Item = StreamItem>>(items: I) -> Result<usize, StreamError> {
+        let mut v = OnlineValidator::exact();
+        validate_online(&mut v, items)
+    }
+
+    #[test]
+    fn exact_mode_accepts_generated_streams_and_counts_edges() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = gen::gnm(40, 150, &mut rng);
+        let s = AdjListStream::new(&g, StreamOrder::shuffled(40, 11));
+        assert_eq!(online_exact(s.items()), Ok(150));
+    }
+
+    #[test]
+    fn exact_mode_matches_offline_on_malformed_streams() {
+        let cases: Vec<Vec<StreamItem>> = vec![
+            vec![it(0, 0)],
+            vec![it(0, 1), it(0, 1)],
+            vec![it(0, 1), it(1, 0), it(1, 2), it(0, 2), it(2, 1), it(2, 0)],
+            vec![it(0, 1), it(0, 2), it(1, 0)],
+            vec![it(0, 1), it(0, 2), it(0, 3), it(1, 0)],
+            vec![],
+            vec![it(5, 6), it(6, 5)],
+        ];
+        for items in cases {
+            assert_eq!(
+                online_exact(items.iter().copied()),
+                validate_stream(items.iter().copied()),
+                "items {items:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejected_items_are_not_committed() {
+        let mut v = OnlineValidator::exact();
+        v.observe(it(0, 1)).unwrap();
+        // Duplicate rejected...
+        assert!(v.observe(it(0, 1)).is_err());
+        // ...so the edge is still just singly-pending, and a later reverse
+        // match still succeeds.
+        v.observe(it(1, 0)).unwrap();
+        assert_eq!(v.finish(), Ok(1));
+        assert_eq!(v.position(), 3);
+    }
+
+    #[test]
+    fn unmatched_edges_enumerates_in_first_appearance_order() {
+        let mut v = OnlineValidator::exact();
+        for i in [it(0, 1), it(0, 2), it(1, 0), it(2, 3)] {
+            v.observe(i).unwrap();
+        }
+        assert_eq!(
+            v.unmatched_edges(),
+            vec![(VertexId(0), VertexId(2)), (VertexId(2), VertexId(3))]
+        );
+    }
+
+    // ---- OnlineValidator: bounded mode ----
+
+    #[test]
+    fn bounded_mode_accepts_valid_streams() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = gen::gnm(40, 150, &mut rng);
+        let s = AdjListStream::new(&g, StreamOrder::shuffled(40, 12));
+        let mut v = OnlineValidator::bounded(99, 8);
+        assert_eq!(validate_online(&mut v, s.items()), Ok(150));
+    }
+
+    #[test]
+    fn bounded_mode_detects_single_missing_reverse_with_attribution() {
+        // 0: [1, 2]; 1: [0]; 2 never reciprocates.
+        let items = vec![it(0, 1), it(0, 2), it(1, 0)];
+        let mut v = OnlineValidator::bounded(7, 4);
+        assert_eq!(
+            validate_online(&mut v, items),
+            Err(StreamError::MissingReverse {
+                src: VertexId(0),
+                dst: VertexId(2)
+            })
+        );
+    }
+
+    #[test]
+    fn bounded_mode_flags_multiple_unmatched_as_parity() {
+        let items = vec![it(0, 1), it(0, 2), it(0, 3), it(1, 0)];
+        let mut v = OnlineValidator::bounded(7, 4);
+        assert!(matches!(
+            validate_online(&mut v, items),
+            Err(StreamError::UnbalancedEdges { .. })
+        ));
+    }
+
+    #[test]
+    fn bounded_mode_detects_splits_within_window() {
+        let items = vec![it(0, 1), it(1, 0), it(1, 2), it(0, 2), it(2, 1), it(2, 0)];
+        let mut v = OnlineValidator::bounded(3, 4);
+        assert_eq!(
+            validate_online(&mut v, items.iter().copied()),
+            Err(StreamError::ListNotContiguous {
+                vertex: VertexId(0),
+                position: 3
+            })
+        );
+        // Window 0 remembers nothing: the split escapes the contiguity
+        // check (and here the duplicated {0,2} content happens to cancel in
+        // the parity sketch two different ways — the stream is edge-balanced).
+        let mut v0 = OnlineValidator::bounded(3, 0);
+        assert_eq!(validate_online(&mut v0, items), Ok(3));
+    }
+
+    #[test]
+    fn bounded_mode_space_stays_small() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = gen::gnm(400, 3000, &mut rng);
+        let s = AdjListStream::new(&g, StreamOrder::shuffled(400, 13));
+        let mut exact = OnlineValidator::exact();
+        let mut bounded = OnlineValidator::bounded(1, 16);
+        let mut exact_peak = 0;
+        let mut bounded_peak = 0;
+        for item in s.items() {
+            exact.observe(item).unwrap();
+            bounded.observe(item).unwrap();
+            exact_peak = exact_peak.max(exact.space_bytes());
+            bounded_peak = bounded_peak.max(bounded.space_bytes());
+        }
+        assert_eq!(exact.finish(), Ok(3000));
+        assert_eq!(bounded.finish(), Ok(3000));
+        assert!(
+            bounded_peak * 4 < exact_peak,
+            "bounded {bounded_peak} vs exact {exact_peak}"
+        );
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut v = OnlineValidator::exact();
+        v.observe(it(0, 1)).unwrap();
+        assert!(v.finish().is_err());
+        v.reset();
+        assert_eq!(v.position(), 0);
+        assert_eq!(v.finish(), Ok(0));
     }
 }

@@ -9,7 +9,9 @@
 //! adjstream-cli count g.txt --kind triangles
 //! adjstream-cli estimate g.txt --kind triangles --epsilon 0.2 --delta 0.1
 //! adjstream-cli stream g.txt --seed 3 -o items.txt
-//! adjstream-cli validate-stream items.txt
+//! adjstream-cli validate-stream items.txt --mode online
+//! adjstream-cli corrupt items.txt --seed 7 --faults drop-direction:2,self-loop -o bad.txt
+//! adjstream-cli estimate-stream bad.txt --policy repair
 //! adjstream-cli gadget fig-e --ell 6 --r 100 --t 16 --answer yes -o gadget.txt
 //! ```
 
@@ -22,7 +24,7 @@ use adjstream::algo::estimate::{
 };
 use adjstream::graph::analysis::{connected_components, degeneracy, DegreeStats};
 use adjstream::graph::io::{load_edge_list, save_edge_list};
-use adjstream::graph::{exact, gen, Graph, VertexId};
+use adjstream::graph::{exact, gen, Graph};
 use adjstream::lowerbound::gadgets as gd;
 use adjstream::lowerbound::problems::{Disj3Instance, DisjInstance, Pj3Instance};
 use adjstream::stream::{validate_stream, AdjListStream, StreamItem, StreamOrder};
@@ -59,9 +61,12 @@ const USAGE: &str = "usage:
   adjstream-cli count FILE --kind <triangles|c4|cycles> [--len L]
   adjstream-cli estimate FILE --kind <triangles|c4> [--epsilon E] [--delta D] [--t-lower T] [--seed S]
   adjstream-cli stream FILE [--seed S] [-o FILE]
-  adjstream-cli validate-stream FILE
-  adjstream-cli estimate-stream FILE [--budget K] [--seed S]
-  adjstream-cli gadget <fig-a|fig-b|fig-c|fig-d|fig-e> [--key value ...] [--answer yes|no] [-o FILE]";
+  adjstream-cli validate-stream FILE [--mode offline|online|bounded] [--seed S] [--window W]
+  adjstream-cli corrupt FILE --faults KIND[:N][,KIND[:N]...] [--seed S] [-o FILE] [--replay-o FILE]
+  adjstream-cli estimate-stream FILE [--budget K] [--seed S] [--policy strict|repair|observe]
+  adjstream-cli gadget <fig-a|fig-b|fig-c|fig-d|fig-e> [--key value ...] [--answer yes|no] [-o FILE]
+
+fault kinds: drop-direction duplicate-item split-list self-loop corrupt-vertex truncate-tail reorder-pass";
 
 /// Parse `--key value` flags (plus `-o`), returning the map.
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -101,6 +106,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "estimate" => cmd_estimate(rest),
         "stream" => cmd_stream(rest),
         "validate-stream" => cmd_validate_stream(rest),
+        "corrupt" => cmd_corrupt(rest),
         "estimate-stream" => cmd_estimate_stream(rest),
         "gadget" => cmd_gadget(rest),
         other => Err(format!("unknown command {other:?}")),
@@ -265,42 +271,140 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_validate_stream(args: &[String]) -> Result<(), String> {
+    use adjstream::stream::trace::ItemTrace;
+    use adjstream::stream::{validate_online, OnlineValidator, SpaceUsage};
     let path = args.first().ok_or("missing stream file")?;
-    let content = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
-    let mut items = Vec::new();
-    for (lineno, line) in content.lines().enumerate() {
-        let t = line.trim();
-        if t.is_empty() || t.starts_with('#') {
-            continue;
+    let flags = parse_flags(&args[1..])?;
+    let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
+    let trace = ItemTrace::read_unchecked(file).map_err(|e| e.to_string())?;
+    let mode = flags.get("mode").map(String::as_str).unwrap_or("offline");
+    let result = match mode {
+        "offline" => validate_stream(trace.items().iter().copied()),
+        "online" => {
+            let mut v = OnlineValidator::exact();
+            validate_online(&mut v, trace.items().iter().copied())
         }
-        let mut parts = t.split_whitespace();
-        let (Some(a), Some(b)) = (parts.next(), parts.next()) else {
-            return Err(format!("line {}: expected 'src dst'", lineno + 1));
-        };
-        let (Ok(a), Ok(b)) = (a.parse::<u32>(), b.parse::<u32>()) else {
-            return Err(format!("line {}: expected integers", lineno + 1));
-        };
-        items.push(StreamItem::new(VertexId(a), VertexId(b)));
-    }
-    match validate_stream(items) {
+        "bounded" => {
+            let seed: u64 = get(&flags, "seed", 2019)?;
+            let window: usize = get(&flags, "window", 64)?;
+            let mut v = OnlineValidator::bounded(seed, window);
+            let r = validate_online(&mut v, trace.items().iter().copied());
+            eprintln!("validator state: {} bytes", v.space_bytes());
+            r
+        }
+        other => {
+            return Err(format!(
+                "--mode must be offline|online|bounded, got {other:?}"
+            ))
+        }
+    };
+    match result {
         Ok(edges) => {
-            println!("valid adjacency list stream: {edges} edges");
+            println!("valid adjacency list stream: {edges} edges ({mode} check)");
             Ok(())
         }
-        Err(e) => Err(format!("invalid stream: {e}")),
+        Err(e) => match e.position() {
+            Some(p) => Err(format!("invalid stream at item {p}: {e}")),
+            None => Err(format!("invalid stream: {e}")),
+        },
+    }
+}
+
+/// Corrupt a valid stream with a seeded, replayable fault plan.
+fn cmd_corrupt(args: &[String]) -> Result<(), String> {
+    use adjstream::stream::trace::ItemTrace;
+    use adjstream::stream::{FaultKind, FaultPlan};
+    let path = args.first().ok_or("missing stream file")?;
+    let flags = parse_flags(&args[1..])?;
+    let seed: u64 = get(&flags, "seed", 1)?;
+    let spec = flags
+        .get("faults")
+        .ok_or("corrupt: missing --faults (e.g. drop-direction:2,self-loop)")?;
+    let mut plan = FaultPlan::new(seed);
+    for part in spec.split(',') {
+        let (name, count) = match part.split_once(':') {
+            Some((n, c)) => (
+                n,
+                c.parse::<usize>()
+                    .map_err(|_| format!("invalid fault count in {part:?}"))?,
+            ),
+            None => (part, 1),
+        };
+        let kind = FaultKind::parse(name).ok_or_else(|| format!("unknown fault kind {name:?}"))?;
+        plan = plan.with(kind, count);
+    }
+    if plan.count(FaultKind::ReorderPass) > 0 && !flags.contains_key("replay-o") {
+        return Err("corrupt: reorder-pass only affects replays; pass --replay-o FILE".into());
+    }
+    let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
+    let trace = ItemTrace::read(file).map_err(|e| format!("input must be valid: {e}"))?;
+    let corrupted = plan.apply(trace.items());
+    write_items(corrupted.items(), flags.get("o"))?;
+    if let Some(replay_path) = flags.get("replay-o") {
+        write_items(corrupted.items_for_pass(1), Some(replay_path))?;
+    }
+    for f in corrupted.injected() {
+        eprintln!(
+            "injected {} ({} expected detections): {}",
+            f.kind, f.expected_detections, f.description
+        );
+    }
+    for k in corrupted.skipped() {
+        eprintln!("skipped {k}: stream cannot host it");
+    }
+    eprintln!(
+        "seed {seed}: {} faults injected, {} skipped, {} detections expected",
+        corrupted.injected().len(),
+        corrupted.skipped().len(),
+        corrupted.expected_detections()
+    );
+    Ok(())
+}
+
+fn write_items(items: &[StreamItem], out: Option<&String>) -> Result<(), String> {
+    let write = |w: &mut dyn Write| -> std::io::Result<()> {
+        let mut w = std::io::BufWriter::new(w);
+        for item in items {
+            writeln!(w, "{} {}", item.src, item.dst)?;
+        }
+        w.flush()
+    };
+    match out {
+        Some(path) => {
+            let mut f = std::fs::File::create(path).map_err(|e| e.to_string())?;
+            write(&mut f).map_err(|e| e.to_string())
+        }
+        None => {
+            let stdout = std::io::stdout();
+            write(&mut stdout.lock()).map_err(|e| e.to_string())
+        }
     }
 }
 
 /// Estimate triangles directly from an item trace file: the trace is
-/// validated, then the Theorem 3.7 algorithm replays it twice.
+/// validated (or guarded with an explicit `--policy`), then the Theorem 3.7
+/// algorithm replays it twice.
 fn cmd_estimate_stream(args: &[String]) -> Result<(), String> {
     use adjstream::algo::common::EdgeSampling;
     use adjstream::algo::triangle::{TwoPassTriangle, TwoPassTriangleConfig};
     use adjstream::stream::trace::ItemTrace;
+    use adjstream::stream::{GuardPolicy, Guarded};
     let path = args.first().ok_or("missing stream file")?;
     let flags = parse_flags(&args[1..])?;
+    let policy = flags
+        .get("policy")
+        .map(|p| {
+            GuardPolicy::parse(p)
+                .ok_or(format!("--policy must be strict|repair|observe, got {p:?}"))
+        })
+        .transpose()?;
     let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
-    let trace = ItemTrace::read(file).map_err(|e| e.to_string())?;
+    // With an explicit policy the guard handles malformed input; without
+    // one the trace must certify up front.
+    let trace = match policy {
+        Some(_) => ItemTrace::read_unchecked(file).map_err(|e| e.to_string())?,
+        None => ItemTrace::read(file).map_err(|e| e.to_string())?,
+    };
     let m = trace.edges();
     let budget: usize = get(&flags, "budget", (m / 10).max(16))?;
     let seed: u64 = get(&flags, "seed", 2019)?;
@@ -309,11 +413,32 @@ fn cmd_estimate_stream(args: &[String]) -> Result<(), String> {
         edge_sampling: EdgeSampling::BottomK { k: budget },
         pair_capacity: budget,
     };
-    let (est, report) = trace.run(TwoPassTriangle::new(cfg));
-    println!("stream        {} items, {m} edges (validated)", trace.len());
+    let algo = TwoPassTriangle::new(cfg);
+    let (est, report) = match policy {
+        None => {
+            println!("stream        {} items, {m} edges (validated)", trace.len());
+            trace.run(algo)
+        }
+        Some(policy) => {
+            println!(
+                "stream        {} items (guard policy: {policy})",
+                trace.len()
+            );
+            trace
+                .try_run(Guarded::new(algo, policy))
+                .map_err(|e| e.to_string())?
+        }
+    };
     println!("estimate      {:.1}", est.estimate);
     println!("edge budget   {budget}");
     println!("peak state    {} bytes", report.peak_state_bytes);
+    if let Some(stats) = report.guard {
+        println!(
+            "guard         {} faults detected, {} items repaired, {} edges quarantined",
+            stats.faults_detected, stats.items_repaired, stats.edges_quarantined
+        );
+        println!("guard state   {} bytes peak", stats.validator_peak_bytes);
+    }
     Ok(())
 }
 
@@ -426,6 +551,96 @@ mod tests {
         run(&args(&["estimate-stream", &ss, "--budget", "40"])).unwrap();
         std::fs::remove_file(&gpath).ok();
         std::fs::remove_file(&spath).ok();
+    }
+
+    #[test]
+    fn corrupt_validate_and_guarded_estimate_pipeline() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let gs = dir
+            .join(format!("adjstream-cli-rob-g-{pid}.txt"))
+            .to_string_lossy()
+            .to_string();
+        let ss = dir
+            .join(format!("adjstream-cli-rob-s-{pid}.txt"))
+            .to_string_lossy()
+            .to_string();
+        let bad = dir
+            .join(format!("adjstream-cli-rob-bad-{pid}.txt"))
+            .to_string_lossy()
+            .to_string();
+        run(&args(&[
+            "gen", "cliques", "--s", "5", "--k", "6", "-o", &gs,
+        ]))
+        .unwrap();
+        run(&args(&["stream", &gs, "--seed", "3", "-o", &ss])).unwrap();
+        // Clean stream validates in every mode.
+        for mode in ["offline", "online", "bounded"] {
+            run(&args(&["validate-stream", &ss, "--mode", mode])).unwrap();
+        }
+        run(&args(&[
+            "corrupt",
+            &ss,
+            "--seed",
+            "7",
+            "--faults",
+            "drop-direction:2,self-loop",
+            "-o",
+            &bad,
+        ]))
+        .unwrap();
+        // The corrupted stream fails validation — non-zero exit via Err —
+        // with the fault position in the message when one exists.
+        for mode in ["offline", "online"] {
+            let err = run(&args(&["validate-stream", &bad, "--mode", mode])).unwrap_err();
+            assert!(err.contains("invalid stream"), "{err}");
+        }
+        // Unguarded estimation refuses the corrupted stream...
+        assert!(run(&args(&["estimate-stream", &bad, "--budget", "40"])).is_err());
+        // ...strict guarding reports the violation as a typed failure...
+        let err = run(&args(&[
+            "estimate-stream",
+            &bad,
+            "--budget",
+            "40",
+            "--policy",
+            "strict",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("invalid stream in pass"), "{err}");
+        // ...and repair/observe degrade gracefully.
+        for policy in ["repair", "observe"] {
+            run(&args(&[
+                "estimate-stream",
+                &bad,
+                "--budget",
+                "40",
+                "--policy",
+                policy,
+            ]))
+            .unwrap();
+        }
+        // Bad flag values are rejected.
+        assert!(run(&args(&["validate-stream", &ss, "--mode", "bogus"])).is_err());
+        assert!(run(&args(&["corrupt", &ss, "--faults", "nonsense"])).is_err());
+        assert!(run(&args(&["corrupt", &ss, "--faults", "reorder-pass"])).is_err());
+        for f in [&gs, &ss, &bad] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn self_loop_position_is_reported() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let p = dir
+            .join(format!("adjstream-cli-rob-pos-{pid}.txt"))
+            .to_string_lossy()
+            .to_string();
+        std::fs::write(&p, "0 1\n0 0\n1 0\n").unwrap();
+        let err = run(&args(&["validate-stream", &p, "--mode", "online"])).unwrap_err();
+        assert!(err.contains("at item 1"), "{err}");
+        std::fs::remove_file(&p).ok();
     }
 
     #[test]
