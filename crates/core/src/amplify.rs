@@ -3,21 +3,59 @@
 //! Both theorems run `Θ(log 1/δ)` independent copies of a
 //! constant-success-probability estimator and report the median. The
 //! repetitions are embarrassingly parallel; [`median_of_runs`] fans them out
-//! over threads with crossbeam's scope.
+//! over threads with crossbeam's scope. The batched drivers in
+//! [`crate::estimate`] produce the run vector differently (one shared
+//! stream replay via [`adjstream_stream::batch::BatchRunner`]) but summarize
+//! it through the same [`MedianReport::from_runs`], so both engines report
+//! identical statistics for identical runs.
 
 use adjstream_stream::estimator::{mean, median, variance};
 
 /// Summary of a batch of independent estimator runs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MedianReport {
-    /// The amplified (median) estimate.
+    /// The amplified (median) estimate, taken over the non-NaN runs.
     pub median: f64,
-    /// Mean of the runs (diagnostic; sensitive to heavy-edge variance).
+    /// Mean of the non-NaN runs (diagnostic; sensitive to heavy-edge
+    /// variance).
     pub mean: f64,
-    /// Sample variance of the runs (diagnostic).
+    /// Sample variance of the non-NaN runs (diagnostic).
     pub variance: f64,
-    /// The individual run estimates.
+    /// The individual run estimates, in repetition order, NaNs included —
+    /// this vector is the bitwise-reproducibility contract between the
+    /// sequential and batched engines.
     pub runs: Vec<f64>,
+    /// Runs that produced NaN and were excluded from the summary
+    /// statistics. A nonzero count flags degenerate repetitions (e.g. a
+    /// 0/0 in a sparse-sample estimator) without crashing the estimate.
+    pub nan_runs: usize,
+}
+
+impl MedianReport {
+    /// Summarize a run vector: median/mean/variance over the non-NaN runs,
+    /// with the NaN count surfaced in [`MedianReport::nan_runs`]. If every
+    /// run is NaN the summary statistics are NaN.
+    pub fn from_runs(runs: Vec<f64>) -> MedianReport {
+        assert!(!runs.is_empty(), "need at least one run");
+        let finite: Vec<f64> = runs.iter().copied().filter(|x| !x.is_nan()).collect();
+        let nan_runs = runs.len() - finite.len();
+        if finite.is_empty() {
+            return MedianReport {
+                median: f64::NAN,
+                mean: f64::NAN,
+                variance: f64::NAN,
+                runs,
+                nan_runs,
+            };
+        }
+        MedianReport {
+            median: median(&finite),
+            mean: mean(&finite),
+            variance: variance(&finite),
+            runs,
+            nan_runs,
+        }
+    }
 }
 
 /// Run `reps` independent copies of `run` (seeded `base_seed + i`) and take
@@ -46,12 +84,7 @@ where
         })
         .expect("estimator threads do not panic");
     }
-    MedianReport {
-        median: median(&runs),
-        mean: mean(&runs),
-        variance: variance(&runs),
-        runs,
-    }
+    MedianReport::from_runs(runs)
 }
 
 #[cfg(test)]
@@ -82,6 +115,37 @@ mod tests {
         assert!(rep.median < 110.0);
         assert!(rep.mean > 1e10); // the mean is wrecked — that's the point
         assert!(rep.variance > 0.0);
+        assert_eq!(rep.nan_runs, 0);
+    }
+
+    #[test]
+    fn nan_runs_are_counted_not_fatal() {
+        // A degenerate repetition (0/0 → NaN) must not panic the driver or
+        // poison the median.
+        let f = |seed: u64| {
+            if seed % 4 == 1 {
+                f64::NAN
+            } else {
+                50.0 + (seed % 3) as f64
+            }
+        };
+        for threads in [1, 3] {
+            let rep = median_of_runs(11, 0, threads, f);
+            assert_eq!(rep.nan_runs, 3, "seeds 1, 5, 9");
+            assert_eq!(rep.runs.len(), 11);
+            assert!(rep.runs[1].is_nan(), "NaNs stay visible in the run vector");
+            assert!(rep.median >= 50.0 && rep.median <= 52.0);
+            assert!(rep.mean.is_finite());
+            assert!(rep.variance.is_finite());
+        }
+    }
+
+    #[test]
+    fn all_nan_runs_yield_nan_summary() {
+        let rep = median_of_runs(3, 0, 1, |_| f64::NAN);
+        assert_eq!(rep.nan_runs, 3);
+        assert!(rep.median.is_nan());
+        assert!(rep.mean.is_nan());
     }
 
     #[test]

@@ -24,6 +24,39 @@ pub enum EdgeSampling {
     },
 }
 
+/// Push `val` onto `map[key]`, returning the byte-accounting delta of the
+/// map's inner vectors: a 24-byte `Vec` header when the entry is new plus
+/// `elem_bytes` per unit of capacity growth. Callers accumulate the deltas
+/// (and subtract `capacity · elem_bytes + 24` on entry removal) so
+/// [`SpaceUsage::space_bytes`] stays O(1) instead of rescanning every value
+/// — the rescan was the dominant cost of peak metering on large budgets.
+/// The vacant arm reproduces `entry(k).or_default().push(v)` exactly, so
+/// capacities (and hence reported bytes) are identical to the old scan.
+pub(crate) fn push_map_vec<K, T>(
+    map: &mut HashMap<K, Vec<T>>,
+    key: K,
+    val: T,
+    elem_bytes: usize,
+) -> usize
+where
+    K: Eq + std::hash::Hash,
+{
+    use std::collections::hash_map::Entry;
+    match map.entry(key) {
+        Entry::Occupied(mut e) => {
+            let v = e.get_mut();
+            let before = v.capacity();
+            v.push(val);
+            (v.capacity() - before) * elem_bytes
+        }
+        Entry::Vacant(e) => {
+            let v = e.insert(Vec::new());
+            v.push(val);
+            24 + v.capacity() * elem_bytes
+        }
+    }
+}
+
 /// Watches vertex pairs for *completion*: a watched pair `{a, b}` completes
 /// in the adjacency list of `z` when both `a` and `b` occur in that list
 /// (equivalently, `z` is adjacent to both — so `z` closes a triangle over an
@@ -37,6 +70,8 @@ pub enum EdgeSampling {
 pub struct PairWatcher {
     /// vertex → packed pairs containing it.
     incident: HashMap<u32, Vec<u64>>,
+    /// Bytes held by `incident`'s inner vectors, maintained incrementally.
+    incident_vec_bytes: usize,
     /// packed pair → number of watchers.
     refcount: HashMap<u64, u32>,
     /// packed pair → epoch of its last single hit.
@@ -70,8 +105,8 @@ impl PairWatcher {
         *rc += 1;
         if *rc == 1 {
             let (lo, hi) = unpack_pair(key);
-            self.incident.entry(lo.0).or_default().push(key);
-            self.incident.entry(hi.0).or_default().push(key);
+            self.incident_vec_bytes += push_map_vec(&mut self.incident, lo.0, key, 8);
+            self.incident_vec_bytes += push_map_vec(&mut self.incident, hi.0, key, 8);
         }
     }
 
@@ -92,7 +127,8 @@ impl PairWatcher {
                 let pos = list.iter().position(|&p| p == key).expect("pair in list");
                 list.swap_remove(pos);
                 if list.is_empty() {
-                    self.incident.remove(&v);
+                    let dead = self.incident.remove(&v).expect("just seen");
+                    self.incident_vec_bytes -= dead.capacity() * 8 + 24;
                 }
             }
         }
@@ -140,9 +176,8 @@ impl PairWatcher {
 
 impl SpaceUsage for PairWatcher {
     fn space_bytes(&self) -> usize {
-        let incident_entries: usize = self.incident.values().map(|v| v.capacity() * 8 + 24).sum();
         hashmap_bytes(&self.incident)
-            + incident_entries
+            + self.incident_vec_bytes
             + hashmap_bytes(&self.refcount)
             + hashmap_bytes(&self.hit_epoch)
     }
@@ -242,5 +277,28 @@ mod tests {
             w.watch(v(i), v(i + 1000));
         }
         assert!(w.space_bytes() > empty);
+    }
+
+    /// The incremental inner-vec accounting must equal a full rescan at
+    /// every point of a churny watch/unwatch history.
+    #[test]
+    fn incremental_accounting_matches_rescan() {
+        let rescan =
+            |w: &PairWatcher| -> usize { w.incident.values().map(|v| v.capacity() * 8 + 24).sum() };
+        let mut w = PairWatcher::new();
+        // Shared vertices force inner vecs to grow past their first
+        // allocation; refcounted duplicates exercise the no-op paths.
+        for i in 0..200u32 {
+            w.watch(v(i % 7), v(100 + i));
+            w.watch(v(i % 7), v(100 + i));
+            assert_eq!(w.incident_vec_bytes, rescan(&w), "after watch {i}");
+        }
+        for i in (0..200u32).rev() {
+            w.unwatch(v(i % 7), v(100 + i));
+            w.unwatch(v(i % 7), v(100 + i));
+            assert_eq!(w.incident_vec_bytes, rescan(&w), "after unwatch {i}");
+        }
+        assert_eq!(w.incident_vec_bytes, 0);
+        assert!(w.incident.is_empty());
     }
 }

@@ -6,9 +6,29 @@
 //! the way the theorem statements are used: pick `m′ = Θ(m/(ε²T^{2/3}))`
 //! from an accuracy target and a `T` lower bound, run `Θ(log 1/δ)`
 //! repetitions, and take the median.
+//!
+//! Two execution [`Engine`]s produce the repetition vector:
+//!
+//! * [`Engine::Sequential`] replays the stream once per repetition
+//!   (per level, for the auto driver) — the literal reading of "run R
+//!   independent copies".
+//! * [`Engine::Batched`] (the default) hands all repetitions — and, for
+//!   [`estimate_triangles_auto`], all guess levels — to
+//!   [`BatchRunner`], which generates each pass once and fans every item
+//!   out to the resident instances. The whole estimate then costs exactly
+//!   as many stream passes as a *single* run: 2, restoring the
+//!   pass-optimality the theorems assume.
+//!
+//! The engines are bitwise compatible: for the same [`Accuracy`] they
+//! produce identical [`MedianReport::runs`] vectors, because instance
+//! seeds are derived identically (`seed + i` per repetition, split-mixed
+//! per guess level) and every instance observes the identical item
+//! sequence either way.
 
 use adjstream_graph::Graph;
+use adjstream_stream::batch::{BatchConfig, BatchReport, BatchRunner};
 use adjstream_stream::estimator::repetitions_for_confidence;
+use adjstream_stream::hashing::SplitMix64;
 use adjstream_stream::{PassOrders, Runner, StreamOrder};
 
 use crate::amplify::{median_of_runs, MedianReport};
@@ -16,18 +36,55 @@ use crate::common::EdgeSampling;
 use crate::fourcycle::{FourCycleEstimator, TwoPassFourCycle, TwoPassFourCycleConfig};
 use crate::triangle::{TwoPassTriangle, TwoPassTriangleConfig};
 
+/// How a driver executes its repetitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// One full stream replay per repetition (per guess level for the auto
+    /// driver). Simple, allocation-light, pass-wasteful.
+    Sequential,
+    /// All repetitions share a single stream replay via [`BatchRunner`];
+    /// the auto driver additionally folds every guess level into that same
+    /// replay, so any estimate costs exactly one algorithm's pass budget.
+    #[default]
+    Batched,
+}
+
+impl Engine {
+    /// Parse the CLI spelling produced by [`Display`](std::fmt::Display).
+    pub fn parse(s: &str) -> Option<Engine> {
+        Some(match s {
+            "sequential" => Engine::Sequential,
+            "batched" => Engine::Batched,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Engine::Sequential => "sequential",
+            Engine::Batched => "batched",
+        })
+    }
+}
+
 /// Accuracy contract for the drivers.
 #[derive(Debug, Clone, Copy)]
 pub struct Accuracy {
     /// Multiplicative error target `ε` (Theorem 3.7) — ignored by the
-    /// 4-cycle driver, whose guarantee is a fixed constant factor.
+    /// 4-cycle driver, whose guarantee is a fixed constant factor. Must be
+    /// positive and finite.
     pub epsilon: f64,
-    /// Failure probability `δ`.
+    /// Failure probability `δ`, in `(0, 1)`.
     pub delta: f64,
     /// Master seed.
     pub seed: u64,
-    /// Worker threads for the repetitions.
+    /// Worker threads for the repetitions; `0` is clamped to `1` (run on
+    /// the calling thread).
     pub threads: usize,
+    /// Execution engine for the repetitions.
+    pub engine: Engine,
 }
 
 impl Default for Accuracy {
@@ -37,6 +94,35 @@ impl Default for Accuracy {
             delta: 0.1,
             seed: 2019,
             threads: 4,
+            engine: Engine::Batched,
+        }
+    }
+}
+
+impl Accuracy {
+    /// Check the contract and normalize the knobs, panicking with a clear
+    /// message on values that would otherwise fail silently: a non-finite
+    /// or non-positive `ε` makes [`triangle_budget`] degenerate to the full
+    /// stream (no space savings, no warning), and `δ` outside `(0, 1)` has
+    /// no meaning as a failure probability. `threads = 0` is clamped to 1 —
+    /// "no parallelism" is a sensible reading, not an error.
+    ///
+    /// Every driver calls this on entry, so the panics happen at the API
+    /// boundary rather than deep inside a budget formula.
+    pub fn validated(self) -> Accuracy {
+        assert!(
+            self.epsilon.is_finite() && self.epsilon > 0.0,
+            "Accuracy.epsilon must be positive and finite, got {}",
+            self.epsilon
+        );
+        assert!(
+            self.delta > 0.0 && self.delta < 1.0,
+            "Accuracy.delta must be in (0, 1), got {}",
+            self.delta
+        );
+        Accuracy {
+            threads: self.threads.max(1),
+            ..self
         }
     }
 }
@@ -46,16 +132,28 @@ impl Default for Accuracy {
 pub struct CountEstimate {
     /// The amplified estimate.
     pub count: f64,
-    /// Edge-sample budget used per run.
+    /// Edge-sample budget used per run (for the auto driver: at the
+    /// accepted guess level).
     pub budget: usize,
-    /// Repetitions run.
+    /// Repetitions run (per guess level, for the auto driver).
     pub repetitions: usize,
-    /// Per-run diagnostics.
+    /// Per-run diagnostics (for the auto driver: at the accepted level).
     pub report: MedianReport,
+    /// Total stream passes the estimate cost. Sequential: `2 × repetitions
+    /// × levels`; batched: exactly the algorithm's own pass count (2),
+    /// regardless of repetition or level count.
+    pub stream_passes: usize,
+    /// The batched engine's execution summary ([`None`] under
+    /// [`Engine::Sequential`]).
+    pub batch: Option<BatchReport>,
 }
 
 /// Budget `m′ = c·m/(ε²·T^{2/3})` clamped to `[16, m]`.
 pub fn triangle_budget(m: usize, t_lower: u64, epsilon: f64) -> usize {
+    assert!(
+        epsilon.is_finite() && epsilon > 0.0,
+        "epsilon must be positive and finite, got {epsilon}"
+    );
     let t = t_lower.max(1) as f64;
     let raw = 4.0 * m as f64 / (epsilon * epsilon * t.powf(2.0 / 3.0));
     (raw.ceil() as usize).clamp(16, m.max(16))
@@ -68,6 +166,42 @@ pub fn four_cycle_budget(m: usize, t_lower: u64) -> usize {
     (raw.ceil() as usize).clamp(16, m.max(16))
 }
 
+/// Seed for guess level `level`: a split-mix of the master seed, so the
+/// per-repetition seed blocks (`level_seed + i`) of different levels are
+/// decorrelated. Levels sharing the master seed verbatim would run
+/// *identical* repetitions at every guess, making the levels' accept/reject
+/// decisions fully correlated and voiding the union bound over levels.
+fn level_seed(master: u64, level: usize) -> u64 {
+    SplitMix64::new(master).mix(level as u64)
+}
+
+/// Summarize a batched run and package it as a [`CountEstimate`].
+fn estimate_from_batch(
+    runs: Vec<f64>,
+    budget: usize,
+    reps: usize,
+    passes: usize,
+    batch: BatchReport,
+) -> CountEstimate {
+    let report = MedianReport::from_runs(runs);
+    CountEstimate {
+        count: report.median,
+        budget,
+        repetitions: reps,
+        report,
+        stream_passes: passes,
+        batch: Some(batch),
+    }
+}
+
+fn triangle_instance(seed: u64, budget: usize) -> TwoPassTriangle {
+    TwoPassTriangle::new(TwoPassTriangleConfig {
+        seed,
+        edge_sampling: EdgeSampling::BottomK { k: budget },
+        pair_capacity: budget,
+    })
+}
+
 /// Estimate the triangle count with the Theorem 3.7 algorithm, given a
 /// lower bound `t_lower ≤ T` (the theorem's implicit promise — without any
 /// bound, use [`estimate_triangles_auto`]).
@@ -77,26 +211,40 @@ pub fn estimate_triangles(
     t_lower: u64,
     acc: Accuracy,
 ) -> CountEstimate {
+    let acc = acc.validated();
     let budget = triangle_budget(g.edge_count(), t_lower, acc.epsilon);
     let reps = repetitions_for_confidence(acc.delta);
-    let report = median_of_runs(reps, acc.seed, acc.threads, |seed| {
-        let cfg = TwoPassTriangleConfig {
-            seed,
-            edge_sampling: EdgeSampling::BottomK { k: budget },
-            pair_capacity: budget,
-        };
-        let (est, _) = Runner::run(
-            g,
-            TwoPassTriangle::new(cfg),
-            &PassOrders::Same(order.clone()),
-        );
-        est.estimate
-    });
-    CountEstimate {
-        count: report.median,
-        budget,
-        repetitions: reps,
-        report,
+    let orders = PassOrders::Same(order.clone());
+    match acc.engine {
+        Engine::Sequential => {
+            let report = median_of_runs(reps, acc.seed, acc.threads, |seed| {
+                let (est, _) = Runner::run(g, triangle_instance(seed, budget), &orders);
+                est.estimate
+            });
+            CountEstimate {
+                count: report.median,
+                budget,
+                repetitions: reps,
+                report,
+                stream_passes: 2 * reps,
+                batch: None,
+            }
+        }
+        Engine::Batched => {
+            let instances: Vec<TwoPassTriangle> = (0..reps)
+                .map(|i| triangle_instance(acc.seed.wrapping_add(i as u64), budget))
+                .collect();
+            let out = BatchRunner::try_run(
+                g,
+                instances,
+                &orders,
+                &BatchConfig::with_threads(acc.threads),
+            )
+            .expect("well-formed orders and streams");
+            let runs = out.outputs.iter().map(|e| e.estimate).collect();
+            let passes = out.report.passes;
+            estimate_from_batch(runs, budget, reps, passes, out.report)
+        }
     }
 }
 
@@ -104,26 +252,106 @@ pub fn estimate_triangles(
 /// guess-and-verify. Guesses descend geometrically from `m^{3/2}` (the
 /// maximum possible `T`); each level runs the two-pass algorithm at the
 /// budget its guess implies and accepts once the estimate is consistent
-/// with (at least half) the guess. Costs `O(log T)` two-pass rounds in the
-/// worst case; the accepted level's budget matches what a known-`T` run
-/// would have used. (Running all levels inside one two-pass execution would
-/// restore pass-optimality at the price of summing the budgets.)
+/// with (at least half) the guess. Each level draws its repetition seeds
+/// from a split-mix of the master seed and the level index, so levels are
+/// independent as the union-bound analysis requires.
+///
+/// Under [`Engine::Sequential`] the levels run one after another, two
+/// stream passes per repetition per level — `O(log T)` rounds in the worst
+/// case. Under [`Engine::Batched`] every level's every repetition is
+/// resident in one [`BatchRunner`] execution, so the whole search costs
+/// exactly 2 stream passes (at the price of summing the levels' budgets in
+/// memory); the accept scan then walks levels top-down over the already-
+/// computed run vectors and keeps the first acceptable level, exactly the
+/// level the sequential search would have stopped at.
 pub fn estimate_triangles_auto(g: &Graph, order: &StreamOrder, acc: Accuracy) -> CountEstimate {
+    let acc = acc.validated();
     let m = g.edge_count();
     let t_max = (m as f64).powf(1.5).max(1.0);
+    // Guess ladder t_max, t_max/4, … down to (and including) the first
+    // guess ≤ 1 — identical to the sequential loop's visit sequence.
+    let mut guesses = Vec::new();
     let mut guess = t_max;
-    let mut last = None;
     while guess >= 1.0 {
-        let est = estimate_triangles(g, order, guess as u64, acc);
-        let accept = est.count >= guess / 2.0;
-        let done = accept || guess <= 1.0;
-        last = Some(est);
-        if done {
+        guesses.push(guess);
+        if guess <= 1.0 {
             break;
         }
         guess /= 4.0;
     }
-    last.expect("at least one level runs")
+    let reps = repetitions_for_confidence(acc.delta);
+    match acc.engine {
+        Engine::Sequential => {
+            let mut passes_total = 0usize;
+            let mut last = None;
+            for (level, &guess) in guesses.iter().enumerate() {
+                let est = estimate_triangles(
+                    g,
+                    order,
+                    guess as u64,
+                    Accuracy {
+                        seed: level_seed(acc.seed, level),
+                        ..acc
+                    },
+                );
+                passes_total += est.stream_passes;
+                let accept = est.count >= guess / 2.0;
+                last = Some(est);
+                if accept {
+                    break;
+                }
+            }
+            let mut est = last.expect("at least one level runs");
+            est.stream_passes = passes_total;
+            est
+        }
+        Engine::Batched => {
+            // All levels × all repetitions resident at once, level-major so
+            // level ℓ's runs are the contiguous block [ℓ·reps, (ℓ+1)·reps).
+            let budgets: Vec<usize> = guesses
+                .iter()
+                .map(|&guess| triangle_budget(m, guess as u64, acc.epsilon))
+                .collect();
+            let mut instances = Vec::with_capacity(guesses.len() * reps);
+            for (level, &budget) in budgets.iter().enumerate() {
+                let base = level_seed(acc.seed, level);
+                for i in 0..reps {
+                    instances.push(triangle_instance(base.wrapping_add(i as u64), budget));
+                }
+            }
+            let out = BatchRunner::try_run(
+                g,
+                instances,
+                &PassOrders::Same(order.clone()),
+                &BatchConfig::with_threads(acc.threads),
+            )
+            .expect("well-formed orders and streams");
+            let passes = out.report.passes;
+            let mut accepted = None;
+            for (level, (&guess, &budget)) in guesses.iter().zip(&budgets).enumerate() {
+                let runs: Vec<f64> = out.outputs[level * reps..(level + 1) * reps]
+                    .iter()
+                    .map(|e| e.estimate)
+                    .collect();
+                let report = MedianReport::from_runs(runs);
+                let accept = report.median >= guess / 2.0;
+                let is_last = level + 1 == guesses.len();
+                if accept || is_last {
+                    accepted = Some((budget, report));
+                    break;
+                }
+            }
+            let (budget, report) = accepted.expect("at least one level runs");
+            CountEstimate {
+                count: report.median,
+                budget,
+                repetitions: reps,
+                report,
+                stream_passes: passes,
+                batch: Some(out.report),
+            }
+        }
+    }
 }
 
 /// Estimate the 4-cycle count with the Theorem 4.6 algorithm (constant-
@@ -134,27 +362,48 @@ pub fn estimate_four_cycles(
     t_lower: u64,
     acc: Accuracy,
 ) -> CountEstimate {
+    let acc = acc.validated();
     let budget = four_cycle_budget(g.edge_count(), t_lower);
     let reps = repetitions_for_confidence(acc.delta);
-    let report = median_of_runs(reps, acc.seed, acc.threads, |seed| {
-        let cfg = TwoPassFourCycleConfig {
+    let pass_orders = PassOrders::PerPass(vec![orders[0].clone(), orders[1].clone()]);
+    let instance = |seed: u64| {
+        TwoPassFourCycle::new(TwoPassFourCycleConfig {
             seed,
             edge_sample_size: budget,
             estimator: FourCycleEstimator::DistinctCycles,
             max_wedges: None,
-        };
-        let (est, _) = Runner::run(
-            g,
-            TwoPassFourCycle::new(cfg),
-            &PassOrders::PerPass(vec![orders[0].clone(), orders[1].clone()]),
-        );
-        est.estimate
-    });
-    CountEstimate {
-        count: report.median,
-        budget,
-        repetitions: reps,
-        report,
+        })
+    };
+    match acc.engine {
+        Engine::Sequential => {
+            let report = median_of_runs(reps, acc.seed, acc.threads, |seed| {
+                let (est, _) = Runner::run(g, instance(seed), &pass_orders);
+                est.estimate
+            });
+            CountEstimate {
+                count: report.median,
+                budget,
+                repetitions: reps,
+                report,
+                stream_passes: 2 * reps,
+                batch: None,
+            }
+        }
+        Engine::Batched => {
+            let instances: Vec<TwoPassFourCycle> = (0..reps)
+                .map(|i| instance(acc.seed.wrapping_add(i as u64)))
+                .collect();
+            let out = BatchRunner::try_run(
+                g,
+                instances,
+                &pass_orders,
+                &BatchConfig::with_threads(acc.threads),
+            )
+            .expect("well-formed orders and streams");
+            let runs = out.outputs.iter().map(|e| e.estimate).collect();
+            let passes = out.report.passes;
+            estimate_from_batch(runs, budget, reps, passes, out.report)
+        }
     }
 }
 
@@ -169,6 +418,14 @@ mod tests {
             delta: 0.2,
             seed: 5,
             threads: 2,
+            engine: Engine::Batched,
+        }
+    }
+
+    fn seq() -> Accuracy {
+        Accuracy {
+            engine: Engine::Sequential,
+            ..acc()
         }
     }
 
@@ -182,23 +439,67 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn triangle_budget_rejects_zero_epsilon() {
+        triangle_budget(1000, 100, 0.0);
+    }
+
+    #[test]
     fn estimate_triangles_with_bound() {
         let g = gen::disjoint_cliques(6, 12); // T = 240
         let order = StreamOrder::shuffled(g.vertex_count(), 3);
-        let est = estimate_triangles(&g, &order, 240, acc());
-        let rel = (est.count - 240.0).abs() / 240.0;
-        assert!(rel < 0.3, "estimate {}", est.count);
-        assert!(est.repetitions >= 3);
-        assert!(est.budget <= g.edge_count());
+        for a in [acc(), seq()] {
+            let est = estimate_triangles(&g, &order, 240, a);
+            let rel = (est.count - 240.0).abs() / 240.0;
+            assert!(rel < 0.3, "estimate {} ({})", est.count, a.engine);
+            assert!(est.repetitions >= 3);
+            assert!(est.budget <= g.edge_count());
+        }
+    }
+
+    #[test]
+    fn engines_agree_bit_for_bit() {
+        let g = gen::disjoint_cliques(5, 10);
+        let order = StreamOrder::shuffled(g.vertex_count(), 7);
+        for threads in [1, 3] {
+            let a = Accuracy { threads, ..seq() };
+            let b = Accuracy {
+                threads,
+                engine: Engine::Batched,
+                ..a
+            };
+            let s = estimate_triangles(&g, &order, 100, a);
+            let t = estimate_triangles(&g, &order, 100, b);
+            assert_eq!(s.report.runs, t.report.runs, "threads = {threads}");
+            assert_eq!(s.count, t.count);
+            assert!(t.stream_passes < s.stream_passes);
+        }
+    }
+
+    #[test]
+    fn four_cycle_engines_agree_bit_for_bit() {
+        let g = gen::disjoint_four_cycles(60);
+        let o1 = StreamOrder::shuffled(g.vertex_count(), 1);
+        let o2 = StreamOrder::shuffled(g.vertex_count(), 2);
+        let s = estimate_four_cycles(&g, [&o1, &o2], 60, seq());
+        let t = estimate_four_cycles(&g, [&o1, &o2], 60, acc());
+        assert_eq!(s.report.runs, t.report.runs);
+        // Two distinct per-pass orders: the batch generated the stream
+        // twice but still took only 2 passes total.
+        let batch = t.batch.expect("batched engine reports");
+        assert_eq!(batch.stream_generations, 2);
+        assert_eq!(t.stream_passes, 2);
     }
 
     #[test]
     fn auto_mode_finds_t_without_a_bound() {
         let g = gen::disjoint_cliques(6, 12); // T = 240, m = 180
         let order = StreamOrder::shuffled(g.vertex_count(), 4);
-        let est = estimate_triangles_auto(&g, &order, acc());
-        let rel = (est.count - 240.0).abs() / 240.0;
-        assert!(rel < 0.35, "auto estimate {}", est.count);
+        for a in [acc(), seq()] {
+            let est = estimate_triangles_auto(&g, &order, a);
+            let rel = (est.count - 240.0).abs() / 240.0;
+            assert!(rel < 0.35, "auto estimate {} ({})", est.count, a.engine);
+        }
     }
 
     #[test]
@@ -207,8 +508,62 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let g = gen::bipartite_gnm(30, 30, 250, &mut rng);
         let order = StreamOrder::shuffled(g.vertex_count(), 1);
+        for a in [acc(), seq()] {
+            let est = estimate_triangles_auto(&g, &order, a);
+            assert_eq!(est.count, 0.0, "{}", a.engine);
+        }
+    }
+
+    #[test]
+    fn auto_engines_accept_the_same_level() {
+        let g = gen::disjoint_cliques(4, 9);
+        let order = StreamOrder::shuffled(g.vertex_count(), 8);
+        let s = estimate_triangles_auto(&g, &order, seq());
+        let t = estimate_triangles_auto(&g, &order, acc());
+        assert_eq!(s.budget, t.budget, "same accepted level");
+        assert_eq!(s.report.runs, t.report.runs);
+        assert_eq!(s.count, t.count);
+    }
+
+    #[test]
+    fn auto_batched_takes_exactly_two_passes() {
+        // The acceptance criterion of the batched rewrite: pass count is
+        // the algorithm's own (2), independent of how many guess levels the
+        // ladder has.
+        let g = gen::disjoint_cliques(6, 12);
+        let order = StreamOrder::shuffled(g.vertex_count(), 4);
         let est = estimate_triangles_auto(&g, &order, acc());
-        assert_eq!(est.count, 0.0);
+        assert_eq!(est.stream_passes, 2);
+        let batch = est.batch.expect("batched engine reports");
+        assert_eq!(batch.passes, 2);
+        assert_eq!(batch.stream_generations, 1, "same order ⇒ one generation");
+        // Many levels really were resident: more instances than one level's
+        // repetitions.
+        assert!(batch.instances > est.repetitions);
+        // …while the sequential engine pays per level.
+        let s = estimate_triangles_auto(&g, &order, seq());
+        assert!(s.stream_passes > 2);
+    }
+
+    #[test]
+    fn auto_levels_use_distinct_seeds() {
+        // Regression for the correlated-seed bug: two levels of the ladder
+        // must not run identical repetitions. Compare the run vectors of
+        // the same graph estimated at two different explicit levels using
+        // the seeds the ladder would derive.
+        let g = gen::disjoint_cliques(6, 12);
+        let order = StreamOrder::shuffled(g.vertex_count(), 4);
+        let at_level = |level: usize| {
+            let a = Accuracy {
+                seed: super::level_seed(5, level),
+                ..acc()
+            };
+            // Same guess ⇒ same budget: any run-vector difference is the
+            // seeds, not the sample size.
+            estimate_triangles(&g, &order, 240, a).report.runs
+        };
+        assert_ne!(super::level_seed(5, 0), super::level_seed(5, 1));
+        assert_ne!(at_level(0), at_level(1), "levels must be decorrelated");
     }
 
     #[test]
@@ -217,8 +572,75 @@ mod tests {
         let truth = exact::count_four_cycles(&g) as f64;
         let o1 = StreamOrder::shuffled(g.vertex_count(), 1);
         let o2 = StreamOrder::shuffled(g.vertex_count(), 2);
-        let est = estimate_four_cycles(&g, [&o1, &o2], 200, acc());
-        let ratio = est.count / truth;
-        assert!((0.2..=5.0).contains(&ratio), "ratio {ratio}");
+        for a in [acc(), seq()] {
+            let est = estimate_four_cycles(&g, [&o1, &o2], 200, a);
+            let ratio = est.count / truth;
+            assert!((0.2..=5.0).contains(&ratio), "ratio {ratio} ({})", a.engine);
+        }
+    }
+
+    #[test]
+    fn accuracy_validation_boundaries() {
+        // threads = 0 clamps to 1 rather than accidentally selecting the
+        // sequential fallback path.
+        let v = Accuracy {
+            threads: 0,
+            ..acc()
+        }
+        .validated();
+        assert_eq!(v.threads, 1);
+        // In-range values pass through untouched.
+        let v = acc().validated();
+        assert_eq!(v.threads, 2);
+        assert_eq!(v.epsilon, 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive and finite")]
+    fn accuracy_rejects_nonpositive_epsilon() {
+        let _ = Accuracy {
+            epsilon: 0.0,
+            ..acc()
+        }
+        .validated();
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive and finite")]
+    fn accuracy_rejects_nan_epsilon() {
+        let _ = Accuracy {
+            epsilon: f64::NAN,
+            ..acc()
+        }
+        .validated();
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be in (0, 1)")]
+    fn accuracy_rejects_delta_of_one() {
+        let _ = Accuracy {
+            delta: 1.0,
+            ..acc()
+        }
+        .validated();
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be in (0, 1)")]
+    fn accuracy_rejects_zero_delta() {
+        let _ = Accuracy {
+            delta: 0.0,
+            ..acc()
+        }
+        .validated();
+    }
+
+    #[test]
+    fn engine_parse_round_trips() {
+        for e in [Engine::Sequential, Engine::Batched] {
+            assert_eq!(Engine::parse(&e.to_string()), Some(e));
+        }
+        assert_eq!(Engine::parse("warp"), None);
+        assert_eq!(Engine::default(), Engine::Batched);
     }
 }

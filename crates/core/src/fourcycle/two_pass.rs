@@ -106,6 +106,9 @@ pub struct TwoPassFourCycle {
     wedges: Vec<Wedge>,
     /// Packed leaf pair → wedge indices.
     leaf_index: HashMap<u64, Vec<u32>>,
+    /// Bytes held by `leaf_index`'s inner vectors, maintained incrementally
+    /// so `space_bytes` (sampled at every list boundary) stays O(1).
+    leaf_vec_bytes: usize,
     watcher: PairWatcher,
     /// Distinct cycles found (DistinctCycles mode).
     found: HashSet<FourCycleKey>,
@@ -123,6 +126,7 @@ impl TwoPassFourCycle {
             sampler: BottomKSampler::new(cfg.seed, cfg.edge_sample_size),
             wedges: Vec::new(),
             leaf_index: HashMap::new(),
+            leaf_vec_bytes: 0,
             watcher: PairWatcher::new(),
             found: HashSet::new(),
             buf: Vec::new(),
@@ -167,10 +171,8 @@ impl TwoPassFourCycle {
             let idx = self.wedges.len() as u32;
             let (a, b) = (w.a, w.b);
             self.wedges.push(w);
-            self.leaf_index
-                .entry(pack_pair(a, b))
-                .or_default()
-                .push(idx);
+            self.leaf_vec_bytes +=
+                crate::common::push_map_vec(&mut self.leaf_index, pack_pair(a, b), idx, 4);
             self.watcher.watch(a, b);
         }
     }
@@ -178,15 +180,10 @@ impl TwoPassFourCycle {
 
 impl SpaceUsage for TwoPassFourCycle {
     fn space_bytes(&self) -> usize {
-        let inner: usize = self
-            .leaf_index
-            .values()
-            .map(|v| v.capacity() * 4 + 24)
-            .sum();
         self.sampler.space_bytes()
             + vec_bytes(&self.wedges)
             + hashmap_bytes(&self.leaf_index)
-            + inner
+            + self.leaf_vec_bytes
             + self.watcher.space_bytes()
             + hashset_bytes(&self.found)
     }
@@ -470,6 +467,32 @@ mod wedge_cap_tests {
             (capped_mean - truth).abs() < 0.5 * truth,
             "capped mean {capped_mean} vs {truth}"
         );
+    }
+
+    /// The incremental leaf-index byte counter must equal a full rescan
+    /// after the wedge set is built.
+    #[test]
+    fn incremental_accounting_matches_rescan() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = gen::gnm(30, 160, &mut rng);
+        let n = g.vertex_count();
+        let mut algo = TwoPassFourCycle::new(TwoPassFourCycleConfig::paper(3, 80));
+        let orders = [StreamOrder::shuffled(n, 1), StreamOrder::shuffled(n, 2)];
+        for (pass, order) in orders.iter().enumerate() {
+            let items = adjstream_stream::AdjListStream::new(&g, order.clone()).collect_items();
+            algo.begin_pass(pass);
+            for it in &items {
+                algo.item(it.src, it.dst);
+            }
+            let rescan: usize = algo
+                .leaf_index
+                .values()
+                .map(|v| v.capacity() * 4 + 24)
+                .sum();
+            assert_eq!(algo.leaf_vec_bytes, rescan, "pass {pass}");
+        }
+        assert!(algo.leaf_vec_bytes > 0, "wedges were indexed");
     }
 
     #[test]

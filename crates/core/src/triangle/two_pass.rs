@@ -142,8 +142,13 @@ pub struct TwoPassTriangle {
     free_gens: HashMap<u32, u32>,
     /// Packed edge → monitoring pairs `(slab, gen, slot)`.
     monitors: HashMap<u64, Vec<(u32, u32, u8)>>,
+    /// Bytes held by `monitors`' inner vectors, maintained incrementally so
+    /// `space_bytes` (sampled at every list boundary) stays O(1).
+    monitors_vec_bytes: usize,
     /// Opposite vertex → pending slot activations `(slab, gen, slot)`.
     activations: HashMap<u32, Vec<(u32, u32, u8)>>,
+    /// Bytes held by `activations`' inner vectors (see `monitors_vec_bytes`).
+    activations_vec_bytes: usize,
     watcher: PairWatcher,
     /// Scratch buffer for completion callbacks.
     completed_buf: Vec<u64>,
@@ -170,7 +175,9 @@ impl TwoPassTriangle {
             free: Vec::new(),
             free_gens: HashMap::new(),
             monitors: HashMap::new(),
+            monitors_vec_bytes: 0,
             activations: HashMap::new(),
+            activations_vec_bytes: 0,
             watcher: PairWatcher::new(),
             completed_buf: Vec::new(),
         }
@@ -193,14 +200,10 @@ impl TwoPassTriangle {
             let opp = rec.opposite(slot as usize);
             let (a, b) = crate::common::unpack_pair(edge);
             self.watcher.watch(a, b);
-            self.monitors
-                .entry(edge)
-                .or_default()
-                .push((slab, gen, slot));
-            self.activations
-                .entry(opp.0)
-                .or_default()
-                .push((slab, gen, slot));
+            self.monitors_vec_bytes +=
+                crate::common::push_map_vec(&mut self.monitors, edge, (slab, gen, slot), 12);
+            self.activations_vec_bytes +=
+                crate::common::push_map_vec(&mut self.activations, opp.0, (slab, gen, slot), 12);
         }
         let _ = verts;
     }
@@ -308,7 +311,9 @@ impl TwoPassTriangle {
                     }
                 });
                 if entries.is_empty() {
-                    self.monitors.remove(&key);
+                    if let Some(dead) = self.monitors.remove(&key) {
+                        self.monitors_vec_bytes -= dead.capacity() * 12 + 24;
+                    }
                 }
             }
         }
@@ -382,19 +387,13 @@ impl TwoPassTriangle {
 
 impl SpaceUsage for TwoPassTriangle {
     fn space_bytes(&self) -> usize {
-        let monitors_inner: usize = self.monitors.values().map(|v| v.capacity() * 12 + 24).sum();
-        let act_inner: usize = self
-            .activations
-            .values()
-            .map(|v| v.capacity() * 12 + 24)
-            .sum();
         hashmap_bytes(&self.s_edges)
             + self.slab.capacity() * std::mem::size_of::<Option<PairRecord>>()
             + vec_bytes(&self.free)
             + hashmap_bytes(&self.monitors)
-            + monitors_inner
+            + self.monitors_vec_bytes
             + hashmap_bytes(&self.activations)
-            + act_inner
+            + self.activations_vec_bytes
             + self.watcher.space_bytes()
             + self.q.space_bytes()
             + hashmap_bytes(&self.free_gens)
@@ -445,6 +444,7 @@ impl MultiPassAlgorithm for TwoPassTriangle {
     fn end_list(&mut self, owner: VertexId) {
         if self.pass == 1 {
             if let Some(entries) = self.activations.remove(&owner.0) {
+                self.activations_vec_bytes -= entries.capacity() * 12 + 24;
                 for (s, g, slot) in entries {
                     if let Some(rec) = self.slab.get_mut(s as usize).and_then(|r| r.as_mut()) {
                         if rec.gen == g {
@@ -655,6 +655,57 @@ mod tests {
             r_small.peak_state_bytes,
             r_big.peak_state_bytes
         );
+    }
+
+    /// The incremental monitor/activation byte counters must equal a full
+    /// value rescan at every list boundary of a real run — otherwise the
+    /// O(1) `space_bytes` would drift from the metered truth.
+    #[test]
+    fn incremental_accounting_matches_rescan_during_runs() {
+        use adjstream_stream::item::StreamItem;
+        use adjstream_stream::AdjListStream;
+
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = gen::gnm(60, 400, &mut rng);
+        let order = StreamOrder::shuffled(60, 4);
+        let items: Vec<StreamItem> = AdjListStream::new(&g, order).collect_items();
+        let mut algo = TwoPassTriangle::new(TwoPassTriangleConfig {
+            seed: 5,
+            edge_sampling: EdgeSampling::BottomK { k: 60 },
+            pair_capacity: 60,
+        });
+        let rescan = |a: &TwoPassTriangle| {
+            let mon: usize = a.monitors.values().map(|v| v.capacity() * 12 + 24).sum();
+            let act: usize = a.activations.values().map(|v| v.capacity() * 12 + 24).sum();
+            (mon, act)
+        };
+        for pass in 0..2 {
+            algo.begin_pass(pass);
+            let mut current = None;
+            for it in &items {
+                if current != Some(it.src) {
+                    if let Some(prev) = current {
+                        algo.end_list(prev);
+                        assert_eq!(
+                            (algo.monitors_vec_bytes, algo.activations_vec_bytes),
+                            rescan(&algo),
+                            "pass {pass}"
+                        );
+                    }
+                    algo.begin_list(it.src);
+                    current = Some(it.src);
+                }
+                algo.item(it.src, it.dst);
+            }
+            if let Some(prev) = current {
+                algo.end_list(prev);
+            }
+            algo.end_pass(pass);
+            assert_eq!(
+                (algo.monitors_vec_bytes, algo.activations_vec_bytes),
+                rescan(&algo)
+            );
+        }
     }
 
     #[test]

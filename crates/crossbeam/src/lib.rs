@@ -1,12 +1,74 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! The workspace only uses `crossbeam::thread::scope` for structured
-//! fork/join parallelism, which `std::thread::scope` (Rust ≥ 1.63) covers
-//! directly. This shim adapts std's scope to crossbeam's signature: the
-//! spawned closure receives the scope (so it could spawn recursively), and
-//! `scope` returns `Err` instead of unwinding when a child thread panics.
+//! The workspace uses `crossbeam::thread::scope` for structured fork/join
+//! parallelism and `crossbeam::channel::bounded` for backpressured fan-out,
+//! both of which the standard library covers directly (`std::thread::scope`
+//! on Rust ≥ 1.63, `std::sync::mpsc::sync_channel`). This shim adapts std's
+//! primitives to crossbeam's signatures: the spawned closure receives the
+//! scope (so it could spawn recursively), `scope` returns `Err` instead of
+//! unwinding when a child thread panics, and `channel::bounded` returns a
+//! cloneable blocking sender plus a receiver.
 
 #![warn(missing_docs)]
+
+/// Bounded multi-producer channels.
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// The send half of a bounded channel. `send` blocks while the channel
+    /// is full — that blocking is the backpressure the batch engine relies
+    /// on — and fails only when the receiver is gone.
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// Error returned by [`Sender::send`] when the receiving side has been
+    /// dropped; carries the unsent value back.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when every sender is gone and
+    /// the buffer is drained.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> Sender<T> {
+        /// Send `value`, blocking while the channel is at capacity.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// The receive half of a bounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Receive the next value, blocking until one is available or every
+        /// sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Blocking iterator over received values; ends when every sender
+        /// is dropped.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.iter()
+        }
+    }
+
+    /// Create a bounded channel holding at most `cap` in-flight values
+    /// (`cap = 0` makes every send a rendezvous).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+}
 
 /// Scoped threads.
 pub mod thread {
@@ -49,6 +111,44 @@ pub mod thread {
 
 #[cfg(test)]
 mod tests {
+    #[test]
+    fn bounded_channel_delivers_in_order_and_closes() {
+        let (tx, rx) = super::channel::bounded(2);
+        let tx2 = tx.clone();
+        super::thread::scope(|scope| {
+            scope.spawn(move |_| {
+                for i in 0..50u32 {
+                    tx.send(i).unwrap();
+                }
+            });
+            scope.spawn(move |_| {
+                for i in 50..100u32 {
+                    tx2.send(i).unwrap();
+                }
+            });
+            let mut got: Vec<u32> = rx.iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_errors() {
+        let (tx, rx) = super::channel::bounded::<u8>(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn recv_after_senders_dropped_errors() {
+        let (tx, rx) = super::channel::bounded::<u8>(4);
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(super::channel::RecvError));
+    }
+
     #[test]
     fn scoped_threads_borrow_and_join() {
         let mut data = vec![0u64; 8];

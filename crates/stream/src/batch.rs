@@ -1,0 +1,1026 @@
+//! Stream-once batched execution: fan one stream replay out to many
+//! algorithm instances.
+//!
+//! The amplification layer (Theorems 3.7 and 4.6) runs `Θ(log 1/δ)`
+//! independent repetitions of the same multi-pass algorithm, and the
+//! guess-and-verify driver multiplies that by `O(log T)` guess levels. The
+//! sequential driver replays the full adjacency-list stream for every
+//! repetition of every level — pass-wasteful in exactly the sense the model
+//! charges for. [`BatchRunner`] restores pass-optimality: each pass's item
+//! sequence is generated **once** and every item is fanned out to all `R`
+//! resident [`MultiPassAlgorithm`] instances, so the whole batch costs as
+//! many stream passes as a *single* instance would.
+//!
+//! Execution model:
+//!
+//! * With `threads ≤ 1` the instances are driven inline, in index order, by
+//!   the same boundary-detecting loop ([`drive_pass`]) the sequential
+//!   [`Runner`](crate::runner::Runner) uses.
+//! * With `threads > 1` the instances are sharded across worker threads
+//!   (contiguous index ranges, mirroring `median_of_runs`' chunking). The
+//!   driving thread batches stream events into chunks and broadcasts each
+//!   chunk to every worker over a bounded channel — a full worker exerts
+//!   backpressure on the stream generator instead of buffering unboundedly.
+//!
+//! Because every instance observes the identical event sequence in either
+//! mode, batched execution is **bitwise reproducible** against the
+//! sequential driver: an instance seeded `s` produces the same output here
+//! as it does under `Runner::run` on the same graph and order.
+//!
+//! Ingestion guarding composes at the *stream* level, not per instance:
+//! [`BatchConfig::guard`] wraps the fan-out itself in a single
+//! [`Guarded`] adapter, so one [`OnlineValidator`] vets each item once
+//! before it is broadcast (the repair policy's dropped items simply never
+//! reach any instance). Running `R` validators for `R` instances of the
+//! same stream would multiply validation cost and memory for no extra
+//! information.
+//!
+//! Space note: for replayed passes over the same [`StreamOrder`], the
+//! engine materializes one pass's items (`2m` items, 8 bytes each) so later
+//! passes and later levels never regenerate the stream. This buffer is
+//! harness state, not algorithm state — it is never reported through
+//! [`SpaceUsage`], exactly as the sequential `AdjListStream` generator's
+//! internal state is not.
+//!
+//! [`OnlineValidator`]: crate::validate::OnlineValidator
+
+use std::sync::Arc;
+
+use adjstream_graph::{Graph, VertexId};
+
+use crate::adjlist::AdjListStream;
+use crate::guard::{GuardPolicy, Guarded};
+use crate::item::StreamItem;
+use crate::meter::{vec_bytes, PeakTracker, SpaceUsage};
+use crate::order::StreamOrder;
+use crate::runner::{drive_pass, GuardStats, MultiPassAlgorithm, PassOrders, RunError, RunReport};
+use crate::validate::ValidatorMode;
+
+/// Knobs for a batched run.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Worker threads the instances are sharded over; `0` or `1` drives
+    /// them inline on the calling thread.
+    pub threads: usize,
+    /// Stream events buffered per replay chunk. Inline mode replays each
+    /// full chunk through one instance at a time, so larger chunks keep an
+    /// instance's state hot in cache across many events instead of touching
+    /// all `R` states per event; threaded mode ships whole chunks over the
+    /// channels, amortizing send overhead. Smaller chunks tighten
+    /// backpressure and shrink the buffer. The default trades ~2 MiB of
+    /// buffer for near-saturated replay throughput.
+    pub chunk_events: usize,
+    /// Bounded-channel depth per worker, in chunks.
+    pub channel_depth: usize,
+    /// Wrap the *shared stream* in one [`Guarded`] validator with this
+    /// policy and mode. `None` trusts the stream (the graph-backed
+    /// generator always satisfies the promise).
+    pub guard: Option<(GuardPolicy, ValidatorMode)>,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            threads: 1,
+            chunk_events: 128 * 1024,
+            channel_depth: 4,
+            guard: None,
+        }
+    }
+}
+
+impl BatchConfig {
+    /// Config with `threads` workers and every other knob at its default.
+    pub fn with_threads(threads: usize) -> Self {
+        BatchConfig {
+            threads,
+            ..BatchConfig::default()
+        }
+    }
+}
+
+/// Per-instance execution summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstanceReport {
+    /// Worker shard the instance ran on (0 in inline mode).
+    pub shard: usize,
+    /// High-water mark of this instance's reported state, sampled at every
+    /// adjacency-list boundary (same sampling points as the sequential
+    /// runner).
+    pub peak_state_bytes: usize,
+    /// Items delivered to this instance across all passes.
+    pub items: usize,
+}
+
+/// Execution summary of a batched run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Instances fanned out to.
+    pub instances: usize,
+    /// Worker threads actually used (after clamping to the instance count).
+    pub threads: usize,
+    /// Stream passes executed — for the whole batch, not per instance.
+    pub passes: usize,
+    /// Items driven through the shared stream, summed over passes. Each
+    /// item is counted once here no matter how many instances consumed it.
+    pub stream_items: usize,
+    /// Times a pass's item sequence was actually generated from the graph;
+    /// replayed passes over an identical order reuse the materialized
+    /// buffer and do not count.
+    pub stream_generations: usize,
+    /// Total item deliveries across instances (≈ `stream_items ×
+    /// instances`, minus items a shared repair guard dropped before
+    /// fan-out).
+    pub items_fanned_out: usize,
+    /// Per-instance diagnostics, in instance order.
+    pub per_instance: Vec<InstanceReport>,
+    /// Counters of the shared-stream guard, when one was configured.
+    pub guard: Option<GuardStats>,
+}
+
+/// A batched run's outputs plus its report.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome<T> {
+    /// Instance outputs, in the order the instances were supplied.
+    pub outputs: Vec<T>,
+    /// Execution summary.
+    pub report: BatchReport,
+}
+
+/// One stream event, as broadcast to every instance. Mirrors the calls
+/// [`drive_pass`] makes on a [`MultiPassAlgorithm`].
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    BeginPass(usize),
+    BeginList(VertexId),
+    Item(VertexId, VertexId),
+    EndList(VertexId),
+    EndPass(usize),
+}
+
+/// An instance plus its driver-side bookkeeping. Applying events through
+/// this struct reproduces `drive_pass`'s per-instance behavior exactly:
+/// peak state sampled at list and pass boundaries, abort polled after every
+/// item and at pass end.
+struct InstanceState<A: MultiPassAlgorithm> {
+    shard: usize,
+    algo: Option<A>,
+    peak: PeakTracker,
+    items: usize,
+    pass: usize,
+    error: Option<RunError>,
+}
+
+impl<A: MultiPassAlgorithm> InstanceState<A> {
+    fn new(algo: A, shard: usize) -> Self {
+        InstanceState {
+            shard,
+            algo: Some(algo),
+            peak: PeakTracker::new(),
+            items: 0,
+            pass: 0,
+            error: None,
+        }
+    }
+
+    fn apply(&mut self, ev: Event) {
+        if self.error.is_some() {
+            return;
+        }
+        let Some(algo) = self.algo.as_mut() else {
+            return;
+        };
+        match ev {
+            Event::BeginPass(p) => {
+                self.pass = p;
+                algo.begin_pass(p);
+            }
+            Event::BeginList(owner) => algo.begin_list(owner),
+            Event::Item(src, dst) => {
+                algo.item(src, dst);
+                self.items += 1;
+                if let Some(error) = algo.abort_error() {
+                    self.error = Some(RunError::Invalid {
+                        pass: self.pass,
+                        error,
+                    });
+                }
+            }
+            Event::EndList(owner) => {
+                algo.end_list(owner);
+                self.peak.observe(algo.space_bytes());
+            }
+            Event::EndPass(p) => {
+                algo.end_pass(p);
+                self.peak.observe(algo.space_bytes());
+                if let Some(error) = algo.abort_error() {
+                    self.error = Some(RunError::Invalid {
+                        pass: self.pass,
+                        error,
+                    });
+                }
+            }
+        }
+    }
+
+    fn into_outcome(mut self, index: usize) -> InstanceOutcome<A::Output> {
+        let result = match self.error.take() {
+            Some(e) => Err(e),
+            None => Ok(self.algo.take().expect("instance not finished").finish()),
+        };
+        InstanceOutcome {
+            index,
+            report: InstanceReport {
+                shard: self.shard,
+                peak_state_bytes: self.peak.peak(),
+                items: self.items,
+            },
+            result,
+        }
+    }
+}
+
+struct InstanceOutcome<T> {
+    index: usize,
+    report: InstanceReport,
+    result: Result<T, RunError>,
+}
+
+/// What driving a fan-out yields: one outcome per instance plus the shared
+/// stream's run report.
+type DrivenBatch<T> = (Vec<InstanceOutcome<T>>, RunReport);
+
+/// The fan-out itself, viewed as one [`MultiPassAlgorithm`] so the shared
+/// [`drive_pass`] loop (and a shared [`Guarded`] wrapper) can drive it.
+enum FanOut<A: MultiPassAlgorithm> {
+    Inline {
+        passes: usize,
+        same_order: bool,
+        states: Vec<InstanceState<A>>,
+        buf: Vec<Event>,
+        chunk_events: usize,
+    },
+    Threaded {
+        passes: usize,
+        same_order: bool,
+        senders: Vec<crossbeam::channel::Sender<Arc<Vec<Event>>>>,
+        results: crossbeam::channel::Receiver<InstanceOutcome<A::Output>>,
+        buf: Vec<Event>,
+        chunk_events: usize,
+    },
+}
+
+impl<A: MultiPassAlgorithm> FanOut<A> {
+    /// Both backends buffer events into chunks instead of touching every
+    /// instance per event: replaying a chunk against one instance at a time
+    /// keeps that instance's sample structures hot in cache, where
+    /// per-event interleaving across `R` instances thrashes it (measured
+    /// ~5× slower at 55 resident triangle instances). Instances are
+    /// independent, so chunked delivery is observationally identical.
+    fn emit(&mut self, ev: Event) {
+        match self {
+            FanOut::Inline {
+                states,
+                buf,
+                chunk_events,
+                ..
+            } => {
+                buf.push(ev);
+                if buf.len() >= *chunk_events {
+                    Self::replay(states, buf);
+                }
+            }
+            FanOut::Threaded {
+                buf,
+                chunk_events,
+                senders,
+                ..
+            } => {
+                buf.push(ev);
+                if buf.len() >= *chunk_events {
+                    Self::flush(senders, buf);
+                }
+            }
+        }
+    }
+
+    /// Drain `buf` into every instance, one instance at a time.
+    fn replay(states: &mut [InstanceState<A>], buf: &mut Vec<Event>) {
+        for st in states.iter_mut() {
+            for &ev in buf.iter() {
+                st.apply(ev);
+            }
+        }
+        buf.clear();
+    }
+
+    fn flush(senders: &[crossbeam::channel::Sender<Arc<Vec<Event>>>], buf: &mut Vec<Event>) {
+        if buf.is_empty() {
+            return;
+        }
+        let chunk = Arc::new(std::mem::take(buf));
+        for tx in senders {
+            // A send fails only if the worker died; its panic resurfaces at
+            // scope join, so dropping the chunk here is safe.
+            let _ = tx.send(Arc::clone(&chunk));
+        }
+    }
+}
+
+impl<A: MultiPassAlgorithm> SpaceUsage for FanOut<A> {
+    /// Only the driver-side chunk buffer. Instance state is sampled
+    /// per-instance inside [`InstanceState::apply`] (that is what the
+    /// [`BatchReport`] publishes); summing `R` instances here would make
+    /// the shared driver's boundary sampling O(R·state) per list, which
+    /// measurably dominates whole runs.
+    fn space_bytes(&self) -> usize {
+        match self {
+            FanOut::Inline { buf, .. } | FanOut::Threaded { buf, .. } => vec_bytes(buf),
+        }
+    }
+}
+
+impl<A: MultiPassAlgorithm> MultiPassAlgorithm for FanOut<A> {
+    type Output = Vec<InstanceOutcome<A::Output>>;
+
+    fn passes(&self) -> usize {
+        match self {
+            FanOut::Inline { passes, .. } | FanOut::Threaded { passes, .. } => *passes,
+        }
+    }
+
+    fn requires_same_order(&self) -> bool {
+        match self {
+            FanOut::Inline { same_order, .. } | FanOut::Threaded { same_order, .. } => *same_order,
+        }
+    }
+
+    fn begin_pass(&mut self, pass: usize) {
+        self.emit(Event::BeginPass(pass));
+    }
+
+    fn begin_list(&mut self, owner: VertexId) {
+        self.emit(Event::BeginList(owner));
+    }
+
+    fn item(&mut self, src: VertexId, dst: VertexId) {
+        self.emit(Event::Item(src, dst));
+    }
+
+    fn end_list(&mut self, owner: VertexId) {
+        self.emit(Event::EndList(owner));
+    }
+
+    fn end_pass(&mut self, pass: usize) {
+        self.emit(Event::EndPass(pass));
+        match self {
+            FanOut::Inline { states, buf, .. } => Self::replay(states, buf),
+            FanOut::Threaded { senders, buf, .. } => Self::flush(senders, buf),
+        }
+    }
+
+    fn finish(self) -> Self::Output {
+        match self {
+            FanOut::Inline {
+                mut states,
+                mut buf,
+                ..
+            } => {
+                Self::replay(&mut states, &mut buf);
+                states
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, st)| st.into_outcome(i))
+                    .collect()
+            }
+            FanOut::Threaded {
+                senders,
+                results,
+                mut buf,
+                ..
+            } => {
+                Self::flush(&senders, &mut buf);
+                // Closing the input channels tells the workers to finish;
+                // they respond with one outcome per instance.
+                drop(senders);
+                let mut outcomes: Vec<InstanceOutcome<A::Output>> = results.iter().collect();
+                outcomes.sort_by_key(|o| o.index);
+                outcomes
+            }
+        }
+    }
+}
+
+/// Where a batched run's per-pass items come from.
+enum PassSource<'a> {
+    /// Generate from a graph under `orders`, materializing each generated
+    /// pass so identical later orders replay the buffer.
+    Graph {
+        graph: &'a Graph,
+        orders: &'a PassOrders,
+        cache: Option<(StreamOrder, Vec<StreamItem>)>,
+        generations: usize,
+    },
+    /// Explicit per-pass sequences (corrupted streams, traces). Never
+    /// cached: fault plans may replay differently per pass by design.
+    Items {
+        supply: Box<dyn FnMut(usize) -> Vec<StreamItem> + 'a>,
+        current: Vec<StreamItem>,
+        generations: usize,
+    },
+}
+
+impl<'a> PassSource<'a> {
+    fn items_for(&mut self, pass: usize) -> &[StreamItem] {
+        match self {
+            PassSource::Graph {
+                graph,
+                orders,
+                cache,
+                generations,
+            } => {
+                let order = orders.order_for(pass);
+                let hit = cache.as_ref().is_some_and(|(o, _)| o == order);
+                if !hit {
+                    *generations += 1;
+                    let items = AdjListStream::new(graph, order.clone()).collect_items();
+                    *cache = Some((order.clone(), items));
+                }
+                &cache.as_ref().expect("cache populated").1
+            }
+            PassSource::Items {
+                supply,
+                current,
+                generations,
+            } => {
+                *generations += 1;
+                *current = supply(pass);
+                current
+            }
+        }
+    }
+
+    fn generations(&self) -> usize {
+        match self {
+            PassSource::Graph { generations, .. } | PassSource::Items { generations, .. } => {
+                *generations
+            }
+        }
+    }
+}
+
+/// Drive `fanout` (optionally wrapped in a shared guard) over `source`.
+fn drive_batch<B>(
+    mut algo: B,
+    source: &mut PassSource<'_>,
+) -> Result<(B::Output, RunReport), RunError>
+where
+    B: MultiPassAlgorithm,
+{
+    let mut peak = PeakTracker::new();
+    let mut processed = 0usize;
+    let passes = algo.passes();
+    for pass in 0..passes {
+        let items = source.items_for(pass);
+        drive_pass(
+            &mut algo,
+            pass,
+            items.iter().copied(),
+            &mut peak,
+            &mut processed,
+        )?;
+    }
+    let guard = algo.guard_stats();
+    Ok((
+        algo.finish(),
+        RunReport {
+            peak_state_bytes: peak.peak(),
+            items_processed: processed,
+            passes,
+            guard,
+        },
+    ))
+}
+
+/// Runs many instances of one algorithm over a single shared stream replay.
+/// See the module docs for the execution model.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BatchRunner;
+
+impl BatchRunner {
+    /// Run every instance in `instances` over `graph` streamed per
+    /// `orders`, generating each pass once.
+    ///
+    /// All instances must agree on `passes()` and `requires_same_order()`
+    /// (they are copies of one algorithm at different seeds; this is
+    /// asserted). Order-contract violations return the same typed
+    /// [`RunError`]s as [`Runner::try_run`](crate::runner::Runner::try_run);
+    /// a strict shared guard aborts the whole batch with
+    /// [`RunError::Invalid`]. A per-instance failure (only possible when
+    /// instances carry their own guards, which the shared-guard design
+    /// makes unnecessary) fails the batch with the first instance's error.
+    pub fn try_run<A>(
+        graph: &Graph,
+        instances: Vec<A>,
+        orders: &PassOrders,
+        cfg: &BatchConfig,
+    ) -> Result<BatchOutcome<A::Output>, RunError>
+    where
+        A: MultiPassAlgorithm + Send,
+        A::Output: Send,
+    {
+        let contract = Self::contract(&instances);
+        orders.check(contract.0, contract.1)?;
+        let mut source = PassSource::Graph {
+            graph,
+            orders,
+            cache: None,
+            generations: 0,
+        };
+        Self::execute(instances, contract, cfg, &mut source)
+    }
+
+    /// Run every instance over explicit per-pass item sequences (which may
+    /// differ per pass, e.g. [`crate::fault::FaultPlan`] replays). No order
+    /// contract is checked — raw item sequences carry no declared order,
+    /// exactly as with [`crate::runner::run_item_passes`].
+    pub fn try_run_items<A, F>(
+        instances: Vec<A>,
+        supply: F,
+        cfg: &BatchConfig,
+    ) -> Result<BatchOutcome<A::Output>, RunError>
+    where
+        A: MultiPassAlgorithm + Send,
+        A::Output: Send,
+        F: FnMut(usize) -> Vec<StreamItem>,
+    {
+        let contract = Self::contract(&instances);
+        let mut supply = supply;
+        let mut source = PassSource::Items {
+            supply: Box::new(&mut supply),
+            current: Vec::new(),
+            generations: 0,
+        };
+        Self::execute(instances, contract, cfg, &mut source)
+    }
+
+    fn contract<A: MultiPassAlgorithm>(instances: &[A]) -> (usize, bool) {
+        assert!(!instances.is_empty(), "need at least one instance");
+        let passes = instances[0].passes();
+        let same_order = instances[0].requires_same_order();
+        assert!(
+            instances
+                .iter()
+                .all(|a| a.passes() == passes && a.requires_same_order() == same_order),
+            "batch instances must share one pass contract"
+        );
+        (passes, same_order)
+    }
+
+    fn execute<A>(
+        instances: Vec<A>,
+        (passes, same_order): (usize, bool),
+        cfg: &BatchConfig,
+        source: &mut PassSource<'_>,
+    ) -> Result<BatchOutcome<A::Output>, RunError>
+    where
+        A: MultiPassAlgorithm + Send,
+        A::Output: Send,
+    {
+        let n = instances.len();
+        let threads = cfg.threads.clamp(1, n);
+        if threads <= 1 {
+            let states = instances
+                .into_iter()
+                .map(|a| InstanceState::new(a, 0))
+                .collect();
+            let fanout = FanOut::Inline {
+                passes,
+                same_order,
+                states,
+                buf: Vec::with_capacity(cfg.chunk_events),
+                chunk_events: cfg.chunk_events.max(1),
+            };
+            let driven = Self::drive_guarded(fanout, cfg, source)?;
+            return Self::assemble(driven, source, threads);
+        }
+        let chunk = n.div_ceil(threads);
+        let scope_result = crossbeam::thread::scope(|scope| {
+            let (result_tx, result_rx) = crossbeam::channel::bounded(n);
+            let mut senders: Vec<crossbeam::channel::Sender<Arc<Vec<Event>>>> =
+                Vec::with_capacity(threads);
+            let mut iter = instances.into_iter().enumerate();
+            for shard in 0..threads {
+                let mut states: Vec<(usize, InstanceState<A>)> = Vec::with_capacity(chunk);
+                for (index, algo) in iter.by_ref().take(chunk) {
+                    states.push((index, InstanceState::new(algo, shard)));
+                }
+                if states.is_empty() {
+                    break;
+                }
+                let (tx, rx) = crossbeam::channel::bounded(cfg.channel_depth);
+                senders.push(tx);
+                let result_tx = result_tx.clone();
+                scope.spawn(move |_| {
+                    for chunk in rx.iter() {
+                        for (_, st) in states.iter_mut() {
+                            for &ev in chunk.iter() {
+                                st.apply(ev);
+                            }
+                        }
+                    }
+                    for (index, st) in states {
+                        let _ = result_tx.send(st.into_outcome(index));
+                    }
+                });
+            }
+            drop(result_tx);
+            let fanout: FanOut<A> = FanOut::Threaded {
+                passes,
+                same_order,
+                senders,
+                results: result_rx,
+                buf: Vec::with_capacity(cfg.chunk_events),
+                chunk_events: cfg.chunk_events.max(1),
+            };
+            let driven = Self::drive_guarded(fanout, cfg, source)?;
+            Self::assemble(driven, source, threads)
+        });
+        match scope_result {
+            Ok(result) => result,
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    }
+
+    /// Drive the fan-out directly, or behind one shared [`Guarded`]
+    /// validator when the config asks for one.
+    fn drive_guarded<A>(
+        fanout: FanOut<A>,
+        cfg: &BatchConfig,
+        source: &mut PassSource<'_>,
+    ) -> Result<DrivenBatch<A::Output>, RunError>
+    where
+        A: MultiPassAlgorithm,
+    {
+        match cfg.guard {
+            None => drive_batch(fanout, source),
+            Some((policy, mode)) => {
+                drive_batch(Guarded::with_validator(fanout, policy, mode), source)
+            }
+        }
+    }
+
+    fn assemble<T>(
+        (outcomes, run): (Vec<InstanceOutcome<T>>, RunReport),
+        source: &PassSource<'_>,
+        threads: usize,
+    ) -> Result<BatchOutcome<T>, RunError> {
+        let mut outputs = Vec::with_capacity(outcomes.len());
+        let mut per_instance = Vec::with_capacity(outcomes.len());
+        let mut items_fanned_out = 0usize;
+        for outcome in outcomes {
+            per_instance.push(outcome.report);
+            items_fanned_out += outcome.report.items;
+            outputs.push(outcome.result?);
+        }
+        Ok(BatchOutcome {
+            outputs,
+            report: BatchReport {
+                instances: per_instance.len(),
+                threads,
+                passes: run.passes,
+                stream_items: run.items_processed,
+                stream_generations: source.generations(),
+                items_fanned_out,
+                per_instance,
+                guard: run.guard,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultKind, FaultPlan};
+    use crate::guard::GuardPolicy;
+    use crate::runner::{run_item_passes, Runner};
+    use crate::validate::{StreamError, ValidatorMode};
+    use adjstream_graph::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Seeded toy estimator: hashes every item with its seed, returning a
+    /// deterministic digest — a stand-in for "same seed + same stream ⇒
+    /// same output".
+    struct Digest {
+        seed: u64,
+        passes: usize,
+        same_order: bool,
+        acc: u64,
+        items: usize,
+    }
+
+    impl Digest {
+        fn new(seed: u64, passes: usize, same_order: bool) -> Self {
+            Digest {
+                seed,
+                passes,
+                same_order,
+                acc: 0,
+                items: 0,
+            }
+        }
+    }
+
+    impl SpaceUsage for Digest {
+        fn space_bytes(&self) -> usize {
+            32 + self.items % 7
+        }
+    }
+
+    impl MultiPassAlgorithm for Digest {
+        type Output = u64;
+        fn passes(&self) -> usize {
+            self.passes
+        }
+        fn requires_same_order(&self) -> bool {
+            self.same_order
+        }
+        fn begin_pass(&mut self, pass: usize) {
+            self.acc = self
+                .acc
+                .wrapping_mul(31)
+                .wrapping_add(pass as u64 ^ self.seed);
+        }
+        fn begin_list(&mut self, owner: VertexId) {
+            self.acc = self.acc.rotate_left(7) ^ (owner.0 as u64);
+        }
+        fn item(&mut self, src: VertexId, dst: VertexId) {
+            self.items += 1;
+            self.acc = self
+                .acc
+                .wrapping_mul(0x100_0000_01B3)
+                .wrapping_add(((src.0 as u64) << 32 | dst.0 as u64) ^ self.seed);
+        }
+        fn end_list(&mut self, owner: VertexId) {
+            self.acc ^= (owner.0 as u64).wrapping_mul(0x9E37_79B9);
+        }
+        fn finish(self) -> u64 {
+            self.acc
+        }
+    }
+
+    fn er_graph(seed: u64) -> Graph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        gen::gnm(40, 160, &mut rng)
+    }
+
+    fn sequential_digests(g: &Graph, orders: &PassOrders, seeds: &[u64]) -> Vec<u64> {
+        seeds
+            .iter()
+            .map(|&s| Runner::run(g, Digest::new(s, 2, false), orders).0)
+            .collect()
+    }
+
+    #[test]
+    fn batched_matches_sequential_bit_for_bit_at_any_thread_count() {
+        let g = er_graph(3);
+        let orders = PassOrders::Same(StreamOrder::shuffled(40, 11));
+        let seeds: Vec<u64> = (100..109).collect();
+        let want = sequential_digests(&g, &orders, &seeds);
+        for threads in [1, 2, 4, 16] {
+            let instances: Vec<Digest> = seeds.iter().map(|&s| Digest::new(s, 2, false)).collect();
+            let out = BatchRunner::try_run(
+                &g,
+                instances,
+                &orders,
+                &BatchConfig {
+                    threads,
+                    chunk_events: 64,
+                    ..BatchConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(out.outputs, want, "threads = {threads}");
+            assert_eq!(out.report.instances, 9);
+            assert_eq!(out.report.passes, 2);
+        }
+    }
+
+    #[test]
+    fn same_order_passes_generate_the_stream_once() {
+        let g = er_graph(5);
+        let orders = PassOrders::Same(StreamOrder::shuffled(40, 2));
+        let instances: Vec<Digest> = (0..4).map(|s| Digest::new(s, 2, false)).collect();
+        let out = BatchRunner::try_run(&g, instances, &orders, &BatchConfig::default()).unwrap();
+        assert_eq!(out.report.stream_generations, 1);
+        assert_eq!(out.report.stream_items, 2 * 2 * 160); // 2 passes × 2m
+        assert_eq!(out.report.items_fanned_out, 4 * 2 * 2 * 160);
+        // Differing per-pass orders regenerate.
+        let orders = PassOrders::PerPass(vec![StreamOrder::natural(40), StreamOrder::reversed(40)]);
+        let instances: Vec<Digest> = (0..4).map(|s| Digest::new(s, 2, false)).collect();
+        let out = BatchRunner::try_run(&g, instances, &orders, &BatchConfig::default()).unwrap();
+        assert_eq!(out.report.stream_generations, 2);
+    }
+
+    #[test]
+    fn order_contract_errors_match_the_sequential_runner() {
+        let g = er_graph(7);
+        // PerPass length mismatch.
+        let instances: Vec<Digest> = (0..3).map(|s| Digest::new(s, 2, false)).collect();
+        let err = BatchRunner::try_run(
+            &g,
+            instances,
+            &PassOrders::PerPass(vec![StreamOrder::natural(40)]),
+            &BatchConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            RunError::WrongOrderCount {
+                expected: 2,
+                got: 1
+            }
+        );
+        // requires_same_order violated.
+        let instances: Vec<Digest> = (0..3).map(|s| Digest::new(s, 2, true)).collect();
+        let err = BatchRunner::try_run(
+            &g,
+            instances,
+            &PassOrders::PerPass(vec![StreamOrder::natural(40), StreamOrder::reversed(40)]),
+            &BatchConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, RunError::OrderMismatch);
+        // Equal PerPass entries satisfy the same-order requirement.
+        let order = StreamOrder::shuffled(40, 4);
+        let instances: Vec<Digest> = (0..3).map(|s| Digest::new(s, 2, true)).collect();
+        assert!(BatchRunner::try_run(
+            &g,
+            instances,
+            &PassOrders::PerPass(vec![order.clone(), order]),
+            &BatchConfig::default(),
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn per_instance_reports_cover_every_instance() {
+        let g = er_graph(9);
+        let orders = PassOrders::Same(StreamOrder::natural(40));
+        let instances: Vec<Digest> = (0..10).map(|s| Digest::new(s, 2, false)).collect();
+        let cfg = BatchConfig::with_threads(3);
+        let out = BatchRunner::try_run(&g, instances, &orders, &cfg).unwrap();
+        assert_eq!(out.report.per_instance.len(), 10);
+        assert_eq!(out.report.threads, 3);
+        // Chunked sharding: ⌈10/3⌉ = 4 → shards 0,0,0,0,1,1,1,1,2,2.
+        let shards: Vec<usize> = out.report.per_instance.iter().map(|r| r.shard).collect();
+        assert_eq!(shards, vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2]);
+        for r in &out.report.per_instance {
+            assert_eq!(r.items, 2 * 2 * 160);
+            assert!(r.peak_state_bytes >= 32);
+        }
+    }
+
+    #[test]
+    fn shared_strict_guard_aborts_the_whole_batch_with_position() {
+        let g = er_graph(13);
+        let items = AdjListStream::new(&g, StreamOrder::shuffled(40, 6)).collect_items();
+        let c = FaultPlan::new(8)
+            .with(FaultKind::InjectSelfLoop, 1)
+            .apply(&items);
+        assert!(c.skipped().is_empty());
+        for threads in [1, 4] {
+            let instances: Vec<Digest> = (0..5).map(|s| Digest::new(s, 1, false)).collect();
+            let cfg = BatchConfig {
+                threads,
+                guard: Some((GuardPolicy::Strict, ValidatorMode::Exact)),
+                ..BatchConfig::default()
+            };
+            let err = BatchRunner::try_run_items(instances, |p| c.items_for_pass(p).to_vec(), &cfg)
+                .unwrap_err();
+            let RunError::Invalid { pass: 0, error } = err else {
+                panic!("expected Invalid, got {err:?}");
+            };
+            assert!(matches!(error, StreamError::SelfLoop { .. }));
+        }
+    }
+
+    #[test]
+    fn shared_repair_guard_stats_match_a_sequential_guarded_run() {
+        let g = er_graph(17);
+        let items = AdjListStream::new(&g, StreamOrder::shuffled(40, 9)).collect_items();
+        let c = FaultPlan::new(21)
+            .with(FaultKind::DropDirection, 2)
+            .with(FaultKind::DuplicateItem, 1)
+            .with(FaultKind::InjectSelfLoop, 1)
+            .apply(&items);
+        // Sequential reference: one instance behind its own guard.
+        let (_, seq_report) = run_item_passes(
+            Guarded::new(Digest::new(0, 2, false), GuardPolicy::Repair),
+            |p| c.items_for_pass(p).to_vec(),
+        )
+        .unwrap();
+        let want = seq_report.guard.expect("guarded run has stats");
+        for threads in [1, 3] {
+            let instances: Vec<Digest> = (0..6).map(|s| Digest::new(s, 2, false)).collect();
+            let cfg = BatchConfig {
+                threads,
+                guard: Some((GuardPolicy::Repair, ValidatorMode::Exact)),
+                ..BatchConfig::default()
+            };
+            let out = BatchRunner::try_run_items(instances, |p| c.items_for_pass(p).to_vec(), &cfg)
+                .unwrap();
+            let got = out.report.guard.expect("shared guard publishes stats");
+            // validator_peak_bytes sums std HashMap capacities, which vary
+            // per RandomState instance on removal-heavy maps; the fault
+            // counters are the deterministic contract.
+            assert_eq!(
+                GuardStats {
+                    validator_peak_bytes: 0,
+                    ..got
+                },
+                GuardStats {
+                    validator_peak_bytes: 0,
+                    ..want
+                },
+                "threads = {threads}"
+            );
+            assert!(got.validator_peak_bytes > 0);
+            // Repaired items never reached any instance: every instance saw
+            // the same (repaired) item count.
+            let per_items: Vec<usize> = out.report.per_instance.iter().map(|r| r.items).collect();
+            assert!(per_items.iter().all(|&i| i == per_items[0]));
+            assert!(per_items[0] < 2 * c.items().len());
+        }
+    }
+
+    #[test]
+    fn guarded_outputs_stay_bitwise_reproducible_across_engines() {
+        let g = er_graph(23);
+        let items = AdjListStream::new(&g, StreamOrder::shuffled(40, 5)).collect_items();
+        let c = FaultPlan::new(2)
+            .with(FaultKind::DuplicateItem, 2)
+            .apply(&items);
+        let seeds: Vec<u64> = (40..46).collect();
+        // Sequential: each instance individually guarded sees the same
+        // repaired stream the shared guard produces.
+        let want: Vec<u64> = seeds
+            .iter()
+            .map(|&s| {
+                run_item_passes(
+                    Guarded::new(Digest::new(s, 2, false), GuardPolicy::Repair),
+                    |p| c.items_for_pass(p).to_vec(),
+                )
+                .unwrap()
+                .0
+            })
+            .collect();
+        let instances: Vec<Digest> = seeds.iter().map(|&s| Digest::new(s, 2, false)).collect();
+        let cfg = BatchConfig {
+            threads: 4,
+            chunk_events: 32,
+            guard: Some((GuardPolicy::Repair, ValidatorMode::Exact)),
+            ..BatchConfig::default()
+        };
+        let out =
+            BatchRunner::try_run_items(instances, |p| c.items_for_pass(p).to_vec(), &cfg).unwrap();
+        assert_eq!(out.outputs, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instance")]
+    fn empty_batch_panics() {
+        let g = er_graph(1);
+        let _ = BatchRunner::try_run(
+            &g,
+            Vec::<Digest>::new(),
+            &PassOrders::Same(StreamOrder::natural(40)),
+            &BatchConfig::default(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one pass contract")]
+    fn mixed_pass_contracts_panic() {
+        let g = er_graph(1);
+        let _ = BatchRunner::try_run(
+            &g,
+            vec![Digest::new(0, 1, false), Digest::new(1, 2, false)],
+            &PassOrders::Same(StreamOrder::natural(40)),
+            &BatchConfig::default(),
+        );
+    }
+
+    #[test]
+    fn more_threads_than_instances_clamps() {
+        let g = er_graph(2);
+        let orders = PassOrders::Same(StreamOrder::natural(40));
+        let instances: Vec<Digest> = (0..2).map(|s| Digest::new(s, 1, false)).collect();
+        let out =
+            BatchRunner::try_run(&g, instances, &orders, &BatchConfig::with_threads(8)).unwrap();
+        assert_eq!(out.report.threads, 2);
+        assert_eq!(out.outputs.len(), 2);
+    }
+}

@@ -7,10 +7,18 @@
 
 /// Median of a sample (average of the two central order statistics for even
 /// lengths). Panics on an empty slice.
+///
+/// NaN runs are excluded before taking the order statistics: one degenerate
+/// repetition must not crash or poison the amplified estimate (the whole
+/// point of the median is robustness to a bad minority of runs). If *every*
+/// value is NaN there is no information to amplify and the result is NaN.
 pub fn median(values: &[f64]) -> f64 {
     assert!(!values.is_empty(), "median of empty sample");
-    let mut v = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in estimates"));
+    let mut v: Vec<f64> = values.iter().copied().filter(|x| !x.is_nan()).collect();
+    if v.is_empty() {
+        return f64::NAN;
+    }
+    v.sort_by(f64::total_cmp);
     let n = v.len();
     if n % 2 == 1 {
         v[n / 2]
@@ -121,6 +129,19 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn median_empty_panics() {
         median(&[]);
+    }
+
+    #[test]
+    fn median_ignores_nan_runs() {
+        assert_eq!(median(&[3.0, f64::NAN, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[f64::NAN, 7.0]), 7.0);
+        // Infinities are legitimate order statistics, not dropped.
+        assert_eq!(median(&[f64::INFINITY, 1.0, 2.0]), 2.0);
+    }
+
+    #[test]
+    fn median_of_all_nans_is_nan() {
+        assert!(median(&[f64::NAN, f64::NAN]).is_nan());
     }
 
     #[test]

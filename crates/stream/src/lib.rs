@@ -21,6 +21,9 @@
 //! * [`runner`] — drive a [`runner::MultiPassAlgorithm`] over one or more
 //!   passes, recording the peak state size; fallible `try_run` entry points
 //!   degrade to typed [`runner::RunError`]s instead of panicking,
+//! * [`batch`] — the stream-once batched engine: generate each pass once
+//!   and fan every item out to `R` algorithm instances sharded across
+//!   worker threads, bitwise-reproducible against the sequential runner,
 //! * [`meter::SpaceUsage`] — how algorithms report their live state size,
 //! * [`hashing`] and [`sampling`] — seeded hash families and the edge/pair
 //!   samplers (threshold, bottom-k, reservoir) that realize the paper's
@@ -33,6 +36,7 @@
 pub mod adjlist;
 pub mod adversarial;
 pub mod arbitrary;
+pub mod batch;
 pub mod estimator;
 pub mod fault;
 pub mod guard;
@@ -47,6 +51,7 @@ pub mod validate;
 
 pub use adjlist::AdjListStream;
 pub use arbitrary::ArbitraryOrderStream;
+pub use batch::{BatchConfig, BatchOutcome, BatchReport, BatchRunner, InstanceReport};
 pub use fault::{CorruptedStream, FaultKind, FaultPlan, InjectedFault};
 pub use guard::{GuardPolicy, Guarded};
 pub use item::StreamItem;

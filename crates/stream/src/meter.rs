@@ -65,6 +65,13 @@ impl PeakTracker {
     pub fn peak(&self) -> usize {
         self.peak
     }
+
+    /// Fold another tracker's peak into this one — used when per-shard
+    /// trackers (one per batch worker) are combined into a run-wide
+    /// high-water mark.
+    pub fn merge(&mut self, other: &PeakTracker) {
+        self.observe(other.peak);
+    }
 }
 
 #[cfg(test)]
@@ -104,5 +111,17 @@ mod tests {
         assert_eq!(p.peak(), 10);
         p.observe(25);
         assert_eq!(p.peak(), 25);
+    }
+
+    #[test]
+    fn peak_tracker_merge_takes_max() {
+        let mut a = PeakTracker::new();
+        a.observe(10);
+        let mut b = PeakTracker::new();
+        b.observe(30);
+        a.merge(&b);
+        assert_eq!(a.peak(), 30);
+        b.merge(&a);
+        assert_eq!(b.peak(), 30);
     }
 }

@@ -89,18 +89,39 @@ pub enum PassOrders {
 }
 
 impl PassOrders {
-    fn order_for(&self, pass: usize) -> &StreamOrder {
+    pub(crate) fn order_for(&self, pass: usize) -> &StreamOrder {
         match self {
             PassOrders::Same(o) => o,
             PassOrders::PerPass(os) => &os[pass],
         }
     }
 
-    fn is_same_order(&self) -> bool {
+    pub(crate) fn is_same_order(&self) -> bool {
         match self {
             PassOrders::Same(_) => true,
             PassOrders::PerPass(os) => os.windows(2).all(|w| w[0] == w[1]),
         }
+    }
+
+    /// Check this layout against an algorithm's pass contract: a
+    /// [`PassOrders::PerPass`] list must have one order per pass, and an
+    /// algorithm that [requires identical pass
+    /// orders](MultiPassAlgorithm::requires_same_order) must not be given
+    /// differing ones. Shared by [`Runner`] and the batched engine
+    /// ([`crate::batch::BatchRunner`]).
+    pub fn check(&self, passes: usize, requires_same_order: bool) -> Result<(), RunError> {
+        if requires_same_order && !self.is_same_order() {
+            return Err(RunError::OrderMismatch);
+        }
+        if let PassOrders::PerPass(os) = self {
+            if os.len() != passes {
+                return Err(RunError::WrongOrderCount {
+                    expected: passes,
+                    got: os.len(),
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -277,17 +298,7 @@ impl Runner {
         mut algo: A,
         orders: &PassOrders,
     ) -> Result<(A::Output, RunReport), RunError> {
-        if algo.requires_same_order() && !orders.is_same_order() {
-            return Err(RunError::OrderMismatch);
-        }
-        if let PassOrders::PerPass(os) = orders {
-            if os.len() != algo.passes() {
-                return Err(RunError::WrongOrderCount {
-                    expected: algo.passes(),
-                    got: os.len(),
-                });
-            }
-        }
+        orders.check(algo.passes(), algo.requires_same_order())?;
         let mut peak = PeakTracker::new();
         let mut processed = 0usize;
         let passes = algo.passes();

@@ -6,7 +6,7 @@
 //! cargo run --release --example file_workflow
 //! ```
 
-use adjstream::algo::estimate::{estimate_triangles_auto, Accuracy};
+use adjstream::algo::estimate::{estimate_triangles_auto, Accuracy, Engine};
 use adjstream::graph::io::{load_edge_list, save_edge_list};
 use adjstream::graph::{exact, gen};
 use adjstream::stream::StreamOrder;
@@ -31,7 +31,8 @@ fn main() {
     );
 
     // 3. Estimate T with no prior bound: geometric guess-and-verify over
-    //    the two-pass algorithm.
+    //    the two-pass algorithm. The default batched engine folds every
+    //    guess level into one shared two-pass execution.
     let order = StreamOrder::shuffled(loaded.graph.vertex_count(), 11);
     let est = estimate_triangles_auto(
         &loaded.graph,
@@ -41,12 +42,13 @@ fn main() {
             delta: 0.1,
             seed: 99,
             threads: 4,
+            engine: Engine::Batched,
         },
     );
     let truth = exact::count_triangles(&loaded.graph);
     println!(
-        "estimate {:.0} vs exact {truth} (budget {} edges, {} repetitions)",
-        est.count, est.budget, est.repetitions
+        "estimate {:.0} vs exact {truth} (budget {} edges, {} repetitions, {} stream passes)",
+        est.count, est.budget, est.repetitions, est.stream_passes
     );
     std::fs::remove_file(&path).ok();
 }

@@ -20,7 +20,7 @@ use std::io::Write;
 use std::process::ExitCode;
 
 use adjstream::algo::estimate::{
-    estimate_four_cycles, estimate_triangles, estimate_triangles_auto, Accuracy,
+    estimate_four_cycles, estimate_triangles, estimate_triangles_auto, Accuracy, Engine,
 };
 use adjstream::graph::analysis::{connected_components, degeneracy, DegreeStats};
 use adjstream::graph::io::{load_edge_list, save_edge_list};
@@ -59,7 +59,7 @@ const USAGE: &str = "usage:
   adjstream-cli gen <gnm|gnp|ba|chung-lu|cliques|bipartite|plane|planted-triangles|planted-c4> [--key value ...] -o FILE
   adjstream-cli info FILE
   adjstream-cli count FILE --kind <triangles|c4|cycles> [--len L]
-  adjstream-cli estimate FILE --kind <triangles|c4> [--epsilon E] [--delta D] [--t-lower T] [--seed S]
+  adjstream-cli estimate FILE --kind <triangles|c4> [--epsilon E] [--delta D] [--t-lower T] [--seed S] [--engine batched|sequential]
   adjstream-cli stream FILE [--seed S] [-o FILE]
   adjstream-cli validate-stream FILE [--mode offline|online|bounded] [--seed S] [--window W]
   adjstream-cli corrupt FILE --faults KIND[:N][,KIND[:N]...] [--seed S] [-o FILE] [--replay-o FILE]
@@ -210,11 +210,16 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
 fn cmd_estimate(args: &[String]) -> Result<(), String> {
     let g = load(args.first())?;
     let flags = parse_flags(&args[1..])?;
+    let engine = match flags.get("engine") {
+        Some(s) => Engine::parse(s).ok_or_else(|| format!("unknown engine {s:?}"))?,
+        None => Engine::Batched,
+    };
     let acc = Accuracy {
         epsilon: get(&flags, "epsilon", 0.25)?,
         delta: get(&flags, "delta", 0.1)?,
         seed: get(&flags, "seed", 2019)?,
         threads: get(&flags, "threads", 4)?,
+        engine,
     };
     let order = StreamOrder::shuffled(g.vertex_count(), acc.seed);
     let kind = flags.get("kind").map(String::as_str).unwrap_or("triangles");
@@ -230,6 +235,7 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
             println!("edge budget   {} of {}", est.budget, g.edge_count());
             println!("repetitions   {}", est.repetitions);
             println!("run std-dev   {:.1}", est.report.variance.sqrt());
+            println!("stream passes {} ({})", est.stream_passes, acc.engine);
         }
         "c4" => {
             let t_lower = get(&flags, "t-lower", 1u64)?;
@@ -238,6 +244,7 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
             println!("estimate      {:.1} (O(1)-factor approximation)", est.count);
             println!("edge budget   {} of {}", est.budget, g.edge_count());
             println!("repetitions   {}", est.repetitions);
+            println!("stream passes {} ({})", est.stream_passes, acc.engine);
         }
         other => return Err(format!("unknown kind {other:?}")),
     }

@@ -1,0 +1,200 @@
+//! Integration tests of the batched shared-pass engine against the
+//! sequential drivers, through the public facade API: order-contract error
+//! paths, engine agreement at every level of the stack, the restored
+//! pass-optimality of guess-and-verify, and a proptest that both engines
+//! report identical guard statistics on fault-injected streams.
+
+use adjstream::algo::common::EdgeSampling;
+use adjstream::algo::estimate::{estimate_triangles, estimate_triangles_auto, Accuracy, Engine};
+use adjstream::algo::triangle::{TwoPassTriangle, TwoPassTriangleConfig};
+use adjstream::graph::{gen, Graph};
+use adjstream::stream::batch::{BatchConfig, BatchRunner};
+use adjstream::stream::{
+    run_item_passes, AdjListStream, FaultKind, FaultPlan, GuardPolicy, Guarded, PassOrders,
+    RunError, StreamOrder, ValidatorMode,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn er_graph(seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    gen::gnm(120, 600, &mut rng)
+}
+
+fn triangle_instances(reps: usize, base_seed: u64, budget: usize) -> Vec<TwoPassTriangle> {
+    (0..reps)
+        .map(|i| {
+            TwoPassTriangle::new(TwoPassTriangleConfig {
+                seed: base_seed.wrapping_add(i as u64),
+                edge_sampling: EdgeSampling::BottomK { k: budget },
+                pair_capacity: budget,
+            })
+        })
+        .collect()
+}
+
+#[test]
+fn batched_engine_rejects_wrong_order_count() {
+    let g = er_graph(1);
+    let err = BatchRunner::try_run(
+        &g,
+        triangle_instances(3, 9, 64),
+        &PassOrders::PerPass(vec![StreamOrder::natural(120)]),
+        &BatchConfig::default(),
+    )
+    .unwrap_err();
+    assert_eq!(
+        err,
+        RunError::WrongOrderCount {
+            expected: 2,
+            got: 1
+        }
+    );
+}
+
+#[test]
+fn batched_engine_rejects_order_mismatch_for_order_sensitive_algorithms() {
+    let g = er_graph(2);
+    // TwoPassTriangle requires identical pass orders.
+    let err = BatchRunner::try_run(
+        &g,
+        triangle_instances(3, 9, 64),
+        &PassOrders::PerPass(vec![StreamOrder::natural(120), StreamOrder::reversed(120)]),
+        &BatchConfig::default(),
+    )
+    .unwrap_err();
+    assert_eq!(err, RunError::OrderMismatch);
+    // Equal PerPass entries satisfy the contract, exactly as with Runner.
+    let order = StreamOrder::shuffled(120, 5);
+    assert!(BatchRunner::try_run(
+        &g,
+        triangle_instances(3, 9, 64),
+        &PassOrders::PerPass(vec![order.clone(), order]),
+        &BatchConfig::default(),
+    )
+    .is_ok());
+}
+
+#[test]
+fn driver_runs_vectors_are_engine_invariant() {
+    let g = er_graph(3);
+    let order = StreamOrder::shuffled(g.vertex_count(), 17);
+    let base = Accuracy {
+        epsilon: 0.4,
+        delta: 0.25,
+        seed: 77,
+        threads: 1,
+        engine: Engine::Sequential,
+    };
+    let seq = estimate_triangles(&g, &order, 50, base);
+    for threads in [1, 4] {
+        let bat = estimate_triangles(
+            &g,
+            &order,
+            50,
+            Accuracy {
+                threads,
+                engine: Engine::Batched,
+                ..base
+            },
+        );
+        assert_eq!(seq.report.runs, bat.report.runs, "threads = {threads}");
+        assert_eq!(seq.count, bat.count);
+        assert_eq!(seq.report.nan_runs, bat.report.nan_runs);
+    }
+}
+
+#[test]
+fn auto_driver_is_pass_optimal_under_the_batched_engine() {
+    let g = gen::disjoint_cliques(8, 10).disjoint_union(&er_graph(4));
+    let order = StreamOrder::shuffled(g.vertex_count(), 6);
+    let acc = Accuracy {
+        epsilon: 0.35,
+        delta: 0.2,
+        seed: 31,
+        threads: 2,
+        engine: Engine::Batched,
+    };
+    let est = estimate_triangles_auto(&g, &order, acc);
+    assert_eq!(est.stream_passes, 2, "all guess levels share one execution");
+    let batch = est.batch.expect("batched engine attaches its report");
+    assert_eq!(batch.stream_generations, 1);
+    assert!(batch.instances > est.repetitions, "many levels resident");
+    let seq = estimate_triangles_auto(
+        &g,
+        &order,
+        Accuracy {
+            engine: Engine::Sequential,
+            ..acc
+        },
+    );
+    assert!(seq.stream_passes >= 2 * seq.repetitions);
+    assert_eq!(seq.report.runs, est.report.runs, "same accepted level");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Batched and sequential executions of guarded ingestion must agree on
+    /// the guard's fault counters for any injected fault mix: the shared
+    /// validator sees the same corrupted item sequence either way.
+    #[test]
+    fn engines_agree_on_guard_stats_under_faults(
+        graph_seed in 0u64..500,
+        fault_seed in 0u64..500,
+        dropped in 0usize..3,
+        duplicated in 0usize..3,
+        self_loops in 0usize..2,
+        threads in 1usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(graph_seed);
+        let g = gen::gnm(40, 150, &mut rng);
+        let items = AdjListStream::new(&g, StreamOrder::shuffled(40, graph_seed)).collect_items();
+        let corrupted = FaultPlan::new(fault_seed)
+            .with(FaultKind::DropDirection, dropped)
+            .with(FaultKind::DuplicateItem, duplicated)
+            .with(FaultKind::InjectSelfLoop, self_loops)
+            .apply(&items);
+
+        // Sequential reference: one guarded instance driven by the shared
+        // single-instance loop.
+        let (_, seq_report) = run_item_passes(
+            Guarded::new(
+                TwoPassTriangle::new(TwoPassTriangleConfig {
+                    seed: 3,
+                    edge_sampling: EdgeSampling::BottomK { k: 32 },
+                    pair_capacity: 32,
+                }),
+                GuardPolicy::Repair,
+            ),
+            |p| corrupted.items_for_pass(p).to_vec(),
+        )
+        .expect("repair policy never aborts on these fault kinds");
+        let want = seq_report.guard.expect("guarded run publishes stats");
+
+        // Batched run: several instances behind ONE shared validator.
+        let out = BatchRunner::try_run_items(
+            triangle_instances(5, 3, 32),
+            |p| corrupted.items_for_pass(p).to_vec(),
+            &BatchConfig {
+                threads,
+                guard: Some((GuardPolicy::Repair, ValidatorMode::Exact)),
+                ..BatchConfig::default()
+            },
+        )
+        .expect("repair policy never aborts on these fault kinds");
+        let got = out.report.guard.expect("shared guard publishes stats");
+
+        // validator_peak_bytes sums std HashMap capacities, which vary per
+        // RandomState instance; the fault counters are the deterministic
+        // contract.
+        prop_assert_eq!(got.faults_detected, want.faults_detected);
+        prop_assert_eq!(got.items_repaired, want.items_repaired);
+        prop_assert_eq!(got.edges_quarantined, want.edges_quarantined);
+        // Every instance consumed the identical repaired stream.
+        let per_items: Vec<usize> =
+            out.report.per_instance.iter().map(|r| r.items).collect();
+        prop_assert!(per_items.iter().all(|&i| i == per_items[0]));
+    }
+}
