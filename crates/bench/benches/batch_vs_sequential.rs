@@ -80,6 +80,7 @@ fn in_memory_rows(n: usize, m: usize, t_lower: u64, rows: &mut Vec<Row>) -> usiz
         seed: 42,
         threads: 1,
         engine: Engine::Sequential,
+        ..Accuracy::default()
     };
     let t0 = Instant::now();
     let seq = estimate_triangles(&g, &order, t_lower, base);
@@ -193,7 +194,8 @@ fn file_backed_rows(
         bat_t = bat_t.min(t0.elapsed().as_secs_f64());
         // Same seeds, same items: per-instance outputs must match the
         // sequential reference exactly.
-        assert_eq!(out.outputs, seq_outs, "engines must agree per instance");
+        let want: Vec<_> = seq_outs.iter().cloned().map(Some).collect();
+        assert_eq!(out.outputs, want, "engines must agree per instance");
         bat_row = Some(Row {
             case: "file_backed",
             engine: "batched",

@@ -1,8 +1,12 @@
 //! Shared machinery: the pair-completion watcher and sampling configuration.
 
 use std::collections::HashMap;
+use std::io::{self, Read, Write};
 
 use adjstream_graph::VertexId;
+use adjstream_stream::checkpoint::{
+    corrupt, read_u32, read_u64, read_usize, write_u32, write_u64, write_usize, Checkpoint,
+};
 use adjstream_stream::meter::{hashmap_bytes, SpaceUsage};
 
 /// How the first-pass edge sample `S` is drawn (DESIGN.md §2).
@@ -180,6 +184,74 @@ impl SpaceUsage for PairWatcher {
             + self.incident_vec_bytes
             + hashmap_bytes(&self.refcount)
             + hashmap_bytes(&self.hit_epoch)
+    }
+}
+
+/// Pass-boundary serialization. The per-list hit state (`hit_epoch`,
+/// `epoch`) is deliberately *not* saved: at an adjacency-list boundary a
+/// stale hit is behaviorally identical to an absent one (the next
+/// `begin_list` bumps the epoch, so both paths insert the current epoch on
+/// the first sighting), and dropping it keeps the checkpoint free of
+/// mid-list state. The `incident` vectors are saved in order — completion
+/// callbacks fire in that order, which downstream reservoirs observe.
+impl Checkpoint for PairWatcher {
+    fn save(&self, w: &mut dyn Write) -> io::Result<()> {
+        write_usize(w, self.refcount.len())?;
+        for (&key, &rc) in &self.refcount {
+            write_u64(w, key)?;
+            write_u32(w, rc)?;
+        }
+        write_usize(w, self.incident.len())?;
+        for (&v, keys) in &self.incident {
+            write_u32(w, v)?;
+            write_usize(w, keys.len())?;
+            for &key in keys {
+                write_u64(w, key)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn restore(r: &mut dyn Read) -> io::Result<Self> {
+        let n = read_usize(r)?;
+        let mut refcount = HashMap::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let key = read_u64(r)?;
+            let rc = read_u32(r)?;
+            if rc == 0 {
+                return Err(corrupt("watched pair with zero refcount"));
+            }
+            refcount.insert(key, rc);
+        }
+        let n = read_usize(r)?;
+        let mut incident: HashMap<u32, Vec<u64>> = HashMap::with_capacity(n.min(1 << 16));
+        let mut incident_vec_bytes = 0usize;
+        let mut entries = 0usize;
+        for _ in 0..n {
+            let v = read_u32(r)?;
+            let len = read_usize(r)?;
+            let mut keys = Vec::with_capacity(len.min(1 << 16));
+            for _ in 0..len {
+                let key = read_u64(r)?;
+                if !refcount.contains_key(&key) {
+                    return Err(corrupt("incident pair is not watched"));
+                }
+                keys.push(key);
+            }
+            entries += keys.len();
+            incident_vec_bytes += keys.capacity() * 8 + 24;
+            incident.insert(v, keys);
+        }
+        if entries != 2 * refcount.len() {
+            return Err(corrupt("incident index does not cover the watched pairs"));
+        }
+        Ok(PairWatcher {
+            incident,
+            incident_vec_bytes,
+            refcount,
+            hit_epoch: HashMap::new(),
+            epoch: 0,
+        })
     }
 }
 

@@ -24,14 +24,35 @@
 //! seeds are derived identically (`seed + i` per repetition, split-mixed
 //! per guess level) and every instance observes the identical item
 //! sequence either way.
+//!
+//! # Fault tolerance
+//!
+//! The drivers are survivor-aware: a repetition that blows its
+//! [`Budget::max_bytes_per_instance`] limit is quarantined rather than
+//! aborting the estimate, and the median is taken over the survivors as
+//! long as at least [`Accuracy::min_survivors`] of them (default: the
+//! majority [`quorum`]) remain. Below quorum, the fallible `try_*` drivers
+//! return [`EstimateError::Degraded`]. Batch-wide limits —
+//! [`Budget::max_total_bytes`] and [`Budget::deadline`] — abort the whole
+//! estimate with [`EstimateError::Run`].
+//!
+//! Enforcement granularity differs by engine. The batched engine checks
+//! budgets at adjacency-list and pass boundaries *during* the shared
+//! replay (and isolates per-instance panics via the runner's quarantine);
+//! the sequential engine has no mid-run hook, so it applies the
+//! per-instance limit to each repetition's post-run peak, checks the
+//! deadline between repetitions (a repetition never starts after the
+//! deadline, but one in flight runs to completion), and does not isolate
+//! panics. Both engines quarantine exactly the same instances for byte
+//! budgets because both sample state size at the same list boundaries.
 
 use adjstream_graph::Graph;
-use adjstream_stream::batch::{BatchConfig, BatchReport, BatchRunner};
+use adjstream_stream::batch::{BatchConfig, BatchReport, BatchRunner, Budget};
 use adjstream_stream::estimator::repetitions_for_confidence;
 use adjstream_stream::hashing::SplitMix64;
-use adjstream_stream::{PassOrders, Runner, StreamOrder};
+use adjstream_stream::{PassOrders, RunError, Runner, StreamOrder};
 
-use crate::amplify::{median_of_runs, MedianReport};
+use crate::amplify::{collect_runs, median_of_survivors, quorum, DegradedRun, MedianReport};
 use crate::common::EdgeSampling;
 use crate::fourcycle::{FourCycleEstimator, TwoPassFourCycle, TwoPassFourCycleConfig};
 use crate::triangle::{TwoPassTriangle, TwoPassTriangleConfig};
@@ -85,6 +106,16 @@ pub struct Accuracy {
     pub threads: usize,
     /// Execution engine for the repetitions.
     pub engine: Engine,
+    /// Resource limits (space, wall clock); default unlimited. Per-instance
+    /// limits quarantine individual repetitions, batch-wide limits abort
+    /// the whole estimate (see the module docs on fault tolerance).
+    pub budget: Budget,
+    /// Minimum repetitions that must survive quarantine for the median to
+    /// be reported; `None` uses the majority [`quorum`] of the repetition
+    /// count. Values above the repetition count are clamped down to it
+    /// ("all must survive"), and `Some(0)` still requires one survivor —
+    /// a median of nothing does not exist.
+    pub min_survivors: Option<usize>,
 }
 
 impl Default for Accuracy {
@@ -95,6 +126,8 @@ impl Default for Accuracy {
             seed: 2019,
             threads: 4,
             engine: Engine::Batched,
+            budget: Budget::default(),
+            min_survivors: None,
         }
     }
 }
@@ -124,6 +157,47 @@ impl Accuracy {
             threads: self.threads.max(1),
             ..self
         }
+    }
+}
+
+/// Why a fallible estimation driver gave up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EstimateError {
+    /// Too few repetitions survived quarantine to report a median with the
+    /// amplified confidence.
+    Degraded(DegradedRun),
+    /// The underlying stream execution failed as a whole: invalid stream,
+    /// batch-wide space budget, deadline, or checkpoint trouble.
+    Run(RunError),
+}
+
+impl std::fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EstimateError::Degraded(e) => e.fmt(f),
+            EstimateError::Run(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for EstimateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EstimateError::Degraded(e) => Some(e),
+            EstimateError::Run(e) => Some(e),
+        }
+    }
+}
+
+impl From<DegradedRun> for EstimateError {
+    fn from(e: DegradedRun) -> Self {
+        EstimateError::Degraded(e)
+    }
+}
+
+impl From<RunError> for EstimateError {
+    fn from(e: RunError) -> Self {
+        EstimateError::Run(e)
     }
 }
 
@@ -166,6 +240,64 @@ pub fn four_cycle_budget(m: usize, t_lower: u64) -> usize {
     (raw.ceil() as usize).clamp(16, m.max(16))
 }
 
+/// The Theorem 3.7 space bound as a concrete byte budget: the algorithm
+/// stores `m′ = c·m/(ε²·T^{2/3})` sampled items ([`triangle_budget`]) of
+/// `⌈log₂ n⌉` bits each, i.e. `Õ(m/T^{2/3})` words. Useful as a principled
+/// default for [`Budget::max_bytes_per_instance`] — an instance that grows
+/// past a constant multiple of this value is violating the theorem's space
+/// promise, not just being unlucky. Note it bounds the *asymptotic state*
+/// (the samples), not the implementation's constant-factor overheads
+/// (hash-map headers, watch lists), so callers should allow slack — the
+/// CLI multiplies it by 16.
+pub fn theoretical_space_budget(m: usize, n: usize, t_lower: u64, epsilon: f64) -> usize {
+    let words = triangle_budget(m, t_lower, epsilon);
+    let bits_per_word = (n.max(2) as f64).log2().ceil().max(1.0) as usize;
+    (words * bits_per_word).div_ceil(8)
+}
+
+/// Survivor threshold for `reps` repetitions under `acc`: the explicit
+/// override clamped to `[1, reps]`, or the majority [`quorum`] by default.
+fn required_survivors(acc: &Accuracy, reps: usize) -> usize {
+    acc.min_survivors
+        .unwrap_or_else(|| quorum(reps))
+        .clamp(1, reps)
+}
+
+/// Sequential-engine budget enforcement for one repetition's outcome:
+/// `None` (quarantined) if the post-run peak broke the per-instance limit,
+/// mirroring the batched engine's boundary check bit for bit — both sample
+/// state at the same adjacency-list boundaries, so they see the same peak.
+fn survives_instance_budget(budget: &Budget, peak_bytes: usize) -> bool {
+    budget
+        .max_bytes_per_instance
+        .is_none_or(|limit| peak_bytes <= limit)
+}
+
+/// Sequential-engine batch-wide checks over the per-repetition peaks:
+/// sequentially only one instance is ever resident, so the aggregate
+/// residency the batched engine sums at a boundary is just that
+/// repetition's own state.
+fn check_total_budget(budget: &Budget, peaks: &[usize]) -> Result<(), RunError> {
+    if let Some(limit) = budget.max_total_bytes {
+        if let Some(&used) = peaks.iter().find(|&&p| p > limit) {
+            return Err(RunError::SpaceBudgetExceeded { used, limit });
+        }
+    }
+    Ok(())
+}
+
+/// Wall-clock guard for the sequential engine: the deadline as an
+/// [`Instant`](std::time::Instant) plus the configured limit in
+/// milliseconds for the error, same encoding the batched engine uses.
+fn seq_deadline(budget: &Budget) -> Option<(std::time::Instant, u64)> {
+    budget.deadline.and_then(|d| {
+        let limit_ms = u64::try_from(d.as_millis()).unwrap_or(u64::MAX);
+        std::time::Instant::now()
+            .checked_add(d)
+            .map(|t| (t, limit_ms))
+    })
+}
+
 /// Seed for guess level `level`: a split-mix of the master seed, so the
 /// per-repetition seed blocks (`level_seed + i`) of different levels are
 /// decorrelated. Levels sharing the master seed verbatim would run
@@ -177,13 +309,12 @@ fn level_seed(master: u64, level: usize) -> u64 {
 
 /// Summarize a batched run and package it as a [`CountEstimate`].
 fn estimate_from_batch(
-    runs: Vec<f64>,
+    report: MedianReport,
     budget: usize,
     reps: usize,
     passes: usize,
     batch: BatchReport,
 ) -> CountEstimate {
-    let report = MedianReport::from_runs(runs);
     CountEstimate {
         count: report.median,
         budget,
@@ -192,6 +323,44 @@ fn estimate_from_batch(
         stream_passes: passes,
         batch: Some(batch),
     }
+}
+
+/// Batch configuration for an accuracy contract: thread count plus the
+/// resource budget, defaults elsewhere.
+fn batch_config(acc: &Accuracy) -> BatchConfig {
+    BatchConfig {
+        budget: acc.budget,
+        ..BatchConfig::with_threads(acc.threads)
+    }
+}
+
+/// Run the sequential engine's repetition loop with budget enforcement:
+/// per-repetition quarantine on the instance byte limit, a skip of
+/// repetitions that would start after the deadline, and post-hoc batch-wide
+/// checks. Returns the survivor-aware run vector.
+fn sequential_runs<F>(reps: usize, acc: &Accuracy, run: F) -> Result<Vec<Option<f64>>, RunError>
+where
+    F: Fn(u64) -> (f64, usize) + Sync,
+{
+    let deadline = seq_deadline(&acc.budget);
+    let outcomes: Vec<(Option<f64>, usize)> = collect_runs(reps, acc.seed, acc.threads, |seed| {
+        if let Some((t, _)) = deadline {
+            if std::time::Instant::now() >= t {
+                return (None, 0);
+            }
+        }
+        let (est, peak) = run(seed);
+        let alive = survives_instance_budget(&acc.budget, peak);
+        (alive.then_some(est), peak)
+    });
+    if let Some((t, limit_ms)) = deadline {
+        if std::time::Instant::now() >= t {
+            return Err(RunError::DeadlineExceeded { limit_ms });
+        }
+    }
+    let peaks: Vec<usize> = outcomes.iter().map(|&(_, p)| p).collect();
+    check_total_budget(&acc.budget, &peaks)?;
+    Ok(outcomes.into_iter().map(|(r, _)| r).collect())
 }
 
 fn triangle_instance(seed: u64, budget: usize) -> TwoPassTriangle {
@@ -204,47 +373,120 @@ fn triangle_instance(seed: u64, budget: usize) -> TwoPassTriangle {
 
 /// Estimate the triangle count with the Theorem 3.7 algorithm, given a
 /// lower bound `t_lower ≤ T` (the theorem's implicit promise — without any
-/// bound, use [`estimate_triangles_auto`]).
-pub fn estimate_triangles(
+/// bound, use [`estimate_triangles_auto`]). Fallible: degraded runs and
+/// execution failures come back as typed [`EstimateError`]s.
+pub fn try_estimate_triangles(
     g: &Graph,
     order: &StreamOrder,
     t_lower: u64,
     acc: Accuracy,
-) -> CountEstimate {
+) -> Result<CountEstimate, EstimateError> {
     let acc = acc.validated();
     let budget = triangle_budget(g.edge_count(), t_lower, acc.epsilon);
     let reps = repetitions_for_confidence(acc.delta);
+    let required = required_survivors(&acc, reps);
     let orders = PassOrders::Same(order.clone());
     match acc.engine {
         Engine::Sequential => {
-            let report = median_of_runs(reps, acc.seed, acc.threads, |seed| {
-                let (est, _) = Runner::run(g, triangle_instance(seed, budget), &orders);
-                est.estimate
-            });
-            CountEstimate {
+            let runs = sequential_runs(reps, &acc, |seed| {
+                let (est, rep) = Runner::run(g, triangle_instance(seed, budget), &orders);
+                (est.estimate, rep.peak_state_bytes)
+            })?;
+            let report = median_of_survivors(&runs, required)?;
+            Ok(CountEstimate {
                 count: report.median,
                 budget,
                 repetitions: reps,
                 report,
                 stream_passes: 2 * reps,
                 batch: None,
-            }
+            })
         }
         Engine::Batched => {
             let instances: Vec<TwoPassTriangle> = (0..reps)
                 .map(|i| triangle_instance(acc.seed.wrapping_add(i as u64), budget))
                 .collect();
-            let out = BatchRunner::try_run(
-                g,
-                instances,
-                &orders,
-                &BatchConfig::with_threads(acc.threads),
-            )
-            .expect("well-formed orders and streams");
-            let runs = out.outputs.iter().map(|e| e.estimate).collect();
+            let out = BatchRunner::try_run(g, instances, &orders, &batch_config(&acc))?;
+            let runs: Vec<Option<f64>> = out
+                .outputs
+                .iter()
+                .map(|e| e.as_ref().map(|e| e.estimate))
+                .collect();
+            let report = median_of_survivors(&runs, required)?;
             let passes = out.report.passes;
-            estimate_from_batch(runs, budget, reps, passes, out.report)
+            Ok(estimate_from_batch(
+                report, budget, reps, passes, out.report,
+            ))
         }
+    }
+}
+
+/// Like [`try_estimate_triangles`], but running under a pass-boundary
+/// checkpoint file so an interrupted run can be resumed.
+///
+/// With `resume == false` the batch executes from scratch, writing
+/// `checkpoint` atomically at every pass boundary; with `resume == true`
+/// the repetition set, budget state, and algorithm state are restored from
+/// `checkpoint` and only the remaining passes run — producing a
+/// [`CountEstimate`] bit-for-bit equal to the uninterrupted run (estimates
+/// and survivor sets; space metering reflects only the passes actually
+/// executed). On success the checkpoint file is removed.
+///
+/// Checkpointing is a batched-engine feature: the sequential engine has no
+/// shared pass boundary to checkpoint at, so [`Engine::Sequential`] returns
+/// a typed [`RunError::Checkpoint`] error.
+pub fn try_estimate_triangles_checkpointed(
+    g: &Graph,
+    order: &StreamOrder,
+    t_lower: u64,
+    acc: Accuracy,
+    checkpoint: &std::path::Path,
+    resume: bool,
+) -> Result<CountEstimate, EstimateError> {
+    let acc = acc.validated();
+    if acc.engine == Engine::Sequential {
+        return Err(EstimateError::Run(RunError::Checkpoint {
+            message: "checkpointing requires the batched engine".into(),
+        }));
+    }
+    let budget = triangle_budget(g.edge_count(), t_lower, acc.epsilon);
+    let reps = repetitions_for_confidence(acc.delta);
+    let required = required_survivors(&acc, reps);
+    let orders = PassOrders::Same(order.clone());
+    let cfg = batch_config(&acc);
+    let out = if resume {
+        BatchRunner::resume::<TwoPassTriangle>(g, &orders, &cfg, checkpoint)?
+    } else {
+        let instances: Vec<TwoPassTriangle> = (0..reps)
+            .map(|i| triangle_instance(acc.seed.wrapping_add(i as u64), budget))
+            .collect();
+        BatchRunner::try_run_checkpointed(g, instances, &orders, &cfg, checkpoint)?
+    };
+    let runs: Vec<Option<f64>> = out
+        .outputs
+        .iter()
+        .map(|e| e.as_ref().map(|e| e.estimate))
+        .collect();
+    let reps = runs.len();
+    let report = median_of_survivors(&runs, required.min(reps.max(1)))?;
+    let passes = out.report.passes;
+    let _ = std::fs::remove_file(checkpoint);
+    Ok(estimate_from_batch(
+        report, budget, reps, passes, out.report,
+    ))
+}
+
+/// Panicking convenience wrapper around [`try_estimate_triangles`] for
+/// callers that treat any estimation failure as a bug.
+pub fn estimate_triangles(
+    g: &Graph,
+    order: &StreamOrder,
+    t_lower: u64,
+    acc: Accuracy,
+) -> CountEstimate {
+    match try_estimate_triangles(g, order, t_lower, acc) {
+        Ok(est) => est,
+        Err(e) => panic!("triangle estimation failed: {e}"),
     }
 }
 
@@ -264,7 +506,11 @@ pub fn estimate_triangles(
 /// memory); the accept scan then walks levels top-down over the already-
 /// computed run vectors and keeps the first acceptable level, exactly the
 /// level the sequential search would have stopped at.
-pub fn estimate_triangles_auto(g: &Graph, order: &StreamOrder, acc: Accuracy) -> CountEstimate {
+pub fn try_estimate_triangles_auto(
+    g: &Graph,
+    order: &StreamOrder,
+    acc: Accuracy,
+) -> Result<CountEstimate, EstimateError> {
     let acc = acc.validated();
     let m = g.edge_count();
     let t_max = (m as f64).powf(1.5).max(1.0);
@@ -285,7 +531,7 @@ pub fn estimate_triangles_auto(g: &Graph, order: &StreamOrder, acc: Accuracy) ->
             let mut passes_total = 0usize;
             let mut last = None;
             for (level, &guess) in guesses.iter().enumerate() {
-                let est = estimate_triangles(
+                let est = try_estimate_triangles(
                     g,
                     order,
                     guess as u64,
@@ -293,7 +539,7 @@ pub fn estimate_triangles_auto(g: &Graph, order: &StreamOrder, acc: Accuracy) ->
                         seed: level_seed(acc.seed, level),
                         ..acc
                     },
-                );
+                )?;
                 passes_total += est.stream_passes;
                 let accept = est.count >= guess / 2.0;
                 last = Some(est);
@@ -303,7 +549,7 @@ pub fn estimate_triangles_auto(g: &Graph, order: &StreamOrder, acc: Accuracy) ->
             }
             let mut est = last.expect("at least one level runs");
             est.stream_passes = passes_total;
-            est
+            Ok(est)
         }
         Engine::Batched => {
             // All levels × all repetitions resident at once, level-major so
@@ -323,17 +569,21 @@ pub fn estimate_triangles_auto(g: &Graph, order: &StreamOrder, acc: Accuracy) ->
                 g,
                 instances,
                 &PassOrders::Same(order.clone()),
-                &BatchConfig::with_threads(acc.threads),
-            )
-            .expect("well-formed orders and streams");
+                &batch_config(&acc),
+            )?;
+            let required = required_survivors(&acc, reps);
             let passes = out.report.passes;
             let mut accepted = None;
             for (level, (&guess, &budget)) in guesses.iter().zip(&budgets).enumerate() {
-                let runs: Vec<f64> = out.outputs[level * reps..(level + 1) * reps]
+                let runs: Vec<Option<f64>> = out.outputs[level * reps..(level + 1) * reps]
                     .iter()
-                    .map(|e| e.estimate)
+                    .map(|e| e.as_ref().map(|e| e.estimate))
                     .collect();
-                let report = MedianReport::from_runs(runs);
+                // A level whose survivors fall below quorum cannot render a
+                // trustworthy accept/reject verdict, so the whole search is
+                // degraded — same as the sequential ladder, which would have
+                // failed at this level (or an earlier one).
+                let report = median_of_survivors(&runs, required)?;
                 let accept = report.median >= guess / 2.0;
                 let is_last = level + 1 == guesses.len();
                 if accept || is_last {
@@ -342,29 +592,40 @@ pub fn estimate_triangles_auto(g: &Graph, order: &StreamOrder, acc: Accuracy) ->
                 }
             }
             let (budget, report) = accepted.expect("at least one level runs");
-            CountEstimate {
+            Ok(CountEstimate {
                 count: report.median,
                 budget,
                 repetitions: reps,
                 report,
                 stream_passes: passes,
                 batch: Some(out.report),
-            }
+            })
         }
     }
 }
 
+/// Panicking convenience wrapper around [`try_estimate_triangles_auto`].
+pub fn estimate_triangles_auto(g: &Graph, order: &StreamOrder, acc: Accuracy) -> CountEstimate {
+    match try_estimate_triangles_auto(g, order, acc) {
+        Ok(est) => est,
+        Err(e) => panic!("triangle estimation failed: {e}"),
+    }
+}
+
 /// Estimate the 4-cycle count with the Theorem 4.6 algorithm (constant-
-/// factor approximation), given a lower bound `t_lower ≤ T`.
-pub fn estimate_four_cycles(
+/// factor approximation), given a lower bound `t_lower ≤ T`. Fallible:
+/// degraded runs and execution failures come back as typed
+/// [`EstimateError`]s.
+pub fn try_estimate_four_cycles(
     g: &Graph,
     orders: [&StreamOrder; 2],
     t_lower: u64,
     acc: Accuracy,
-) -> CountEstimate {
+) -> Result<CountEstimate, EstimateError> {
     let acc = acc.validated();
     let budget = four_cycle_budget(g.edge_count(), t_lower);
     let reps = repetitions_for_confidence(acc.delta);
+    let required = required_survivors(&acc, reps);
     let pass_orders = PassOrders::PerPass(vec![orders[0].clone(), orders[1].clone()]);
     let instance = |seed: u64| {
         TwoPassFourCycle::new(TwoPassFourCycleConfig {
@@ -376,34 +637,49 @@ pub fn estimate_four_cycles(
     };
     match acc.engine {
         Engine::Sequential => {
-            let report = median_of_runs(reps, acc.seed, acc.threads, |seed| {
-                let (est, _) = Runner::run(g, instance(seed), &pass_orders);
-                est.estimate
-            });
-            CountEstimate {
+            let runs = sequential_runs(reps, &acc, |seed| {
+                let (est, rep) = Runner::run(g, instance(seed), &pass_orders);
+                (est.estimate, rep.peak_state_bytes)
+            })?;
+            let report = median_of_survivors(&runs, required)?;
+            Ok(CountEstimate {
                 count: report.median,
                 budget,
                 repetitions: reps,
                 report,
                 stream_passes: 2 * reps,
                 batch: None,
-            }
+            })
         }
         Engine::Batched => {
             let instances: Vec<TwoPassFourCycle> = (0..reps)
                 .map(|i| instance(acc.seed.wrapping_add(i as u64)))
                 .collect();
-            let out = BatchRunner::try_run(
-                g,
-                instances,
-                &pass_orders,
-                &BatchConfig::with_threads(acc.threads),
-            )
-            .expect("well-formed orders and streams");
-            let runs = out.outputs.iter().map(|e| e.estimate).collect();
+            let out = BatchRunner::try_run(g, instances, &pass_orders, &batch_config(&acc))?;
+            let runs: Vec<Option<f64>> = out
+                .outputs
+                .iter()
+                .map(|e| e.as_ref().map(|e| e.estimate))
+                .collect();
+            let report = median_of_survivors(&runs, required)?;
             let passes = out.report.passes;
-            estimate_from_batch(runs, budget, reps, passes, out.report)
+            Ok(estimate_from_batch(
+                report, budget, reps, passes, out.report,
+            ))
         }
+    }
+}
+
+/// Panicking convenience wrapper around [`try_estimate_four_cycles`].
+pub fn estimate_four_cycles(
+    g: &Graph,
+    orders: [&StreamOrder; 2],
+    t_lower: u64,
+    acc: Accuracy,
+) -> CountEstimate {
+    match try_estimate_four_cycles(g, orders, t_lower, acc) {
+        Ok(est) => est,
+        Err(e) => panic!("4-cycle estimation failed: {e}"),
     }
 }
 
@@ -419,6 +695,7 @@ mod tests {
             seed: 5,
             threads: 2,
             engine: Engine::Batched,
+            ..Accuracy::default()
         }
     }
 
@@ -474,6 +751,40 @@ mod tests {
             assert_eq!(s.count, t.count);
             assert!(t.stream_passes < s.stream_passes);
         }
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_batched_run() {
+        let g = gen::disjoint_cliques(5, 10);
+        let order = StreamOrder::shuffled(g.vertex_count(), 7);
+        let path = std::env::temp_dir().join(format!(
+            "adjstream-estimate-ckpt-{}.bin",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let plain = try_estimate_triangles(&g, &order, 100, acc()).unwrap();
+        let ckpt =
+            try_estimate_triangles_checkpointed(&g, &order, 100, acc(), &path, false).unwrap();
+        assert_eq!(plain.report.runs, ckpt.report.runs);
+        assert_eq!(plain.count, ckpt.count);
+        assert!(
+            !path.exists(),
+            "checkpoint file is removed after a successful run"
+        );
+    }
+
+    #[test]
+    fn checkpointing_rejects_the_sequential_engine() {
+        let g = gen::disjoint_cliques(3, 6);
+        let order = StreamOrder::natural(g.vertex_count());
+        let path = std::env::temp_dir().join("adjstream-never-written.bin");
+        let err =
+            try_estimate_triangles_checkpointed(&g, &order, 10, seq(), &path, false).unwrap_err();
+        assert!(matches!(
+            err,
+            EstimateError::Run(RunError::Checkpoint { .. })
+        ));
+        assert!(err.to_string().contains("batched engine"));
     }
 
     #[test]
@@ -642,5 +953,136 @@ mod tests {
         }
         assert_eq!(Engine::parse("warp"), None);
         assert_eq!(Engine::default(), Engine::Batched);
+    }
+
+    #[test]
+    fn theoretical_space_budget_tracks_the_theorem() {
+        // More edges ⇒ more space; a better T bound ⇒ less space.
+        let base = theoretical_space_budget(10_000, 1_000, 1_000, 0.5);
+        assert!(base > 0);
+        assert!(theoretical_space_budget(40_000, 1_000, 1_000, 0.5) > base);
+        assert!(theoretical_space_budget(10_000, 1_000, 1_000_000, 0.5) < base);
+        // Degenerate inputs stay sane.
+        assert!(theoretical_space_budget(0, 0, 0, 1.0) > 0);
+    }
+
+    #[test]
+    fn tiny_instance_budget_degrades_both_engines_identically() {
+        // 1 byte per instance quarantines every repetition in both engines
+        // (each stores at least a sampler), so both fail the quorum with the
+        // same typed error.
+        let g = gen::disjoint_cliques(5, 10);
+        let order = StreamOrder::shuffled(g.vertex_count(), 7);
+        let strangle = |engine| Accuracy {
+            engine,
+            budget: Budget {
+                max_bytes_per_instance: Some(1),
+                ..Budget::default()
+            },
+            ..acc()
+        };
+        let s = try_estimate_triangles(&g, &order, 100, strangle(Engine::Sequential));
+        let b = try_estimate_triangles(&g, &order, 100, strangle(Engine::Batched));
+        let reps = repetitions_for_confidence(acc().delta);
+        let want = EstimateError::Degraded(DegradedRun {
+            survivors: 0,
+            required: quorum(reps),
+            repetitions: reps,
+        });
+        assert_eq!(s.unwrap_err(), want);
+        assert_eq!(b.unwrap_err(), want);
+    }
+
+    #[test]
+    fn generous_budget_changes_nothing() {
+        let g = gen::disjoint_cliques(5, 10);
+        let order = StreamOrder::shuffled(g.vertex_count(), 7);
+        let roomy = Accuracy {
+            budget: Budget {
+                max_bytes_per_instance: Some(1 << 30),
+                max_total_bytes: Some(1 << 34),
+                deadline: Some(std::time::Duration::from_secs(3600)),
+            },
+            ..acc()
+        };
+        let plain = estimate_triangles(&g, &order, 100, acc());
+        let budgeted = try_estimate_triangles(&g, &order, 100, roomy).unwrap();
+        assert_eq!(plain.report.runs, budgeted.report.runs);
+        assert_eq!(budgeted.report.dead_runs, 0);
+    }
+
+    #[test]
+    fn zero_deadline_is_a_typed_error_in_both_engines() {
+        let g = gen::disjoint_cliques(4, 8);
+        let order = StreamOrder::shuffled(g.vertex_count(), 2);
+        for engine in [Engine::Sequential, Engine::Batched] {
+            let a = Accuracy {
+                engine,
+                budget: Budget {
+                    deadline: Some(std::time::Duration::ZERO),
+                    ..Budget::default()
+                },
+                ..acc()
+            };
+            let err = try_estimate_triangles(&g, &order, 100, a).unwrap_err();
+            assert_eq!(
+                err,
+                EstimateError::Run(RunError::DeadlineExceeded { limit_ms: 0 }),
+                "{engine}"
+            );
+        }
+    }
+
+    #[test]
+    fn aggregate_budget_aborts_both_engines() {
+        let g = gen::disjoint_cliques(4, 8);
+        let order = StreamOrder::shuffled(g.vertex_count(), 2);
+        for engine in [Engine::Sequential, Engine::Batched] {
+            let a = Accuracy {
+                engine,
+                budget: Budget {
+                    max_total_bytes: Some(1),
+                    ..Budget::default()
+                },
+                ..acc()
+            };
+            let err = try_estimate_triangles(&g, &order, 100, a).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    EstimateError::Run(RunError::SpaceBudgetExceeded { limit: 1, .. })
+                ),
+                "{engine}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn min_survivors_above_reps_is_clamped_to_all() {
+        let g = gen::disjoint_cliques(4, 8);
+        let order = StreamOrder::shuffled(g.vertex_count(), 2);
+        let a = Accuracy {
+            min_survivors: Some(usize::MAX),
+            ..acc()
+        };
+        // Healthy run: all repetitions survive, so even "all must survive"
+        // succeeds.
+        let est = try_estimate_triangles(&g, &order, 100, a).unwrap();
+        assert_eq!(est.report.dead_runs, 0);
+    }
+
+    #[test]
+    fn estimate_error_display_and_source() {
+        let degraded = EstimateError::Degraded(DegradedRun {
+            survivors: 2,
+            required: 9,
+            repetitions: 15,
+        });
+        assert!(degraded.to_string().contains("2 of 15"));
+        let run = EstimateError::from(RunError::DeadlineExceeded { limit_ms: 7 });
+        assert!(run.to_string().contains('7'));
+        use std::error::Error;
+        assert!(degraded.source().is_some());
+        assert!(run.source().is_some());
     }
 }

@@ -21,9 +21,13 @@
 //!   good-wedge machinery exists to avoid.
 
 use std::collections::{HashMap, HashSet};
+use std::io::{self, Read, Write};
 
 use adjstream_graph::ids::FourCycleKey;
 use adjstream_graph::VertexId;
+use adjstream_stream::checkpoint::{
+    corrupt, read_u64, read_u8, read_usize, write_u64, write_u8, write_usize, Checkpoint,
+};
 use adjstream_stream::meter::{hashmap_bytes, hashset_bytes, vec_bytes, SpaceUsage};
 use adjstream_stream::runner::MultiPassAlgorithm;
 use adjstream_stream::sampling::BottomKSampler;
@@ -281,6 +285,73 @@ impl MultiPassAlgorithm for TwoPassFourCycle {
     }
 }
 
+/// Pass-boundary serialization for checkpoint/resume. Only the pass-1
+/// survivors need saving: the config, the item count, and the final edge
+/// sample `S` (its bottom-k keys). Everything else — the wedge set, the
+/// leaf index, the pair watcher, the found-cycle set — is rebuilt from `S`
+/// by `build_wedges` when the resumed run calls `begin_pass(1)`.
+impl Checkpoint for TwoPassFourCycle {
+    fn save(&self, w: &mut dyn Write) -> io::Result<()> {
+        write_u64(w, self.cfg.seed)?;
+        write_usize(w, self.cfg.edge_sample_size)?;
+        write_u8(
+            w,
+            match self.cfg.estimator {
+                FourCycleEstimator::DistinctCycles => 0,
+                FourCycleEstimator::WedgeMultiplicity => 1,
+            },
+        )?;
+        match self.cfg.max_wedges {
+            None => write_u8(w, 0)?,
+            Some(cap) => {
+                write_u8(w, 1)?;
+                write_usize(w, cap)?;
+            }
+        }
+        write_usize(w, self.pass)?;
+        write_u64(w, self.items)?;
+        write_usize(w, self.sampler.len())?;
+        for key in self.sampler.keys() {
+            write_u64(w, key)?;
+        }
+        Ok(())
+    }
+
+    fn restore(r: &mut dyn Read) -> io::Result<Self> {
+        let seed = read_u64(r)?;
+        let edge_sample_size = read_usize(r)?;
+        let estimator = match read_u8(r)? {
+            0 => FourCycleEstimator::DistinctCycles,
+            1 => FourCycleEstimator::WedgeMultiplicity,
+            other => return Err(corrupt(format!("unknown estimator tag {other}"))),
+        };
+        let max_wedges = match read_u8(r)? {
+            0 => None,
+            1 => Some(read_usize(r)?),
+            other => return Err(corrupt(format!("unknown wedge-cap tag {other}"))),
+        };
+        let mut algo = TwoPassFourCycle::new(TwoPassFourCycleConfig {
+            seed,
+            edge_sample_size,
+            estimator,
+            max_wedges,
+        });
+        algo.pass = read_usize(r)?;
+        algo.items = read_u64(r)?;
+        let n = read_usize(r)?;
+        if n > edge_sample_size {
+            return Err(corrupt("more sampled edges than the bottom-k capacity"));
+        }
+        for _ in 0..n {
+            algo.sampler.offer(read_u64(r)?);
+        }
+        if algo.sampler.len() != n {
+            return Err(corrupt("duplicate keys in the saved edge sample"));
+        }
+        Ok(algo)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -500,5 +571,70 @@ mod wedge_cap_tests {
         let cfg = TwoPassFourCycleConfig::paper(1, 100);
         assert!(cfg.max_wedges.is_none());
         assert_eq!(cfg.estimator, FourCycleEstimator::DistinctCycles);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_at_the_pass_boundary_is_bit_for_bit() {
+        use adjstream_stream::meter::PeakTracker;
+        use adjstream_stream::runner::drive_pass;
+        use adjstream_stream::AdjListStream;
+        use rand::{rngs::StdRng, SeedableRng};
+
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = gen::gnm(50, 350, &mut rng).disjoint_union(&gen::disjoint_cliques(3, 5));
+        let n = g.vertex_count();
+        let orders = [StreamOrder::shuffled(n, 4), StreamOrder::shuffled(n, 9)];
+        let cfg = TwoPassFourCycleConfig::paper(13, 120);
+
+        let mut peak = PeakTracker::new();
+        let mut processed = 0usize;
+        let mut original = TwoPassFourCycle::new(cfg);
+        drive_pass(
+            &mut original,
+            0,
+            AdjListStream::new(&g, orders[0].clone()).items(),
+            &mut peak,
+            &mut processed,
+        )
+        .unwrap();
+
+        let mut buf = Vec::new();
+        original.save(&mut buf).unwrap();
+        let mut restored = TwoPassFourCycle::restore(&mut &buf[..]).unwrap();
+        assert_eq!(restored.items, original.items);
+        let mut want: Vec<u64> = original.sampler.keys().collect();
+        let mut got: Vec<u64> = restored.sampler.keys().collect();
+        want.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(got, want, "edge sample must survive the roundtrip");
+
+        for algo in [&mut original, &mut restored] {
+            drive_pass(
+                algo,
+                1,
+                AdjListStream::new(&g, orders[1].clone()).items(),
+                &mut peak,
+                &mut processed,
+            )
+            .unwrap();
+        }
+        let a = original.finish();
+        let b = restored.finish();
+        assert_eq!(a, b, "resumed run must reproduce the estimate exactly");
+        assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+    }
+
+    #[test]
+    fn checkpoint_restore_rejects_bad_tags() {
+        use adjstream_stream::checkpoint::{write_u64, write_u8, write_usize};
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 1).unwrap();
+        write_usize(&mut buf, 10).unwrap();
+        write_u8(&mut buf, 9).unwrap();
+        let err = TwoPassFourCycle::restore(&mut &buf[..])
+            .err()
+            .expect("bad tag must fail");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("estimator tag"));
     }
 }

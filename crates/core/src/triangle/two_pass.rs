@@ -17,8 +17,13 @@
 //! number of discovered pairs and `k` the inverse edge-sampling rate.
 
 use std::collections::HashMap;
+use std::io::{self, Read, Write};
 
 use adjstream_graph::VertexId;
+use adjstream_stream::checkpoint::{
+    corrupt, read_f64, read_u32, read_u64, read_u8, read_usize, write_f64, write_u32, write_u64,
+    write_u8, write_usize, Checkpoint,
+};
 use adjstream_stream::meter::{hashmap_bytes, vec_bytes, SpaceUsage};
 use adjstream_stream::runner::MultiPassAlgorithm;
 use adjstream_stream::sampling::{
@@ -501,6 +506,260 @@ impl MultiPassAlgorithm for TwoPassTriangle {
     }
 }
 
+/// Pass-boundary serialization for checkpoint/resume. The mid-list cursors
+/// (`pos`, `next_pos`) and the completion scratch buffer are reset rather
+/// than saved — both are (re)initialized by `begin_pass`/`begin_list` when
+/// the resumed run enters pass 2. The bottom-k sampler is rebuilt by
+/// re-offering the sampled edge keys (the final bottom-k set *is*
+/// `s_edges.keys()`, and membership is a pure function of the seeded hash,
+/// so re-offering reproduces it regardless of order); the threshold sampler
+/// is stateless and rebuilds from the config.
+impl Checkpoint for TwoPassTriangle {
+    fn save(&self, w: &mut dyn Write) -> io::Result<()> {
+        write_u64(w, self.cfg.seed)?;
+        match self.cfg.edge_sampling {
+            EdgeSampling::Threshold { p } => {
+                write_u8(w, 0)?;
+                write_f64(w, p)?;
+            }
+            EdgeSampling::BottomK { k } => {
+                write_u8(w, 1)?;
+                write_usize(w, k)?;
+            }
+        }
+        write_usize(w, self.cfg.pair_capacity)?;
+        write_usize(w, self.pass)?;
+        write_u64(w, self.items_pass1)?;
+        write_u64(w, self.discovered)?;
+        write_usize(w, self.s_edges.len())?;
+        for (&key, info) in &self.s_edges {
+            write_u64(w, key)?;
+            write_u32(w, info.first_pos)?;
+            write_u64(w, info.discoveries)?;
+        }
+        let (capacity, seen, rng_state) = self.q.to_parts();
+        write_usize(w, capacity)?;
+        write_u64(w, seen)?;
+        write_u64(w, rng_state)?;
+        write_usize(w, self.q.len())?;
+        for &(s, g) in self.q.items() {
+            write_u32(w, s)?;
+            write_u32(w, g)?;
+        }
+        write_usize(w, self.slab.len())?;
+        for slot in &self.slab {
+            match slot {
+                None => write_u8(w, 0)?,
+                Some(rec) => {
+                    write_u8(w, 1)?;
+                    write_u32(w, rec.gen)?;
+                    for v in rec.verts {
+                        write_u32(w, v.0)?;
+                    }
+                    for h in rec.h {
+                        write_u64(w, h)?;
+                    }
+                    for a in rec.active {
+                        write_u8(w, a as u8)?;
+                    }
+                }
+            }
+        }
+        write_usize(w, self.free.len())?;
+        for &f in &self.free {
+            write_u32(w, f)?;
+        }
+        write_usize(w, self.free_gens.len())?;
+        for (&slot, &gen) in &self.free_gens {
+            write_u32(w, slot)?;
+            write_u32(w, gen)?;
+        }
+        save_ref_map(w, &self.monitors, |w, &(s, g, slot)| {
+            write_u32(w, s)?;
+            write_u32(w, g)?;
+            write_u8(w, slot)
+        })?;
+        save_ref_map(w, &self.activations, |w, &(s, g, slot)| {
+            write_u32(w, s)?;
+            write_u32(w, g)?;
+            write_u8(w, slot)
+        })?;
+        self.watcher.save(w)
+    }
+
+    fn restore(r: &mut dyn Read) -> io::Result<Self> {
+        let seed = read_u64(r)?;
+        let edge_sampling = match read_u8(r)? {
+            0 => EdgeSampling::Threshold { p: read_f64(r)? },
+            1 => EdgeSampling::BottomK { k: read_usize(r)? },
+            other => return Err(corrupt(format!("unknown edge-sampling tag {other}"))),
+        };
+        let pair_capacity = read_usize(r)?;
+        let cfg = TwoPassTriangleConfig {
+            seed,
+            edge_sampling,
+            pair_capacity,
+        };
+        let pass = read_usize(r)?;
+        let items_pass1 = read_u64(r)?;
+        let discovered = read_u64(r)?;
+        let n = read_usize(r)?;
+        let mut s_edges = HashMap::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let key = read_u64(r)?;
+            let first_pos = read_u32(r)?;
+            let discoveries = read_u64(r)?;
+            s_edges.insert(
+                key,
+                EdgeInfo {
+                    first_pos,
+                    discoveries,
+                },
+            );
+        }
+        let capacity = read_usize(r)?;
+        let seen = read_u64(r)?;
+        let rng_state = read_u64(r)?;
+        let q_len = read_usize(r)?;
+        let mut q_items = Vec::with_capacity(q_len.min(1 << 16));
+        for _ in 0..q_len {
+            let s = read_u32(r)?;
+            let g = read_u32(r)?;
+            q_items.push((s, g));
+        }
+        let q = Reservoir::from_parts(capacity, seen, rng_state, q_items);
+        let n = read_usize(r)?;
+        let mut slab = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            slab.push(match read_u8(r)? {
+                0 => None,
+                1 => {
+                    let gen = read_u32(r)?;
+                    let mut verts = [VertexId(0); 3];
+                    for v in &mut verts {
+                        *v = VertexId(read_u32(r)?);
+                    }
+                    let mut h = [0u64; 3];
+                    for x in &mut h {
+                        *x = read_u64(r)?;
+                    }
+                    let mut active = [false; 3];
+                    for a in &mut active {
+                        *a = read_u8(r)? != 0;
+                    }
+                    Some(PairRecord {
+                        gen,
+                        verts,
+                        h,
+                        active,
+                    })
+                }
+                other => return Err(corrupt(format!("unknown slab slot tag {other}"))),
+            });
+        }
+        let n = read_usize(r)?;
+        let mut free = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            free.push(read_u32(r)?);
+        }
+        let n = read_usize(r)?;
+        let mut free_gens = HashMap::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let slot = read_u32(r)?;
+            let gen = read_u32(r)?;
+            free_gens.insert(slot, gen);
+        }
+        let (monitors, monitors_vec_bytes) =
+            restore_ref_map(r, 12, |r| Ok((read_u32(r)?, read_u32(r)?, read_u8(r)?)))?;
+        let (activations, activations_vec_bytes) =
+            restore_ref_map(r, 12, |r| Ok((read_u32(r)?, read_u32(r)?, read_u8(r)?)))?;
+        let watcher = PairWatcher::restore(r)?;
+        let sampler = match cfg.edge_sampling {
+            EdgeSampling::Threshold { p } => Sampler::Threshold(ThresholdSampler::new(seed, p)),
+            EdgeSampling::BottomK { k } => {
+                let mut b = BottomKSampler::new(seed, k);
+                if s_edges.len() > k {
+                    return Err(corrupt("more sampled edges than the bottom-k capacity"));
+                }
+                for &key in s_edges.keys() {
+                    b.offer(key);
+                }
+                Sampler::BottomK(b)
+            }
+        };
+        Ok(TwoPassTriangle {
+            cfg,
+            pass,
+            pos: 0,
+            next_pos: 0,
+            items_pass1,
+            sampler,
+            s_edges,
+            discovered,
+            q,
+            slab,
+            free,
+            free_gens,
+            monitors,
+            monitors_vec_bytes,
+            activations,
+            activations_vec_bytes,
+            watcher,
+            completed_buf: Vec::new(),
+        })
+    }
+}
+
+/// Serialize a `u64-or-u32 key → Vec<entry>` reference map, preserving
+/// vector order (iteration order inside each vector is behaviorally
+/// significant; map-level order is not).
+fn save_ref_map<K, T>(
+    w: &mut dyn Write,
+    map: &HashMap<K, Vec<T>>,
+    mut entry: impl FnMut(&mut dyn Write, &T) -> io::Result<()>,
+) -> io::Result<()>
+where
+    K: Copy + Into<u64>,
+{
+    write_usize(w, map.len())?;
+    for (&key, entries) in map {
+        write_u64(w, key.into())?;
+        write_usize(w, entries.len())?;
+        for e in entries {
+            entry(w, e)?;
+        }
+    }
+    Ok(())
+}
+
+/// Inverse of [`save_ref_map`], returning the map plus the incremental
+/// byte count of its inner vectors (recomputed from the restored
+/// capacities, which is exactly what the incremental counters track).
+fn restore_ref_map<K, T>(
+    r: &mut dyn Read,
+    elem_bytes: usize,
+    mut entry: impl FnMut(&mut dyn Read) -> io::Result<T>,
+) -> io::Result<(HashMap<K, Vec<T>>, usize)>
+where
+    K: Eq + std::hash::Hash + TryFrom<u64>,
+{
+    let n = read_usize(r)?;
+    let mut map = HashMap::with_capacity(n.min(1 << 16));
+    let mut vec_bytes = 0usize;
+    for _ in 0..n {
+        let raw = read_u64(r)?;
+        let key = K::try_from(raw).map_err(|_| corrupt(format!("map key {raw} out of range")))?;
+        let len = read_usize(r)?;
+        let mut entries = Vec::with_capacity(len.min(1 << 16));
+        for _ in 0..len {
+            entries.push(entry(r)?);
+        }
+        vec_bytes += entries.capacity() * elem_bytes + 24;
+        map.insert(key, entries);
+    }
+    Ok((map, vec_bytes))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -718,5 +977,93 @@ mod tests {
         let est = run_once(&bip, full_cfg(1), StreamOrder::shuffled(40, 2));
         assert_eq!(est.estimate, 0.0);
         assert_eq!(est.pairs_discovered, 0);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_at_the_pass_boundary_is_bit_for_bit() {
+        use adjstream_stream::meter::PeakTracker;
+        use adjstream_stream::runner::drive_pass;
+        use adjstream_stream::AdjListStream;
+
+        let mut rng = StdRng::seed_from_u64(77);
+        let g = gen::gnm(60, 500, &mut rng).disjoint_union(&gen::disjoint_cliques(4, 6));
+        let order = StreamOrder::shuffled(g.vertex_count(), 5);
+        for edge_sampling in [
+            EdgeSampling::BottomK { k: 64 },
+            EdgeSampling::Threshold { p: 0.4 },
+        ] {
+            let cfg = TwoPassTriangleConfig {
+                seed: 9,
+                edge_sampling,
+                pair_capacity: 96,
+            };
+            let mut peak = PeakTracker::new();
+            let mut processed = 0usize;
+            let mut original = TwoPassTriangle::new(cfg);
+            drive_pass(
+                &mut original,
+                0,
+                AdjListStream::new(&g, order.clone()).items(),
+                &mut peak,
+                &mut processed,
+            )
+            .unwrap();
+
+            let mut buf = Vec::new();
+            original.save(&mut buf).unwrap();
+            let mut restored = TwoPassTriangle::restore(&mut &buf[..]).unwrap();
+            assert_eq!(restored.s_edges.len(), original.s_edges.len());
+            assert_eq!(restored.q.items(), original.q.items());
+            let rescan = |m: &HashMap<u64, Vec<(u32, u32, u8)>>| -> usize {
+                m.values().map(|v| v.capacity() * 12 + 24).sum()
+            };
+            assert_eq!(
+                restored.monitors_vec_bytes,
+                rescan(&restored.monitors),
+                "restored monitor byte accounting must match a from-scratch rescan"
+            );
+            let act_rescan: usize = restored
+                .activations
+                .values()
+                .map(|v| v.capacity() * 12 + 24)
+                .sum();
+            assert_eq!(
+                restored.activations_vec_bytes, act_rescan,
+                "restored activation byte accounting must match a from-scratch rescan"
+            );
+
+            for algo in [&mut original, &mut restored] {
+                drive_pass(
+                    algo,
+                    1,
+                    AdjListStream::new(&g, order.clone()).items(),
+                    &mut peak,
+                    &mut processed,
+                )
+                .unwrap();
+            }
+            let a = original.finish();
+            let b = restored.finish();
+            assert_eq!(a, b, "resumed run must reproduce the estimate exactly");
+            assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+            assert!(a.counted > 0, "test graph should actually count triangles");
+        }
+    }
+
+    #[test]
+    fn checkpoint_restore_rejects_garbage() {
+        let err = TwoPassTriangle::restore(&mut &[0xFFu8; 4][..])
+            .err()
+            .expect("truncated input must fail");
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+        // A bad edge-sampling tag is a typed corruption error.
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 1).unwrap();
+        write_u8(&mut buf, 7).unwrap();
+        let err = TwoPassTriangle::restore(&mut &buf[..])
+            .err()
+            .expect("bad tag must fail");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("edge-sampling tag"));
     }
 }

@@ -1,5 +1,5 @@
 //! Stream-once batched execution: fan one stream replay out to many
-//! algorithm instances.
+//! algorithm instances, with per-instance fault isolation.
 //!
 //! The amplification layer (Theorems 3.7 and 4.6) runs `Θ(log 1/δ)`
 //! independent repetitions of the same multi-pass algorithm, and the
@@ -21,11 +21,37 @@
 //!   driving thread batches stream events into chunks and broadcasts each
 //!   chunk to every worker over a bounded channel — a full worker exerts
 //!   backpressure on the stream generator instead of buffering unboundedly.
+//!   Workers exist per pass: at every pass boundary the instances return to
+//!   the driving thread, which is what makes boundary checkpoints and
+//!   aggregate budget checks possible at any thread count.
 //!
 //! Because every instance observes the identical event sequence in either
 //! mode, batched execution is **bitwise reproducible** against the
 //! sequential driver: an instance seeded `s` produces the same output here
 //! as it does under `Runner::run` on the same graph and order.
+//!
+//! # Fault isolation and budgets
+//!
+//! Replay through an instance is wrapped in `catch_unwind`, so a panicking
+//! instance is *quarantined* — its slot in [`BatchOutcome::outputs`] becomes
+//! `None`, its [`InstanceReport::outcome`] records the panic message, and
+//! every other instance keeps running and stays bit-for-bit reproducible.
+//! The same per-instance quarantine applies to [`Budget::max_bytes_per_instance`]
+//! overruns, checked at the exact boundaries where the sequential runner
+//! samples state size. Batch-wide limits ([`Budget::max_total_bytes`],
+//! [`Budget::deadline`]) abort the whole run with a typed [`RunError`] —
+//! they bound the *process*, which no per-instance quarantine can do.
+//!
+//! # Checkpoint / resume
+//!
+//! [`BatchRunner::try_run_checkpointed`] writes a checkpoint of the whole
+//! batch (every live instance, every quarantined outcome, the shared guard)
+//! at each interior pass boundary, atomically, via
+//! [`crate::checkpoint::write_checkpoint_file`]. A run killed between passes
+//! is picked up by [`BatchRunner::resume`], which replays only the remaining
+//! passes and produces bit-for-bit the per-instance outputs of an
+//! uninterrupted run. (`stream_generations` counts regeneration work and
+//! will differ on a resumed run; the determinism contract covers outputs.)
 //!
 //! Ingestion guarding composes at the *stream* level, not per instance:
 //! [`BatchConfig::guard`] wraps the fan-out itself in a single
@@ -44,17 +70,47 @@
 //!
 //! [`OnlineValidator`]: crate::validate::OnlineValidator
 
+use std::any::Any;
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use adjstream_graph::{Graph, VertexId};
 
 use crate::adjlist::AdjListStream;
-use crate::guard::{GuardPolicy, Guarded};
+use crate::checkpoint::{
+    read_bytes, read_checkpoint_file, read_u32, read_u8, read_usize, write_bytes,
+    write_checkpoint_file, write_u32, write_u8, write_usize, Checkpoint,
+};
+use crate::guard::{decode_mode, decode_policy, encode_mode, encode_policy, GuardPolicy, Guarded};
 use crate::item::StreamItem;
 use crate::meter::{vec_bytes, PeakTracker, SpaceUsage};
 use crate::order::StreamOrder;
-use crate::runner::{drive_pass, GuardStats, MultiPassAlgorithm, PassOrders, RunError, RunReport};
+use crate::runner::{drive_pass, GuardStats, MultiPassAlgorithm, PassOrders, RunError};
 use crate::validate::ValidatorMode;
+
+/// Resource limits enforced on a batched run.
+///
+/// `None` in any slot means unlimited. Per-instance limits quarantine the
+/// offending instance (the rest of the batch keeps running); batch-wide
+/// limits abort the whole run with a typed [`RunError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Budget {
+    /// Per-instance state ceiling in bytes, checked where the sequential
+    /// runner samples state size (every list and pass boundary). An
+    /// instance exceeding it is quarantined with
+    /// [`InstanceOutcome::BudgetExceeded`].
+    pub max_bytes_per_instance: Option<usize>,
+    /// Aggregate ceiling over all live instances' state, checked at every
+    /// pass boundary. Exceeding it fails the run with
+    /// [`RunError::SpaceBudgetExceeded`].
+    pub max_total_bytes: Option<usize>,
+    /// Wall-clock deadline for the whole run, checked at chunk granularity.
+    /// Exceeding it fails the run with [`RunError::DeadlineExceeded`].
+    pub deadline: Option<Duration>,
+}
 
 /// Knobs for a batched run.
 #[derive(Debug, Clone)]
@@ -76,6 +132,8 @@ pub struct BatchConfig {
     /// policy and mode. `None` trusts the stream (the graph-backed
     /// generator always satisfies the promise).
     pub guard: Option<(GuardPolicy, ValidatorMode)>,
+    /// Resource limits; default unlimited.
+    pub budget: Budget,
 }
 
 impl Default for BatchConfig {
@@ -85,6 +143,7 @@ impl Default for BatchConfig {
             chunk_events: 128 * 1024,
             channel_depth: 4,
             guard: None,
+            budget: Budget::default(),
         }
     }
 }
@@ -99,8 +158,34 @@ impl BatchConfig {
     }
 }
 
+/// How one instance of a batched run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstanceOutcome {
+    /// Ran to completion; its output occupies its slot in
+    /// [`BatchOutcome::outputs`].
+    Ok,
+    /// Aborted with a typed error (its own guard, if it carried one).
+    Failed {
+        /// The abort error.
+        error: RunError,
+    },
+    /// Panicked mid-replay and was quarantined; the rest of the batch was
+    /// unaffected.
+    Panicked {
+        /// Panic payload, when it was a string (the common `panic!` case).
+        message: String,
+    },
+    /// Exceeded [`Budget::max_bytes_per_instance`] and was quarantined.
+    BudgetExceeded {
+        /// State size observed at the boundary that tripped the limit.
+        peak_bytes: usize,
+        /// The configured per-instance limit.
+        limit: usize,
+    },
+}
+
 /// Per-instance execution summary.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InstanceReport {
     /// Worker shard the instance ran on (0 in inline mode).
     pub shard: usize,
@@ -108,8 +193,11 @@ pub struct InstanceReport {
     /// adjacency-list boundary (same sampling points as the sequential
     /// runner).
     pub peak_state_bytes: usize,
-    /// Items delivered to this instance across all passes.
+    /// Items delivered to this instance across all passes (delivery stops
+    /// at quarantine).
     pub items: usize,
+    /// How the instance ended.
+    pub outcome: InstanceOutcome,
 }
 
 /// Execution summary of a batched run.
@@ -130,19 +218,34 @@ pub struct BatchReport {
     pub stream_generations: usize,
     /// Total item deliveries across instances (≈ `stream_items ×
     /// instances`, minus items a shared repair guard dropped before
-    /// fan-out).
+    /// fan-out and items quarantined instances never received).
     pub items_fanned_out: usize,
     /// Per-instance diagnostics, in instance order.
     pub per_instance: Vec<InstanceReport>,
     /// Counters of the shared-stream guard, when one was configured.
     pub guard: Option<GuardStats>,
+    /// `Some(p)` when this run was restored from a checkpoint taken after
+    /// `p` completed passes.
+    pub resumed_from: Option<usize>,
+}
+
+impl BatchReport {
+    /// Instances that ran to completion ([`InstanceOutcome::Ok`]).
+    pub fn survivors(&self) -> usize {
+        self.per_instance
+            .iter()
+            .filter(|r| r.outcome == InstanceOutcome::Ok)
+            .count()
+    }
 }
 
 /// A batched run's outputs plus its report.
 #[derive(Debug, Clone)]
 pub struct BatchOutcome<T> {
-    /// Instance outputs, in the order the instances were supplied.
-    pub outputs: Vec<T>,
+    /// Instance outputs, in the order the instances were supplied. `None`
+    /// marks a quarantined instance; its [`InstanceReport::outcome`] says
+    /// why.
+    pub outputs: Vec<Option<T>>,
     /// Execution summary.
     pub report: BatchReport,
 }
@@ -158,33 +261,76 @@ enum Event {
     EndPass(usize),
 }
 
+/// Extract a human-readable message from a panic payload.
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Liveness of one instance mid-run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum InstanceStatus {
+    Live,
+    Failed(RunError),
+    Panicked(String),
+    OverBudget { peak_bytes: usize, limit: usize },
+}
+
 /// An instance plus its driver-side bookkeeping. Applying events through
 /// this struct reproduces `drive_pass`'s per-instance behavior exactly:
 /// peak state sampled at list and pass boundaries, abort polled after every
-/// item and at pass end.
+/// item and at pass end, budget checked at the sampling points.
 struct InstanceState<A: MultiPassAlgorithm> {
+    /// Position in the caller's instance vector (stable across sharding).
+    index: usize,
     shard: usize,
     algo: Option<A>,
     peak: PeakTracker,
     items: usize,
     pass: usize,
-    error: Option<RunError>,
+    byte_limit: Option<usize>,
+    status: InstanceStatus,
 }
 
 impl<A: MultiPassAlgorithm> InstanceState<A> {
-    fn new(algo: A, shard: usize) -> Self {
+    fn new(algo: A, index: usize, byte_limit: Option<usize>) -> Self {
         InstanceState {
-            shard,
+            index,
+            shard: 0,
             algo: Some(algo),
             peak: PeakTracker::new(),
             items: 0,
             pass: 0,
-            error: None,
+            byte_limit,
+            status: InstanceStatus::Live,
+        }
+    }
+
+    fn is_live(&self) -> bool {
+        self.status == InstanceStatus::Live
+    }
+
+    /// Observe the instance's state size at a boundary, quarantining it if
+    /// the per-instance budget is exceeded.
+    fn observe_bytes(&mut self, bytes: usize) {
+        self.peak.observe(bytes);
+        if let Some(limit) = self.byte_limit {
+            if bytes > limit && self.is_live() {
+                self.status = InstanceStatus::OverBudget {
+                    peak_bytes: bytes,
+                    limit,
+                };
+            }
         }
     }
 
     fn apply(&mut self, ev: Event) {
-        if self.error.is_some() {
+        if !self.is_live() {
             return;
         }
         let Some(algo) = self.algo.as_mut() else {
@@ -200,7 +346,7 @@ impl<A: MultiPassAlgorithm> InstanceState<A> {
                 algo.item(src, dst);
                 self.items += 1;
                 if let Some(error) = algo.abort_error() {
-                    self.error = Some(RunError::Invalid {
+                    self.status = InstanceStatus::Failed(RunError::Invalid {
                         pass: self.pass,
                         error,
                     });
@@ -208,66 +354,105 @@ impl<A: MultiPassAlgorithm> InstanceState<A> {
             }
             Event::EndList(owner) => {
                 algo.end_list(owner);
-                self.peak.observe(algo.space_bytes());
+                let bytes = algo.space_bytes();
+                self.observe_bytes(bytes);
             }
             Event::EndPass(p) => {
                 algo.end_pass(p);
-                self.peak.observe(algo.space_bytes());
+                let bytes = algo.space_bytes();
                 if let Some(error) = algo.abort_error() {
-                    self.error = Some(RunError::Invalid {
+                    self.peak.observe(bytes);
+                    self.status = InstanceStatus::Failed(RunError::Invalid {
                         pass: self.pass,
                         error,
                     });
+                } else {
+                    self.observe_bytes(bytes);
                 }
             }
         }
     }
 
-    fn into_outcome(mut self, index: usize) -> InstanceOutcome<A::Output> {
-        let result = match self.error.take() {
-            Some(e) => Err(e),
-            None => Ok(self.algo.take().expect("instance not finished").finish()),
+    /// Replay a chunk with panic isolation: a panicking instance is marked
+    /// [`InstanceStatus::Panicked`] and its algorithm is dropped (itself
+    /// under `catch_unwind`, in case the poisoned state panics on drop);
+    /// every other instance is untouched.
+    fn apply_chunk(&mut self, events: &[Event]) {
+        if !self.is_live() {
+            return;
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            for &ev in events {
+                self.apply(ev);
+            }
+        }));
+        if let Err(payload) = result {
+            self.status = InstanceStatus::Panicked(panic_message(payload));
+        }
+        if !self.is_live() {
+            let algo = self.algo.take();
+            let _ = catch_unwind(AssertUnwindSafe(move || drop(algo)));
+        }
+    }
+
+    /// Finish the instance, producing its report and (for survivors) its
+    /// output. `finish()` itself runs under `catch_unwind`.
+    fn into_parts(mut self) -> (InstanceReport, Option<A::Output>) {
+        let (outcome, output) = match self.status {
+            InstanceStatus::Live => {
+                let algo = self.algo.take().expect("live instance has an algorithm");
+                match catch_unwind(AssertUnwindSafe(move || algo.finish())) {
+                    Ok(out) => (InstanceOutcome::Ok, Some(out)),
+                    Err(payload) => (
+                        InstanceOutcome::Panicked {
+                            message: panic_message(payload),
+                        },
+                        None,
+                    ),
+                }
+            }
+            InstanceStatus::Failed(error) => (InstanceOutcome::Failed { error }, None),
+            InstanceStatus::Panicked(message) => (InstanceOutcome::Panicked { message }, None),
+            InstanceStatus::OverBudget { peak_bytes, limit } => {
+                (InstanceOutcome::BudgetExceeded { peak_bytes, limit }, None)
+            }
         };
-        InstanceOutcome {
-            index,
-            report: InstanceReport {
+        (
+            InstanceReport {
                 shard: self.shard,
                 peak_state_bytes: self.peak.peak(),
                 items: self.items,
+                outcome,
             },
-            result,
-        }
+            output,
+        )
     }
 }
 
-struct InstanceOutcome<T> {
-    index: usize,
-    report: InstanceReport,
-    result: Result<T, RunError>,
+/// The per-pass worker crew: event broadcast channels in, finished
+/// instance states out.
+struct PassWorkers<A: MultiPassAlgorithm> {
+    senders: Vec<crossbeam::channel::Sender<Arc<Vec<Event>>>>,
+    done: crossbeam::channel::Receiver<Vec<InstanceState<A>>>,
 }
-
-/// What driving a fan-out yields: one outcome per instance plus the shared
-/// stream's run report.
-type DrivenBatch<T> = (Vec<InstanceOutcome<T>>, RunReport);
 
 /// The fan-out itself, viewed as one [`MultiPassAlgorithm`] so the shared
 /// [`drive_pass`] loop (and a shared [`Guarded`] wrapper) can drive it.
-enum FanOut<A: MultiPassAlgorithm> {
-    Inline {
-        passes: usize,
-        same_order: bool,
-        states: Vec<InstanceState<A>>,
-        buf: Vec<Event>,
-        chunk_events: usize,
-    },
-    Threaded {
-        passes: usize,
-        same_order: bool,
-        senders: Vec<crossbeam::channel::Sender<Arc<Vec<Event>>>>,
-        results: crossbeam::channel::Receiver<InstanceOutcome<A::Output>>,
-        buf: Vec<Event>,
-        chunk_events: usize,
-    },
+/// Unlike a plain algorithm it owns its instances *between* passes — worker
+/// crews exist only while a pass is in flight — which is what lets the
+/// engine checkpoint and budget-check at boundaries.
+struct FanOut<A: MultiPassAlgorithm> {
+    passes: usize,
+    same_order: bool,
+    chunk_events: usize,
+    buf: Vec<Event>,
+    states: Vec<InstanceState<A>>,
+    workers: Option<PassWorkers<A>>,
+    /// Wall-clock deadline plus the configured limit in ms (for the error).
+    deadline: Option<(Instant, u64)>,
+    /// Batch-fatal condition (deadline); polled by the driver via
+    /// [`MultiPassAlgorithm::abort_run`].
+    fatal: Option<RunError>,
 }
 
 impl<A: MultiPassAlgorithm> FanOut<A> {
@@ -278,52 +463,69 @@ impl<A: MultiPassAlgorithm> FanOut<A> {
     /// ~5× slower at 55 resident triangle instances). Instances are
     /// independent, so chunked delivery is observationally identical.
     fn emit(&mut self, ev: Event) {
-        match self {
-            FanOut::Inline {
-                states,
-                buf,
-                chunk_events,
-                ..
-            } => {
-                buf.push(ev);
-                if buf.len() >= *chunk_events {
-                    Self::replay(states, buf);
-                }
-            }
-            FanOut::Threaded {
-                buf,
-                chunk_events,
-                senders,
-                ..
-            } => {
-                buf.push(ev);
-                if buf.len() >= *chunk_events {
-                    Self::flush(senders, buf);
-                }
-            }
+        self.buf.push(ev);
+        if self.buf.len() >= self.chunk_events {
+            self.flush();
         }
     }
 
-    /// Drain `buf` into every instance, one instance at a time.
-    fn replay(states: &mut [InstanceState<A>], buf: &mut Vec<Event>) {
-        for st in states.iter_mut() {
-            for &ev in buf.iter() {
-                st.apply(ev);
-            }
-        }
-        buf.clear();
-    }
-
-    fn flush(senders: &[crossbeam::channel::Sender<Arc<Vec<Event>>>], buf: &mut Vec<Event>) {
-        if buf.is_empty() {
+    fn flush(&mut self) {
+        if self.buf.is_empty() {
             return;
         }
-        let chunk = Arc::new(std::mem::take(buf));
-        for tx in senders {
-            // A send fails only if the worker died; its panic resurfaces at
-            // scope join, so dropping the chunk here is safe.
-            let _ = tx.send(Arc::clone(&chunk));
+        if self.fatal.is_none() {
+            if let Some((t, limit_ms)) = self.deadline {
+                if Instant::now() >= t {
+                    self.fatal = Some(RunError::DeadlineExceeded { limit_ms });
+                }
+            }
         }
+        if self.fatal.is_some() {
+            // The run is aborting; replaying further events is wasted work.
+            self.buf.clear();
+            return;
+        }
+        match &self.workers {
+            Some(workers) => {
+                let chunk = Arc::new(std::mem::take(&mut self.buf));
+                for tx in &workers.senders {
+                    // A send fails only if the worker died; worker panics
+                    // resurface at scope join, so dropping here is safe.
+                    let _ = tx.send(Arc::clone(&chunk));
+                }
+            }
+            None => {
+                for st in self.states.iter_mut() {
+                    st.apply_chunk(&self.buf);
+                }
+                self.buf.clear();
+            }
+        }
+    }
+
+    /// Tear down the pass's worker crew (if any) and take the instances
+    /// back. Always restores `states` sorted by instance index, so the
+    /// boundary view is identical at every thread count.
+    fn join_pass_workers(&mut self) {
+        self.buf.clear();
+        if let Some(workers) = self.workers.take() {
+            drop(workers.senders);
+            let mut all: Vec<InstanceState<A>> = Vec::new();
+            while let Ok(states) = workers.done.recv() {
+                all.extend(states);
+            }
+            all.sort_by_key(|st| st.index);
+            self.states = all;
+        }
+    }
+
+    /// Aggregate live state across instances, for the batch-wide budget.
+    fn total_live_bytes(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|st| st.is_live())
+            .filter_map(|st| st.algo.as_ref().map(|a| a.space_bytes()))
+            .sum()
     }
 }
 
@@ -334,25 +536,23 @@ impl<A: MultiPassAlgorithm> SpaceUsage for FanOut<A> {
     /// the shared driver's boundary sampling O(R·state) per list, which
     /// measurably dominates whole runs.
     fn space_bytes(&self) -> usize {
-        match self {
-            FanOut::Inline { buf, .. } | FanOut::Threaded { buf, .. } => vec_bytes(buf),
-        }
+        vec_bytes(&self.buf)
     }
 }
 
 impl<A: MultiPassAlgorithm> MultiPassAlgorithm for FanOut<A> {
-    type Output = Vec<InstanceOutcome<A::Output>>;
+    /// Never produced through `finish` — the engine disassembles the
+    /// fan-out at the end of the last pass instead, because instance
+    /// outcomes must survive the [`Guarded`] wrapper (whose `finish`
+    /// consumes the wrapper around this type).
+    type Output = ();
 
     fn passes(&self) -> usize {
-        match self {
-            FanOut::Inline { passes, .. } | FanOut::Threaded { passes, .. } => *passes,
-        }
+        self.passes
     }
 
     fn requires_same_order(&self) -> bool {
-        match self {
-            FanOut::Inline { same_order, .. } | FanOut::Threaded { same_order, .. } => *same_order,
-        }
+        self.same_order
     }
 
     fn begin_pass(&mut self, pass: usize) {
@@ -373,42 +573,14 @@ impl<A: MultiPassAlgorithm> MultiPassAlgorithm for FanOut<A> {
 
     fn end_pass(&mut self, pass: usize) {
         self.emit(Event::EndPass(pass));
-        match self {
-            FanOut::Inline { states, buf, .. } => Self::replay(states, buf),
-            FanOut::Threaded { senders, buf, .. } => Self::flush(senders, buf),
-        }
+        self.flush();
     }
 
-    fn finish(self) -> Self::Output {
-        match self {
-            FanOut::Inline {
-                mut states,
-                mut buf,
-                ..
-            } => {
-                Self::replay(&mut states, &mut buf);
-                states
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, st)| st.into_outcome(i))
-                    .collect()
-            }
-            FanOut::Threaded {
-                senders,
-                results,
-                mut buf,
-                ..
-            } => {
-                Self::flush(&senders, &mut buf);
-                // Closing the input channels tells the workers to finish;
-                // they respond with one outcome per instance.
-                drop(senders);
-                let mut outcomes: Vec<InstanceOutcome<A::Output>> = results.iter().collect();
-                outcomes.sort_by_key(|o| o.index);
-                outcomes
-            }
-        }
+    fn abort_run(&self) -> Option<RunError> {
+        self.fatal.clone()
     }
+
+    fn finish(self) -> Self::Output {}
 }
 
 /// Where a batched run's per-pass items come from.
@@ -469,37 +641,96 @@ impl<'a> PassSource<'a> {
     }
 }
 
-/// Drive `fanout` (optionally wrapped in a shared guard) over `source`.
-fn drive_batch<B>(
-    mut algo: B,
-    source: &mut PassSource<'_>,
-) -> Result<(B::Output, RunReport), RunError>
-where
-    B: MultiPassAlgorithm,
-{
-    let mut peak = PeakTracker::new();
-    let mut processed = 0usize;
-    let passes = algo.passes();
-    for pass in 0..passes {
-        let items = source.items_for(pass);
-        drive_pass(
-            &mut algo,
-            pass,
-            items.iter().copied(),
-            &mut peak,
-            &mut processed,
-        )?;
+/// The fan-out, optionally behind the shared ingestion guard. One exists
+/// per batch run, so the variant size gap is irrelevant.
+#[allow(clippy::large_enum_variant)]
+enum Driven<A: MultiPassAlgorithm> {
+    Plain(FanOut<A>),
+    Guarded(Guarded<FanOut<A>>),
+}
+
+impl<A: MultiPassAlgorithm> Driven<A> {
+    fn fanout(&self) -> &FanOut<A> {
+        match self {
+            Driven::Plain(f) => f,
+            Driven::Guarded(g) => g.inner_ref(),
+        }
     }
-    let guard = algo.guard_stats();
-    Ok((
-        algo.finish(),
-        RunReport {
-            peak_state_bytes: peak.peak(),
-            items_processed: processed,
-            passes,
-            guard,
-        },
-    ))
+
+    fn fanout_mut(&mut self) -> &mut FanOut<A> {
+        match self {
+            Driven::Plain(f) => f,
+            Driven::Guarded(g) => g.inner_mut(),
+        }
+    }
+
+    fn drive(
+        &mut self,
+        pass: usize,
+        items: &[StreamItem],
+        peak: &mut PeakTracker,
+        processed: &mut usize,
+    ) -> Result<(), RunError> {
+        match self {
+            Driven::Plain(f) => drive_pass(f, pass, items.iter().copied(), peak, processed),
+            Driven::Guarded(g) => drive_pass(g, pass, items.iter().copied(), peak, processed),
+        }
+    }
+
+    fn guard_stats(&self) -> Option<GuardStats> {
+        match self {
+            Driven::Plain(_) => None,
+            Driven::Guarded(g) => Some(g.stats()),
+        }
+    }
+
+    /// Serialize the shared guard's cross-pass state for a checkpoint.
+    fn guard_snapshot(&self) -> Result<Option<(GuardPolicy, ValidatorMode, Vec<u8>)>, RunError> {
+        match self {
+            Driven::Plain(_) => Ok(None),
+            Driven::Guarded(g) => {
+                let mut blob = Vec::new();
+                g.save_guard_state(&mut blob).map_err(ckpt_err)?;
+                Ok(Some((g.policy(), g.mode(), blob)))
+            }
+        }
+    }
+
+    fn into_fanout(self) -> FanOut<A> {
+        match self {
+            Driven::Plain(f) => f,
+            Driven::Guarded(g) => g.into_inner(),
+        }
+    }
+}
+
+/// Driver-side counters carried across a checkpoint/resume boundary.
+#[derive(Debug, Clone, Copy, Default)]
+struct RunCarry {
+    processed: usize,
+    driver_peak: usize,
+    generations: usize,
+    resumed_from: Option<usize>,
+}
+
+/// Everything visible at an interior pass boundary — what a checkpoint
+/// captures.
+struct PassBoundary<'a, A: MultiPassAlgorithm> {
+    completed_passes: usize,
+    total_passes: usize,
+    same_order: bool,
+    states: &'a [InstanceState<A>],
+    guard: Option<(GuardPolicy, ValidatorMode, Vec<u8>)>,
+    processed: usize,
+    driver_peak: usize,
+    generations: usize,
+}
+
+/// Map a checkpoint-layer failure into the run-level error space.
+fn ckpt_err(e: impl std::fmt::Display) -> RunError {
+    RunError::Checkpoint {
+        message: e.to_string(),
+    }
 }
 
 /// Runs many instances of one algorithm over a single shared stream replay.
@@ -507,18 +738,22 @@ where
 #[derive(Debug, Default, Clone, Copy)]
 pub struct BatchRunner;
 
+type BoundaryHook<'h, A> = &'h mut dyn FnMut(PassBoundary<'_, A>) -> Result<(), RunError>;
+
 impl BatchRunner {
     /// Run every instance in `instances` over `graph` streamed per
     /// `orders`, generating each pass once.
     ///
     /// All instances must agree on `passes()` and `requires_same_order()`
-    /// (they are copies of one algorithm at different seeds; this is
-    /// asserted). Order-contract violations return the same typed
-    /// [`RunError`]s as [`Runner::try_run`](crate::runner::Runner::try_run);
-    /// a strict shared guard aborts the whole batch with
-    /// [`RunError::Invalid`]. A per-instance failure (only possible when
-    /// instances carry their own guards, which the shared-guard design
-    /// makes unnecessary) fails the batch with the first instance's error.
+    /// (they are copies of one algorithm at different seeds); an empty
+    /// batch returns [`RunError::EmptyBatch`] and disagreeing instances
+    /// return [`RunError::MixedPassContracts`]. Order-contract violations
+    /// return the same typed [`RunError`]s as
+    /// [`Runner::try_run`](crate::runner::Runner::try_run); a strict shared
+    /// guard aborts the whole batch with [`RunError::Invalid`]. Individual
+    /// instance failures (panic, per-instance budget) do **not** fail the
+    /// batch: the instance is quarantined, its output slot is `None`, and
+    /// its [`InstanceReport::outcome`] says why.
     pub fn try_run<A>(
         graph: &Graph,
         instances: Vec<A>,
@@ -529,7 +764,7 @@ impl BatchRunner {
         A: MultiPassAlgorithm + Send,
         A::Output: Send,
     {
-        let contract = Self::contract(&instances);
+        let contract = Self::contract(&instances)?;
         orders.check(contract.0, contract.1)?;
         let mut source = PassSource::Graph {
             graph,
@@ -537,7 +772,17 @@ impl BatchRunner {
             cache: None,
             generations: 0,
         };
-        Self::execute(instances, contract, cfg, &mut source)
+        let states = Self::make_states(instances, cfg);
+        Self::execute(
+            states,
+            contract,
+            cfg,
+            &mut source,
+            0,
+            RunCarry::default(),
+            None,
+            None,
+        )
     }
 
     /// Run every instance over explicit per-pass item sequences (which may
@@ -554,154 +799,464 @@ impl BatchRunner {
         A::Output: Send,
         F: FnMut(usize) -> Vec<StreamItem>,
     {
-        let contract = Self::contract(&instances);
+        let contract = Self::contract(&instances)?;
         let mut supply = supply;
         let mut source = PassSource::Items {
             supply: Box::new(&mut supply),
             current: Vec::new(),
             generations: 0,
         };
-        Self::execute(instances, contract, cfg, &mut source)
+        let states = Self::make_states(instances, cfg);
+        Self::execute(
+            states,
+            contract,
+            cfg,
+            &mut source,
+            0,
+            RunCarry::default(),
+            None,
+            None,
+        )
     }
 
-    fn contract<A: MultiPassAlgorithm>(instances: &[A]) -> (usize, bool) {
-        assert!(!instances.is_empty(), "need at least one instance");
-        let passes = instances[0].passes();
-        let same_order = instances[0].requires_same_order();
-        assert!(
-            instances
-                .iter()
-                .all(|a| a.passes() == passes && a.requires_same_order() == same_order),
-            "batch instances must share one pass contract"
-        );
-        (passes, same_order)
-    }
-
-    fn execute<A>(
+    /// Like [`BatchRunner::try_run`], additionally writing a checkpoint of
+    /// the whole batch to `path` at every interior pass boundary (atomic
+    /// write: temp file + rename). A process killed between passes leaves a
+    /// complete checkpoint that [`BatchRunner::resume`] picks up.
+    ///
+    /// The checkpoint written at the last interior boundary is left in
+    /// place after a successful run, so callers can inspect or discard it.
+    pub fn try_run_checkpointed<A>(
+        graph: &Graph,
         instances: Vec<A>,
+        orders: &PassOrders,
+        cfg: &BatchConfig,
+        path: &Path,
+    ) -> Result<BatchOutcome<A::Output>, RunError>
+    where
+        A: MultiPassAlgorithm + Checkpoint + Send,
+        A::Output: Send,
+    {
+        let contract = Self::contract(&instances)?;
+        orders.check(contract.0, contract.1)?;
+        let mut source = PassSource::Graph {
+            graph,
+            orders,
+            cache: None,
+            generations: 0,
+        };
+        let states = Self::make_states(instances, cfg);
+        let mut hook = |b: PassBoundary<'_, A>| -> Result<(), RunError> {
+            let payload = encode_boundary(&b).map_err(ckpt_err)?;
+            write_checkpoint_file(path, &payload).map_err(ckpt_err)
+        };
+        Self::execute(
+            states,
+            contract,
+            cfg,
+            &mut source,
+            0,
+            RunCarry::default(),
+            None,
+            Some(&mut hook),
+        )
+    }
+
+    /// Resume a batch from a checkpoint written by
+    /// [`BatchRunner::try_run_checkpointed`], replaying only the remaining
+    /// passes. The resumed run produces bit-for-bit the per-instance
+    /// outputs of the uninterrupted run and keeps checkpointing to the same
+    /// `path` at later boundaries.
+    ///
+    /// `cfg` must request the same guard configuration the checkpointed run
+    /// used (the guard's cross-pass state is part of the checkpoint);
+    /// mismatches return [`RunError::Checkpoint`]. `orders` must describe
+    /// the same stream — that is unverifiable from the checkpoint alone and
+    /// is the caller's contract, exactly as seeds are.
+    pub fn resume<A>(
+        graph: &Graph,
+        orders: &PassOrders,
+        cfg: &BatchConfig,
+        path: &Path,
+    ) -> Result<BatchOutcome<A::Output>, RunError>
+    where
+        A: MultiPassAlgorithm + Checkpoint + Send,
+        A::Output: Send,
+    {
+        let payload = read_checkpoint_file(path).map_err(ckpt_err)?;
+        let decoded: DecodedCheckpoint<A> =
+            decode_boundary(&payload, cfg.budget.max_bytes_per_instance).map_err(ckpt_err)?;
+        orders.check(decoded.total_passes, decoded.same_order)?;
+        let stored_guard = decoded
+            .guard
+            .as_ref()
+            .map(|(policy, mode, _)| (*policy, *mode));
+        if cfg.guard != stored_guard {
+            return Err(ckpt_err(format!(
+                "guard config mismatch: checkpoint has {stored_guard:?}, config has {:?}",
+                cfg.guard
+            )));
+        }
+        let mut source = PassSource::Graph {
+            graph,
+            orders,
+            cache: None,
+            generations: 0,
+        };
+        let carry = RunCarry {
+            processed: decoded.processed,
+            driver_peak: decoded.driver_peak,
+            generations: decoded.generations,
+            resumed_from: Some(decoded.completed_passes),
+        };
+        let guard_blob = decoded.guard.map(|(_, _, blob)| blob);
+        let mut hook = |b: PassBoundary<'_, A>| -> Result<(), RunError> {
+            let payload = encode_boundary(&b).map_err(ckpt_err)?;
+            write_checkpoint_file(path, &payload).map_err(ckpt_err)
+        };
+        Self::execute(
+            decoded.states,
+            (decoded.total_passes, decoded.same_order),
+            cfg,
+            &mut source,
+            decoded.completed_passes,
+            carry,
+            guard_blob,
+            Some(&mut hook),
+        )
+    }
+
+    fn make_states<A: MultiPassAlgorithm>(
+        instances: Vec<A>,
+        cfg: &BatchConfig,
+    ) -> Vec<InstanceState<A>> {
+        let limit = cfg.budget.max_bytes_per_instance;
+        instances
+            .into_iter()
+            .enumerate()
+            .map(|(i, a)| InstanceState::new(a, i, limit))
+            .collect()
+    }
+
+    fn contract<A: MultiPassAlgorithm>(instances: &[A]) -> Result<(usize, bool), RunError> {
+        let Some(first) = instances.first() else {
+            return Err(RunError::EmptyBatch);
+        };
+        let passes = first.passes();
+        let same_order = first.requires_same_order();
+        if instances
+            .iter()
+            .any(|a| a.passes() != passes || a.requires_same_order() != same_order)
+        {
+            return Err(RunError::MixedPassContracts);
+        }
+        Ok((passes, same_order))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn execute<A>(
+        mut states: Vec<InstanceState<A>>,
         (passes, same_order): (usize, bool),
         cfg: &BatchConfig,
         source: &mut PassSource<'_>,
+        start_pass: usize,
+        carry: RunCarry,
+        guard_blob: Option<Vec<u8>>,
+        mut ckpt: Option<BoundaryHook<'_, A>>,
     ) -> Result<BatchOutcome<A::Output>, RunError>
     where
         A: MultiPassAlgorithm + Send,
         A::Output: Send,
     {
-        let n = instances.len();
-        let threads = cfg.threads.clamp(1, n);
-        if threads <= 1 {
-            let states = instances
-                .into_iter()
-                .map(|a| InstanceState::new(a, 0))
-                .collect();
-            let fanout = FanOut::Inline {
-                passes,
-                same_order,
-                states,
-                buf: Vec::with_capacity(cfg.chunk_events),
-                chunk_events: cfg.chunk_events.max(1),
-            };
-            let driven = Self::drive_guarded(fanout, cfg, source)?;
-            return Self::assemble(driven, source, threads);
+        let n = states.len();
+        let threads = cfg.threads.clamp(1, n.max(1));
+        let shard_size = n.div_ceil(threads.max(1)).max(1);
+        for (i, st) in states.iter_mut().enumerate() {
+            st.shard = if threads > 1 { i / shard_size } else { 0 };
         }
-        let chunk = n.div_ceil(threads);
-        let scope_result = crossbeam::thread::scope(|scope| {
-            let (result_tx, result_rx) = crossbeam::channel::bounded(n);
-            let mut senders: Vec<crossbeam::channel::Sender<Arc<Vec<Event>>>> =
-                Vec::with_capacity(threads);
-            let mut iter = instances.into_iter().enumerate();
-            for shard in 0..threads {
-                let mut states: Vec<(usize, InstanceState<A>)> = Vec::with_capacity(chunk);
-                for (index, algo) in iter.by_ref().take(chunk) {
-                    states.push((index, InstanceState::new(algo, shard)));
+        let deadline = cfg.budget.deadline.and_then(|d| {
+            let limit_ms = u64::try_from(d.as_millis()).unwrap_or(u64::MAX);
+            Instant::now().checked_add(d).map(|t| (t, limit_ms))
+        });
+        let fanout = FanOut {
+            passes,
+            same_order,
+            chunk_events: cfg.chunk_events.max(1),
+            buf: Vec::with_capacity(cfg.chunk_events.min(1 << 20)),
+            states,
+            workers: None,
+            deadline,
+            fatal: None,
+        };
+        let mut driven = match cfg.guard {
+            None => Driven::Plain(fanout),
+            Some((policy, mode)) => {
+                let mut g = Guarded::with_validator(fanout, policy, mode);
+                if let Some(blob) = &guard_blob {
+                    g.restore_guard_state(&mut blob.as_slice())
+                        .map_err(ckpt_err)?;
                 }
-                if states.is_empty() {
-                    break;
-                }
-                let (tx, rx) = crossbeam::channel::bounded(cfg.channel_depth);
-                senders.push(tx);
-                let result_tx = result_tx.clone();
-                scope.spawn(move |_| {
-                    for chunk in rx.iter() {
-                        for (_, st) in states.iter_mut() {
-                            for &ev in chunk.iter() {
-                                st.apply(ev);
-                            }
-                        }
-                    }
-                    for (index, st) in states {
-                        let _ = result_tx.send(st.into_outcome(index));
-                    }
-                });
+                Driven::Guarded(g)
             }
-            drop(result_tx);
-            let fanout: FanOut<A> = FanOut::Threaded {
-                passes,
-                same_order,
-                senders,
-                results: result_rx,
-                buf: Vec::with_capacity(cfg.chunk_events),
-                chunk_events: cfg.chunk_events.max(1),
-            };
-            let driven = Self::drive_guarded(fanout, cfg, source)?;
-            Self::assemble(driven, source, threads)
+        };
+        let mut peak = PeakTracker::new();
+        peak.observe(carry.driver_peak);
+        let mut processed = carry.processed;
+        let scope_result = crossbeam::thread::scope(|scope| -> Result<_, RunError> {
+            for pass in start_pass..passes {
+                let items = source.items_for(pass);
+                if threads > 1 {
+                    let fanout = driven.fanout_mut();
+                    let instance_states = std::mem::take(&mut fanout.states);
+                    let (done_tx, done_rx) = crossbeam::channel::bounded(threads);
+                    let mut senders = Vec::with_capacity(threads);
+                    let mut iter = instance_states.into_iter().peekable();
+                    while iter.peek().is_some() {
+                        let shard_states: Vec<InstanceState<A>> =
+                            iter.by_ref().take(shard_size).collect();
+                        let (tx, rx) = crossbeam::channel::bounded::<Arc<Vec<Event>>>(
+                            cfg.channel_depth.max(1),
+                        );
+                        senders.push(tx);
+                        let done_tx = done_tx.clone();
+                        scope.spawn(move |_| {
+                            let mut shard_states = shard_states;
+                            for chunk in rx.iter() {
+                                for st in shard_states.iter_mut() {
+                                    st.apply_chunk(&chunk);
+                                }
+                            }
+                            let _ = done_tx.send(shard_states);
+                        });
+                    }
+                    drop(done_tx);
+                    fanout.workers = Some(PassWorkers {
+                        senders,
+                        done: done_rx,
+                    });
+                }
+                let res = driven.drive(pass, items, &mut peak, &mut processed);
+                driven.fanout_mut().join_pass_workers();
+                res?;
+                // Pass boundary: every instance is back on this thread.
+                if let Some(limit) = cfg.budget.max_total_bytes {
+                    let used = driven.fanout().total_live_bytes();
+                    if used > limit {
+                        return Err(RunError::SpaceBudgetExceeded { used, limit });
+                    }
+                }
+                if pass + 1 < passes {
+                    if let Some(hook) = ckpt.as_deref_mut() {
+                        let guard = driven.guard_snapshot()?;
+                        hook(PassBoundary {
+                            completed_passes: pass + 1,
+                            total_passes: passes,
+                            same_order,
+                            states: &driven.fanout().states,
+                            guard,
+                            processed,
+                            driver_peak: peak.peak(),
+                            generations: carry.generations + source.generations(),
+                        })?;
+                    }
+                }
+            }
+            Ok(())
         });
         match scope_result {
-            Ok(result) => result,
+            Ok(run_result) => run_result?,
             Err(panic) => std::panic::resume_unwind(panic),
         }
-    }
-
-    /// Drive the fan-out directly, or behind one shared [`Guarded`]
-    /// validator when the config asks for one.
-    fn drive_guarded<A>(
-        fanout: FanOut<A>,
-        cfg: &BatchConfig,
-        source: &mut PassSource<'_>,
-    ) -> Result<DrivenBatch<A::Output>, RunError>
-    where
-        A: MultiPassAlgorithm,
-    {
-        match cfg.guard {
-            None => drive_batch(fanout, source),
-            Some((policy, mode)) => {
-                drive_batch(Guarded::with_validator(fanout, policy, mode), source)
-            }
-        }
-    }
-
-    fn assemble<T>(
-        (outcomes, run): (Vec<InstanceOutcome<T>>, RunReport),
-        source: &PassSource<'_>,
-        threads: usize,
-    ) -> Result<BatchOutcome<T>, RunError> {
-        let mut outputs = Vec::with_capacity(outcomes.len());
-        let mut per_instance = Vec::with_capacity(outcomes.len());
+        let guard = driven.guard_stats();
+        let fanout = driven.into_fanout();
+        let mut outputs = Vec::with_capacity(n);
+        let mut per_instance = Vec::with_capacity(n);
         let mut items_fanned_out = 0usize;
-        for outcome in outcomes {
-            per_instance.push(outcome.report);
-            items_fanned_out += outcome.report.items;
-            outputs.push(outcome.result?);
+        for st in fanout.states {
+            let (report, output) = st.into_parts();
+            items_fanned_out += report.items;
+            per_instance.push(report);
+            outputs.push(output);
         }
         Ok(BatchOutcome {
             outputs,
             report: BatchReport {
-                instances: per_instance.len(),
+                instances: n,
                 threads,
-                passes: run.passes,
-                stream_items: run.items_processed,
-                stream_generations: source.generations(),
+                passes,
+                stream_items: processed,
+                stream_generations: carry.generations + source.generations(),
                 items_fanned_out,
                 per_instance,
-                guard: run.guard,
+                guard,
+                resumed_from: carry.resumed_from,
             },
         })
     }
 }
 
+// ---------------------------------------------------------------------------
+// Checkpoint payload encoding
+// ---------------------------------------------------------------------------
+
+const STATUS_LIVE: u8 = 0;
+const STATUS_FAILED: u8 = 1;
+const STATUS_PANICKED: u8 = 2;
+const STATUS_OVER_BUDGET: u8 = 3;
+
+fn encode_boundary<A>(b: &PassBoundary<'_, A>) -> io::Result<Vec<u8>>
+where
+    A: MultiPassAlgorithm + Checkpoint,
+{
+    let mut w: Vec<u8> = Vec::new();
+    write_u32(&mut w, b.completed_passes as u32)?;
+    write_u32(&mut w, b.total_passes as u32)?;
+    write_u8(&mut w, b.same_order as u8)?;
+    write_usize(&mut w, b.states.len())?;
+    write_usize(&mut w, b.processed)?;
+    write_usize(&mut w, b.driver_peak)?;
+    write_usize(&mut w, b.generations)?;
+    match &b.guard {
+        None => write_u8(&mut w, 0)?,
+        Some((policy, mode, blob)) => {
+            write_u8(&mut w, 1)?;
+            encode_policy(&mut w, *policy)?;
+            encode_mode(&mut w, *mode)?;
+            write_bytes(&mut w, blob)?;
+        }
+    }
+    for st in b.states {
+        write_usize(&mut w, st.items)?;
+        write_usize(&mut w, st.peak.peak())?;
+        match &st.status {
+            InstanceStatus::Live => {
+                write_u8(&mut w, STATUS_LIVE)?;
+                let algo = st.algo.as_ref().ok_or_else(|| {
+                    crate::checkpoint::corrupt("live instance lost its algorithm")
+                })?;
+                let mut blob = Vec::new();
+                algo.save(&mut blob)?;
+                write_bytes(&mut w, &blob)?;
+            }
+            InstanceStatus::Failed(error) => {
+                write_u8(&mut w, STATUS_FAILED)?;
+                error.save(&mut w)?;
+            }
+            InstanceStatus::Panicked(message) => {
+                write_u8(&mut w, STATUS_PANICKED)?;
+                crate::checkpoint::write_str(&mut w, message)?;
+            }
+            InstanceStatus::OverBudget { peak_bytes, limit } => {
+                write_u8(&mut w, STATUS_OVER_BUDGET)?;
+                write_usize(&mut w, *peak_bytes)?;
+                write_usize(&mut w, *limit)?;
+            }
+        }
+    }
+    Ok(w)
+}
+
+struct DecodedCheckpoint<A: MultiPassAlgorithm> {
+    completed_passes: usize,
+    total_passes: usize,
+    same_order: bool,
+    processed: usize,
+    driver_peak: usize,
+    generations: usize,
+    guard: Option<(GuardPolicy, ValidatorMode, Vec<u8>)>,
+    states: Vec<InstanceState<A>>,
+}
+
+fn decode_boundary<A>(payload: &[u8], byte_limit: Option<usize>) -> io::Result<DecodedCheckpoint<A>>
+where
+    A: MultiPassAlgorithm + Checkpoint,
+{
+    let mut r: &[u8] = payload;
+    let r = &mut r;
+    let completed_passes = read_u32(r)? as usize;
+    let total_passes = read_u32(r)? as usize;
+    let same_order = read_u8(r)? != 0;
+    if completed_passes >= total_passes {
+        return Err(crate::checkpoint::corrupt(format!(
+            "checkpoint claims {completed_passes} of {total_passes} passes completed"
+        )));
+    }
+    let instance_count = read_usize(r)?;
+    let processed = read_usize(r)?;
+    let driver_peak = read_usize(r)?;
+    let generations = read_usize(r)?;
+    let guard = match read_u8(r)? {
+        0 => None,
+        1 => {
+            let policy = decode_policy(r)?;
+            let mode = decode_mode(r)?;
+            let blob = read_bytes(r)?;
+            Some((policy, mode, blob))
+        }
+        t => {
+            return Err(crate::checkpoint::corrupt(format!(
+                "bad guard presence tag {t}"
+            )))
+        }
+    };
+    let mut states = Vec::with_capacity(instance_count.min(1 << 16));
+    for index in 0..instance_count {
+        let items = read_usize(r)?;
+        let stored_peak = read_usize(r)?;
+        let tag = read_u8(r)?;
+        let (status, algo) = match tag {
+            STATUS_LIVE => {
+                let blob = read_bytes(r)?;
+                let algo = A::restore(&mut blob.as_slice())?;
+                (InstanceStatus::Live, Some(algo))
+            }
+            STATUS_FAILED => (InstanceStatus::Failed(RunError::restore(r)?), None),
+            STATUS_PANICKED => (
+                InstanceStatus::Panicked(crate::checkpoint::read_str(r)?),
+                None,
+            ),
+            STATUS_OVER_BUDGET => (
+                InstanceStatus::OverBudget {
+                    peak_bytes: read_usize(r)?,
+                    limit: read_usize(r)?,
+                },
+                None,
+            ),
+            t => {
+                return Err(crate::checkpoint::corrupt(format!(
+                    "bad instance status tag {t}"
+                )))
+            }
+        };
+        let mut peak = PeakTracker::new();
+        peak.observe(stored_peak);
+        states.push(InstanceState {
+            index,
+            shard: 0,
+            algo,
+            peak,
+            items,
+            pass: completed_passes,
+            byte_limit,
+            status,
+        });
+    }
+    Ok(DecodedCheckpoint {
+        completed_passes,
+        total_passes,
+        same_order,
+        processed,
+        driver_peak,
+        generations,
+        guard,
+        states,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::checkpoint::{read_u64, write_u64};
     use crate::fault::{FaultKind, FaultPlan};
     use crate::guard::GuardPolicy;
     use crate::runner::{run_item_passes, Runner};
@@ -712,13 +1267,16 @@ mod tests {
 
     /// Seeded toy estimator: hashes every item with its seed, returning a
     /// deterministic digest — a stand-in for "same seed + same stream ⇒
-    /// same output".
+    /// same output". Can be armed to panic at a given item index or to
+    /// grow its reported state per item, for fault-tolerance tests.
     struct Digest {
         seed: u64,
         passes: usize,
         same_order: bool,
         acc: u64,
         items: usize,
+        panic_at_item: Option<usize>,
+        bytes_per_item: usize,
     }
 
     impl Digest {
@@ -729,13 +1287,25 @@ mod tests {
                 same_order,
                 acc: 0,
                 items: 0,
+                panic_at_item: None,
+                bytes_per_item: 0,
             }
+        }
+
+        fn panicking_at(mut self, item: usize) -> Self {
+            self.panic_at_item = Some(item);
+            self
+        }
+
+        fn growing(mut self, bytes_per_item: usize) -> Self {
+            self.bytes_per_item = bytes_per_item;
+            self
         }
     }
 
     impl SpaceUsage for Digest {
         fn space_bytes(&self) -> usize {
-            32 + self.items % 7
+            32 + self.items % 7 + self.items * self.bytes_per_item
         }
     }
 
@@ -757,6 +1327,9 @@ mod tests {
             self.acc = self.acc.rotate_left(7) ^ (owner.0 as u64);
         }
         fn item(&mut self, src: VertexId, dst: VertexId) {
+            if self.panic_at_item == Some(self.items) {
+                panic!("injected panic at item {}", self.items);
+            }
             self.items += 1;
             self.acc = self
                 .acc
@@ -768,6 +1341,39 @@ mod tests {
         }
         fn finish(self) -> u64 {
             self.acc
+        }
+    }
+
+    impl Checkpoint for Digest {
+        fn save(&self, w: &mut dyn io::Write) -> io::Result<()> {
+            write_u64(w, self.seed)?;
+            write_usize(w, self.passes)?;
+            write_u8(w, self.same_order as u8)?;
+            write_u64(w, self.acc)?;
+            write_usize(w, self.items)?;
+            write_u8(w, self.panic_at_item.is_some() as u8)?;
+            write_usize(w, self.panic_at_item.unwrap_or(0))?;
+            write_usize(w, self.bytes_per_item)
+        }
+
+        fn restore(r: &mut dyn io::Read) -> io::Result<Self> {
+            let seed = read_u64(r)?;
+            let passes = read_usize(r)?;
+            let same_order = read_u8(r)? != 0;
+            let acc = read_u64(r)?;
+            let items = read_usize(r)?;
+            let has_panic = read_u8(r)? != 0;
+            let panic_item = read_usize(r)?;
+            let bytes_per_item = read_usize(r)?;
+            Ok(Digest {
+                seed,
+                passes,
+                same_order,
+                acc,
+                items,
+                panic_at_item: has_panic.then_some(panic_item),
+                bytes_per_item,
+            })
         }
     }
 
@@ -783,12 +1389,37 @@ mod tests {
             .collect()
     }
 
+    fn ckpt_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "adjstream-batch-ckpt-{}-{name}",
+            std::process::id()
+        ));
+        p
+    }
+
+    /// Run a closure with the default panic hook silenced, so injected
+    /// panics don't spray backtraces over test output.
+    fn quietly<T>(f: impl FnOnce() -> T) -> T {
+        // Serialize hook swaps across test threads.
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _guard = LOCK.lock().unwrap();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(prev);
+        out
+    }
+
     #[test]
     fn batched_matches_sequential_bit_for_bit_at_any_thread_count() {
         let g = er_graph(3);
         let orders = PassOrders::Same(StreamOrder::shuffled(40, 11));
         let seeds: Vec<u64> = (100..109).collect();
-        let want = sequential_digests(&g, &orders, &seeds);
+        let want: Vec<Option<u64>> = sequential_digests(&g, &orders, &seeds)
+            .into_iter()
+            .map(Some)
+            .collect();
         for threads in [1, 2, 4, 16] {
             let instances: Vec<Digest> = seeds.iter().map(|&s| Digest::new(s, 2, false)).collect();
             let out = BatchRunner::try_run(
@@ -805,6 +1436,12 @@ mod tests {
             assert_eq!(out.outputs, want, "threads = {threads}");
             assert_eq!(out.report.instances, 9);
             assert_eq!(out.report.passes, 2);
+            assert_eq!(out.report.survivors(), 9);
+            assert!(out
+                .report
+                .per_instance
+                .iter()
+                .all(|r| r.outcome == InstanceOutcome::Ok));
         }
     }
 
@@ -966,15 +1603,17 @@ mod tests {
         let seeds: Vec<u64> = (40..46).collect();
         // Sequential: each instance individually guarded sees the same
         // repaired stream the shared guard produces.
-        let want: Vec<u64> = seeds
+        let want: Vec<Option<u64>> = seeds
             .iter()
             .map(|&s| {
-                run_item_passes(
-                    Guarded::new(Digest::new(s, 2, false), GuardPolicy::Repair),
-                    |p| c.items_for_pass(p).to_vec(),
+                Some(
+                    run_item_passes(
+                        Guarded::new(Digest::new(s, 2, false), GuardPolicy::Repair),
+                        |p| c.items_for_pass(p).to_vec(),
+                    )
+                    .unwrap()
+                    .0,
                 )
-                .unwrap()
-                .0
             })
             .collect();
         let instances: Vec<Digest> = seeds.iter().map(|&s| Digest::new(s, 2, false)).collect();
@@ -990,27 +1629,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one instance")]
-    fn empty_batch_panics() {
+    fn empty_batch_is_a_typed_error() {
         let g = er_graph(1);
-        let _ = BatchRunner::try_run(
+        let err = BatchRunner::try_run(
             &g,
             Vec::<Digest>::new(),
             &PassOrders::Same(StreamOrder::natural(40)),
             &BatchConfig::default(),
-        );
+        )
+        .unwrap_err();
+        assert_eq!(err, RunError::EmptyBatch);
     }
 
     #[test]
-    #[should_panic(expected = "one pass contract")]
-    fn mixed_pass_contracts_panic() {
+    fn mixed_pass_contracts_are_a_typed_error() {
         let g = er_graph(1);
-        let _ = BatchRunner::try_run(
+        let err = BatchRunner::try_run(
             &g,
             vec![Digest::new(0, 1, false), Digest::new(1, 2, false)],
             &PassOrders::Same(StreamOrder::natural(40)),
             &BatchConfig::default(),
-        );
+        )
+        .unwrap_err();
+        assert_eq!(err, RunError::MixedPassContracts);
     }
 
     #[test]
@@ -1022,5 +1663,270 @@ mod tests {
             BatchRunner::try_run(&g, instances, &orders, &BatchConfig::with_threads(8)).unwrap();
         assert_eq!(out.report.threads, 2);
         assert_eq!(out.outputs.len(), 2);
+    }
+
+    #[test]
+    fn panicking_instance_is_quarantined_and_survivors_stay_bit_for_bit() {
+        let g = er_graph(31);
+        let orders = PassOrders::Same(StreamOrder::shuffled(40, 8));
+        let seeds: Vec<u64> = (200..209).collect();
+        let want = sequential_digests(&g, &orders, &seeds);
+        let victim = 4usize;
+        for threads in [1, 4] {
+            let instances: Vec<Digest> = seeds
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| {
+                    let d = Digest::new(s, 2, false);
+                    if i == victim {
+                        // Panic mid-pass-1 (each pass delivers 2·160 items).
+                        d.panicking_at(100)
+                    } else {
+                        d
+                    }
+                })
+                .collect();
+            let out = quietly(|| {
+                BatchRunner::try_run(
+                    &g,
+                    instances,
+                    &orders,
+                    &BatchConfig {
+                        threads,
+                        chunk_events: 64,
+                        ..BatchConfig::default()
+                    },
+                )
+                .unwrap()
+            });
+            assert_eq!(out.report.survivors(), 8, "threads = {threads}");
+            for (i, (output, report)) in
+                out.outputs.iter().zip(&out.report.per_instance).enumerate()
+            {
+                if i == victim {
+                    assert_eq!(*output, None);
+                    let InstanceOutcome::Panicked { message } = &report.outcome else {
+                        panic!("expected Panicked, got {:?}", report.outcome);
+                    };
+                    assert!(message.contains("injected panic"), "{message}");
+                } else {
+                    assert_eq!(*output, Some(want[i]), "instance {i}, threads {threads}");
+                    assert_eq!(report.outcome, InstanceOutcome::Ok);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_instance_budget_quarantines_only_the_hog() {
+        let g = er_graph(37);
+        let orders = PassOrders::Same(StreamOrder::natural(40));
+        let want = sequential_digests(&g, &orders, &[300, 302]);
+        // Instance 1 grows 100 bytes per item; limit trips well within
+        // pass 1 (2·160 items/pass).
+        let instances = vec![
+            Digest::new(300, 2, false),
+            Digest::new(301, 2, false).growing(100),
+            Digest::new(302, 2, false),
+        ];
+        let out = BatchRunner::try_run(
+            &g,
+            instances,
+            &orders,
+            &BatchConfig {
+                budget: Budget {
+                    max_bytes_per_instance: Some(5_000),
+                    ..Budget::default()
+                },
+                ..BatchConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.report.survivors(), 2);
+        assert_eq!(out.outputs[0], Some(want[0]));
+        assert_eq!(out.outputs[1], None);
+        assert_eq!(out.outputs[2], Some(want[1]));
+        let InstanceOutcome::BudgetExceeded { peak_bytes, limit } =
+            out.report.per_instance[1].outcome
+        else {
+            panic!("expected BudgetExceeded");
+        };
+        assert_eq!(limit, 5_000);
+        assert!(peak_bytes > 5_000);
+        // The hog stopped receiving items after quarantine.
+        assert!(out.report.per_instance[1].items < out.report.per_instance[0].items);
+    }
+
+    #[test]
+    fn aggregate_budget_fails_the_whole_run() {
+        let g = er_graph(41);
+        let orders = PassOrders::Same(StreamOrder::natural(40));
+        let instances: Vec<Digest> = (0..3).map(|s| Digest::new(s, 2, false)).collect();
+        let err = BatchRunner::try_run(
+            &g,
+            instances,
+            &orders,
+            &BatchConfig {
+                budget: Budget {
+                    max_total_bytes: Some(1),
+                    ..Budget::default()
+                },
+                ..BatchConfig::default()
+            },
+        )
+        .unwrap_err();
+        let RunError::SpaceBudgetExceeded { used, limit: 1 } = err else {
+            panic!("expected SpaceBudgetExceeded, got {err:?}");
+        };
+        assert!(used >= 3 * 32);
+    }
+
+    #[test]
+    fn zero_deadline_fails_with_deadline_exceeded() {
+        let g = er_graph(43);
+        let orders = PassOrders::Same(StreamOrder::natural(40));
+        let instances: Vec<Digest> = (0..2).map(|s| Digest::new(s, 2, false)).collect();
+        let err = BatchRunner::try_run(
+            &g,
+            instances,
+            &orders,
+            &BatchConfig {
+                budget: Budget {
+                    deadline: Some(Duration::ZERO),
+                    ..Budget::default()
+                },
+                ..BatchConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, RunError::DeadlineExceeded { limit_ms: 0 });
+    }
+
+    #[test]
+    fn checkpointed_run_matches_and_resumes_bit_for_bit() {
+        let g = er_graph(47);
+        let orders = PassOrders::Same(StreamOrder::shuffled(40, 13));
+        let seeds: Vec<u64> = (500..505).collect();
+        let want: Vec<Option<u64>> = sequential_digests(&g, &orders, &seeds)
+            .into_iter()
+            .map(Some)
+            .collect();
+        let path = ckpt_path("resume");
+        let _ = std::fs::remove_file(&path);
+        // Uninterrupted checkpointed run: outputs unchanged, checkpoint
+        // file left at the pass-0/1 boundary — exactly what a process
+        // killed after the boundary write would leave behind.
+        let instances: Vec<Digest> = seeds.iter().map(|&s| Digest::new(s, 2, false)).collect();
+        let out = BatchRunner::try_run_checkpointed(
+            &g,
+            instances,
+            &orders,
+            &BatchConfig::default(),
+            &path,
+        )
+        .unwrap();
+        assert_eq!(out.outputs, want);
+        assert_eq!(out.report.resumed_from, None);
+        assert!(path.exists(), "boundary checkpoint persists");
+        // Resume from that checkpoint at several thread counts: pass 1
+        // replays, outputs are bit-for-bit those of the full run.
+        for threads in [1, 3] {
+            let resumed = BatchRunner::resume::<Digest>(
+                &g,
+                &orders,
+                &BatchConfig {
+                    threads,
+                    ..BatchConfig::default()
+                },
+                &path,
+            )
+            .unwrap();
+            assert_eq!(resumed.outputs, want, "threads = {threads}");
+            assert_eq!(resumed.report.resumed_from, Some(1));
+            assert_eq!(resumed.report.passes, 2);
+            assert_eq!(resumed.report.survivors(), 5);
+            // All stream items (both passes) are accounted for in the
+            // resumed report: pass 0's count came from the checkpoint.
+            assert_eq!(resumed.report.stream_items, 2 * 2 * 160);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resume_preserves_quarantined_outcomes() {
+        let g = er_graph(53);
+        let orders = PassOrders::Same(StreamOrder::shuffled(40, 17));
+        let seeds: Vec<u64> = (600..604).collect();
+        let want = sequential_digests(&g, &orders, &seeds);
+        let path = ckpt_path("quarantine");
+        let _ = std::fs::remove_file(&path);
+        let instances: Vec<Digest> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                let d = Digest::new(s, 2, false);
+                if i == 2 {
+                    d.panicking_at(50) // dies in pass 0, before the boundary
+                } else {
+                    d
+                }
+            })
+            .collect();
+        let out = quietly(|| {
+            BatchRunner::try_run_checkpointed(
+                &g,
+                instances,
+                &orders,
+                &BatchConfig::default(),
+                &path,
+            )
+            .unwrap()
+        });
+        assert_eq!(out.report.survivors(), 3);
+        let resumed =
+            BatchRunner::resume::<Digest>(&g, &orders, &BatchConfig::default(), &path).unwrap();
+        assert_eq!(resumed.report.survivors(), 3);
+        for (i, output) in resumed.outputs.iter().enumerate() {
+            if i == 2 {
+                assert_eq!(*output, None);
+                assert!(matches!(
+                    resumed.report.per_instance[2].outcome,
+                    InstanceOutcome::Panicked { .. }
+                ));
+            } else {
+                assert_eq!(*output, Some(want[i]));
+            }
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resume_rejects_corrupt_and_mismatched_checkpoints() {
+        let g = er_graph(59);
+        let orders = PassOrders::Same(StreamOrder::natural(40));
+        let path = ckpt_path("reject");
+        let _ = std::fs::remove_file(&path);
+        let instances: Vec<Digest> = (0..3).map(|s| Digest::new(s, 2, false)).collect();
+        BatchRunner::try_run_checkpointed(&g, instances, &orders, &BatchConfig::default(), &path)
+            .unwrap();
+        // Guard config mismatch.
+        let cfg = BatchConfig {
+            guard: Some((GuardPolicy::Strict, ValidatorMode::Exact)),
+            ..BatchConfig::default()
+        };
+        let err = BatchRunner::resume::<Digest>(&g, &orders, &cfg, &path).unwrap_err();
+        assert!(
+            matches!(&err, RunError::Checkpoint { message } if message.contains("guard config")),
+            "{err:?}"
+        );
+        // Flipped payload byte → checksum failure surfaces as Checkpoint.
+        let mut raw = std::fs::read(&path).unwrap();
+        let n = raw.len();
+        raw[n - 12] ^= 0x20;
+        std::fs::write(&path, &raw).unwrap();
+        let err =
+            BatchRunner::resume::<Digest>(&g, &orders, &BatchConfig::default(), &path).unwrap_err();
+        assert!(matches!(err, RunError::Checkpoint { .. }), "{err:?}");
+        std::fs::remove_file(&path).unwrap();
     }
 }

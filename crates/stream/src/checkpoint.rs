@@ -1,0 +1,513 @@
+//! Pass-boundary checkpointing: a serialization trait and a small,
+//! versioned, checksummed on-disk container.
+//!
+//! Multi-pass algorithms only need persistence at *pass boundaries*: no
+//! adjacency list is open, per-pass scratch state has been folded into the
+//! cross-pass summaries, and the driver is about to start the next pass from
+//! item 0. The [`Checkpoint`] trait therefore captures exactly that state —
+//! implementors document which fields are reconstructed rather than stored
+//! (per-pass counters reset by `begin_pass`, hash functions re-derived from
+//! seeds, heap layouts rebuilt from their member sets).
+//!
+//! The resume contract is **bit-for-bit determinism of the estimates**: a
+//! run restored from a pass boundary and driven over the remaining passes
+//! must produce exactly the per-instance outputs of the uninterrupted run.
+//! Space-metering byte counts are explicitly *not* part of the contract —
+//! container capacities after deserialization may differ from the organic
+//! growth pattern of the original run.
+//!
+//! # On-disk container
+//!
+//! [`write_checkpoint_file`] wraps an opaque payload in a fixed frame:
+//!
+//! ```text
+//! magic   8 bytes  b"ADJSCKPT"
+//! version u32 LE   FORMAT_VERSION
+//! length  u64 LE   payload byte count
+//! payload length bytes
+//! check   u64 LE   FNV-1a over payload
+//! ```
+//!
+//! Files are written atomically — the frame goes to a sibling temp file
+//! which is then renamed over the destination — so a crash mid-write leaves
+//! either the previous complete checkpoint or none, never a torn one.
+//! [`read_checkpoint_file`] verifies magic, version, length, and checksum
+//! before releasing the payload.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Magic bytes opening every checkpoint file.
+pub const MAGIC: [u8; 8] = *b"ADJSCKPT";
+
+/// Current checkpoint container format version. Bumped on any incompatible
+/// layout change; readers reject other versions with
+/// [`CheckpointError::UnsupportedVersion`].
+pub const FORMAT_VERSION: u32 = 1;
+
+/// State that can be persisted at a pass boundary and later restored.
+///
+/// `restore` must be the exact inverse of `save`: for any value `x` at a
+/// pass boundary, `restore(save(x))` drives the remaining passes to
+/// bit-for-bit identical outputs. Implementations should reject
+/// structurally invalid input with [`io::ErrorKind::InvalidData`] rather
+/// than panic — checkpoint bytes cross a trust boundary (the filesystem).
+pub trait Checkpoint: Sized {
+    /// Serialize the pass-boundary state into `w`.
+    fn save(&self, w: &mut dyn Write) -> io::Result<()>;
+
+    /// Reconstruct the state serialized by [`Checkpoint::save`].
+    fn restore(r: &mut dyn Read) -> io::Result<Self>;
+}
+
+/// Failure modes of the on-disk checkpoint container.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The underlying filesystem operation failed.
+    Io(io::Error),
+    /// The file does not start with [`MAGIC`] — not a checkpoint.
+    BadMagic,
+    /// The file's format version is not readable by this build.
+    UnsupportedVersion {
+        /// Version recorded in the file.
+        found: u32,
+        /// Version this build writes and reads.
+        supported: u32,
+    },
+    /// The file ended before the declared payload + checksum.
+    Truncated,
+    /// The payload bytes do not hash to the recorded checksum.
+    ChecksumMismatch {
+        /// Checksum recorded in the file.
+        expected: u64,
+        /// Checksum of the bytes actually present.
+        actual: u64,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            CheckpointError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported checkpoint format version {found} (this build reads {supported})"
+            ),
+            CheckpointError::Truncated => write!(f, "checkpoint file is truncated"),
+            CheckpointError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "checkpoint payload corrupt: checksum {actual:#018x} != recorded {expected:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// FNV-1a over `bytes` — the container's integrity checksum. Not
+/// cryptographic; it guards against torn writes and bit rot, not tampering.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Frame `payload` and write it atomically to `path`: the container goes to
+/// a sibling `<name>.tmp` file which is fsynced and renamed into place.
+pub fn write_checkpoint_file(path: &Path, payload: &[u8]) -> Result<(), CheckpointError> {
+    let mut name = path
+        .file_name()
+        .ok_or_else(|| {
+            CheckpointError::Io(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "checkpoint path has no file name",
+            ))
+        })?
+        .to_os_string();
+    name.push(".tmp");
+    let tmp = path.with_file_name(name);
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&MAGIC)?;
+        f.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        f.write_all(&(payload.len() as u64).to_le_bytes())?;
+        f.write_all(payload)?;
+        f.write_all(&fnv1a(payload).to_le_bytes())?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Read and verify a checkpoint container, returning its payload.
+pub fn read_checkpoint_file(path: &Path) -> Result<Vec<u8>, CheckpointError> {
+    let bytes = fs::read(path)?;
+    let header = MAGIC.len() + 4 + 8;
+    if bytes.len() < header {
+        return Err(if bytes.starts_with(&MAGIC) || bytes.is_empty() {
+            CheckpointError::Truncated
+        } else {
+            CheckpointError::BadMagic
+        });
+    }
+    if bytes[..MAGIC.len()] != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(CheckpointError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes")) as usize;
+    if bytes.len() < header + len + 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    let payload = &bytes[header..header + len];
+    let expected = u64::from_le_bytes(
+        bytes[header + len..header + len + 8]
+            .try_into()
+            .expect("8 bytes"),
+    );
+    let actual = fnv1a(payload);
+    if actual != expected {
+        return Err(CheckpointError::ChecksumMismatch { expected, actual });
+    }
+    Ok(payload.to_vec())
+}
+
+/// Build an [`io::ErrorKind::InvalidData`] error for structurally bad
+/// checkpoint payloads.
+pub fn corrupt(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+macro_rules! le_rw {
+    ($write:ident, $read:ident, $ty:ty) => {
+        /// Write one little-endian value.
+        pub fn $write(w: &mut dyn Write, v: $ty) -> io::Result<()> {
+            w.write_all(&v.to_le_bytes())
+        }
+
+        /// Read one little-endian value.
+        pub fn $read(r: &mut dyn Read) -> io::Result<$ty> {
+            let mut buf = [0u8; std::mem::size_of::<$ty>()];
+            r.read_exact(&mut buf)?;
+            Ok(<$ty>::from_le_bytes(buf))
+        }
+    };
+}
+
+le_rw!(write_u32, read_u32, u32);
+le_rw!(write_u64, read_u64, u64);
+
+/// Write one byte.
+pub fn write_u8(w: &mut dyn Write, v: u8) -> io::Result<()> {
+    w.write_all(&[v])
+}
+
+/// Read one byte.
+pub fn read_u8(r: &mut dyn Read) -> io::Result<u8> {
+    let mut buf = [0u8; 1];
+    r.read_exact(&mut buf)?;
+    Ok(buf[0])
+}
+
+/// Write a `usize` as a u64 (portable across word sizes).
+pub fn write_usize(w: &mut dyn Write, v: usize) -> io::Result<()> {
+    write_u64(w, v as u64)
+}
+
+/// Read a `usize` written by [`write_usize`].
+pub fn read_usize(r: &mut dyn Read) -> io::Result<usize> {
+    let v = read_u64(r)?;
+    usize::try_from(v).map_err(|_| corrupt(format!("length {v} exceeds this platform's usize")))
+}
+
+/// Write an `f64` by bit pattern (exact round-trip, NaN included).
+pub fn write_f64(w: &mut dyn Write, v: f64) -> io::Result<()> {
+    write_u64(w, v.to_bits())
+}
+
+/// Read an `f64` written by [`write_f64`].
+pub fn read_f64(r: &mut dyn Read) -> io::Result<f64> {
+    Ok(f64::from_bits(read_u64(r)?))
+}
+
+/// Write a length-prefixed byte string.
+pub fn write_bytes(w: &mut dyn Write, v: &[u8]) -> io::Result<()> {
+    write_usize(w, v.len())?;
+    w.write_all(v)
+}
+
+/// Read a byte string written by [`write_bytes`].
+pub fn read_bytes(r: &mut dyn Read) -> io::Result<Vec<u8>> {
+    let len = read_usize(r)?;
+    // Cap the eager allocation; corrupt lengths otherwise request huge
+    // buffers before read_exact can fail.
+    let mut buf = Vec::with_capacity(len.min(1 << 20));
+    let took = r.take(len as u64).read_to_end(&mut buf)?;
+    if took != len {
+        return Err(corrupt(format!("expected {len} bytes, found {took}")));
+    }
+    Ok(buf)
+}
+
+/// Write a length-prefixed UTF-8 string.
+pub fn write_str(w: &mut dyn Write, v: &str) -> io::Result<()> {
+    write_bytes(w, v.as_bytes())
+}
+
+/// Read a string written by [`write_str`].
+pub fn read_str(r: &mut dyn Read) -> io::Result<String> {
+    String::from_utf8(read_bytes(r)?).map_err(|_| corrupt("invalid UTF-8 in checkpoint string"))
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint impls for the typed errors: a quarantined instance's outcome
+// (which may embed a RunError) is part of a batch checkpoint, so it must
+// survive the round-trip too.
+// ---------------------------------------------------------------------------
+
+impl Checkpoint for crate::validate::StreamError {
+    fn save(&self, w: &mut dyn Write) -> io::Result<()> {
+        use crate::validate::StreamError as E;
+        match self {
+            E::SelfLoop { vertex, position } => {
+                write_u8(w, 0)?;
+                write_u32(w, vertex.0)?;
+                write_usize(w, *position)
+            }
+            E::ListNotContiguous { vertex, position } => {
+                write_u8(w, 1)?;
+                write_u32(w, vertex.0)?;
+                write_usize(w, *position)
+            }
+            E::DuplicateNeighbor { src, dst, position } => {
+                write_u8(w, 2)?;
+                write_u32(w, src.0)?;
+                write_u32(w, dst.0)?;
+                write_usize(w, *position)
+            }
+            E::MissingReverse { src, dst } => {
+                write_u8(w, 3)?;
+                write_u32(w, src.0)?;
+                write_u32(w, dst.0)
+            }
+            E::UnbalancedEdges { parity } => {
+                write_u8(w, 4)?;
+                write_u64(w, *parity)
+            }
+            E::PassOrderChanged { pass, list_index } => {
+                write_u8(w, 5)?;
+                write_usize(w, *pass)?;
+                write_usize(w, *list_index)
+            }
+        }
+    }
+
+    fn restore(r: &mut dyn Read) -> io::Result<Self> {
+        use adjstream_graph::VertexId;
+
+        use crate::validate::StreamError as E;
+        Ok(match read_u8(r)? {
+            0 => E::SelfLoop {
+                vertex: VertexId(read_u32(r)?),
+                position: read_usize(r)?,
+            },
+            1 => E::ListNotContiguous {
+                vertex: VertexId(read_u32(r)?),
+                position: read_usize(r)?,
+            },
+            2 => E::DuplicateNeighbor {
+                src: VertexId(read_u32(r)?),
+                dst: VertexId(read_u32(r)?),
+                position: read_usize(r)?,
+            },
+            3 => E::MissingReverse {
+                src: VertexId(read_u32(r)?),
+                dst: VertexId(read_u32(r)?),
+            },
+            4 => E::UnbalancedEdges {
+                parity: read_u64(r)?,
+            },
+            5 => E::PassOrderChanged {
+                pass: read_usize(r)?,
+                list_index: read_usize(r)?,
+            },
+            t => return Err(corrupt(format!("bad stream error tag {t}"))),
+        })
+    }
+}
+
+impl Checkpoint for crate::runner::RunError {
+    fn save(&self, w: &mut dyn Write) -> io::Result<()> {
+        use crate::runner::RunError as E;
+        match self {
+            E::OrderMismatch => write_u8(w, 0),
+            E::WrongOrderCount { expected, got } => {
+                write_u8(w, 1)?;
+                write_usize(w, *expected)?;
+                write_usize(w, *got)
+            }
+            E::Invalid { pass, error } => {
+                write_u8(w, 2)?;
+                write_usize(w, *pass)?;
+                error.save(w)
+            }
+            E::EmptyBatch => write_u8(w, 3),
+            E::MixedPassContracts => write_u8(w, 4),
+            E::DeadlineExceeded { limit_ms } => {
+                write_u8(w, 5)?;
+                write_u64(w, *limit_ms)
+            }
+            E::SpaceBudgetExceeded { used, limit } => {
+                write_u8(w, 6)?;
+                write_usize(w, *used)?;
+                write_usize(w, *limit)
+            }
+            E::Checkpoint { message } => {
+                write_u8(w, 7)?;
+                write_str(w, message)
+            }
+        }
+    }
+
+    fn restore(r: &mut dyn Read) -> io::Result<Self> {
+        use crate::runner::RunError as E;
+        Ok(match read_u8(r)? {
+            0 => E::OrderMismatch,
+            1 => E::WrongOrderCount {
+                expected: read_usize(r)?,
+                got: read_usize(r)?,
+            },
+            2 => E::Invalid {
+                pass: read_usize(r)?,
+                error: crate::validate::StreamError::restore(r)?,
+            },
+            3 => E::EmptyBatch,
+            4 => E::MixedPassContracts,
+            5 => E::DeadlineExceeded {
+                limit_ms: read_u64(r)?,
+            },
+            6 => E::SpaceBudgetExceeded {
+                used: read_usize(r)?,
+                limit: read_usize(r)?,
+            },
+            7 => E::Checkpoint {
+                message: read_str(r)?,
+            },
+            t => return Err(corrupt(format!("bad run error tag {t}"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("adjstream-ckpt-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn container_round_trips() {
+        let path = tmp_path("roundtrip");
+        let payload = b"some pass-boundary state".to_vec();
+        write_checkpoint_file(&path, &payload).unwrap();
+        assert_eq!(read_checkpoint_file(&path).unwrap(), payload);
+        // Overwrite with different payload: rename replaces atomically.
+        write_checkpoint_file(&path, b"v2").unwrap();
+        assert_eq!(read_checkpoint_file(&path).unwrap(), b"v2");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_payload_is_rejected() {
+        let path = tmp_path("corrupt");
+        write_checkpoint_file(&path, b"fragile bytes").unwrap();
+        let mut raw = std::fs::read(&path).unwrap();
+        let flip = MAGIC.len() + 4 + 8 + 3;
+        raw[flip] ^= 0x40;
+        std::fs::write(&path, &raw).unwrap();
+        assert!(matches!(
+            read_checkpoint_file(&path),
+            Err(CheckpointError::ChecksumMismatch { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn version_and_magic_are_checked() {
+        let path = tmp_path("version");
+        write_checkpoint_file(&path, b"x").unwrap();
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[8] = 0xFF; // version LSB
+        std::fs::write(&path, &raw).unwrap();
+        assert!(matches!(
+            read_checkpoint_file(&path),
+            Err(CheckpointError::UnsupportedVersion { .. })
+        ));
+        raw[0] = b'X';
+        std::fs::write(&path, &raw).unwrap();
+        assert!(matches!(
+            read_checkpoint_file(&path),
+            Err(CheckpointError::BadMagic)
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let path = tmp_path("truncated");
+        write_checkpoint_file(&path, b"0123456789").unwrap();
+        let raw = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &raw[..raw.len() - 6]).unwrap();
+        assert!(matches!(
+            read_checkpoint_file(&path),
+            Err(CheckpointError::Truncated)
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn primitive_helpers_round_trip() {
+        let mut buf = Vec::new();
+        write_u8(&mut buf, 7).unwrap();
+        write_u32(&mut buf, 0xDEAD_BEEF).unwrap();
+        write_u64(&mut buf, u64::MAX - 1).unwrap();
+        write_usize(&mut buf, 123_456).unwrap();
+        write_f64(&mut buf, f64::NAN).unwrap();
+        write_str(&mut buf, "pass boundary").unwrap();
+        let mut r: &[u8] = &buf;
+        assert_eq!(read_u8(&mut r).unwrap(), 7);
+        assert_eq!(read_u32(&mut r).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(read_u64(&mut r).unwrap(), u64::MAX - 1);
+        assert_eq!(read_usize(&mut r).unwrap(), 123_456);
+        assert!(read_f64(&mut r).unwrap().is_nan());
+        assert_eq!(read_str(&mut r).unwrap(), "pass boundary");
+        assert!(read_u8(&mut r).is_err(), "stream fully consumed");
+    }
+}

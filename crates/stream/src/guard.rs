@@ -31,14 +31,66 @@
 //! [`RunError::Invalid`]: crate::runner::RunError::Invalid
 
 use std::collections::HashSet;
+use std::io::{self, Read, Write};
 
 use adjstream_graph::VertexId;
 
+use crate::checkpoint::{
+    corrupt, read_bytes, read_u64, read_u8, read_usize, write_bytes, write_u64, write_u8,
+    write_usize, Checkpoint,
+};
 use crate::hashing::HashFn;
 use crate::item::StreamItem;
 use crate::meter::{hashset_bytes, SpaceUsage};
-use crate::runner::{GuardStats, MultiPassAlgorithm};
+use crate::runner::{GuardStats, MultiPassAlgorithm, RunError};
 use crate::validate::{pack_edge, OnlineValidator, StreamError, ValidatorMode};
+
+/// Serialize a [`GuardPolicy`] as a one-byte tag (shared with the batch
+/// checkpoint payload so both layers agree on the encoding).
+pub(crate) fn encode_policy(w: &mut dyn Write, policy: GuardPolicy) -> io::Result<()> {
+    write_u8(
+        w,
+        match policy {
+            GuardPolicy::Strict => 0,
+            GuardPolicy::Repair => 1,
+            GuardPolicy::Observe => 2,
+        },
+    )
+}
+
+/// Inverse of [`encode_policy`].
+pub(crate) fn decode_policy(r: &mut dyn Read) -> io::Result<GuardPolicy> {
+    Ok(match read_u8(r)? {
+        0 => GuardPolicy::Strict,
+        1 => GuardPolicy::Repair,
+        2 => GuardPolicy::Observe,
+        t => return Err(corrupt(format!("bad guard policy tag {t}"))),
+    })
+}
+
+/// Serialize a [`ValidatorMode`] (tag plus the bounded mode's parameters).
+pub(crate) fn encode_mode(w: &mut dyn Write, mode: ValidatorMode) -> io::Result<()> {
+    match mode {
+        ValidatorMode::Exact => write_u8(w, 0),
+        ValidatorMode::Bounded { seed, window } => {
+            write_u8(w, 1)?;
+            write_u64(w, seed)?;
+            write_usize(w, window)
+        }
+    }
+}
+
+/// Inverse of [`encode_mode`].
+pub(crate) fn decode_mode(r: &mut dyn Read) -> io::Result<ValidatorMode> {
+    Ok(match read_u8(r)? {
+        0 => ValidatorMode::Exact,
+        1 => ValidatorMode::Bounded {
+            seed: read_u64(r)?,
+            window: read_usize(r)?,
+        },
+        t => return Err(corrupt(format!("bad validator mode tag {t}"))),
+    })
+}
 
 /// How a [`Guarded`] algorithm reacts to promise violations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +146,7 @@ enum OrderFingerprint {
 pub struct Guarded<A> {
     inner: A,
     policy: GuardPolicy,
+    mode: ValidatorMode,
     validator: OnlineValidator,
     stats: GuardStats,
     fatal: Option<StreamError>,
@@ -139,6 +192,7 @@ impl<A: MultiPassAlgorithm> Guarded<A> {
         Guarded {
             inner,
             policy,
+            mode,
             validator: OnlineValidator::with_mode(mode),
             stats: GuardStats::default(),
             fatal: None,
@@ -165,6 +219,87 @@ impl<A: MultiPassAlgorithm> Guarded<A> {
     /// Unwrap the inner algorithm.
     pub fn into_inner(self) -> A {
         self.inner
+    }
+
+    /// The validator mode in force.
+    pub fn mode(&self) -> ValidatorMode {
+        self.mode
+    }
+
+    /// Borrow the inner algorithm (the batch engine reaches through the
+    /// shared guard to manage its fan-out between passes).
+    pub(crate) fn inner_ref(&self) -> &A {
+        &self.inner
+    }
+
+    /// Mutably borrow the inner algorithm.
+    pub(crate) fn inner_mut(&mut self) -> &mut A {
+        &mut self.inner
+    }
+
+    /// Serialize the guard's *cross-pass* state: counters, the quarantine
+    /// set, and the pass-1 order fingerprint. Everything else
+    /// (`validator`, `suppress_owner`, `pass`, `fatal`) is per-pass state
+    /// that `begin_pass` resets, and a pass boundary — the only place
+    /// checkpoints happen — is by definition after such a reset point.
+    pub(crate) fn save_guard_state(&self, w: &mut dyn Write) -> io::Result<()> {
+        write_usize(w, self.stats.faults_detected)?;
+        write_usize(w, self.stats.items_repaired)?;
+        write_usize(w, self.stats.edges_quarantined)?;
+        write_usize(w, self.stats.validator_peak_bytes)?;
+        write_usize(w, self.quarantined.len())?;
+        for &key in &self.quarantined {
+            write_u64(w, key)?;
+        }
+        match &self.fingerprint {
+            OrderFingerprint::Off => write_u8(w, 0)?,
+            OrderFingerprint::Exact { owners, .. } => {
+                write_u8(w, 1)?;
+                write_usize(w, owners.len())?;
+                for o in owners {
+                    crate::checkpoint::write_u32(w, o.0)?;
+                }
+            }
+            OrderFingerprint::Rolling { pass0, .. } => {
+                write_u8(w, 2)?;
+                write_u64(w, *pass0)?;
+            }
+        }
+        write_u8(w, self.order_violated as u8)
+    }
+
+    /// Restore the state written by [`Guarded::save_guard_state`] into a
+    /// freshly constructed guard (same policy and mode). The per-pass
+    /// cursors inside the fingerprint (`replay`, `current`) restart at
+    /// zero, exactly as `begin_pass` leaves them.
+    pub(crate) fn restore_guard_state(&mut self, r: &mut dyn Read) -> io::Result<()> {
+        self.stats.faults_detected = read_usize(r)?;
+        self.stats.items_repaired = read_usize(r)?;
+        self.stats.edges_quarantined = read_usize(r)?;
+        self.stats.validator_peak_bytes = read_usize(r)?;
+        let n = read_usize(r)?;
+        self.quarantined = HashSet::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            self.quarantined.insert(read_u64(r)?);
+        }
+        self.fingerprint = match read_u8(r)? {
+            0 => OrderFingerprint::Off,
+            1 => {
+                let len = read_usize(r)?;
+                let mut owners = Vec::with_capacity(len.min(1 << 20));
+                for _ in 0..len {
+                    owners.push(VertexId(crate::checkpoint::read_u32(r)?));
+                }
+                OrderFingerprint::Exact { owners, replay: 0 }
+            }
+            2 => OrderFingerprint::Rolling {
+                pass0: read_u64(r)?,
+                current: 0,
+            },
+            t => return Err(corrupt(format!("bad order fingerprint tag {t}"))),
+        };
+        self.order_violated = read_u8(r)? != 0;
+        Ok(())
     }
 
     fn observe_validator_peak(&mut self) {
@@ -369,12 +504,44 @@ impl<A: MultiPassAlgorithm> MultiPassAlgorithm for Guarded<A> {
         self.fatal.clone()
     }
 
+    fn abort_run(&self) -> Option<RunError> {
+        self.inner.abort_run()
+    }
+
     fn guard_stats(&self) -> Option<GuardStats> {
         Some(self.stats)
     }
 
     fn finish(self) -> A::Output {
         self.inner.finish()
+    }
+}
+
+impl<A: MultiPassAlgorithm + Checkpoint> Checkpoint for Guarded<A> {
+    /// A guarded algorithm checkpoints as policy + mode + the guard's
+    /// cross-pass state + the inner algorithm's own checkpoint, so
+    /// `Guarded<TwoPassTriangle>` (and friends) round-trip through
+    /// [`Checkpoint`] like any other algorithm.
+    fn save(&self, w: &mut dyn Write) -> io::Result<()> {
+        encode_policy(w, self.policy)?;
+        encode_mode(w, self.mode)?;
+        let mut guard_blob = Vec::new();
+        self.save_guard_state(&mut guard_blob)?;
+        write_bytes(w, &guard_blob)?;
+        let mut inner_blob = Vec::new();
+        self.inner.save(&mut inner_blob)?;
+        write_bytes(w, &inner_blob)
+    }
+
+    fn restore(r: &mut dyn Read) -> io::Result<Self> {
+        let policy = decode_policy(r)?;
+        let mode = decode_mode(r)?;
+        let guard_blob = read_bytes(r)?;
+        let inner_blob = read_bytes(r)?;
+        let inner = A::restore(&mut inner_blob.as_slice())?;
+        let mut guarded = Guarded::with_validator(inner, policy, mode);
+        guarded.restore_guard_state(&mut guard_blob.as_slice())?;
+        Ok(guarded)
     }
 }
 

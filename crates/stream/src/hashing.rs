@@ -31,6 +31,18 @@ impl SplitMix64 {
     pub fn mix(&self, x: u64) -> u64 {
         finalize(self.state ^ finalize(x.wrapping_add(0x9E37_79B9_7F4A_7C15)))
     }
+
+    /// The raw internal state, for checkpointing. Feeding it back through
+    /// [`SplitMix64::from_state`] resumes the sequence exactly where it
+    /// stopped.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuild a generator from a state captured by [`SplitMix64::state`].
+    pub fn from_state(state: u64) -> Self {
+        SplitMix64 { state }
+    }
 }
 
 #[inline]

@@ -24,6 +24,11 @@
 //! * [`batch`] — the stream-once batched engine: generate each pass once
 //!   and fan every item out to `R` algorithm instances sharded across
 //!   worker threads, bitwise-reproducible against the sequential runner,
+//!   with per-instance panic isolation, resource budgets, and pass-boundary
+//!   checkpoint/resume,
+//! * [`checkpoint`] — the [`checkpoint::Checkpoint`] trait and the
+//!   versioned, checksummed, atomically-written on-disk container behind
+//!   [`batch::BatchRunner::resume`],
 //! * [`meter::SpaceUsage`] — how algorithms report their live state size,
 //! * [`hashing`] and [`sampling`] — seeded hash families and the edge/pair
 //!   samplers (threshold, bottom-k, reservoir) that realize the paper's
@@ -37,6 +42,7 @@ pub mod adjlist;
 pub mod adversarial;
 pub mod arbitrary;
 pub mod batch;
+pub mod checkpoint;
 pub mod estimator;
 pub mod fault;
 pub mod guard;
@@ -51,7 +57,10 @@ pub mod validate;
 
 pub use adjlist::AdjListStream;
 pub use arbitrary::ArbitraryOrderStream;
-pub use batch::{BatchConfig, BatchOutcome, BatchReport, BatchRunner, InstanceReport};
+pub use batch::{
+    BatchConfig, BatchOutcome, BatchReport, BatchRunner, Budget, InstanceOutcome, InstanceReport,
+};
+pub use checkpoint::{Checkpoint, CheckpointError};
 pub use fault::{CorruptedStream, FaultKind, FaultPlan, InjectedFault};
 pub use guard::{GuardPolicy, Guarded};
 pub use item::StreamItem;

@@ -69,6 +69,17 @@ pub trait MultiPassAlgorithm: SpaceUsage {
         None
     }
 
+    /// A run-level (not stream-level) reason to abort, polled at the same
+    /// points as [`abort_error`](Self::abort_error) and returned verbatim.
+    ///
+    /// Plain algorithms never abort (the default). The batched engine's
+    /// fan-out overrides this to surface deadline expiry and aggregate
+    /// space-budget violations, which are properties of the *execution*,
+    /// not of the stream.
+    fn abort_run(&self) -> Option<RunError> {
+        None
+    }
+
     /// Ingestion-guard statistics to publish in the [`RunReport`], if this
     /// algorithm collects any (see [`crate::guard::Guarded`]).
     fn guard_stats(&self) -> Option<GuardStats> {
@@ -146,6 +157,31 @@ pub enum RunError {
         /// The violation itself (carries the item position when one exists).
         error: StreamError,
     },
+    /// A batched run was given no instances to drive.
+    EmptyBatch,
+    /// A batched run's instances disagree on their pass contract (pass
+    /// count or same-order requirement); one shared stream cannot serve
+    /// them all.
+    MixedPassContracts,
+    /// The run's wall-clock deadline expired before the final pass
+    /// completed.
+    DeadlineExceeded {
+        /// The configured deadline, in milliseconds.
+        limit_ms: u64,
+    },
+    /// The live state summed across all batch instances exceeded the
+    /// aggregate space budget at a pass boundary.
+    SpaceBudgetExceeded {
+        /// Bytes in use across live instances when the check fired.
+        used: usize,
+        /// The configured aggregate limit in bytes.
+        limit: usize,
+    },
+    /// A checkpoint could not be written, read, or applied.
+    Checkpoint {
+        /// Human-readable description of the checkpoint failure.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -161,6 +197,18 @@ impl std::fmt::Display for RunError {
             RunError::Invalid { pass, error } => {
                 write!(f, "invalid stream in pass {}: {error}", pass + 1)
             }
+            RunError::EmptyBatch => write!(f, "batch has no instances to run"),
+            RunError::MixedPassContracts => {
+                write!(f, "batch instances must share one pass contract")
+            }
+            RunError::DeadlineExceeded { limit_ms } => {
+                write!(f, "run exceeded its {limit_ms} ms deadline")
+            }
+            RunError::SpaceBudgetExceeded { used, limit } => write!(
+                f,
+                "aggregate state of {used} bytes exceeds the {limit}-byte budget"
+            ),
+            RunError::Checkpoint { message } => write!(f, "checkpoint failure: {message}"),
         }
     }
 }
@@ -202,7 +250,8 @@ pub struct RunReport {
 
 /// Drive one pass of `items` through `algo`: announce the pass and every
 /// list boundary, sample peak state at each boundary, and poll
-/// [`MultiPassAlgorithm::abort_error`] after every item and at pass end.
+/// [`MultiPassAlgorithm::abort_error`] and
+/// [`MultiPassAlgorithm::abort_run`] after every item and at pass end.
 ///
 /// This is the single boundary-detection loop every runner in this crate
 /// uses; `items` may be any item sequence, including malformed ones fed to
@@ -234,6 +283,9 @@ where
         if let Some(error) = algo.abort_error() {
             return Err(RunError::Invalid { pass, error });
         }
+        if let Some(err) = algo.abort_run() {
+            return Err(err);
+        }
     }
     if let Some(prev) = current {
         algo.end_list(prev);
@@ -243,6 +295,9 @@ where
     peak.observe(algo.space_bytes());
     if let Some(error) = algo.abort_error() {
         return Err(RunError::Invalid { pass, error });
+    }
+    if let Some(err) = algo.abort_run() {
+        return Err(err);
     }
     Ok(())
 }

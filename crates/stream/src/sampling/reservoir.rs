@@ -121,6 +121,26 @@ impl<T> Reservoir<T> {
         &self.items
     }
 
+    /// Decompose into `(capacity, seen, rng_state)` for checkpointing; the
+    /// items themselves are read via [`Reservoir::items`]. Together with
+    /// [`Reservoir::from_parts`] this round-trips the reservoir exactly,
+    /// including the position of its random stream.
+    pub fn to_parts(&self) -> (usize, u64, u64) {
+        (self.capacity, self.seen, self.rng.state())
+    }
+
+    /// Rebuild a reservoir from checkpointed parts. `items` must be the
+    /// slice captured at save time, in the same order: slot indices are
+    /// meaningful to future replacements.
+    pub fn from_parts(capacity: usize, seen: u64, rng_state: u64, items: Vec<T>) -> Self {
+        Reservoir {
+            capacity,
+            seen,
+            items,
+            rng: SplitMix64::from_state(rng_state),
+        }
+    }
+
     /// Mutable access (algorithms update per-item counters in place).
     pub fn items_mut(&mut self) -> &mut [T] {
         &mut self.items

@@ -15,6 +15,9 @@
 //! of panicking.
 
 use std::io::{BufRead, BufReader, Read};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 use adjstream_graph::VertexId;
 
@@ -147,6 +150,253 @@ impl ItemTrace {
     }
 }
 
+/// Backoff/retry policy for [`RetryingSource`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (clamped to at least 1).
+    pub max_attempts: usize,
+    /// Backoff before the first retry; doubles per retry thereafter.
+    pub initial_backoff: Duration,
+    /// Cap on the (pre-jitter) backoff.
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            jitter_seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A single attempt — no retries, no sleeping.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// `retries` retries after the initial attempt.
+    pub fn with_retries(retries: usize) -> Self {
+        RetryPolicy {
+            max_attempts: retries.saturating_add(1),
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Backoff before retry number `retry` (0-based): exponential doubling
+    /// clamped to `max_backoff`, scaled by a multiplicative jitter in
+    /// `[½, 1]` drawn from a deterministic xorshift stream so concurrent
+    /// retriers desynchronize without nondeterminism in tests.
+    fn backoff(&self, retry: u32, rng: &mut u64) -> Duration {
+        let base = self
+            .initial_backoff
+            .saturating_mul(1u32 << retry.min(20))
+            .min(self.max_backoff);
+        *rng ^= *rng << 13;
+        *rng ^= *rng >> 7;
+        *rng ^= *rng << 17;
+        let frac = 0.5 + 0.5 * (*rng >> 11) as f64 / (1u64 << 53) as f64;
+        base.mul_f64(frac)
+    }
+}
+
+/// Terminal outcome of a retried trace load.
+#[derive(Debug)]
+pub enum RetryError {
+    /// A failure retrying cannot fix (malformed line, promise violation).
+    Permanent(TraceError),
+    /// The retry budget ran out; `last` is the final transient failure.
+    GaveUp {
+        /// Attempts made (== the policy's `max_attempts`).
+        attempts: usize,
+        /// The error from the last attempt.
+        last: TraceError,
+    },
+}
+
+impl std::fmt::Display for RetryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RetryError::Permanent(e) => write!(f, "permanent trace failure: {e}"),
+            RetryError::GaveUp { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RetryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RetryError::Permanent(e) | RetryError::GaveUp { last: e, .. } => Some(e),
+        }
+    }
+}
+
+/// A trace source that retries transient I/O failures.
+///
+/// Wraps a reader *factory* (each attempt re-opens the source from the
+/// start, since a partially consumed reader is not resumable) and retries
+/// [`TraceError::Io`] failures — of either the open or the read — with
+/// bounded exponential backoff and deterministic jitter. Failures that a
+/// retry cannot fix ([`TraceError::Malformed`], [`TraceError::Invalid`])
+/// surface immediately as [`RetryError::Permanent`].
+pub struct RetryingSource<F> {
+    open: F,
+    policy: RetryPolicy,
+}
+
+impl<F> RetryingSource<F> {
+    /// Wrap `open` with the default policy (4 attempts, 10 ms → 500 ms).
+    pub fn new(open: F) -> Self {
+        Self::with_policy(open, RetryPolicy::default())
+    }
+
+    /// Wrap `open` with an explicit policy.
+    pub fn with_policy(open: F, policy: RetryPolicy) -> Self {
+        RetryingSource { open, policy }
+    }
+
+    /// Load and validate a trace, retrying transient failures. On success
+    /// returns the trace and the number of attempts used (1 = no retries).
+    pub fn read_trace<R: Read>(self) -> Result<(ItemTrace, usize), RetryError>
+    where
+        F: FnMut() -> std::io::Result<R>,
+    {
+        self.run_attempts(ItemTrace::read)
+    }
+
+    /// Like [`Self::read_trace`] but skipping promise validation.
+    pub fn read_trace_unchecked<R: Read>(self) -> Result<(ItemTrace, usize), RetryError>
+    where
+        F: FnMut() -> std::io::Result<R>,
+    {
+        self.run_attempts(ItemTrace::read_unchecked)
+    }
+
+    fn run_attempts<R: Read>(
+        mut self,
+        parse: impl Fn(R) -> Result<ItemTrace, TraceError>,
+    ) -> Result<(ItemTrace, usize), RetryError>
+    where
+        F: FnMut() -> std::io::Result<R>,
+    {
+        let mut rng = self.policy.jitter_seed | 1;
+        let attempts = self.policy.max_attempts.max(1);
+        let mut last = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.policy.backoff(attempt as u32 - 1, &mut rng));
+            }
+            let reader = match (self.open)() {
+                Ok(r) => r,
+                Err(e) => {
+                    last = Some(TraceError::Io(e));
+                    continue;
+                }
+            };
+            match parse(reader) {
+                Ok(trace) => return Ok((trace, attempt + 1)),
+                Err(TraceError::Io(e)) => last = Some(TraceError::Io(e)),
+                Err(permanent) => return Err(RetryError::Permanent(permanent)),
+            }
+        }
+        Err(RetryError::GaveUp {
+            attempts,
+            last: last.expect("every failed attempt records an error"),
+        })
+    }
+}
+
+/// Load a trace file with retries — the file-backed convenience entry the
+/// CLI uses. `validate` selects [`ItemTrace::read`] vs `read_unchecked`.
+pub fn read_trace_file_with_retry(
+    path: &std::path::Path,
+    policy: RetryPolicy,
+    validate: bool,
+) -> Result<(ItemTrace, usize), RetryError> {
+    let source = RetryingSource::with_policy(|| std::fs::File::open(path), policy);
+    if validate {
+        source.read_trace()
+    } else {
+        source.read_trace_unchecked()
+    }
+}
+
+/// A fault-injection shim: hands out readers over fixed bytes where the
+/// first `failures` reader *instances* fail their first `read` call with a
+/// chosen [`std::io::ErrorKind`]. The failure budget is shared (atomically)
+/// across clones, so a [`RetryingSource`] factory closure can call
+/// [`FlakySource::reader`] per attempt and observe exactly `failures`
+/// transient errors before the source heals.
+#[derive(Debug, Clone)]
+pub struct FlakySource {
+    data: Arc<[u8]>,
+    remaining_failures: Arc<AtomicUsize>,
+    kind: std::io::ErrorKind,
+}
+
+impl FlakySource {
+    /// A source over `data` whose first `failures` readers fail.
+    pub fn new(data: &[u8], failures: usize, kind: std::io::ErrorKind) -> Self {
+        FlakySource {
+            data: data.into(),
+            remaining_failures: Arc::new(AtomicUsize::new(failures)),
+            kind,
+        }
+    }
+
+    /// Failures not yet consumed.
+    pub fn failures_left(&self) -> usize {
+        self.remaining_failures.load(Ordering::SeqCst)
+    }
+
+    /// Open a reader, consuming one failure token if any remain.
+    pub fn reader(&self) -> FlakyReader {
+        let fail = self
+            .remaining_failures
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok();
+        FlakyReader {
+            data: Arc::clone(&self.data),
+            pos: 0,
+            fail,
+            kind: self.kind,
+        }
+    }
+}
+
+/// Reader handed out by [`FlakySource`]; fails its first `read` call if it
+/// holds a failure token.
+#[derive(Debug)]
+pub struct FlakyReader {
+    data: Arc<[u8]>,
+    pos: usize,
+    fail: bool,
+    kind: std::io::ErrorKind,
+}
+
+impl Read for FlakyReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.fail {
+            self.fail = false;
+            return Err(std::io::Error::new(self.kind, "injected transient fault"));
+        }
+        let n = buf.len().min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +475,141 @@ mod tests {
         assert_eq!(t.len(), 3);
         let t2 = ItemTrace::new_unchecked(vec![StreamItem::new(VertexId(0), VertexId(0))]);
         assert_eq!(t2.len(), 1);
+    }
+
+    fn fast_policy(max_attempts: usize) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            initial_backoff: Duration::from_micros(50),
+            max_backoff: Duration::from_micros(200),
+            jitter_seed: 7,
+        }
+    }
+
+    #[test]
+    fn retrying_source_survives_transient_faults() {
+        let src = FlakySource::new(b"0 1\n1 0\n", 2, std::io::ErrorKind::ConnectionReset);
+        let (trace, attempts) = RetryingSource::with_policy(|| Ok(src.reader()), fast_policy(4))
+            .read_trace()
+            .expect("2 faults fit in a 4-attempt budget");
+        assert_eq!(trace.edges(), 1);
+        assert_eq!(attempts, 3, "two failed attempts, then success");
+        assert_eq!(src.failures_left(), 0);
+    }
+
+    #[test]
+    fn retrying_source_gives_up_with_a_typed_error() {
+        let src = FlakySource::new(b"0 1\n1 0\n", 10, std::io::ErrorKind::TimedOut);
+        let err = RetryingSource::with_policy(|| Ok(src.reader()), fast_policy(3))
+            .read_trace()
+            .expect_err("10 faults exhaust a 3-attempt budget");
+        match err {
+            RetryError::GaveUp { attempts, last } => {
+                assert_eq!(attempts, 3);
+                assert!(matches!(last, TraceError::Io(_)));
+            }
+            other => panic!("expected GaveUp, got {other}"),
+        }
+        assert_eq!(src.failures_left(), 7, "only 3 tokens were consumed");
+    }
+
+    #[test]
+    fn malformed_input_is_permanent_and_never_retried() {
+        let src = FlakySource::new(b"0 junk\n", 0, std::io::ErrorKind::TimedOut);
+        let err = RetryingSource::with_policy(|| Ok(src.reader()), fast_policy(5))
+            .read_trace()
+            .expect_err("malformed line");
+        assert!(matches!(
+            err,
+            RetryError::Permanent(TraceError::Malformed { line: 1 })
+        ));
+        // Promise violations are permanent too.
+        let src = FlakySource::new(b"0 1\n0 2\n", 0, std::io::ErrorKind::TimedOut);
+        let err = RetryingSource::with_policy(|| Ok(src.reader()), fast_policy(5))
+            .read_trace()
+            .expect_err("invalid stream");
+        assert!(matches!(err, RetryError::Permanent(TraceError::Invalid(_))));
+        // ... unless validation is skipped, in which case the load succeeds.
+        let src = FlakySource::new(b"0 1\n0 2\n", 1, std::io::ErrorKind::TimedOut);
+        let (trace, attempts) = RetryingSource::with_policy(|| Ok(src.reader()), fast_policy(5))
+            .read_trace_unchecked()
+            .expect("unchecked read tolerates promise violations");
+        assert_eq!(trace.len(), 2);
+        assert_eq!(attempts, 2);
+    }
+
+    #[test]
+    fn failed_opens_are_retried_like_failed_reads() {
+        let opens = AtomicUsize::new(0);
+        let (trace, attempts) = RetryingSource::with_policy(
+            || {
+                if opens.fetch_add(1, Ordering::SeqCst) == 0 {
+                    Err(std::io::Error::new(
+                        std::io::ErrorKind::NotFound,
+                        "not there yet",
+                    ))
+                } else {
+                    Ok(&b"0 1\n1 0\n"[..])
+                }
+            },
+            fast_policy(2),
+        )
+        .read_trace()
+        .expect("second open succeeds");
+        assert_eq!(trace.edges(), 1);
+        assert_eq!(attempts, 2);
+    }
+
+    #[test]
+    fn backoff_doubles_clamps_and_jitters_deterministically() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            initial_backoff: Duration::from_millis(8),
+            max_backoff: Duration::from_millis(40),
+            jitter_seed: 42,
+        };
+        let mut rng_a = p.jitter_seed | 1;
+        let mut rng_b = p.jitter_seed | 1;
+        for retry in 0..8 {
+            let a = p.backoff(retry, &mut rng_a);
+            let b = p.backoff(retry, &mut rng_b);
+            assert_eq!(a, b, "same seed, same schedule");
+            let base = Duration::from_millis(8)
+                .saturating_mul(1 << retry)
+                .min(Duration::from_millis(40));
+            assert!(a <= base, "jitter never exceeds the clamped base");
+            assert!(a >= base / 2, "jitter keeps at least half the base");
+        }
+        // Huge retry indices must not overflow the shift.
+        let _ = p.backoff(1000, &mut rng_a);
+    }
+
+    #[test]
+    fn file_backed_retry_helper_reads_real_files() {
+        let dir = std::env::temp_dir().join(format!("adjstream-retry-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.txt");
+        std::fs::write(&path, "0 1\n1 0\n").unwrap();
+        let (trace, attempts) =
+            read_trace_file_with_retry(&path, RetryPolicy::none(), true).expect("file exists");
+        assert_eq!(trace.edges(), 1);
+        assert_eq!(attempts, 1);
+        let missing = dir.join("nope.txt");
+        let err =
+            read_trace_file_with_retry(&missing, fast_policy(2), true).expect_err("missing file");
+        assert!(matches!(err, RetryError::GaveUp { attempts: 2, .. }));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retry_policy_constructors() {
+        assert_eq!(RetryPolicy::none().max_attempts, 1);
+        assert_eq!(RetryPolicy::with_retries(0).max_attempts, 1);
+        assert_eq!(RetryPolicy::with_retries(3).max_attempts, 4);
+        assert_eq!(
+            RetryPolicy::with_retries(usize::MAX).max_attempts,
+            usize::MAX
+        );
     }
 
     #[test]

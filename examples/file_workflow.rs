@@ -43,6 +43,7 @@ fn main() {
             seed: 99,
             threads: 4,
             engine: Engine::Batched,
+            ..Accuracy::default()
         },
     );
     let truth = exact::count_triangles(&loaded.graph);

@@ -20,16 +20,135 @@ use std::io::Write;
 use std::process::ExitCode;
 
 use adjstream::algo::estimate::{
-    estimate_four_cycles, estimate_triangles, estimate_triangles_auto, Accuracy, Engine,
+    theoretical_space_budget, try_estimate_four_cycles, try_estimate_triangles,
+    try_estimate_triangles_auto, try_estimate_triangles_checkpointed, Accuracy, CountEstimate,
+    Engine, EstimateError,
 };
 use adjstream::graph::analysis::{connected_components, degeneracy, DegreeStats};
 use adjstream::graph::io::{load_edge_list, save_edge_list};
 use adjstream::graph::{exact, gen, Graph};
 use adjstream::lowerbound::gadgets as gd;
 use adjstream::lowerbound::problems::{Disj3Instance, DisjInstance, Pj3Instance};
-use adjstream::stream::{validate_stream, AdjListStream, StreamItem, StreamOrder};
+use adjstream::stream::batch::Budget;
+use adjstream::stream::trace::{read_trace_file_with_retry, ItemTrace, RetryError, RetryPolicy};
+use adjstream::stream::{validate_stream, AdjListStream, RunError, StreamItem, StreamOrder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Exit code for malformed invocations (bad flags, unknown commands).
+const EXIT_USAGE: u8 = 2;
+/// Exit code for streams that violate the adjacency-list promise.
+const EXIT_INVALID_STREAM: u8 = 3;
+/// Exit code for degraded runs (survivors below the required quorum).
+const EXIT_DEGRADED: u8 = 4;
+/// Exit code for space-budget violations.
+const EXIT_SPACE: u8 = 5;
+/// Exit code for missed wall-clock deadlines.
+const EXIT_DEADLINE: u8 = 6;
+/// Exit code for checkpoint write/read/apply failures.
+const EXIT_CHECKPOINT: u8 = 7;
+/// Exit code for I/O failures (missing files, exhausted retries).
+const EXIT_IO: u8 = 8;
+
+/// A classified CLI failure: a stable exit code, a machine-readable kind,
+/// and a human message. Printed to stderr both as `error: <message>` and as
+/// a one-line JSON object so scripts can branch without parsing prose.
+#[derive(Debug)]
+struct CliFailure {
+    exit: u8,
+    kind: &'static str,
+    message: String,
+}
+
+impl CliFailure {
+    fn new(exit: u8, kind: &'static str, message: impl Into<String>) -> Self {
+        CliFailure {
+            exit,
+            kind,
+            message: message.into(),
+        }
+    }
+
+    fn usage(message: impl Into<String>) -> Self {
+        Self::new(EXIT_USAGE, "usage", message)
+    }
+
+    fn invalid_stream(message: impl Into<String>) -> Self {
+        Self::new(EXIT_INVALID_STREAM, "invalid-stream", message)
+    }
+
+    fn io(message: impl Into<String>) -> Self {
+        Self::new(EXIT_IO, "io", message)
+    }
+
+    /// The one-line machine-readable form.
+    fn json(&self) -> String {
+        format!(
+            "{{\"error\":{{\"kind\":\"{}\",\"exit\":{},\"message\":\"{}\"}}}}",
+            json_escape(self.kind),
+            self.exit,
+            json_escape(&self.message)
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl From<String> for CliFailure {
+    fn from(message: String) -> Self {
+        CliFailure::usage(message)
+    }
+}
+
+impl From<&str> for CliFailure {
+    fn from(message: &str) -> Self {
+        CliFailure::usage(message.to_string())
+    }
+}
+
+impl From<EstimateError> for CliFailure {
+    fn from(e: EstimateError) -> Self {
+        let (exit, kind) = match &e {
+            EstimateError::Degraded(_) => (EXIT_DEGRADED, "degraded"),
+            EstimateError::Run(r) => match r {
+                RunError::DeadlineExceeded { .. } => (EXIT_DEADLINE, "deadline"),
+                RunError::SpaceBudgetExceeded { .. } => (EXIT_SPACE, "space-budget"),
+                RunError::Checkpoint { .. } => (EXIT_CHECKPOINT, "checkpoint"),
+                RunError::Invalid { .. } => (EXIT_INVALID_STREAM, "invalid-stream"),
+                _ => (EXIT_USAGE, "usage"),
+            },
+        };
+        CliFailure::new(exit, kind, e.to_string())
+    }
+}
+
+impl From<RetryError> for CliFailure {
+    fn from(e: RetryError) -> Self {
+        match &e {
+            RetryError::Permanent(inner) => match inner {
+                adjstream::stream::trace::TraceError::Io(_) => CliFailure::io(e.to_string()),
+                _ => CliFailure::invalid_stream(e.to_string()),
+            },
+            RetryError::GaveUp { .. } => CliFailure::io(e.to_string()),
+        }
+    }
+}
 
 fn main() -> ExitCode {
     // Exit quietly when stdout is closed early (`adjstream-cli ... | head`):
@@ -46,11 +165,14 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            eprintln!();
-            eprintln!("{USAGE}");
-            ExitCode::FAILURE
+        Err(failure) => {
+            eprintln!("error: {}", failure.message);
+            eprintln!("{}", failure.json());
+            if failure.exit == EXIT_USAGE {
+                eprintln!();
+                eprintln!("{USAGE}");
+            }
+            ExitCode::from(failure.exit)
         }
     }
 }
@@ -59,16 +181,22 @@ const USAGE: &str = "usage:
   adjstream-cli gen <gnm|gnp|ba|chung-lu|cliques|bipartite|plane|planted-triangles|planted-c4> [--key value ...] -o FILE
   adjstream-cli info FILE
   adjstream-cli count FILE --kind <triangles|c4|cycles> [--len L]
-  adjstream-cli estimate FILE --kind <triangles|c4> [--epsilon E] [--delta D] [--t-lower T] [--seed S] [--engine batched|sequential]
+  adjstream-cli estimate FILE --kind <triangles|c4> [--epsilon E] [--delta D] [--t-lower T] [--seed S]
+                [--engine batched|sequential] [--max-bytes N|auto] [--max-total-bytes N]
+                [--deadline-secs S] [--min-survivors Q] [--checkpoint-dir DIR] [--resume]
   adjstream-cli stream FILE [--seed S] [-o FILE]
-  adjstream-cli validate-stream FILE [--mode offline|online|bounded] [--seed S] [--window W]
+  adjstream-cli validate-stream FILE [--mode offline|online|bounded] [--seed S] [--window W] [--retries N]
   adjstream-cli corrupt FILE --faults KIND[:N][,KIND[:N]...] [--seed S] [-o FILE] [--replay-o FILE]
-  adjstream-cli estimate-stream FILE [--budget K] [--seed S] [--policy strict|repair|observe]
+  adjstream-cli estimate-stream FILE [--budget K] [--seed S] [--policy strict|repair|observe] [--retries N]
   adjstream-cli gadget <fig-a|fig-b|fig-c|fig-d|fig-e> [--key value ...] [--answer yes|no] [-o FILE]
 
-fault kinds: drop-direction duplicate-item split-list self-loop corrupt-vertex truncate-tail reorder-pass";
+fault kinds: drop-direction duplicate-item split-list self-loop corrupt-vertex truncate-tail reorder-pass
+exit codes: 0 ok | 2 usage | 3 invalid-stream | 4 degraded | 5 space-budget | 6 deadline | 7 checkpoint | 8 io";
 
-/// Parse `--key value` flags (plus `-o`), returning the map.
+/// Flags that take no value.
+const BOOLEAN_FLAGS: &[&str] = &["resume"];
+
+/// Parse `--key value` flags (plus `-o` and valueless booleans).
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut i = 0;
@@ -77,6 +205,11 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             .strip_prefix("--")
             .or_else(|| (args[i] == "-o").then_some("o"))
             .ok_or_else(|| format!("unexpected argument {:?}", args[i]))?;
+        if BOOLEAN_FLAGS.contains(&key) {
+            flags.insert(key.to_string(), "true".to_string());
+            i += 1;
+            continue;
+        }
         let value = args
             .get(i + 1)
             .ok_or_else(|| format!("flag --{key} needs a value"))?;
@@ -97,8 +230,10 @@ fn get<T: std::str::FromStr>(
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
-    let (cmd, rest) = args.split_first().ok_or("missing command")?;
+fn run(args: &[String]) -> Result<(), CliFailure> {
+    let (cmd, rest) = args
+        .split_first()
+        .ok_or_else(|| CliFailure::usage("missing command"))?;
     match cmd.as_str() {
         "gen" => cmd_gen(rest),
         "info" => cmd_info(rest),
@@ -109,20 +244,20 @@ fn run(args: &[String]) -> Result<(), String> {
         "corrupt" => cmd_corrupt(rest),
         "estimate-stream" => cmd_estimate_stream(rest),
         "gadget" => cmd_gadget(rest),
-        other => Err(format!("unknown command {other:?}")),
+        other => Err(CliFailure::usage(format!("unknown command {other:?}"))),
     }
 }
 
-fn load(flags_file: Option<&String>) -> Result<Graph, String> {
-    let path = flags_file.ok_or("missing input file")?;
-    let loaded = load_edge_list(path).map_err(|e| e.to_string())?;
+fn load(flags_file: Option<&String>) -> Result<Graph, CliFailure> {
+    let path = flags_file.ok_or_else(|| CliFailure::usage("missing input file"))?;
+    let loaded = load_edge_list(path).map_err(|e| CliFailure::io(e.to_string()))?;
     if loaded.self_loops_dropped > 0 {
         eprintln!("note: dropped {} self-loops", loaded.self_loops_dropped);
     }
     Ok(loaded.graph)
 }
 
-fn cmd_gen(args: &[String]) -> Result<(), String> {
+fn cmd_gen(args: &[String]) -> Result<(), CliFailure> {
     let (family, rest) = args.split_first().ok_or("gen: missing family")?;
     let flags = parse_flags(rest)?;
     let seed: u64 = get(&flags, "seed", 1)?;
@@ -154,7 +289,7 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
         ),
         "planted-c4" => gen::disjoint_triangles(get(&flags, "bg", 500)?)
             .disjoint_union(&gen::disjoint_four_cycles(get(&flags, "t", 64)?)),
-        other => return Err(format!("unknown family {other:?}")),
+        other => return Err(CliFailure::usage(format!("unknown family {other:?}"))),
     };
     emit(&g, flags.get("o"))?;
     eprintln!(
@@ -175,7 +310,7 @@ fn emit(g: &Graph, out: Option<&String>) -> Result<(), String> {
     }
 }
 
-fn cmd_info(args: &[String]) -> Result<(), String> {
+fn cmd_info(args: &[String]) -> Result<(), CliFailure> {
     let g = load(args.first())?;
     let stats = DegreeStats::compute(&g);
     let (_, components) = connected_components(&g);
@@ -193,7 +328,7 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_count(args: &[String]) -> Result<(), String> {
+fn cmd_count(args: &[String]) -> Result<(), CliFailure> {
     let g = load(args.first())?;
     let flags = parse_flags(&args[1..])?;
     let kind = flags.get("kind").map(String::as_str).unwrap_or("triangles");
@@ -201,57 +336,146 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
         "triangles" => exact::count_triangles(&g),
         "c4" => exact::count_four_cycles(&g),
         "cycles" => exact::count_cycles(&g, get(&flags, "len", 5usize)?),
-        other => return Err(format!("unknown kind {other:?}")),
+        other => return Err(CliFailure::usage(format!("unknown kind {other:?}"))),
     };
     println!("{count}");
     Ok(())
 }
 
-fn cmd_estimate(args: &[String]) -> Result<(), String> {
+/// Build the [`Budget`] for an estimate run from `--max-bytes` (a byte
+/// count, or `auto` for 16× the Theorem 3.7 space bound — slack for
+/// constant factors the Õ hides), `--max-total-bytes`, and
+/// `--deadline-secs`.
+fn parse_budget_flags(
+    flags: &HashMap<String, String>,
+    g: &Graph,
+    t_lower: u64,
+    epsilon: f64,
+) -> Result<Budget, CliFailure> {
+    let mut budget = Budget::default();
+    if let Some(v) = flags.get("max-bytes") {
+        budget.max_bytes_per_instance = Some(if v == "auto" {
+            let bytes =
+                theoretical_space_budget(g.edge_count(), g.vertex_count(), t_lower, epsilon);
+            // 16× slack for the constant factors Õ hides, with a 1 MiB
+            // floor: hash-map and allocator overhead dominates the
+            // information-theoretic bound on small instances.
+            bytes.saturating_mul(16).max(1 << 20)
+        } else {
+            v.parse()
+                .map_err(|_| CliFailure::usage(format!("invalid --max-bytes {v:?}")))?
+        });
+    }
+    if let Some(v) = flags.get("max-total-bytes") {
+        budget.max_total_bytes = Some(
+            v.parse()
+                .map_err(|_| CliFailure::usage(format!("invalid --max-total-bytes {v:?}")))?,
+        );
+    }
+    if let Some(v) = flags.get("deadline-secs") {
+        let secs: f64 = v
+            .parse()
+            .map_err(|_| CliFailure::usage(format!("invalid --deadline-secs {v:?}")))?;
+        if !(secs >= 0.0 && secs.is_finite()) {
+            return Err(CliFailure::usage(format!(
+                "--deadline-secs must be a finite non-negative number, got {v:?}"
+            )));
+        }
+        budget.deadline = Some(std::time::Duration::from_secs_f64(secs));
+    }
+    Ok(budget)
+}
+
+fn print_estimate(est: &CountEstimate, g: &Graph, acc: &Accuracy, suffix: &str) {
+    println!("estimate      {:.1}{suffix}", est.count);
+    println!("edge budget   {} of {}", est.budget, g.edge_count());
+    println!("repetitions   {}", est.repetitions);
+    println!("run std-dev   {:.1}", est.report.variance.sqrt());
+    println!("stream passes {} ({})", est.stream_passes, acc.engine);
+    if est.report.dead_runs > 0 {
+        println!(
+            "survivors     {} of {} repetitions (the rest exceeded their budget)",
+            est.repetitions - est.report.dead_runs,
+            est.repetitions
+        );
+    }
+}
+
+fn cmd_estimate(args: &[String]) -> Result<(), CliFailure> {
     let g = load(args.first())?;
     let flags = parse_flags(&args[1..])?;
     let engine = match flags.get("engine") {
-        Some(s) => Engine::parse(s).ok_or_else(|| format!("unknown engine {s:?}"))?,
+        Some(s) => {
+            Engine::parse(s).ok_or_else(|| CliFailure::usage(format!("unknown engine {s:?}")))?
+        }
         None => Engine::Batched,
     };
+    let t_lower_flag: Option<u64> = match flags.get("t-lower") {
+        Some(t) => Some(t.parse().map_err(|_| "invalid --t-lower")?),
+        None => None,
+    };
+    let epsilon: f64 = get(&flags, "epsilon", 0.25)?;
+    let budget = parse_budget_flags(&flags, &g, t_lower_flag.unwrap_or(1), epsilon)?;
+    let min_survivors: Option<usize> = match flags.get("min-survivors") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| CliFailure::usage(format!("invalid --min-survivors {v:?}")))?,
+        ),
+        None => None,
+    };
     let acc = Accuracy {
-        epsilon: get(&flags, "epsilon", 0.25)?,
+        epsilon,
         delta: get(&flags, "delta", 0.1)?,
         seed: get(&flags, "seed", 2019)?,
         threads: get(&flags, "threads", 4)?,
         engine,
+        budget,
+        min_survivors,
     };
     let order = StreamOrder::shuffled(g.vertex_count(), acc.seed);
     let kind = flags.get("kind").map(String::as_str).unwrap_or("triangles");
+    let checkpoint_dir = flags.get("checkpoint-dir");
+    let resume = flags.contains_key("resume");
+    if resume && checkpoint_dir.is_none() {
+        return Err(CliFailure::usage("--resume requires --checkpoint-dir"));
+    }
     match kind {
         "triangles" => {
-            let est = match flags.get("t-lower") {
-                Some(t) => {
-                    estimate_triangles(&g, &order, t.parse().map_err(|_| "invalid --t-lower")?, acc)
+            let est = match checkpoint_dir {
+                Some(dir) => {
+                    let t_lower = t_lower_flag.ok_or_else(|| {
+                        CliFailure::usage("--checkpoint-dir requires an explicit --t-lower")
+                    })?;
+                    std::fs::create_dir_all(dir).map_err(|e| {
+                        CliFailure::io(format!("cannot create checkpoint dir {dir}: {e}"))
+                    })?;
+                    let path = std::path::Path::new(dir).join("triangles.ckpt");
+                    try_estimate_triangles_checkpointed(&g, &order, t_lower, acc, &path, resume)?
                 }
-                None => estimate_triangles_auto(&g, &order, acc),
+                None => match t_lower_flag {
+                    Some(t) => try_estimate_triangles(&g, &order, t, acc)?,
+                    None => try_estimate_triangles_auto(&g, &order, acc)?,
+                },
             };
-            println!("estimate      {:.1}", est.count);
-            println!("edge budget   {} of {}", est.budget, g.edge_count());
-            println!("repetitions   {}", est.repetitions);
-            println!("run std-dev   {:.1}", est.report.variance.sqrt());
-            println!("stream passes {} ({})", est.stream_passes, acc.engine);
+            print_estimate(&est, &g, &acc, "");
         }
         "c4" => {
-            let t_lower = get(&flags, "t-lower", 1u64)?;
+            if checkpoint_dir.is_some() {
+                return Err(CliFailure::usage(
+                    "--checkpoint-dir supports --kind triangles only",
+                ));
+            }
+            let t_lower = t_lower_flag.unwrap_or(1);
             let o2 = StreamOrder::shuffled(g.vertex_count(), acc.seed ^ 0xC4);
-            let est = estimate_four_cycles(&g, [&order, &o2], t_lower, acc);
-            println!("estimate      {:.1} (O(1)-factor approximation)", est.count);
-            println!("edge budget   {} of {}", est.budget, g.edge_count());
-            println!("repetitions   {}", est.repetitions);
-            println!("stream passes {} ({})", est.stream_passes, acc.engine);
+            let est = try_estimate_four_cycles(&g, [&order, &o2], t_lower, acc)?;
+            print_estimate(&est, &g, &acc, " (O(1)-factor approximation)");
         }
-        other => return Err(format!("unknown kind {other:?}")),
+        other => return Err(CliFailure::usage(format!("unknown kind {other:?}"))),
     }
     Ok(())
 }
 
-fn cmd_stream(args: &[String]) -> Result<(), String> {
+fn cmd_stream(args: &[String]) -> Result<(), CliFailure> {
     let g = load(args.first())?;
     let flags = parse_flags(&args[1..])?;
     let seed: u64 = get(&flags, "seed", 1)?;
@@ -277,13 +501,18 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_validate_stream(args: &[String]) -> Result<(), String> {
-    use adjstream::stream::trace::ItemTrace;
+fn cmd_validate_stream(args: &[String]) -> Result<(), CliFailure> {
     use adjstream::stream::{validate_online, OnlineValidator, SpaceUsage};
     let path = args.first().ok_or("missing stream file")?;
     let flags = parse_flags(&args[1..])?;
-    let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
-    let trace = ItemTrace::read_unchecked(file).map_err(|e| e.to_string())?;
+    let (trace, attempts) = read_trace_file_with_retry(
+        std::path::Path::new(path),
+        RetryPolicy::with_retries(get(&flags, "retries", 0usize)?),
+        false,
+    )?;
+    if attempts > 1 {
+        eprintln!("note: read succeeded after {attempts} attempts");
+    }
     let mode = flags.get("mode").map(String::as_str).unwrap_or("offline");
     let result = match mode {
         "offline" => validate_stream(trace.items().iter().copied()),
@@ -300,9 +529,9 @@ fn cmd_validate_stream(args: &[String]) -> Result<(), String> {
             r
         }
         other => {
-            return Err(format!(
+            return Err(CliFailure::usage(format!(
                 "--mode must be offline|online|bounded, got {other:?}"
-            ))
+            )))
         }
     };
     match result {
@@ -310,16 +539,15 @@ fn cmd_validate_stream(args: &[String]) -> Result<(), String> {
             println!("valid adjacency list stream: {edges} edges ({mode} check)");
             Ok(())
         }
-        Err(e) => match e.position() {
-            Some(p) => Err(format!("invalid stream at item {p}: {e}")),
-            None => Err(format!("invalid stream: {e}")),
-        },
+        Err(e) => Err(CliFailure::invalid_stream(match e.position() {
+            Some(p) => format!("invalid stream at item {p}: {e}"),
+            None => format!("invalid stream: {e}"),
+        })),
     }
 }
 
 /// Corrupt a valid stream with a seeded, replayable fault plan.
-fn cmd_corrupt(args: &[String]) -> Result<(), String> {
-    use adjstream::stream::trace::ItemTrace;
+fn cmd_corrupt(args: &[String]) -> Result<(), CliFailure> {
     use adjstream::stream::{FaultKind, FaultPlan};
     let path = args.first().ok_or("missing stream file")?;
     let flags = parse_flags(&args[1..])?;
@@ -343,8 +571,9 @@ fn cmd_corrupt(args: &[String]) -> Result<(), String> {
     if plan.count(FaultKind::ReorderPass) > 0 && !flags.contains_key("replay-o") {
         return Err("corrupt: reorder-pass only affects replays; pass --replay-o FILE".into());
     }
-    let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
-    let trace = ItemTrace::read(file).map_err(|e| format!("input must be valid: {e}"))?;
+    let file = std::fs::File::open(path).map_err(|e| CliFailure::io(e.to_string()))?;
+    let trace = ItemTrace::read(file)
+        .map_err(|e| CliFailure::invalid_stream(format!("input must be valid: {e}")))?;
     let corrupted = plan.apply(trace.items());
     write_items(corrupted.items(), flags.get("o"))?;
     if let Some(replay_path) = flags.get("replay-o") {
@@ -391,10 +620,9 @@ fn write_items(items: &[StreamItem], out: Option<&String>) -> Result<(), String>
 /// Estimate triangles directly from an item trace file: the trace is
 /// validated (or guarded with an explicit `--policy`), then the Theorem 3.7
 /// algorithm replays it twice.
-fn cmd_estimate_stream(args: &[String]) -> Result<(), String> {
+fn cmd_estimate_stream(args: &[String]) -> Result<(), CliFailure> {
     use adjstream::algo::common::EdgeSampling;
     use adjstream::algo::triangle::{TwoPassTriangle, TwoPassTriangleConfig};
-    use adjstream::stream::trace::ItemTrace;
     use adjstream::stream::{GuardPolicy, Guarded};
     let path = args.first().ok_or("missing stream file")?;
     let flags = parse_flags(&args[1..])?;
@@ -405,13 +633,16 @@ fn cmd_estimate_stream(args: &[String]) -> Result<(), String> {
                 .ok_or(format!("--policy must be strict|repair|observe, got {p:?}"))
         })
         .transpose()?;
-    let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
     // With an explicit policy the guard handles malformed input; without
-    // one the trace must certify up front.
-    let trace = match policy {
-        Some(_) => ItemTrace::read_unchecked(file).map_err(|e| e.to_string())?,
-        None => ItemTrace::read(file).map_err(|e| e.to_string())?,
-    };
+    // one the trace must certify up front. Transient read failures retry.
+    let (trace, attempts) = read_trace_file_with_retry(
+        std::path::Path::new(path),
+        RetryPolicy::with_retries(get(&flags, "retries", 0usize)?),
+        policy.is_none(),
+    )?;
+    if attempts > 1 {
+        eprintln!("note: read succeeded after {attempts} attempts");
+    }
     let m = trace.edges();
     let budget: usize = get(&flags, "budget", (m / 10).max(16))?;
     let seed: u64 = get(&flags, "seed", 2019)?;
@@ -433,7 +664,7 @@ fn cmd_estimate_stream(args: &[String]) -> Result<(), String> {
             );
             trace
                 .try_run(Guarded::new(algo, policy))
-                .map_err(|e| e.to_string())?
+                .map_err(|e| CliFailure::from(EstimateError::Run(e)))?
         }
     };
     println!("estimate      {:.1}", est.estimate);
@@ -449,14 +680,18 @@ fn cmd_estimate_stream(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_gadget(args: &[String]) -> Result<(), String> {
+fn cmd_gadget(args: &[String]) -> Result<(), CliFailure> {
     let (fig, rest) = args.split_first().ok_or("gadget: missing figure")?;
     let flags = parse_flags(rest)?;
     let seed: u64 = get(&flags, "seed", 1)?;
     let answer = match flags.get("answer").map(String::as_str).unwrap_or("yes") {
         "yes" => true,
         "no" => false,
-        other => return Err(format!("--answer must be yes|no, got {other:?}")),
+        other => {
+            return Err(CliFailure::usage(format!(
+                "--answer must be yes|no, got {other:?}"
+            )))
+        }
     };
     let gadget = match fig.as_str() {
         "fig-a" => gd::pj3_triangle_gadget(
@@ -488,7 +723,7 @@ fn cmd_gadget(args: &[String]) -> Result<(), String> {
             get(&flags, "ell", 5)?,
             get(&flags, "t", 16)?,
         ),
-        other => return Err(format!("unknown gadget {other:?}")),
+        other => return Err(CliFailure::usage(format!("unknown gadget {other:?}"))),
     };
     emit(&gadget.graph, flags.get("o"))?;
     eprintln!(
@@ -600,7 +835,9 @@ mod tests {
         // with the fault position in the message when one exists.
         for mode in ["offline", "online"] {
             let err = run(&args(&["validate-stream", &bad, "--mode", mode])).unwrap_err();
-            assert!(err.contains("invalid stream"), "{err}");
+            assert!(err.message.contains("invalid stream"), "{}", err.message);
+            assert_eq!(err.exit, EXIT_INVALID_STREAM);
+            assert_eq!(err.kind, "invalid-stream");
         }
         // Unguarded estimation refuses the corrupted stream...
         assert!(run(&args(&["estimate-stream", &bad, "--budget", "40"])).is_err());
@@ -614,7 +851,12 @@ mod tests {
             "strict",
         ]))
         .unwrap_err();
-        assert!(err.contains("invalid stream in pass"), "{err}");
+        assert!(
+            err.message.contains("invalid stream in pass"),
+            "{}",
+            err.message
+        );
+        assert_eq!(err.exit, EXIT_INVALID_STREAM);
         // ...and repair/observe degrade gracefully.
         for policy in ["repair", "observe"] {
             run(&args(&[
@@ -646,8 +888,159 @@ mod tests {
             .to_string();
         std::fs::write(&p, "0 1\n0 0\n1 0\n").unwrap();
         let err = run(&args(&["validate-stream", &p, "--mode", "online"])).unwrap_err();
-        assert!(err.contains("at item 1"), "{err}");
+        assert!(err.message.contains("at item 1"), "{}", err.message);
         std::fs::remove_file(&p).ok();
+    }
+
+    fn temp_graph(tag: &str) -> String {
+        let p =
+            std::env::temp_dir().join(format!("adjstream-cli-{tag}-{}.txt", std::process::id()));
+        let s = p.to_string_lossy().to_string();
+        run(&args(&["gen", "cliques", "--s", "5", "--k", "5", "-o", &s])).unwrap();
+        s
+    }
+
+    #[test]
+    fn failure_classes_map_to_stable_exit_codes() {
+        // Usage failures.
+        let err = run(&args(&["frobnicate"])).unwrap_err();
+        assert_eq!((err.exit, err.kind), (EXIT_USAGE, "usage"));
+        // I/O failures.
+        let err = run(&args(&["info", "/no/such/file.txt"])).unwrap_err();
+        assert_eq!((err.exit, err.kind), (EXIT_IO, "io"));
+        let gs = temp_graph("exit");
+        // Deadline failures.
+        let err = run(&args(&[
+            "estimate",
+            &gs,
+            "--t-lower",
+            "50",
+            "--deadline-secs",
+            "0",
+        ]))
+        .unwrap_err();
+        assert_eq!((err.exit, err.kind), (EXIT_DEADLINE, "deadline"));
+        // Degraded runs: a 1-byte instance budget kills every repetition.
+        let err = run(&args(&[
+            "estimate",
+            &gs,
+            "--t-lower",
+            "50",
+            "--max-bytes",
+            "1",
+        ]))
+        .unwrap_err();
+        assert_eq!((err.exit, err.kind), (EXIT_DEGRADED, "degraded"));
+        assert!(err.message.contains("degraded run"), "{}", err.message);
+        // Aggregate space budget failures.
+        let err = run(&args(&[
+            "estimate",
+            &gs,
+            "--t-lower",
+            "50",
+            "--max-total-bytes",
+            "1",
+        ]))
+        .unwrap_err();
+        assert_eq!((err.exit, err.kind), (EXIT_SPACE, "space-budget"));
+        // Checkpoint failures (sequential engine cannot checkpoint).
+        let dir = std::env::temp_dir().to_string_lossy().to_string();
+        let err = run(&args(&[
+            "estimate",
+            &gs,
+            "--t-lower",
+            "50",
+            "--engine",
+            "sequential",
+            "--checkpoint-dir",
+            &dir,
+        ]))
+        .unwrap_err();
+        assert_eq!((err.exit, err.kind), (EXIT_CHECKPOINT, "checkpoint"));
+        std::fs::remove_file(&gs).ok();
+    }
+
+    #[test]
+    fn failure_json_is_machine_readable() {
+        let f = CliFailure::new(EXIT_DEADLINE, "deadline", "ran \"out\"\nof time");
+        assert_eq!(
+            f.json(),
+            "{\"error\":{\"kind\":\"deadline\",\"exit\":6,\"message\":\"ran \\\"out\\\"\\nof time\"}}"
+        );
+    }
+
+    #[test]
+    fn generous_budget_flags_succeed_including_auto() {
+        let gs = temp_graph("budget");
+        run(&args(&[
+            "estimate",
+            &gs,
+            "--t-lower",
+            "50",
+            "--max-bytes",
+            "auto",
+            "--deadline-secs",
+            "60",
+            "--min-survivors",
+            "1",
+        ]))
+        .unwrap();
+        assert!(run(&args(&["estimate", &gs, "--max-bytes", "junk"])).is_err());
+        assert!(run(&args(&["estimate", &gs, "--deadline-secs", "nan"])).is_err());
+        std::fs::remove_file(&gs).ok();
+    }
+
+    #[test]
+    fn checkpoint_flags_are_validated_and_run() {
+        let gs = temp_graph("ckpt");
+        let dir =
+            std::env::temp_dir().join(format!("adjstream-cli-ckpt-dir-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ds = dir.to_string_lossy().to_string();
+        // --resume without --checkpoint-dir is a usage error.
+        let err = run(&args(&["estimate", &gs, "--resume"])).unwrap_err();
+        assert_eq!(err.exit, EXIT_USAGE);
+        // --checkpoint-dir without --t-lower is a usage error.
+        let err = run(&args(&["estimate", &gs, "--checkpoint-dir", &ds])).unwrap_err();
+        assert!(err.message.contains("--t-lower"), "{}", err.message);
+        // A full checkpointed run succeeds and cleans up its file.
+        run(&args(&[
+            "estimate",
+            &gs,
+            "--t-lower",
+            "50",
+            "--checkpoint-dir",
+            &ds,
+        ]))
+        .unwrap();
+        assert!(!dir.join("triangles.ckpt").exists());
+        // Resuming with no checkpoint on disk is a checkpoint failure.
+        let err = run(&args(&[
+            "estimate",
+            &gs,
+            "--t-lower",
+            "50",
+            "--checkpoint-dir",
+            &ds,
+            "--resume",
+        ]))
+        .unwrap_err();
+        assert_eq!((err.exit, err.kind), (EXIT_CHECKPOINT, "checkpoint"));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_file(&gs).ok();
+    }
+
+    #[test]
+    fn retries_flag_is_accepted_and_missing_files_exhaust_it() {
+        let err = run(&args(&[
+            "validate-stream",
+            "/no/such/stream.txt",
+            "--retries",
+            "1",
+        ]))
+        .unwrap_err();
+        assert_eq!((err.exit, err.kind), (EXIT_IO, "io"));
+        assert!(err.message.contains("gave up after 2"), "{}", err.message);
     }
 
     #[test]

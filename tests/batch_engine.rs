@@ -86,6 +86,7 @@ fn driver_runs_vectors_are_engine_invariant() {
         seed: 77,
         threads: 1,
         engine: Engine::Sequential,
+        ..Accuracy::default()
     };
     let seq = estimate_triangles(&g, &order, 50, base);
     for threads in [1, 4] {
@@ -115,6 +116,7 @@ fn auto_driver_is_pass_optimal_under_the_batched_engine() {
         seed: 31,
         threads: 2,
         engine: Engine::Batched,
+        ..Accuracy::default()
     };
     let est = estimate_triangles_auto(&g, &order, acc);
     assert_eq!(est.stream_passes, 2, "all guess levels share one execution");
