@@ -7,6 +7,8 @@ use adjstream_graph::VertexId;
 use adjstream_stream::checkpoint::{
     corrupt, read_u32, read_u64, read_usize, write_u32, write_u64, write_usize, Checkpoint,
 };
+use adjstream_stream::hashing::{FastMap, FastSet};
+use adjstream_stream::item::StreamItem;
 use adjstream_stream::meter::{hashmap_bytes, SpaceUsage};
 
 /// How the first-pass edge sample `S` is drawn (DESIGN.md §2).
@@ -36,14 +38,15 @@ pub enum EdgeSampling {
 /// — the rescan was the dominant cost of peak metering on large budgets.
 /// The vacant arm reproduces `entry(k).or_default().push(v)` exactly, so
 /// capacities (and hence reported bytes) are identical to the old scan.
-pub(crate) fn push_map_vec<K, T>(
-    map: &mut HashMap<K, Vec<T>>,
+pub(crate) fn push_map_vec<K, T, S>(
+    map: &mut HashMap<K, Vec<T>, S>,
     key: K,
     val: T,
     elem_bytes: usize,
 ) -> usize
 where
     K: Eq + std::hash::Hash,
+    S: std::hash::BuildHasher,
 {
     use std::collections::hash_map::Entry;
     match map.entry(key) {
@@ -73,13 +76,13 @@ where
 #[derive(Debug, Default)]
 pub struct PairWatcher {
     /// vertex → packed pairs containing it.
-    incident: HashMap<u32, Vec<u64>>,
+    incident: FastMap<u32, Vec<u64>>,
     /// Bytes held by `incident`'s inner vectors, maintained incrementally.
     incident_vec_bytes: usize,
     /// packed pair → number of watchers.
-    refcount: HashMap<u64, u32>,
+    refcount: FastMap<u64, u32>,
     /// packed pair → epoch of its last single hit.
-    hit_epoch: HashMap<u64, u32>,
+    hit_epoch: FastMap<u64, u32>,
     epoch: u32,
 }
 
@@ -176,6 +179,26 @@ impl PairWatcher {
             }
         }
     }
+
+    /// Process a whole same-source run at once, invoking `completed`
+    /// exactly as the equivalent [`PairWatcher::on_item`] loop would. The
+    /// slice skips the per-item `incident` probe for destinations that
+    /// watch nothing, which is the common case on sparse watch sets.
+    pub fn on_items<F: FnMut(u64)>(&mut self, items: &[StreamItem], mut completed: F) {
+        for it in items {
+            self.on_item(it.dst, &mut completed);
+        }
+    }
+}
+
+/// Count elements shared by two neighbor sets, probing the smaller list
+/// against a hash set of the larger — the common-neighbor step of the
+/// local sampling estimators (TRIÈST-style and random-order). Extracted so
+/// the callers share one scratch-set idiom instead of rebuilding it ad hoc.
+pub(crate) fn count_common_neighbors(a: &[u32], b: &[u32]) -> u64 {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let large: FastSet<u32> = large.iter().copied().collect();
+    small.iter().filter(|x| large.contains(x)).count() as u64
 }
 
 impl SpaceUsage for PairWatcher {
@@ -214,7 +237,8 @@ impl Checkpoint for PairWatcher {
 
     fn restore(r: &mut dyn Read) -> io::Result<Self> {
         let n = read_usize(r)?;
-        let mut refcount = HashMap::with_capacity(n.min(1 << 16));
+        let mut refcount = FastMap::default();
+        refcount.reserve(n.min(1 << 16));
         for _ in 0..n {
             let key = read_u64(r)?;
             let rc = read_u32(r)?;
@@ -224,7 +248,8 @@ impl Checkpoint for PairWatcher {
             refcount.insert(key, rc);
         }
         let n = read_usize(r)?;
-        let mut incident: HashMap<u32, Vec<u64>> = HashMap::with_capacity(n.min(1 << 16));
+        let mut incident: FastMap<u32, Vec<u64>> = FastMap::default();
+        incident.reserve(n.min(1 << 16));
         let mut incident_vec_bytes = 0usize;
         let mut entries = 0usize;
         for _ in 0..n {
@@ -249,7 +274,7 @@ impl Checkpoint for PairWatcher {
             incident,
             incident_vec_bytes,
             refcount,
-            hit_epoch: HashMap::new(),
+            hit_epoch: FastMap::default(),
             epoch: 0,
         })
     }

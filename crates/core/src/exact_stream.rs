@@ -5,9 +5,8 @@
 //! counters. These are also the per-run ground truth for the experiment
 //! harness when the workload's cycle count is not known by construction.
 
-use std::collections::HashSet;
-
 use adjstream_graph::{exact, GraphBuilder, VertexId};
+use adjstream_stream::hashing::FastSet;
 use adjstream_stream::meter::{hashset_bytes, SpaceUsage};
 use adjstream_stream::runner::MultiPassAlgorithm;
 
@@ -27,7 +26,7 @@ pub enum ExactKind {
 /// One-pass exact counter that stores every edge (`O(m log n)` bits).
 pub struct ExactStreamCounter {
     kind: ExactKind,
-    edges: HashSet<u64>,
+    edges: FastSet<u64>,
     max_vertex: u32,
 }
 
@@ -39,7 +38,7 @@ impl ExactStreamCounter {
         }
         ExactStreamCounter {
             kind,
-            edges: HashSet::new(),
+            edges: FastSet::default(),
             max_vertex: 0,
         }
     }

@@ -20,7 +20,6 @@
 //!   which is unbiased but suffers the heavy-wedge variance the
 //!   good-wedge machinery exists to avoid.
 
-use std::collections::{HashMap, HashSet};
 use std::io::{self, Read, Write};
 
 use adjstream_graph::ids::FourCycleKey;
@@ -28,6 +27,8 @@ use adjstream_graph::VertexId;
 use adjstream_stream::checkpoint::{
     corrupt, read_u64, read_u8, read_usize, write_u64, write_u8, write_usize, Checkpoint,
 };
+use adjstream_stream::hashing::{FastMap, FastSet};
+use adjstream_stream::item::StreamItem;
 use adjstream_stream::meter::{hashmap_bytes, hashset_bytes, vec_bytes, SpaceUsage};
 use adjstream_stream::runner::MultiPassAlgorithm;
 use adjstream_stream::sampling::BottomKSampler;
@@ -109,13 +110,13 @@ pub struct TwoPassFourCycle {
     sampler: BottomKSampler,
     wedges: Vec<Wedge>,
     /// Packed leaf pair → wedge indices.
-    leaf_index: HashMap<u64, Vec<u32>>,
+    leaf_index: FastMap<u64, Vec<u32>>,
     /// Bytes held by `leaf_index`'s inner vectors, maintained incrementally
     /// so `space_bytes` (sampled at every list boundary) stays O(1).
     leaf_vec_bytes: usize,
     watcher: PairWatcher,
     /// Distinct cycles found (DistinctCycles mode).
-    found: HashSet<FourCycleKey>,
+    found: FastSet<FourCycleKey>,
     buf: Vec<u64>,
 }
 
@@ -129,10 +130,10 @@ impl TwoPassFourCycle {
             wedges_total: 0,
             sampler: BottomKSampler::new(cfg.seed, cfg.edge_sample_size),
             wedges: Vec::new(),
-            leaf_index: HashMap::new(),
+            leaf_index: FastMap::default(),
             leaf_vec_bytes: 0,
             watcher: PairWatcher::new(),
-            found: HashSet::new(),
+            found: FastSet::default(),
             buf: Vec::new(),
         }
     }
@@ -140,14 +141,22 @@ impl TwoPassFourCycle {
     /// Form the wedge set `Q` from the frozen edge sample, optionally
     /// keeping only a uniform subset of `max_wedges` of them.
     fn build_wedges(&mut self) {
-        let mut adj: HashMap<u32, Vec<VertexId>> = HashMap::new();
-        for key in self.sampler.keys() {
+        // Sort the frozen sample so the wedge enumeration order — which the
+        // capping reservoir below samples from — is a pure function of S,
+        // not of the sampler's internal map order.
+        let mut keys: Vec<u64> = self.sampler.keys().collect();
+        keys.sort_unstable();
+        let mut adj: FastMap<u32, Vec<VertexId>> = FastMap::default();
+        for &key in &keys {
             let (u, v) = unpack_pair(key);
             adj.entry(u.0).or_default().push(v);
             adj.entry(v.0).or_default().push(u);
         }
+        let mut centers: Vec<u32> = adj.keys().copied().collect();
+        centers.sort_unstable();
         let mut all: Vec<Wedge> = Vec::new();
-        for (&c, nbs) in &adj {
+        for &c in &centers {
+            let nbs = &adj[&c];
             for i in 0..nbs.len() {
                 for j in (i + 1)..nbs.len() {
                     all.push(Wedge {
@@ -242,6 +251,42 @@ impl MultiPassAlgorithm for TwoPassFourCycle {
                         if self.cfg.estimator == FourCycleEstimator::DistinctCycles {
                             self.found
                                 .insert(FourCycleKey::from_diagonals(w.center, src, w.a, w.b));
+                        }
+                    }
+                }
+                self.buf = buf;
+            }
+        }
+    }
+
+    /// Native slice path: pass 1 bulk-offers the run to the sampler, pass 2
+    /// swaps the completion scratch buffer once per run instead of per item.
+    fn feed_slice(&mut self, items: &[StreamItem]) {
+        match self.pass {
+            0 => {
+                self.items += items.len() as u64;
+                for it in items {
+                    self.sampler.offer(pack_pair(it.src, it.dst));
+                }
+            }
+            _ => {
+                let mut buf = std::mem::take(&mut self.buf);
+                for it in items {
+                    buf.clear();
+                    self.watcher.on_item(it.dst, |k| buf.push(k));
+                    for &key in &buf {
+                        let indices = self.leaf_index.get(&key).expect("watched pair indexed");
+                        for &wi in indices {
+                            let w = &mut self.wedges[wi as usize];
+                            if w.center == it.src {
+                                continue;
+                            }
+                            w.count += 1;
+                            if self.cfg.estimator == FourCycleEstimator::DistinctCycles {
+                                self.found.insert(FourCycleKey::from_diagonals(
+                                    w.center, it.src, w.a, w.b,
+                                ));
+                            }
                         }
                     }
                 }

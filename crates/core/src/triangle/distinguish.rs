@@ -8,10 +8,9 @@
 //! constant probability; a triangle-free graph can never produce a witness,
 //! so the distinguisher has one-sided error.
 
-use std::collections::HashMap;
-
 use adjstream_graph::VertexId;
-use adjstream_stream::meter::{hashmap_bytes, SpaceUsage};
+use adjstream_stream::hashing::FastSet;
+use adjstream_stream::meter::{hashset_bytes, SpaceUsage};
 use adjstream_stream::runner::MultiPassAlgorithm;
 use adjstream_stream::sampling::BottomKSampler;
 
@@ -33,7 +32,7 @@ pub struct DistinguishVerdict {
 pub struct TriangleDistinguisher {
     pass: usize,
     sampler: BottomKSampler,
-    members: HashMap<u64, ()>,
+    members: FastSet<u64>,
     watcher: PairWatcher,
     witnesses: u64,
     buf: Vec<u64>,
@@ -45,7 +44,7 @@ impl TriangleDistinguisher {
         TriangleDistinguisher {
             pass: 0,
             sampler: BottomKSampler::new(seed, m_prime),
-            members: HashMap::new(),
+            members: FastSet::default(),
             watcher: PairWatcher::new(),
             witnesses: 0,
             buf: Vec::new(),
@@ -55,7 +54,7 @@ impl TriangleDistinguisher {
 
 impl SpaceUsage for TriangleDistinguisher {
     fn space_bytes(&self) -> usize {
-        self.sampler.space_bytes() + hashmap_bytes(&self.members) + self.watcher.space_bytes()
+        self.sampler.space_bytes() + hashset_bytes(&self.members) + self.watcher.space_bytes()
     }
 }
 
@@ -71,8 +70,11 @@ impl MultiPassAlgorithm for TriangleDistinguisher {
         if pass == 1 {
             // Freeze the sample and start watching it: every triangle on a
             // sampled edge completes somewhere in pass 2.
-            for key in self.sampler.keys().collect::<Vec<_>>() {
-                self.members.insert(key, ());
+            let mut keys: Vec<u64> = self.sampler.keys().collect();
+            // Deterministic watch order regardless of sampler iteration.
+            keys.sort_unstable();
+            for key in keys {
+                self.members.insert(key);
                 let (a, b) = crate::common::unpack_pair(key);
                 self.watcher.watch(a, b);
             }

@@ -103,6 +103,13 @@ impl MultiPassAlgorithm for MultiLevelTriangle {
         }
     }
 
+    /// Forward whole runs so each level's native slice path engages.
+    fn feed_slice(&mut self, items: &[adjstream_stream::item::StreamItem]) {
+        for l in &mut self.levels {
+            l.feed_slice(items);
+        }
+    }
+
     fn end_list(&mut self, owner: VertexId) {
         for l in &mut self.levels {
             l.end_list(owner);

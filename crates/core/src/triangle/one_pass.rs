@@ -12,9 +12,8 @@
 //! this estimator suffers on e.g. book graphs is exactly the motivation for
 //! the Section 3 two-pass algorithm (ablation A1).
 
-use std::collections::HashMap;
-
 use adjstream_graph::VertexId;
+use adjstream_stream::hashing::FastMap;
 use adjstream_stream::meter::{hashmap_bytes, SpaceUsage};
 use adjstream_stream::runner::MultiPassAlgorithm;
 use adjstream_stream::sampling::{BottomKEvent, BottomKSampler, ThresholdSampler};
@@ -45,7 +44,7 @@ pub struct OnePassTriangle {
     sampling: EdgeSampling,
     /// Completions credited per sampled edge (needed to roll back on
     /// bottom-k eviction).
-    credits: HashMap<u64, u64>,
+    credits: FastMap<u64, u64>,
     watcher: PairWatcher,
     completions: u64,
     items: u64,
@@ -62,7 +61,7 @@ impl OnePassTriangle {
         OnePassTriangle {
             sampler,
             sampling,
-            credits: HashMap::new(),
+            credits: FastMap::default(),
             watcher: PairWatcher::new(),
             completions: 0,
             items: 0,

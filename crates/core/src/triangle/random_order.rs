@@ -11,12 +11,12 @@
 //! makes the *variance* benign, spreading each triangle's detection window
 //! over the whole stream. Space is `O(pm)` plus the closure index.
 
-use std::collections::HashMap;
-
 use adjstream_graph::EdgeKey;
 use adjstream_stream::arbitrary::EdgeStreamAlgorithm;
-use adjstream_stream::hashing::HashFn;
+use adjstream_stream::hashing::{FastMap, HashFn};
 use adjstream_stream::meter::{hashmap_bytes, SpaceUsage};
+
+use crate::common::count_common_neighbors;
 
 /// Result of a [`RandomOrderTriangle`] run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,7 +36,7 @@ pub struct RandomOrderTriangle {
     p: f64,
     hash: HashFn,
     /// Adjacency of the sampled subgraph.
-    adj: HashMap<u32, Vec<u32>>,
+    adj: FastMap<u32, Vec<u32>>,
     edges_sampled: usize,
     closures: u64,
     m: u64,
@@ -48,7 +48,7 @@ impl RandomOrderTriangle {
         RandomOrderTriangle {
             p: p.clamp(0.0, 1.0),
             hash: HashFn::from_seed(seed, 0x3A2D),
-            adj: HashMap::new(),
+            adj: FastMap::default(),
             edges_sampled: 0,
             closures: 0,
             m: 0,
@@ -59,13 +59,7 @@ impl RandomOrderTriangle {
         let (Some(nu), Some(nv)) = (self.adj.get(&u), self.adj.get(&v)) else {
             return 0;
         };
-        let (small, large) = if nu.len() <= nv.len() {
-            (nu, nv)
-        } else {
-            (nv, nu)
-        };
-        let set: std::collections::HashSet<u32> = large.iter().copied().collect();
-        small.iter().filter(|x| set.contains(x)).count() as u64
+        count_common_neighbors(nu, nv)
     }
 }
 

@@ -19,10 +19,9 @@
 //! `Θ(T/k)` collected pairs, reproducing the `max(m/T^{2/3}, T^{1/3})`
 //! discussion in Section 2.1 — ablation A3.
 
-use std::collections::HashMap;
-
 use adjstream_graph::VertexId;
-use adjstream_stream::meter::{hashmap_bytes, SpaceUsage};
+use adjstream_stream::hashing::{FastMap, FastSet};
+use adjstream_stream::meter::{hashmap_bytes, hashset_bytes, SpaceUsage};
 use adjstream_stream::runner::MultiPassAlgorithm;
 use adjstream_stream::sampling::{BottomKSampler, Reservoir, ReservoirEvent, ThresholdSampler};
 
@@ -72,13 +71,13 @@ pub struct ThreePassTriangle {
     pass: usize,
     sampler: Sampler,
     sampling: EdgeSampling,
-    s_edges: HashMap<u64, ()>,
+    s_edges: FastSet<u64>,
     discovered: u64,
     q: Reservoir<Pair3>,
     /// Exact triangle counts per monitored edge (pass 3).
-    t_counts: HashMap<u64, u64>,
+    t_counts: FastMap<u64, u64>,
     /// Refcount of monitored edges (several pairs may share an edge).
-    monitored: HashMap<u64, u32>,
+    monitored: FastMap<u64, u32>,
     watcher: PairWatcher,
     items: u64,
     buf: Vec<u64>,
@@ -96,11 +95,11 @@ impl ThreePassTriangle {
             pass: 0,
             sampler,
             sampling,
-            s_edges: HashMap::new(),
+            s_edges: FastSet::default(),
             discovered: 0,
             q: Reservoir::new(seed ^ 0x3_9A55, pair_capacity),
-            t_counts: HashMap::new(),
-            monitored: HashMap::new(),
+            t_counts: FastMap::default(),
+            monitored: FastMap::default(),
             watcher: PairWatcher::new(),
             items: 0,
             buf: Vec::new(),
@@ -132,7 +131,7 @@ impl ThreePassTriangle {
 
 impl SpaceUsage for ThreePassTriangle {
     fn space_bytes(&self) -> usize {
-        hashmap_bytes(&self.s_edges)
+        hashset_bytes(&self.s_edges)
             + self.q.space_bytes()
             + hashmap_bytes(&self.t_counts)
             + hashmap_bytes(&self.monitored)
@@ -155,12 +154,16 @@ impl MultiPassAlgorithm for ThreePassTriangle {
         self.pass = pass;
         if pass == 1 {
             // Freeze S; watch sampled edges for collection.
-            let keys: Vec<u64> = match &self.sampler {
+            let mut keys: Vec<u64> = match &self.sampler {
                 Sampler::Threshold(_) => Vec::new(), // inserted lazily below
                 Sampler::BottomK(b) => b.keys().collect(),
             };
+            // Sort so the watch-registration order — and hence downstream
+            // completion-callback order — is a function of S alone, not of
+            // the sampler's internal iteration order.
+            keys.sort_unstable();
             for key in keys {
-                self.s_edges.insert(key, ());
+                self.s_edges.insert(key);
                 let (a, b) = unpack_pair(key);
                 self.watcher.watch(a, b);
             }
@@ -182,8 +185,8 @@ impl MultiPassAlgorithm for ThreePassTriangle {
                     // so that S is complete — and fully watched — before
                     // pass 2 begins collecting.
                     Sampler::Threshold(t) => {
-                        if t.accepts(key) && !self.s_edges.contains_key(&key) {
-                            self.s_edges.insert(key, ());
+                        if t.accepts(key) && !self.s_edges.contains(&key) {
+                            self.s_edges.insert(key);
                             self.watcher.watch(src, dst);
                         }
                     }
@@ -197,7 +200,7 @@ impl MultiPassAlgorithm for ThreePassTriangle {
                 buf.clear();
                 self.watcher.on_item(dst, |k| buf.push(k));
                 for &k in &buf {
-                    if self.s_edges.contains_key(&k) {
+                    if self.s_edges.contains(&k) {
                         // Discovery of (k, triangle k+src).
                         self.discovered += 1;
                         let (u, v) = unpack_pair(k);

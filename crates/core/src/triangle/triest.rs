@@ -15,12 +15,12 @@
 //! [`super::OnePassTriangle`] (which exploits the adjacency-list promise)
 //! quantifies what the promise buys — the model gap Section 1.1 discusses.
 
-use std::collections::HashMap;
-
 use adjstream_graph::{EdgeKey, VertexId};
 use adjstream_stream::arbitrary::EdgeStreamAlgorithm;
-use adjstream_stream::hashing::SplitMix64;
+use adjstream_stream::hashing::{FastMap, SplitMix64};
 use adjstream_stream::meter::{hashmap_bytes, vec_bytes, SpaceUsage};
+
+use crate::common::count_common_neighbors;
 
 /// Result of a [`TriestBase`] run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,7 +40,7 @@ pub struct TriestBase {
     t: u64,
     reservoir: Vec<EdgeKey>,
     /// Adjacency of the sampled subgraph: vertex → neighbors (in sample).
-    adj: HashMap<u32, Vec<u32>>,
+    adj: FastMap<u32, Vec<u32>>,
     estimate: f64,
     witnessed: u64,
     rng: SplitMix64,
@@ -54,7 +54,7 @@ impl TriestBase {
             capacity: m_prime,
             t: 0,
             reservoir: Vec::with_capacity(m_prime.min(1 << 20)),
-            adj: HashMap::new(),
+            adj: FastMap::default(),
             estimate: 0.0,
             witnessed: 0,
             rng: SplitMix64::new(seed),
@@ -92,13 +92,7 @@ impl TriestBase {
         let (Some(nu), Some(nv)) = (self.adj.get(&u.0), self.adj.get(&v.0)) else {
             return 0;
         };
-        let (small, large) = if nu.len() <= nv.len() {
-            (nu, nv)
-        } else {
-            (nv, nu)
-        };
-        let large: std::collections::HashSet<u32> = large.iter().copied().collect();
-        small.iter().filter(|x| large.contains(x)).count() as u64
+        count_common_neighbors(nu, nv)
     }
 }
 

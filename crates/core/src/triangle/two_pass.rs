@@ -16,7 +16,6 @@
 //! estimate is `k · (T′/|Q|) · |{(e,τ) ∈ Q : ρ(τ) = e}|` where `T′` is the
 //! number of discovered pairs and `k` the inverse edge-sampling rate.
 
-use std::collections::HashMap;
 use std::io::{self, Read, Write};
 
 use adjstream_graph::VertexId;
@@ -24,6 +23,8 @@ use adjstream_stream::checkpoint::{
     corrupt, read_f64, read_u32, read_u64, read_u8, read_usize, write_f64, write_u32, write_u64,
     write_u8, write_usize, Checkpoint,
 };
+use adjstream_stream::hashing::FastMap;
+use adjstream_stream::item::StreamItem;
 use adjstream_stream::meter::{hashmap_bytes, vec_bytes, SpaceUsage};
 use adjstream_stream::runner::MultiPassAlgorithm;
 use adjstream_stream::sampling::{
@@ -136,7 +137,7 @@ pub struct TwoPassTriangle {
     items_pass1: u64,
     sampler: Sampler,
     /// Packed edge → info, for edges currently in `S`.
-    s_edges: HashMap<u64, EdgeInfo>,
+    s_edges: FastMap<u64, EdgeInfo>,
     /// Valid discovered pair count `T′`.
     discovered: u64,
     /// Reservoir of `(slab, gen)` references.
@@ -144,14 +145,14 @@ pub struct TwoPassTriangle {
     slab: Vec<Option<PairRecord>>,
     free: Vec<u32>,
     /// Next generation for freed slab slots.
-    free_gens: HashMap<u32, u32>,
+    free_gens: FastMap<u32, u32>,
     /// Packed edge → monitoring pairs `(slab, gen, slot)`.
-    monitors: HashMap<u64, Vec<(u32, u32, u8)>>,
+    monitors: FastMap<u64, Vec<(u32, u32, u8)>>,
     /// Bytes held by `monitors`' inner vectors, maintained incrementally so
     /// `space_bytes` (sampled at every list boundary) stays O(1).
     monitors_vec_bytes: usize,
     /// Opposite vertex → pending slot activations `(slab, gen, slot)`.
-    activations: HashMap<u32, Vec<(u32, u32, u8)>>,
+    activations: FastMap<u32, Vec<(u32, u32, u8)>>,
     /// Bytes held by `activations`' inner vectors (see `monitors_vec_bytes`).
     activations_vec_bytes: usize,
     watcher: PairWatcher,
@@ -173,15 +174,15 @@ impl TwoPassTriangle {
             next_pos: 0,
             items_pass1: 0,
             sampler,
-            s_edges: HashMap::new(),
+            s_edges: FastMap::default(),
             discovered: 0,
             q: Reservoir::new(cfg.seed ^ 0x9_1E57_0A1C, cfg.pair_capacity),
             slab: Vec::new(),
             free: Vec::new(),
-            free_gens: HashMap::new(),
-            monitors: HashMap::new(),
+            free_gens: FastMap::default(),
+            monitors: FastMap::default(),
             monitors_vec_bytes: 0,
-            activations: HashMap::new(),
+            activations: FastMap::default(),
             activations_vec_bytes: 0,
             watcher: PairWatcher::new(),
             completed_buf: Vec::new(),
@@ -446,6 +447,25 @@ impl MultiPassAlgorithm for TwoPassTriangle {
         self.completed_buf = buf;
     }
 
+    /// Native slice path: identical work to the per-item loop, with the
+    /// completion scratch buffer swapped in and out once per run instead of
+    /// once per item.
+    fn feed_slice(&mut self, items: &[StreamItem]) {
+        let mut buf = std::mem::take(&mut self.completed_buf);
+        for it in items {
+            if self.pass == 0 {
+                self.items_pass1 += 1;
+                self.sample_edge(it.src, it.dst);
+            }
+            buf.clear();
+            self.watcher.on_item(it.dst, |k| buf.push(k));
+            for &key in &buf {
+                self.on_completion(key, it.src);
+            }
+        }
+        self.completed_buf = buf;
+    }
+
     fn end_list(&mut self, owner: VertexId) {
         if self.pass == 1 {
             if let Some(entries) = self.activations.remove(&owner.0) {
@@ -604,7 +624,8 @@ impl Checkpoint for TwoPassTriangle {
         let items_pass1 = read_u64(r)?;
         let discovered = read_u64(r)?;
         let n = read_usize(r)?;
-        let mut s_edges = HashMap::with_capacity(n.min(1 << 16));
+        let mut s_edges = FastMap::default();
+        s_edges.reserve(n.min(1 << 16));
         for _ in 0..n {
             let key = read_u64(r)?;
             let first_pos = read_u32(r)?;
@@ -663,7 +684,8 @@ impl Checkpoint for TwoPassTriangle {
             free.push(read_u32(r)?);
         }
         let n = read_usize(r)?;
-        let mut free_gens = HashMap::with_capacity(n.min(1 << 16));
+        let mut free_gens = FastMap::default();
+        free_gens.reserve(n.min(1 << 16));
         for _ in 0..n {
             let slot = read_u32(r)?;
             let gen = read_u32(r)?;
@@ -715,7 +737,7 @@ impl Checkpoint for TwoPassTriangle {
 /// significant; map-level order is not).
 fn save_ref_map<K, T>(
     w: &mut dyn Write,
-    map: &HashMap<K, Vec<T>>,
+    map: &FastMap<K, Vec<T>>,
     mut entry: impl FnMut(&mut dyn Write, &T) -> io::Result<()>,
 ) -> io::Result<()>
 where
@@ -739,12 +761,13 @@ fn restore_ref_map<K, T>(
     r: &mut dyn Read,
     elem_bytes: usize,
     mut entry: impl FnMut(&mut dyn Read) -> io::Result<T>,
-) -> io::Result<(HashMap<K, Vec<T>>, usize)>
+) -> io::Result<(FastMap<K, Vec<T>>, usize)>
 where
     K: Eq + std::hash::Hash + TryFrom<u64>,
 {
     let n = read_usize(r)?;
-    let mut map = HashMap::with_capacity(n.min(1 << 16));
+    let mut map = FastMap::default();
+    map.reserve(n.min(1 << 16));
     let mut vec_bytes = 0usize;
     for _ in 0..n {
         let raw = read_u64(r)?;
@@ -1014,7 +1037,7 @@ mod tests {
             let mut restored = TwoPassTriangle::restore(&mut &buf[..]).unwrap();
             assert_eq!(restored.s_edges.len(), original.s_edges.len());
             assert_eq!(restored.q.items(), original.q.items());
-            let rescan = |m: &HashMap<u64, Vec<(u32, u32, u8)>>| -> usize {
+            let rescan = |m: &FastMap<u64, Vec<(u32, u32, u8)>>| -> usize {
                 m.values().map(|v| v.capacity() * 12 + 24).sum()
             };
             assert_eq!(

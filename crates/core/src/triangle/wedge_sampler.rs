@@ -20,10 +20,8 @@
 //! detects with probability exactly `2T/W` and `closed · W / (2 · slots)`
 //! is unbiased.
 
-use std::collections::HashMap;
-
 use adjstream_graph::VertexId;
-use adjstream_stream::hashing::SplitMix64;
+use adjstream_stream::hashing::{FastMap, SplitMix64};
 use adjstream_stream::meter::{hashmap_bytes, vec_bytes, SpaceUsage};
 use adjstream_stream::runner::MultiPassAlgorithm;
 
@@ -69,7 +67,7 @@ impl Default for Slot {
 pub struct WedgeSamplerTriangle {
     slots: Vec<Slot>,
     /// Packed leaf pair → slots watching it for closure.
-    watched: HashMap<u64, Vec<u32>>,
+    watched: FastMap<u64, Vec<u32>>,
     /// Total wedges seen (running `W`).
     wedges_total: u64,
     /// Neighbors seen in the current list.
@@ -83,7 +81,7 @@ impl WedgeSamplerTriangle {
     pub fn new(seed: u64, slots: usize) -> Self {
         WedgeSamplerTriangle {
             slots: vec![Slot::default(); slots],
-            watched: HashMap::new(),
+            watched: FastMap::default(),
             wedges_total: 0,
             list_len: 0,
             current: None,
@@ -141,7 +139,7 @@ impl WedgeSamplerTriangle {
         ((self.rng.next_u64() >> 11) as f64 + 1.0) * (1.0 / (1u64 << 53) as f64)
     }
 
-    fn unwatch_slot(watched: &mut HashMap<u64, Vec<u32>>, slot_idx: u32, pair: u64) {
+    fn unwatch_slot(watched: &mut FastMap<u64, Vec<u32>>, slot_idx: u32, pair: u64) {
         if let Some(v) = watched.get_mut(&pair) {
             if let Some(pos) = v.iter().position(|&s| s == slot_idx) {
                 v.swap_remove(pos);

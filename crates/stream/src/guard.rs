@@ -30,7 +30,6 @@
 //!
 //! [`RunError::Invalid`]: crate::runner::RunError::Invalid
 
-use std::collections::HashSet;
 use std::io::{self, Read, Write};
 
 use adjstream_graph::VertexId;
@@ -39,7 +38,7 @@ use crate::checkpoint::{
     corrupt, read_bytes, read_u64, read_u8, read_usize, write_bytes, write_u64, write_u8,
     write_usize, Checkpoint,
 };
-use crate::hashing::HashFn;
+use crate::hashing::{FastBuildHasher, FastSet, HashFn};
 use crate::item::StreamItem;
 use crate::meter::{hashset_bytes, SpaceUsage};
 use crate::runner::{GuardStats, MultiPassAlgorithm, RunError};
@@ -156,7 +155,7 @@ pub struct Guarded<A> {
     suppress_owner: Option<VertexId>,
     /// Canonical keys of edges whose surviving direction must be dropped in
     /// passes ≥ 2 (repair policy only).
-    quarantined: HashSet<u64>,
+    quarantined: FastSet<u64>,
     fingerprint: OrderFingerprint,
     order_violated: bool,
     order_hasher: HashFn,
@@ -198,7 +197,7 @@ impl<A: MultiPassAlgorithm> Guarded<A> {
             fatal: None,
             pass: 0,
             suppress_owner: None,
-            quarantined: HashSet::new(),
+            quarantined: FastSet::default(),
             fingerprint,
             order_violated: false,
             order_hasher: HashFn::from_seed(seed, 0x6F72_6465), // "orde"
@@ -278,7 +277,8 @@ impl<A: MultiPassAlgorithm> Guarded<A> {
         self.stats.edges_quarantined = read_usize(r)?;
         self.stats.validator_peak_bytes = read_usize(r)?;
         let n = read_usize(r)?;
-        self.quarantined = HashSet::with_capacity(n.min(1 << 20));
+        self.quarantined =
+            FastSet::with_capacity_and_hasher(n.min(1 << 20), FastBuildHasher::default());
         for _ in 0..n {
             self.quarantined.insert(read_u64(r)?);
         }
@@ -311,6 +311,62 @@ impl<A: MultiPassAlgorithm> Guarded<A> {
         };
         let bytes = self.validator.space_bytes() + hashset_bytes(&self.quarantined) + fp;
         self.stats.validator_peak_bytes = self.stats.validator_peak_bytes.max(bytes);
+    }
+
+    /// Run the validation/suppression state machine for one item and
+    /// report whether it should be forwarded to the inner algorithm. Every
+    /// guard side effect — fault counters, segment suppression, quarantine
+    /// lookups, fatal latching — happens here, so [`Guarded::item`] and
+    /// [`Guarded::feed_slice`] are the same machine at different forwarding
+    /// granularities and their stats are identical by construction.
+    fn admit(&mut self, src: VertexId, dst: VertexId) -> bool {
+        if self.fatal.is_some() {
+            return false;
+        }
+        let key = pack_edge(src, dst);
+        if self.pass > 0 && self.quarantined.contains(&key) {
+            // The partner direction never existed; drop the survivor so
+            // later passes see the same repaired stream as pass 1 did
+            // (post-quarantine). Only populated under the repair policy.
+            self.validator.note_suppressed();
+            return false;
+        }
+        if let Some(owner) = self.suppress_owner {
+            if owner == src {
+                self.validator.note_suppressed();
+                if self.pass == 0 {
+                    self.stats.items_repaired += 1;
+                }
+                return self.policy == GuardPolicy::Observe;
+            }
+            self.suppress_owner = None;
+        }
+        match self.validator.observe(StreamItem::new(src, dst)) {
+            Ok(()) => true,
+            Err(e) => {
+                if self.pass == 0 {
+                    self.stats.faults_detected += 1;
+                }
+                if matches!(e, StreamError::ListNotContiguous { .. }) {
+                    // Suppress the rest of the displaced segment rather
+                    // than re-reporting every item in it.
+                    self.suppress_owner = Some(src);
+                }
+                match self.policy {
+                    GuardPolicy::Strict => {
+                        self.fatal = Some(e);
+                        false
+                    }
+                    GuardPolicy::Repair => {
+                        if self.pass == 0 {
+                            self.stats.items_repaired += 1;
+                        }
+                        false
+                    }
+                    GuardPolicy::Observe => true,
+                }
+            }
+        }
     }
 
     fn order_violation(&mut self, list_index: usize) {
@@ -401,51 +457,28 @@ impl<A: MultiPassAlgorithm> MultiPassAlgorithm for Guarded<A> {
     }
 
     fn item(&mut self, src: VertexId, dst: VertexId) {
-        if self.fatal.is_some() {
-            return;
+        if self.admit(src, dst) {
+            self.inner.item(src, dst);
         }
-        let key = pack_edge(src, dst);
-        if self.pass > 0 && self.quarantined.contains(&key) {
-            // The partner direction never existed; drop the survivor so
-            // later passes see the same repaired stream as pass 1 did
-            // (post-quarantine). Only populated under the repair policy.
-            self.validator.note_suppressed();
-            return;
-        }
-        if let Some(owner) = self.suppress_owner {
-            if owner == src {
-                self.validator.note_suppressed();
-                if self.pass == 0 {
-                    self.stats.items_repaired += 1;
+    }
+
+    /// Validate a whole run once, then hand the admitted stretches to the
+    /// inner algorithm as slices. On a clean run (the overwhelmingly common
+    /// case) that is a single `feed_slice` of the full input, so all `R`
+    /// instances behind a shared batch guard get the slice fast path while
+    /// the stream is still validated exactly once.
+    fn feed_slice(&mut self, items: &[StreamItem]) {
+        let mut run_start = 0usize;
+        for (i, it) in items.iter().enumerate() {
+            if !self.admit(it.src, it.dst) {
+                if run_start < i {
+                    self.inner.feed_slice(&items[run_start..i]);
                 }
-                if self.policy == GuardPolicy::Observe {
-                    self.inner.item(src, dst);
-                }
-                return;
+                run_start = i + 1;
             }
-            self.suppress_owner = None;
         }
-        match self.validator.observe(StreamItem::new(src, dst)) {
-            Ok(()) => self.inner.item(src, dst),
-            Err(e) => {
-                if self.pass == 0 {
-                    self.stats.faults_detected += 1;
-                }
-                if matches!(e, StreamError::ListNotContiguous { .. }) {
-                    // Suppress the rest of the displaced segment rather
-                    // than re-reporting every item in it.
-                    self.suppress_owner = Some(src);
-                }
-                match self.policy {
-                    GuardPolicy::Strict => self.fatal = Some(e),
-                    GuardPolicy::Repair => {
-                        if self.pass == 0 {
-                            self.stats.items_repaired += 1;
-                        }
-                    }
-                    GuardPolicy::Observe => self.inner.item(src, dst),
-                }
-            }
+        if run_start < items.len() {
+            self.inner.feed_slice(&items[run_start..]);
         }
     }
 

@@ -89,6 +89,167 @@ impl HashFn {
     }
 }
 
+/// Word-at-a-time 64-bit checksum for container payloads.
+///
+/// Processes the input as four independent lanes of 8-byte little-endian
+/// words, each folded through SplitMix64's finalizer, then combines the
+/// lanes with the total length. The byte-serial FNV-1a in
+/// [`crate::checkpoint`] carries a multiply dependency per *byte*; here the
+/// three multiplies per word overlap across lanes, which matters because
+/// file-backed replay re-verifies a trace's checksum on every pass. Detects
+/// corruption (any flipped bit reaches the output); not cryptographic.
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    let mut lanes = [
+        0x243F_6A88_85A3_08D3u64,
+        0x1319_8A2E_0370_7344,
+        0xA409_3822_299F_31D0,
+        0x082E_FA98_EC4E_6C89,
+    ];
+    let mut blocks = bytes.chunks_exact(32);
+    for block in &mut blocks {
+        for (lane, word) in lanes.iter_mut().zip(block.chunks_exact(8)) {
+            *lane = finalize(*lane ^ u64::from_le_bytes(word.try_into().expect("8 bytes")));
+        }
+    }
+    let rem = blocks.remainder();
+    if !rem.is_empty() {
+        // Zero-pad the tail block; the length fold below distinguishes
+        // inputs that differ only in trailing zero bytes.
+        let mut tail = [0u8; 32];
+        tail[..rem.len()].copy_from_slice(rem);
+        for (lane, word) in lanes.iter_mut().zip(tail.chunks_exact(8)) {
+            *lane = finalize(*lane ^ u64::from_le_bytes(word.try_into().expect("8 bytes")));
+        }
+    }
+    let mut acc = bytes.len() as u64;
+    for lane in lanes {
+        acc = finalize(acc ^ lane);
+    }
+    acc
+}
+
+/// Seed of the default [`FastBuildHasher`]. Fixed, so two maps built with
+/// `FastBuildHasher::default()` and fed the same insertion sequence iterate
+/// in the same order — in the same process, on another thread, or in another
+/// run entirely.
+const FAST_HASH_SEED: u64 = 0x5EED_AD75_7EAA_17A1;
+
+/// A seeded [`std::hash::Hasher`] built on SplitMix64 finalization.
+///
+/// The algorithm-state maps in `crates/core` key on `u32` vertex ids and
+/// packed `u64` edge keys; std's default SipHash spends most of a lookup
+/// hashing 8 bytes with a 64-bit-secure keyed hash nobody asked for. This
+/// hasher folds each written word through [`SplitMix64`]'s finalizer — one
+/// multiply-xor round per word — and is *deterministic*: the seed is fixed
+/// (or explicitly supplied), never drawn from process randomness like
+/// `RandomState`, so map iteration order is a pure function of the insertion
+/// sequence. That determinism is what lets batched, threaded replays stay
+/// bit-for-bit against the sequential runner even where iteration order
+/// leaks into results (those sites are additionally sorted; see DESIGN.md).
+///
+/// Not DoS-resistant by design: keys here come from the experiment harness,
+/// not an adversary.
+#[derive(Debug, Clone, Copy)]
+pub struct FastHasher {
+    state: u64,
+}
+
+impl std::hash::Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        finalize(self.state)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Word-at-a-time fold; the trailing partial word is zero-padded and
+        // length-tagged so "ab" and "ab\0" hash differently.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            self.mix(word);
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.mix(u64::from_le_bytes(tail) ^ ((rest.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, x: u8) {
+        self.mix(x as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, x: u16) {
+        self.mix(x as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, x: u32) {
+        self.mix(x as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, x: u64) {
+        self.mix(x);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, x: usize) {
+        self.mix(x as u64);
+    }
+}
+
+impl FastHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = finalize(self.state ^ word.wrapping_add(0x9E37_79B9_7F4A_7C15));
+    }
+}
+
+/// Seeded [`std::hash::BuildHasher`] producing [`FastHasher`]s. `Default`
+/// uses a fixed seed, so every `FastMap`/`FastSet` in the workspace shares
+/// one deterministic hash function.
+#[derive(Debug, Clone, Copy)]
+pub struct FastBuildHasher {
+    seed: u64,
+}
+
+impl FastBuildHasher {
+    /// A build-hasher keyed by `seed` (for the rare map that wants its own
+    /// hash function rather than the workspace-wide default).
+    pub fn with_seed(seed: u64) -> Self {
+        FastBuildHasher { seed }
+    }
+}
+
+impl Default for FastBuildHasher {
+    fn default() -> Self {
+        FastBuildHasher {
+            seed: FAST_HASH_SEED,
+        }
+    }
+}
+
+impl std::hash::BuildHasher for FastBuildHasher {
+    type Hasher = FastHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FastHasher {
+        FastHasher { state: self.seed }
+    }
+}
+
+/// `HashMap` with the deterministic seeded fast hasher — the map type for
+/// algorithm state on every hot path.
+pub type FastMap<K, V> = std::collections::HashMap<K, V, FastBuildHasher>;
+
+/// `HashSet` with the deterministic seeded fast hasher.
+pub type FastSet<T> = std::collections::HashSet<T, FastBuildHasher>;
+
 /// A 2-universal multiply-shift hash `u64 → [0, 2^out_bits)`, for cases
 /// where provable pairwise independence matters (bucket assignment in the
 /// estimator combinators).
@@ -167,6 +328,81 @@ mod tests {
             seen.insert(h.hash(i));
         }
         assert_eq!(seen.len(), 100_000);
+    }
+
+    #[test]
+    fn checksum_detects_every_single_bit_flip() {
+        let data: Vec<u8> = (0..100u16).map(|i| (i * 7 % 251) as u8).collect();
+        let want = checksum64(&data);
+        assert_eq!(checksum64(&data), want);
+        let mut corrupted = data.clone();
+        for at in 0..corrupted.len() {
+            for bit in 0..8 {
+                corrupted[at] ^= 1 << bit;
+                assert_ne!(checksum64(&corrupted), want, "flip at {at} bit {bit}");
+                corrupted[at] ^= 1 << bit;
+            }
+        }
+    }
+
+    #[test]
+    fn checksum_distinguishes_trailing_zeros_and_lengths() {
+        assert_ne!(checksum64(b""), checksum64(b"\0"));
+        assert_ne!(checksum64(b"abc"), checksum64(b"abc\0"));
+        // Across the 32-byte block boundary, too.
+        let long = [0u8; 40];
+        assert_ne!(checksum64(&long[..32]), checksum64(&long[..33]));
+    }
+
+    #[test]
+    fn fast_map_iteration_order_is_a_pure_function_of_insertions() {
+        let build = |seed: u64| {
+            let mut m: FastMap<u64, u64> = FastMap::default();
+            let mut sm = SplitMix64::new(seed);
+            for _ in 0..500 {
+                let k = sm.next_u64() % 1000;
+                m.insert(k, k.wrapping_mul(3));
+            }
+            m.remove(&(sm.next_u64() % 1000));
+            m.keys().copied().collect::<Vec<u64>>()
+        };
+        assert_eq!(build(9), build(9));
+        // A seeded build-hasher scrambles differently but stays deterministic.
+        let mut a: std::collections::HashMap<u32, (), FastBuildHasher> =
+            std::collections::HashMap::with_hasher(FastBuildHasher::with_seed(1));
+        let mut b = std::collections::HashMap::with_hasher(FastBuildHasher::with_seed(1));
+        for i in 0..300u32 {
+            a.insert(i, ());
+            b.insert(i, ());
+        }
+        assert_eq!(
+            a.keys().copied().collect::<Vec<_>>(),
+            b.keys().copied().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn fast_hasher_separates_close_keys() {
+        use std::hash::{BuildHasher, Hasher};
+        let bh = FastBuildHasher::default();
+        let hash_u64 = |x: u64| {
+            let mut h = bh.build_hasher();
+            h.write_u64(x);
+            h.finish()
+        };
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..100_000u64 {
+            seen.insert(hash_u64(i));
+        }
+        assert_eq!(seen.len(), 100_000);
+        // Byte-slice path: length-tagged tail distinguishes padded strings.
+        let hash_bytes = |b: &[u8]| {
+            let mut h = bh.build_hasher();
+            h.write(b);
+            h.finish()
+        };
+        assert_ne!(hash_bytes(b"ab"), hash_bytes(b"ab\0"));
+        assert_ne!(hash_bytes(b"abcdefgh"), hash_bytes(b"abcdefg"));
     }
 
     #[test]

@@ -63,10 +63,13 @@ pub use batch::{
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use fault::{CorruptedStream, FaultKind, FaultPlan, InjectedFault};
 pub use guard::{GuardPolicy, Guarded};
+pub use hashing::{FastBuildHasher, FastMap, FastSet};
 pub use item::StreamItem;
 pub use meter::SpaceUsage;
 pub use order::{StreamOrder, WithinListOrder};
 pub use runner::{
-    run_item_passes, GuardStats, MultiPassAlgorithm, PassOrders, RunError, RunReport, Runner,
+    drive_pass_slice, run_item_passes, run_slice_passes, GuardStats, MultiPassAlgorithm,
+    PassOrders, RunError, RunReport, Runner,
 };
+pub use trace::{ItemTrace, TraceError, ADJB_MAGIC, ADJB_VERSION};
 pub use validate::{validate_online, validate_stream, OnlineValidator, StreamError, ValidatorMode};

@@ -19,19 +19,21 @@ pub fn vec_bytes<T>(v: &Vec<T>) -> usize {
     v.capacity() * std::mem::size_of::<T>() + std::mem::size_of::<Vec<T>>()
 }
 
-/// Approximate bytes held by a `HashMap` with POD keys and values.
+/// Approximate bytes held by a `HashMap` with POD keys and values, under
+/// any build-hasher.
 ///
 /// Accounts for the table's control bytes and bucket slots at the standard
 /// ~8/7 load-factor overhead of hashbrown.
-pub fn hashmap_bytes<K, V>(m: &std::collections::HashMap<K, V>) -> usize {
+pub fn hashmap_bytes<K, V, S>(m: &std::collections::HashMap<K, V, S>) -> usize {
     let slot = std::mem::size_of::<(K, V)>() + 1; // entry + control byte
-    m.capacity() * slot + std::mem::size_of::<std::collections::HashMap<K, V>>()
+    m.capacity() * slot + std::mem::size_of::<std::collections::HashMap<K, V, S>>()
 }
 
-/// Approximate bytes held by a `HashSet` with POD elements.
-pub fn hashset_bytes<T>(s: &std::collections::HashSet<T>) -> usize {
+/// Approximate bytes held by a `HashSet` with POD elements, under any
+/// build-hasher.
+pub fn hashset_bytes<T, S>(s: &std::collections::HashSet<T, S>) -> usize {
     let slot = std::mem::size_of::<T>() + 1;
-    s.capacity() * slot + std::mem::size_of::<std::collections::HashSet<T>>()
+    s.capacity() * slot + std::mem::size_of::<std::collections::HashSet<T, S>>()
 }
 
 impl SpaceUsage for () {

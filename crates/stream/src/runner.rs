@@ -49,6 +49,24 @@ pub trait MultiPassAlgorithm: SpaceUsage {
     /// One stream item `src → dst` (always within `src`'s list).
     fn item(&mut self, src: VertexId, dst: VertexId);
 
+    /// A run of consecutive items sharing one source vertex, delivered
+    /// between that list's `begin_list` and `end_list`.
+    ///
+    /// Contract: every element of `items` has the same `src`, and `items`
+    /// is exactly the contiguous stretch of the current list the driver
+    /// chose to batch (drivers deliver whole lists, but implementations
+    /// must not assume that — a repair guard may forward a list in
+    /// several admitted segments). The default delegates to
+    /// [`item`](Self::item) per element, so per-item and slice dispatch
+    /// are observationally identical for every implementation; algorithms
+    /// with a cheaper batched path (e.g. one hash probe per run instead
+    /// of per item) override it.
+    fn feed_slice(&mut self, items: &[StreamItem]) {
+        for it in items {
+            self.item(it.src, it.dst);
+        }
+    }
+
     /// The current adjacency list (owned by `owner`) ended.
     fn end_list(&mut self, owner: VertexId) {
         let _ = owner;
@@ -302,6 +320,61 @@ where
     Ok(())
 }
 
+/// Drive one pass of `items` through `algo` with slice-batched dispatch:
+/// split `items` into maximal runs of one source vertex and deliver each
+/// run through [`MultiPassAlgorithm::feed_slice`] between its list
+/// boundaries.
+///
+/// Callback order, boundary placement, and the peak-state sampling points
+/// are identical to [`drive_pass`]; only the granularity of delivery and
+/// abort polling changes (per run instead of per item). Outputs and
+/// [`RunReport`]s therefore match `drive_pass` bit for bit on successful
+/// runs. On aborting runs the surfaced error is the same — an algorithm
+/// that latches a fatal error ignores later input (see
+/// [`crate::guard::Guarded`]) — though the abort may be detected a few
+/// items later, after the offending run completes.
+pub fn drive_pass_slice<A>(
+    algo: &mut A,
+    pass: usize,
+    items: &[StreamItem],
+    peak: &mut PeakTracker,
+    processed: &mut usize,
+) -> Result<(), RunError>
+where
+    A: MultiPassAlgorithm,
+{
+    algo.begin_pass(pass);
+    let mut start = 0usize;
+    while start < items.len() {
+        let src = items[start].src;
+        let mut end = start + 1;
+        while end < items.len() && items[end].src == src {
+            end += 1;
+        }
+        algo.begin_list(src);
+        algo.feed_slice(&items[start..end]);
+        *processed += end - start;
+        algo.end_list(src);
+        peak.observe(algo.space_bytes());
+        if let Some(error) = algo.abort_error() {
+            return Err(RunError::Invalid { pass, error });
+        }
+        if let Some(err) = algo.abort_run() {
+            return Err(err);
+        }
+        start = end;
+    }
+    algo.end_pass(pass);
+    peak.observe(algo.space_bytes());
+    if let Some(error) = algo.abort_error() {
+        return Err(RunError::Invalid { pass, error });
+    }
+    if let Some(err) = algo.abort_run() {
+        return Err(err);
+    }
+    Ok(())
+}
+
 /// Run `algo` over explicit per-pass item sequences produced by
 /// `items_for_pass` (called once per pass, 0-based).
 ///
@@ -328,6 +401,41 @@ where
             &mut peak,
             &mut processed,
         )?;
+    }
+    let guard = algo.guard_stats();
+    Ok((
+        algo.finish(),
+        RunReport {
+            peak_state_bytes: peak.peak(),
+            items_processed: processed,
+            passes,
+            guard,
+        },
+    ))
+}
+
+/// Run `algo` over explicit per-pass item slices with slice-batched
+/// dispatch ([`drive_pass_slice`]) — the sequential counterpart of
+/// [`run_item_passes`] for materialized streams such as
+/// [`crate::trace::ItemTrace`] replays.
+///
+/// `items_for_pass` is called once per pass and may return anything that
+/// derefs to a slice (a borrowed `&[StreamItem]`, a `Vec`, …).
+pub fn run_slice_passes<A, F, I>(
+    mut algo: A,
+    mut items_for_pass: F,
+) -> Result<(A::Output, RunReport), RunError>
+where
+    A: MultiPassAlgorithm,
+    F: FnMut(usize) -> I,
+    I: AsRef<[StreamItem]>,
+{
+    let mut peak = PeakTracker::new();
+    let mut processed = 0usize;
+    let passes = algo.passes();
+    for pass in 0..passes {
+        let items = items_for_pass(pass);
+        drive_pass_slice(&mut algo, pass, items.as_ref(), &mut peak, &mut processed)?;
     }
     let guard = algo.guard_stats();
     Ok((

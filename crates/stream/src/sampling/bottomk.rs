@@ -9,9 +9,9 @@
 //! triangles "from the first of the two times it appears".
 
 use std::collections::hash_map::Entry;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
-use crate::hashing::HashFn;
+use crate::hashing::{FastBuildHasher, FastMap, HashFn};
 use crate::meter::{hashmap_bytes, SpaceUsage};
 
 /// Outcome of offering a key to the sampler.
@@ -35,7 +35,7 @@ pub struct BottomKSampler {
     /// Max-heap of (hash, key) for the current sample.
     heap: BinaryHeap<(u64, u64)>,
     /// Membership index: key → hash.
-    members: HashMap<u64, u64>,
+    members: FastMap<u64, u64>,
 }
 
 impl BottomKSampler {
@@ -45,7 +45,7 @@ impl BottomKSampler {
             k,
             hash: HashFn::from_seed(seed, 0xB077_0A1C),
             heap: BinaryHeap::with_capacity(k + 1),
-            members: HashMap::with_capacity(k * 2),
+            members: FastMap::with_capacity_and_hasher(k * 2, FastBuildHasher::default()),
         }
     }
 

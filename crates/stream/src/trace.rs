@@ -13,17 +13,52 @@
 //! can be driven through a [`crate::guard::Guarded`] algorithm via
 //! [`ItemTrace::try_run`], which degrades to a typed [`RunError`] instead
 //! of panicking.
+//!
+//! # Binary trace format (`.adjb`)
+//!
+//! Text traces pay a per-line `String` allocation and two `str::parse`s per
+//! item on every load — and file-backed replay drivers reload per
+//! generation. [`ItemTrace::write_adjb`] serializes a trace into a compact
+//! little-endian container (mirroring the checkpoint container in
+//! [`crate::checkpoint`]) that loads in one buffered read with no parsing:
+//!
+//! ```text
+//! magic    8 bytes  b"ADJBTRAC"
+//! version  u32 LE   ADJB_VERSION
+//! payload:
+//!   items  u64 LE   item count N
+//!   pairs  N × (u32 src LE, u32 dst LE)
+//!   runs   u64 LE   run count R (maximal same-source runs)
+//!   lens   R × u32 LE  run lengths (must sum to N)
+//! check    u64 LE   [`crate::hashing::checksum64`] over payload
+//! ```
+//!
+//! [`ItemTrace::read`] and [`ItemTrace::read_unchecked`] sniff the first 8
+//! bytes and accept either format transparently; corrupt binary inputs are
+//! rejected with typed [`TraceError`]s before any item reaches an
+//! algorithm. The run lengths are self-describing redundancy for external
+//! consumers — replay drivers re-derive list boundaries from source
+//! changes, exactly as with a text trace.
 
-use std::io::{BufRead, BufReader, Read};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use adjstream_graph::VertexId;
 
+use crate::hashing::checksum64;
 use crate::item::StreamItem;
-use crate::runner::{run_item_passes, MultiPassAlgorithm, RunError, RunReport};
+use crate::runner::{run_slice_passes, MultiPassAlgorithm, RunError, RunReport};
 use crate::validate::{validate_stream, StreamError};
+
+/// Magic bytes opening every binary (`.adjb`) trace file.
+pub const ADJB_MAGIC: [u8; 8] = *b"ADJBTRAC";
+
+/// Current binary trace format version. Bumped on any incompatible layout
+/// change; readers reject other versions with
+/// [`TraceError::UnsupportedVersion`].
+pub const ADJB_VERSION: u32 = 1;
 
 /// A replayable item trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,6 +79,29 @@ pub enum TraceError {
     },
     /// The items violate the adjacency-list promise.
     Invalid(StreamError),
+    /// A binary trace's format version is not readable by this build.
+    UnsupportedVersion {
+        /// Version recorded in the file.
+        found: u32,
+        /// Version this build writes and reads.
+        supported: u32,
+    },
+    /// A binary trace ended before its declared payload + checksum.
+    Truncated,
+    /// A binary trace's payload bytes do not hash to the recorded checksum.
+    ChecksumMismatch {
+        /// Checksum recorded in the file.
+        expected: u64,
+        /// Checksum of the bytes actually present.
+        actual: u64,
+    },
+    /// A binary trace's run lengths do not sum to its item count.
+    InconsistentRuns {
+        /// Declared item count.
+        items: u64,
+        /// Sum of the declared run lengths.
+        run_total: u64,
+    },
 }
 
 impl std::fmt::Display for TraceError {
@@ -52,6 +110,19 @@ impl std::fmt::Display for TraceError {
             TraceError::Io(e) => write!(f, "I/O error: {e}"),
             TraceError::Malformed { line } => write!(f, "malformed trace at line {line}"),
             TraceError::Invalid(e) => write!(f, "invalid stream: {e}"),
+            TraceError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported binary trace version {found} (this build reads {supported})"
+            ),
+            TraceError::Truncated => write!(f, "binary trace is truncated"),
+            TraceError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "binary trace corrupt: checksum {actual:#018x} != recorded {expected:#018x}"
+            ),
+            TraceError::InconsistentRuns { items, run_total } => write!(
+                f,
+                "binary trace corrupt: run lengths sum to {run_total}, expected {items} items"
+            ),
         }
     }
 }
@@ -76,8 +147,10 @@ impl ItemTrace {
         ItemTrace { items, edges }
     }
 
-    /// Parse a whitespace `src dst` per line trace (`#` comments allowed)
-    /// and validate it. CRLF line endings are accepted; lines with extra
+    /// Load a trace in either format — sniffed from the first 8 bytes —
+    /// and validate it. Binary (`.adjb`) inputs are decoded in one buffered
+    /// read; anything else is parsed as whitespace `src dst` per line (`#`
+    /// comments allowed). CRLF line endings are accepted; lines with extra
     /// tokens or vertex ids that do not fit in `u32` are rejected as
     /// [`TraceError::Malformed`].
     pub fn read<R: Read>(reader: R) -> Result<Self, TraceError> {
@@ -85,31 +158,190 @@ impl ItemTrace {
         Self::new(items).map_err(TraceError::Invalid)
     }
 
-    /// Parse like [`ItemTrace::read`] but skip promise validation, for
-    /// streams that are expected to be malformed.
+    /// Parse like [`ItemTrace::read`] (same format sniffing) but skip
+    /// promise validation, for streams that are expected to be malformed.
     pub fn read_unchecked<R: Read>(reader: R) -> Result<Self, TraceError> {
         Ok(Self::new_unchecked(Self::parse_items(reader)?))
     }
 
-    fn parse_items<R: Read>(reader: R) -> Result<Vec<StreamItem>, TraceError> {
+    /// Decode a trace already resident in memory — same format sniffing as
+    /// [`ItemTrace::read`], without the intermediate copy a generic reader
+    /// pays to be drained. Binary payloads decode straight off the slice;
+    /// this is the zero-copy path file-backed replay drivers should use
+    /// after an exact-size `std::fs::read`.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, TraceError> {
+        let items = Self::parse_items_bytes(bytes)?;
+        Self::new(items).map_err(TraceError::Invalid)
+    }
+
+    /// [`ItemTrace::from_bytes`] without promise validation, for streams
+    /// that are expected to be malformed.
+    pub fn from_bytes_unchecked(bytes: &[u8]) -> Result<Self, TraceError> {
+        Ok(Self::new_unchecked(Self::parse_items_bytes(bytes)?))
+    }
+
+    /// Slice twin of [`ItemTrace::parse_items`].
+    fn parse_items_bytes(bytes: &[u8]) -> Result<Vec<StreamItem>, TraceError> {
+        match bytes.strip_prefix(&ADJB_MAGIC) {
+            Some(rest) => Self::decode_adjb(rest),
+            None => Self::parse_text(bytes),
+        }
+    }
+
+    /// Sniff the format from the first 8 bytes and dispatch to the binary
+    /// or text parser.
+    fn parse_items<R: Read>(mut reader: R) -> Result<Vec<StreamItem>, TraceError> {
+        let mut head = [0u8; 8];
+        let mut got = 0usize;
+        while got < head.len() {
+            match reader.read(&mut head[got..]).map_err(TraceError::Io)? {
+                0 => break,
+                n => got += n,
+            }
+        }
+        if got == head.len() && head == ADJB_MAGIC {
+            Self::parse_adjb(reader)
+        } else {
+            Self::parse_text((&head[..got]).chain(reader))
+        }
+    }
+
+    /// Drain the reader after a sniffed [`ADJB_MAGIC`], then decode.
+    fn parse_adjb<R: Read>(mut reader: R) -> Result<Vec<StreamItem>, TraceError> {
+        // One buffered read of everything after the magic; all decoding
+        // below is slicing, no further I/O.
+        let mut rest = Vec::new();
+        reader.read_to_end(&mut rest).map_err(TraceError::Io)?;
+        Self::decode_adjb(&rest)
+    }
+
+    /// Decode the binary payload following a sniffed [`ADJB_MAGIC`].
+    fn decode_adjb(rest: &[u8]) -> Result<Vec<StreamItem>, TraceError> {
+        let take = |range: std::ops::Range<usize>| -> Result<&[u8], TraceError> {
+            rest.get(range).ok_or(TraceError::Truncated)
+        };
+        let read_u32_at = |at: usize| -> Result<u32, TraceError> {
+            Ok(u32::from_le_bytes(
+                take(at..at + 4)?.try_into().expect("4 bytes"),
+            ))
+        };
+        let read_u64_at = |at: usize| -> Result<u64, TraceError> {
+            Ok(u64::from_le_bytes(
+                take(at..at + 8)?.try_into().expect("8 bytes"),
+            ))
+        };
+        let version = read_u32_at(0)?;
+        if version != ADJB_VERSION {
+            return Err(TraceError::UnsupportedVersion {
+                found: version,
+                supported: ADJB_VERSION,
+            });
+        }
+        let payload_start = 4usize;
+        let n64 = read_u64_at(payload_start)?;
+        let n = usize::try_from(n64).map_err(|_| TraceError::Truncated)?;
+        let pairs_start = payload_start + 8;
+        let pairs_len = n.checked_mul(8).ok_or(TraceError::Truncated)?;
+        let runs_at = pairs_start
+            .checked_add(pairs_len)
+            .ok_or(TraceError::Truncated)?;
+        let r64 = read_u64_at(runs_at)?;
+        let runs = usize::try_from(r64).map_err(|_| TraceError::Truncated)?;
+        let lens_start = runs_at + 8;
+        let lens_len = runs.checked_mul(4).ok_or(TraceError::Truncated)?;
+        let payload_end = lens_start
+            .checked_add(lens_len)
+            .ok_or(TraceError::Truncated)?;
+        let payload = take(payload_start..payload_end)?;
+        let expected = read_u64_at(payload_end)?;
+        let actual = checksum64(payload);
+        if actual != expected {
+            return Err(TraceError::ChecksumMismatch { expected, actual });
+        }
+        let run_total: u64 = take(lens_start..payload_end)?
+            .chunks_exact(4)
+            .map(|c| u64::from(u32::from_le_bytes(c.try_into().expect("4 bytes"))))
+            .sum();
+        if run_total != n64 {
+            return Err(TraceError::InconsistentRuns {
+                items: n64,
+                run_total,
+            });
+        }
+        let mut items = Vec::with_capacity(n);
+        for pair in take(pairs_start..runs_at)?.chunks_exact(8) {
+            let src = u32::from_le_bytes(pair[0..4].try_into().expect("4 bytes"));
+            let dst = u32::from_le_bytes(pair[4..8].try_into().expect("4 bytes"));
+            items.push(StreamItem::new(VertexId(src), VertexId(dst)));
+        }
+        Ok(items)
+    }
+
+    /// Parse the text form, reusing one line buffer across the whole file
+    /// instead of allocating a `String` per line.
+    fn parse_text<R: Read>(reader: R) -> Result<Vec<StreamItem>, TraceError> {
         let mut items = Vec::new();
-        let buf = BufReader::new(reader);
-        for (lineno, line) in buf.lines().enumerate() {
-            let line = line.map_err(TraceError::Io)?;
+        let mut buf = BufReader::new(reader);
+        let mut line = String::new();
+        let mut lineno = 0usize;
+        loop {
+            line.clear();
+            if buf.read_line(&mut line).map_err(TraceError::Io)? == 0 {
+                break;
+            }
+            lineno += 1;
             let t = line.trim();
             if t.is_empty() || t.starts_with('#') {
                 continue;
             }
             let mut parts = t.split_whitespace();
             let (Some(a), Some(b), None) = (parts.next(), parts.next(), parts.next()) else {
-                return Err(TraceError::Malformed { line: lineno + 1 });
+                return Err(TraceError::Malformed { line: lineno });
             };
             let (Ok(a), Ok(b)) = (a.parse::<u32>(), b.parse::<u32>()) else {
-                return Err(TraceError::Malformed { line: lineno + 1 });
+                return Err(TraceError::Malformed { line: lineno });
             };
             items.push(StreamItem::new(VertexId(a), VertexId(b)));
         }
         Ok(items)
+    }
+
+    /// Serialize the trace in the binary `.adjb` container (see the module
+    /// docs for the layout). A trace written here and loaded back through
+    /// [`ItemTrace::read`] compares equal item for item.
+    pub fn write_adjb<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        let mut payload =
+            Vec::with_capacity(8 + self.items.len() * 8 + 8 + self.items.len() / 2 * 4);
+        payload.extend_from_slice(&(self.items.len() as u64).to_le_bytes());
+        for it in &self.items {
+            payload.extend_from_slice(&it.src.0.to_le_bytes());
+            payload.extend_from_slice(&it.dst.0.to_le_bytes());
+        }
+        let mut run_lens: Vec<u32> = Vec::new();
+        let mut i = 0usize;
+        while i < self.items.len() {
+            let src = self.items[i].src;
+            let mut j = i + 1;
+            while j < self.items.len() && self.items[j].src == src {
+                j += 1;
+            }
+            let len = u32::try_from(j - i).map_err(|_| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "adjacency list run exceeds u32 items",
+                )
+            })?;
+            run_lens.push(len);
+            i = j;
+        }
+        payload.extend_from_slice(&(run_lens.len() as u64).to_le_bytes());
+        for len in &run_lens {
+            payload.extend_from_slice(&len.to_le_bytes());
+        }
+        w.write_all(&ADJB_MAGIC)?;
+        w.write_all(&ADJB_VERSION.to_le_bytes())?;
+        w.write_all(&payload)?;
+        w.write_all(&checksum64(&payload).to_le_bytes())
     }
 
     /// Number of items.
@@ -132,13 +364,20 @@ impl ItemTrace {
         &self.items
     }
 
+    /// Consume the trace, yielding the items without copying.
+    pub fn into_items(self) -> Vec<StreamItem> {
+        self.items
+    }
+
     /// Drive a multi-pass algorithm over the trace, replaying it for each
     /// pass, reporting failures as typed [`RunError`]s instead of panicking.
+    /// Whole adjacency-list runs are delivered as slices through
+    /// [`MultiPassAlgorithm::feed_slice`].
     pub fn try_run<A: MultiPassAlgorithm>(
         &self,
         algo: A,
     ) -> Result<(A::Output, RunReport), RunError> {
-        run_item_passes(algo, |_pass| self.items.iter().copied())
+        run_slice_passes(algo, |_pass| self.items.as_slice())
     }
 
     /// Drive a multi-pass algorithm over the trace, replaying it for each
@@ -475,6 +714,120 @@ mod tests {
         assert_eq!(t.len(), 3);
         let t2 = ItemTrace::new_unchecked(vec![StreamItem::new(VertexId(0), VertexId(0))]);
         assert_eq!(t2.len(), 1);
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_items() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = gen::gnm(40, 120, &mut rng);
+        let s = AdjListStream::new(&g, StreamOrder::shuffled(40, 11));
+        let trace = ItemTrace::new(s.collect_items()).unwrap();
+        let mut bytes = Vec::new();
+        trace.write_adjb(&mut bytes).unwrap();
+        assert_eq!(&bytes[..8], &ADJB_MAGIC);
+        let back = ItemTrace::read(bytes.as_slice()).unwrap();
+        assert_eq!(back.items(), trace.items());
+        assert_eq!(back.edges(), trace.edges());
+        // The zero-copy slice entry decodes identically, in both formats.
+        let zero_copy = ItemTrace::from_bytes(&bytes).unwrap();
+        assert_eq!(zero_copy.items(), trace.items());
+        let text: String = trace
+            .items()
+            .iter()
+            .map(|it| format!("{} {}\n", it.src.0, it.dst.0))
+            .collect();
+        let from_text = ItemTrace::from_bytes(text.as_bytes()).unwrap();
+        assert_eq!(from_text.items(), trace.items());
+    }
+
+    #[test]
+    fn binary_roundtrip_of_empty_trace() {
+        let trace = ItemTrace::new(Vec::new()).unwrap();
+        let mut bytes = Vec::new();
+        trace.write_adjb(&mut bytes).unwrap();
+        let back = ItemTrace::read(bytes.as_slice()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    fn sample_adjb() -> Vec<u8> {
+        let trace = ItemTrace::read("0 1\n0 2\n1 0\n2 0\n".as_bytes()).unwrap();
+        let mut bytes = Vec::new();
+        trace.write_adjb(&mut bytes).unwrap();
+        bytes
+    }
+
+    #[test]
+    fn binary_rejects_unsupported_version() {
+        let mut bytes = sample_adjb();
+        bytes[8] = 99; // version u32 LE low byte
+        assert!(matches!(
+            ItemTrace::read(bytes.as_slice()),
+            Err(TraceError::UnsupportedVersion {
+                found: 99,
+                supported: ADJB_VERSION
+            })
+        ));
+    }
+
+    #[test]
+    fn binary_rejects_flipped_payload_byte_as_checksum_mismatch() {
+        let mut bytes = sample_adjb();
+        let mid = 12 + (bytes.len() - 12) / 2;
+        bytes[mid] ^= 0x40;
+        assert!(matches!(
+            ItemTrace::read(bytes.as_slice()),
+            Err(TraceError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn binary_rejects_truncation_at_every_prefix() {
+        let bytes = sample_adjb();
+        for cut in 8..bytes.len() {
+            let err = ItemTrace::read(&bytes[..cut]).expect_err("prefix must not parse");
+            assert!(
+                matches!(err, TraceError::Truncated),
+                "cut at {cut}: got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn binary_rejects_inconsistent_run_lengths() {
+        // Rebuild the container with a run-length table that does not sum
+        // to the item count, keeping the checksum valid so only the run
+        // check can fire.
+        let items: u64 = 4;
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&items.to_le_bytes());
+        for (s, d) in [(0u32, 1u32), (0, 2), (1, 0), (2, 0)] {
+            payload.extend_from_slice(&s.to_le_bytes());
+            payload.extend_from_slice(&d.to_le_bytes());
+        }
+        payload.extend_from_slice(&2u64.to_le_bytes()); // two runs...
+        payload.extend_from_slice(&2u32.to_le_bytes());
+        payload.extend_from_slice(&3u32.to_le_bytes()); // ...summing to 5
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&ADJB_MAGIC);
+        bytes.extend_from_slice(&ADJB_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        bytes.extend_from_slice(&checksum64(&payload).to_le_bytes());
+        assert!(matches!(
+            ItemTrace::read(bytes.as_slice()),
+            Err(TraceError::InconsistentRuns {
+                items: 4,
+                run_total: 5
+            })
+        ));
+    }
+
+    #[test]
+    fn sniffing_still_accepts_short_text_inputs() {
+        // Shorter than the 8-byte magic probe.
+        let trace = ItemTrace::read("0 1\n1 0".as_bytes()).unwrap();
+        assert_eq!(trace.edges(), 1);
+        assert!(ItemTrace::read("".as_bytes()).unwrap().is_empty());
     }
 
     fn fast_policy(max_attempts: usize) -> RetryPolicy {

@@ -29,7 +29,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 
 use adjstream_graph::VertexId;
 
-use crate::hashing::HashFn;
+use crate::hashing::{FastMap, FastSet, HashFn};
 use crate::item::StreamItem;
 use crate::meter::{hashmap_bytes, hashset_bytes, SpaceUsage};
 
@@ -247,16 +247,16 @@ pub struct OnlineValidator {
     mode: ValidatorMode,
     position: usize,
     current: Option<VertexId>,
-    current_seen: HashSet<u32>,
+    current_seen: FastSet<u32>,
     // Exact mode.
-    finished: HashSet<u32>,
+    finished: FastSet<u32>,
     /// Canonical edge → (direction seen first, first position); removed when
     /// matched by the reverse direction.
-    pending: HashMap<u64, (u32, u32, usize)>,
+    pending: FastMap<u64, (u32, u32, usize)>,
     matched: usize,
     // Bounded mode.
     recent: VecDeque<u32>,
-    recent_set: HashSet<u32>,
+    recent_set: FastSet<u32>,
     sketch_hash: u64,
     sketch_key: u64,
     sketch_items: usize,
@@ -285,12 +285,12 @@ impl OnlineValidator {
             mode,
             position: 0,
             current: None,
-            current_seen: HashSet::new(),
-            finished: HashSet::new(),
-            pending: HashMap::new(),
+            current_seen: FastSet::default(),
+            finished: FastSet::default(),
+            pending: FastMap::default(),
             matched: 0,
             recent: VecDeque::new(),
-            recent_set: HashSet::new(),
+            recent_set: FastSet::default(),
             sketch_hash: 0,
             sketch_key: 0,
             sketch_items: 0,

@@ -188,6 +188,7 @@ const USAGE: &str = "usage:
   adjstream-cli validate-stream FILE [--mode offline|online|bounded] [--seed S] [--window W] [--retries N]
   adjstream-cli corrupt FILE --faults KIND[:N][,KIND[:N]...] [--seed S] [-o FILE] [--replay-o FILE]
   adjstream-cli estimate-stream FILE [--budget K] [--seed S] [--policy strict|repair|observe] [--retries N]
+  adjstream-cli convert-trace FILE -o FILE [--format adjb|text]
   adjstream-cli gadget <fig-a|fig-b|fig-c|fig-d|fig-e> [--key value ...] [--answer yes|no] [-o FILE]
 
 fault kinds: drop-direction duplicate-item split-list self-loop corrupt-vertex truncate-tail reorder-pass
@@ -243,6 +244,7 @@ fn run(args: &[String]) -> Result<(), CliFailure> {
         "validate-stream" => cmd_validate_stream(rest),
         "corrupt" => cmd_corrupt(rest),
         "estimate-stream" => cmd_estimate_stream(rest),
+        "convert-trace" => cmd_convert_trace(rest),
         "gadget" => cmd_gadget(rest),
         other => Err(CliFailure::usage(format!("unknown command {other:?}"))),
     }
@@ -594,6 +596,42 @@ fn cmd_corrupt(args: &[String]) -> Result<(), CliFailure> {
         corrupted.skipped().len(),
         corrupted.expected_detections()
     );
+    Ok(())
+}
+
+/// Convert a trace between the text and binary (`.adjb`) on-disk formats.
+/// The input format is sniffed, so either direction works; the stream is
+/// not validated (corrupted fault-injection fixtures convert unchanged).
+fn cmd_convert_trace(args: &[String]) -> Result<(), CliFailure> {
+    let path = args.first().ok_or("missing stream file")?;
+    let flags = parse_flags(&args[1..])?;
+    let format = flags.get("format").map(String::as_str).unwrap_or("adjb");
+    let bytes = std::fs::read(path).map_err(|e| CliFailure::io(e.to_string()))?;
+    let trace = ItemTrace::from_bytes_unchecked(&bytes).map_err(|e| match e {
+        adjstream::stream::trace::TraceError::Io(inner) => CliFailure::io(inner.to_string()),
+        other => CliFailure::invalid_stream(other.to_string()),
+    })?;
+    let out = flags.get("o").ok_or("convert-trace: missing -o OUTPUT")?;
+    let f = std::fs::File::create(out).map_err(|e| CliFailure::io(e.to_string()))?;
+    let mut w = std::io::BufWriter::new(f);
+    match format {
+        "adjb" => trace
+            .write_adjb(&mut w)
+            .map_err(|e| CliFailure::io(e.to_string()))?,
+        "text" => {
+            for item in trace.items() {
+                writeln!(w, "{} {}", item.src, item.dst)
+                    .map_err(|e| CliFailure::io(e.to_string()))?;
+            }
+        }
+        other => {
+            return Err(CliFailure::usage(format!(
+                "--format must be adjb|text, got {other:?}"
+            )))
+        }
+    }
+    w.flush().map_err(|e| CliFailure::io(e.to_string()))?;
+    eprintln!("wrote {} items as {format} to {out}", trace.len());
     Ok(())
 }
 

@@ -9,9 +9,10 @@ use adjstream::algo::estimate::{estimate_triangles, estimate_triangles_auto, Acc
 use adjstream::algo::triangle::{TwoPassTriangle, TwoPassTriangleConfig};
 use adjstream::graph::{gen, Graph};
 use adjstream::stream::batch::{BatchConfig, BatchRunner};
+use adjstream::stream::trace::ItemTrace;
 use adjstream::stream::{
-    run_item_passes, AdjListStream, FaultKind, FaultPlan, GuardPolicy, Guarded, PassOrders,
-    RunError, StreamOrder, ValidatorMode,
+    run_item_passes, run_slice_passes, AdjListStream, FaultKind, FaultPlan, GuardPolicy, Guarded,
+    PassOrders, RunError, StreamOrder, ValidatorMode,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -188,15 +189,133 @@ proptest! {
         .expect("repair policy never aborts on these fault kinds");
         let got = out.report.guard.expect("shared guard publishes stats");
 
-        // validator_peak_bytes sums std HashMap capacities, which vary per
-        // RandomState instance; the fault counters are the deterministic
-        // contract.
-        prop_assert_eq!(got.faults_detected, want.faults_detected);
-        prop_assert_eq!(got.items_repaired, want.items_repaired);
-        prop_assert_eq!(got.edges_quarantined, want.edges_quarantined);
+        // Seeded hashing makes the validator's map capacities — and so its
+        // peak bytes — a pure function of the stream, so the whole stats
+        // struct is the deterministic contract.
+        prop_assert_eq!(got, want);
         // Every instance consumed the identical repaired stream.
         let per_items: Vec<usize> =
             out.report.per_instance.iter().map(|r| r.items).collect();
         prop_assert!(per_items.iter().all(|&i| i == per_items[0]));
+    }
+
+    /// Slice-batched dispatch is a pure performance change: estimates
+    /// (bit for bit), peak byte meters, and guard statistics must be
+    /// identical to per-item dispatch across the sequential drivers and
+    /// both batched-engine configurations at 1 and 4 threads — including
+    /// on fault-injected streams behind a repair guard.
+    #[test]
+    fn slice_dispatch_is_bit_identical_to_per_item(
+        graph_seed in 0u64..300,
+        algo_seed in 0u64..100,
+        dropped in 0usize..3,
+        self_loops in 0usize..2,
+    ) {
+        let mut rng = StdRng::seed_from_u64(graph_seed);
+        let g = gen::gnm(40, 160, &mut rng);
+        let items = AdjListStream::new(&g, StreamOrder::shuffled(40, graph_seed)).collect_items();
+        let corrupted = FaultPlan::new(graph_seed ^ 0xFA)
+            .with(FaultKind::DropDirection, dropped)
+            .with(FaultKind::InjectSelfLoop, self_loops)
+            .apply(&items);
+        let algo = |seed: u64| {
+            TwoPassTriangle::new(TwoPassTriangleConfig {
+                seed,
+                edge_sampling: EdgeSampling::BottomK { k: 48 },
+                pair_capacity: 48,
+            })
+        };
+
+        // Sequential per-item reference.
+        let (ref_est, ref_report) = run_item_passes(
+            Guarded::new(algo(algo_seed), GuardPolicy::Repair),
+            |p| corrupted.items_for_pass(p).to_vec(),
+        )
+        .expect("repair policy never aborts on these fault kinds");
+        let ref_guard = ref_report.guard.expect("guarded run publishes stats");
+
+        // Sequential slice driver.
+        let (slice_est, slice_report) = run_slice_passes(
+            Guarded::new(algo(algo_seed), GuardPolicy::Repair),
+            |p| corrupted.items_for_pass(p).to_vec(),
+        )
+        .expect("same stream, same policy");
+        prop_assert_eq!(slice_est.estimate.to_bits(), ref_est.estimate.to_bits());
+        prop_assert_eq!(slice_est, ref_est);
+        prop_assert_eq!(slice_report.peak_state_bytes, ref_report.peak_state_bytes);
+        prop_assert_eq!(slice_report.items_processed, ref_report.items_processed);
+        prop_assert_eq!(
+            slice_report.guard.expect("guarded run publishes stats"),
+            ref_guard
+        );
+
+        // Batched engine, slice dispatch on and off, single- and
+        // multi-threaded: all must reproduce the reference run of each
+        // instance seed exactly.
+        for threads in [1usize, 4] {
+            for slice_dispatch in [true, false] {
+                let out = BatchRunner::try_run_items(
+                    (0..3).map(|i| algo(algo_seed.wrapping_add(i))).collect::<Vec<_>>(),
+                    |p| corrupted.items_for_pass(p).to_vec(),
+                    &BatchConfig {
+                        threads,
+                        slice_dispatch,
+                        guard: Some((GuardPolicy::Repair, ValidatorMode::Exact)),
+                        ..BatchConfig::default()
+                    },
+                )
+                .expect("repair policy never aborts on these fault kinds");
+                let (want, _) = run_item_passes(
+                    Guarded::new(algo(algo_seed), GuardPolicy::Repair),
+                    |p| corrupted.items_for_pass(p).to_vec(),
+                )
+                .unwrap();
+                let got = out.outputs[0].as_ref().expect("instance finished");
+                prop_assert_eq!(
+                    got.estimate.to_bits(),
+                    want.estimate.to_bits(),
+                    "threads {} slice {}",
+                    threads,
+                    slice_dispatch
+                );
+                let stats = out.report.guard.expect("shared guard publishes stats");
+                prop_assert_eq!(stats.faults_detected, ref_guard.faults_detected);
+                prop_assert_eq!(stats.items_repaired, ref_guard.items_repaired);
+            }
+        }
+    }
+
+    /// A trace serialized to the binary container and loaded back (through
+    /// format sniffing) is item-for-item identical to its text form, and
+    /// flipping any payload byte is rejected by the checksum.
+    #[test]
+    fn binary_trace_roundtrip_matches_text(
+        graph_seed in 0u64..500,
+        order_seed in 0u64..100,
+        flip_at in 0usize..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(graph_seed);
+        let g = gen::gnm(30, 120, &mut rng);
+        let items = AdjListStream::new(&g, StreamOrder::shuffled(30, order_seed)).collect_items();
+
+        // Text form.
+        let mut text = String::new();
+        for it in &items {
+            text.push_str(&format!("{} {}\n", it.src, it.dst));
+        }
+        let from_text = ItemTrace::read(text.as_bytes()).expect("generated stream is valid");
+
+        // Binary round trip.
+        let mut bytes = Vec::new();
+        from_text.write_adjb(&mut bytes).unwrap();
+        let from_bin = ItemTrace::read(bytes.as_slice()).expect("own writer output is valid");
+        prop_assert_eq!(from_bin.items(), from_text.items());
+        prop_assert_eq!(from_bin.edges(), from_text.edges());
+
+        // Corruption in the checksummed region (anything after magic +
+        // version) must be rejected with a typed error, never mis-parsed.
+        let at = 12 + flip_at % (bytes.len() - 12);
+        bytes[at] ^= 0x10;
+        prop_assert!(ItemTrace::read(bytes.as_slice()).is_err());
     }
 }
