@@ -1,0 +1,190 @@
+//! Warn-only bench-regression gate: compare freshly produced `BENCH_*.json`
+//! files against committed baselines and flag throughput drops.
+//!
+//! ```text
+//! bench_gate BASELINE.json CURRENT.json [BASELINE2.json CURRENT2.json ...]
+//! ```
+//!
+//! Every bench harness in this workspace writes its rows one JSON object
+//! per line with string labels and an `items_per_sec` field; the gate
+//! matches rows across the two files by their concatenated string labels
+//! and compares throughput. A row is flagged when current throughput falls
+//! below `(1 − tolerance) ×` baseline (`BENCH_GATE_TOLERANCE`, default
+//! 0.25 — CI runners are noisy and this gate is advisory).
+//!
+//! The exit code is always 0 unless `BENCH_GATE_STRICT=1`, in which case
+//! any flagged row fails the run. Baselines live in
+//! `crates/bench/baselines/` and are refreshed deliberately, by committing
+//! a new file — never automatically.
+
+use adjstream_bench::report::Table;
+use std::process::ExitCode;
+
+/// One bench row: its identifying label (the row's string field values
+/// joined with `/`) and its throughput.
+#[derive(Debug, PartialEq)]
+struct BenchRow {
+    label: String,
+    items_per_sec: f64,
+}
+
+/// Extract `"key": "value"` string fields from a single row line, in
+/// order, skipping the shared `"bench"`/`"mode"` headers handled upstream.
+fn string_values(line: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut rest = line;
+    while let Some(colon) = rest.find("\": \"") {
+        let after = &rest[colon + 4..];
+        let Some(end) = after.find('"') else { break };
+        out.push(&after[..end]);
+        rest = &after[end..];
+    }
+    out
+}
+
+/// Extract the number following `"items_per_sec": ` on the line.
+fn items_per_sec(line: &str) -> Option<f64> {
+    let idx = line.find("\"items_per_sec\":")?;
+    let after = line[idx + "\"items_per_sec\":".len()..].trim_start();
+    let end = after
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(after.len());
+    after[..end].parse().ok()
+}
+
+/// Parse every row object carrying an `items_per_sec` field. The bench
+/// harnesses emit one row per line, so line-oriented scanning is exact for
+/// files we generate ourselves — this is not a general JSON parser.
+fn parse_rows(text: &str) -> Vec<BenchRow> {
+    text.lines()
+        .filter_map(|line| {
+            let ips = items_per_sec(line)?;
+            let labels = string_values(line);
+            if labels.is_empty() {
+                return None;
+            }
+            Some(BenchRow {
+                label: labels.join("/"),
+                items_per_sec: ips,
+            })
+        })
+        .collect()
+}
+
+fn tolerance() -> f64 {
+    std::env::var("BENCH_GATE_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|t: &f64| t.is_finite() && *t > 0.0 && *t < 1.0)
+        .unwrap_or(0.25)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || !args.len().is_multiple_of(2) {
+        eprintln!("usage: bench_gate BASELINE.json CURRENT.json [...]");
+        return ExitCode::from(2);
+    }
+    let tol = tolerance();
+    let strict = std::env::var("BENCH_GATE_STRICT").as_deref() == Ok("1");
+    let mut table = Table::new([
+        "bench pair",
+        "row",
+        "baseline",
+        "current",
+        "ratio",
+        "status",
+    ]);
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for pair in args.chunks(2) {
+        let (base_path, cur_path) = (&pair[0], &pair[1]);
+        let read = |p: &str| {
+            std::fs::read_to_string(p).unwrap_or_else(|e| {
+                eprintln!("bench_gate: cannot read {p}: {e}");
+                String::new()
+            })
+        };
+        let base_rows = parse_rows(&read(base_path));
+        let cur_rows = parse_rows(&read(cur_path));
+        let pair_name = format!(
+            "{} vs {}",
+            base_path.rsplit('/').next().unwrap_or(base_path),
+            cur_path.rsplit('/').next().unwrap_or(cur_path)
+        );
+        for b in &base_rows {
+            let Some(c) = cur_rows.iter().find(|c| c.label == b.label) else {
+                table.row([
+                    pair_name.clone(),
+                    b.label.clone(),
+                    format!("{:.3e}", b.items_per_sec),
+                    "missing".into(),
+                    "-".into(),
+                    "MISSING".into(),
+                ]);
+                regressions += 1;
+                continue;
+            };
+            compared += 1;
+            let ratio = c.items_per_sec / b.items_per_sec;
+            let status = if ratio < 1.0 - tol {
+                regressions += 1;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            table.row([
+                pair_name.clone(),
+                b.label.clone(),
+                format!("{:.3e}", b.items_per_sec),
+                format!("{:.3e}", c.items_per_sec),
+                format!("{ratio:.3}"),
+                status.into(),
+            ]);
+        }
+    }
+    eprintln!("{}", table.render());
+    eprintln!(
+        "bench_gate: {compared} rows compared, {regressions} flagged \
+         (tolerance {tol:.2}, {})",
+        if strict { "strict" } else { "warn-only" }
+    );
+    if regressions > 0 && strict {
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ROW: &str =
+        "    {\"variant\": \"plain\", \"wall_secs\": 0.1234, \"items_per_sec\": 1500000}";
+
+    #[test]
+    fn parses_single_label_rows() {
+        let rows = parse_rows(ROW);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].label, "plain");
+        assert_eq!(rows[0].items_per_sec, 1_500_000.0);
+    }
+
+    #[test]
+    fn joins_multi_label_rows_and_skips_non_rows() {
+        let text = "{\n  \"bench\": \"ingest\",\n    {\"case\": \"file\", \"format\": \"adjb\", \
+                    \"dispatch\": \"slice\", \"wall_secs\": 1.0, \"items_per_sec\": 2e6},\n}\n";
+        let rows = parse_rows(text);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].label, "file/adjb/slice");
+        assert_eq!(rows[0].items_per_sec, 2e6);
+    }
+
+    #[test]
+    fn scientific_notation_parses() {
+        assert_eq!(
+            items_per_sec("\"items_per_sec\": 1.25e8}"),
+            Some(1.25e8_f64)
+        );
+    }
+}

@@ -10,6 +10,7 @@ use adjstream_stream::checkpoint::{
 use adjstream_stream::hashing::{FastMap, FastSet};
 use adjstream_stream::item::StreamItem;
 use adjstream_stream::meter::{hashmap_bytes, SpaceUsage};
+use adjstream_stream::obs::ObsCounters;
 
 /// How the first-pass edge sample `S` is drawn (DESIGN.md §2).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -84,6 +85,10 @@ pub struct PairWatcher {
     /// packed pair → epoch of its last single hit.
     hit_epoch: FastMap<u64, u32>,
     epoch: u32,
+    /// Lifetime watch registrations (refcount acquisitions).
+    watches_started: u64,
+    /// Lifetime watch releases (refcount drops).
+    watches_retired: u64,
 }
 
 /// Pack an unordered vertex pair (canonical ascending).
@@ -107,6 +112,7 @@ impl PairWatcher {
 
     /// Begin watching the pair `{a, b}` (increments its refcount).
     pub fn watch(&mut self, a: VertexId, b: VertexId) {
+        self.watches_started += 1;
         let key = pack_pair(a, b);
         let rc = self.refcount.entry(key).or_insert(0);
         *rc += 1;
@@ -119,6 +125,7 @@ impl PairWatcher {
 
     /// Stop one watch of `{a, b}`; fully unregisters at refcount zero.
     pub fn unwatch(&mut self, a: VertexId, b: VertexId) {
+        self.watches_retired += 1;
         let key = pack_pair(a, b);
         let rc = self
             .refcount
@@ -149,6 +156,16 @@ impl PairWatcher {
     /// Number of distinct watched pairs.
     pub fn watched_pairs(&self) -> usize {
         self.refcount.len()
+    }
+
+    /// Lifetime watch/unwatch counters, in [`ObsCounters`] shape (only the
+    /// watcher fields are populated; callers merge in their own).
+    pub fn obs_counters(&self) -> ObsCounters {
+        ObsCounters {
+            watches_started: self.watches_started,
+            watches_retired: self.watches_retired,
+            ..ObsCounters::default()
+        }
     }
 
     /// A new adjacency list is starting: reset per-list hit state.
@@ -232,6 +249,8 @@ impl Checkpoint for PairWatcher {
                 write_u64(w, key)?;
             }
         }
+        write_u64(w, self.watches_started)?;
+        write_u64(w, self.watches_retired)?;
         Ok(())
     }
 
@@ -270,12 +289,16 @@ impl Checkpoint for PairWatcher {
         if entries != 2 * refcount.len() {
             return Err(corrupt("incident index does not cover the watched pairs"));
         }
+        let watches_started = read_u64(r)?;
+        let watches_retired = read_u64(r)?;
         Ok(PairWatcher {
             incident,
             incident_vec_bytes,
             refcount,
             hit_epoch: FastMap::default(),
             epoch: 0,
+            watches_started,
+            watches_retired,
         })
     }
 }

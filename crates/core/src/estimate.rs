@@ -50,6 +50,7 @@ use adjstream_graph::Graph;
 use adjstream_stream::batch::{BatchConfig, BatchReport, BatchRunner, Budget};
 use adjstream_stream::estimator::repetitions_for_confidence;
 use adjstream_stream::hashing::SplitMix64;
+use adjstream_stream::obs::{Metrics, MetricsSnapshot};
 use adjstream_stream::{PassOrders, RunError, Runner, StreamOrder};
 
 use crate::amplify::{collect_runs, median_of_survivors, quorum, DegradedRun, MedianReport};
@@ -116,6 +117,10 @@ pub struct Accuracy {
     /// ("all must survive"), and `Some(0)` still requires one survivor —
     /// a median of nothing does not exist.
     pub min_survivors: Option<usize>,
+    /// Collect structured run metrics into [`CountEstimate::metrics`].
+    /// Default off; turning it on never changes the estimate, the peak
+    /// byte counts, or the survivor set.
+    pub collect_metrics: bool,
 }
 
 impl Default for Accuracy {
@@ -128,6 +133,7 @@ impl Default for Accuracy {
             engine: Engine::Batched,
             budget: Budget::default(),
             min_survivors: None,
+            collect_metrics: false,
         }
     }
 }
@@ -220,6 +226,10 @@ pub struct CountEstimate {
     /// The batched engine's execution summary ([`None`] under
     /// [`Engine::Sequential`]).
     pub batch: Option<BatchReport>,
+    /// Structured run metrics, collected when
+    /// [`Accuracy::collect_metrics`] was set (for the auto driver:
+    /// aggregated over every level's repetitions).
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 /// Budget `m′ = c·m/(ε²·T^{2/3})` clamped to `[16, m]`.
@@ -321,15 +331,17 @@ fn estimate_from_batch(
         repetitions: reps,
         report,
         stream_passes: passes,
+        metrics: batch.metrics.clone(),
         batch: Some(batch),
     }
 }
 
 /// Batch configuration for an accuracy contract: thread count plus the
-/// resource budget, defaults elsewhere.
+/// resource budget and the metrics flag, defaults elsewhere.
 fn batch_config(acc: &Accuracy) -> BatchConfig {
     BatchConfig {
         budget: acc.budget,
+        metrics: acc.collect_metrics,
         ..BatchConfig::with_threads(acc.threads)
     }
 }
@@ -388,8 +400,11 @@ pub fn try_estimate_triangles(
     let orders = PassOrders::Same(order.clone());
     match acc.engine {
         Engine::Sequential => {
+            let sink = Metrics::from_flag(acc.collect_metrics);
             let runs = sequential_runs(reps, &acc, |seed| {
-                let (est, rep) = Runner::run(g, triangle_instance(seed, budget), &orders);
+                let (est, rep) =
+                    Runner::try_run_observed(g, triangle_instance(seed, budget), &orders, &sink)
+                        .unwrap_or_else(|e| panic!("stream execution failed: {e}"));
                 (est.estimate, rep.peak_state_bytes)
             })?;
             let report = median_of_survivors(&runs, required)?;
@@ -400,6 +415,7 @@ pub fn try_estimate_triangles(
                 report,
                 stream_passes: 2 * reps,
                 batch: None,
+                metrics: sink.snapshot(),
             })
         }
         Engine::Batched => {
@@ -598,6 +614,7 @@ pub fn try_estimate_triangles_auto(
                 repetitions: reps,
                 report,
                 stream_passes: passes,
+                metrics: out.report.metrics.clone(),
                 batch: Some(out.report),
             })
         }
@@ -637,8 +654,10 @@ pub fn try_estimate_four_cycles(
     };
     match acc.engine {
         Engine::Sequential => {
+            let sink = Metrics::from_flag(acc.collect_metrics);
             let runs = sequential_runs(reps, &acc, |seed| {
-                let (est, rep) = Runner::run(g, instance(seed), &pass_orders);
+                let (est, rep) = Runner::try_run_observed(g, instance(seed), &pass_orders, &sink)
+                    .unwrap_or_else(|e| panic!("stream execution failed: {e}"));
                 (est.estimate, rep.peak_state_bytes)
             })?;
             let report = median_of_survivors(&runs, required)?;
@@ -649,6 +668,7 @@ pub fn try_estimate_four_cycles(
                 report,
                 stream_passes: 2 * reps,
                 batch: None,
+                metrics: sink.snapshot(),
             })
         }
         Engine::Batched => {

@@ -30,8 +30,9 @@ use adjstream_stream::checkpoint::{
 use adjstream_stream::hashing::{FastMap, FastSet};
 use adjstream_stream::item::StreamItem;
 use adjstream_stream::meter::{hashmap_bytes, hashset_bytes, vec_bytes, SpaceUsage};
+use adjstream_stream::obs::ObsCounters;
 use adjstream_stream::runner::MultiPassAlgorithm;
-use adjstream_stream::sampling::BottomKSampler;
+use adjstream_stream::sampling::{BottomKEvent, BottomKSampler};
 
 use crate::common::{pack_pair, unpack_pair, PairWatcher};
 
@@ -118,6 +119,9 @@ pub struct TwoPassFourCycle {
     /// Distinct cycles found (DistinctCycles mode).
     found: FastSet<FourCycleKey>,
     buf: Vec<u64>,
+    /// Sampler lifecycle counters (deterministic; see
+    /// [`MultiPassAlgorithm::obs_counters`]).
+    counters: ObsCounters,
 }
 
 impl TwoPassFourCycle {
@@ -135,6 +139,20 @@ impl TwoPassFourCycle {
             watcher: PairWatcher::new(),
             found: FastSet::default(),
             buf: Vec::new(),
+            counters: ObsCounters::default(),
+        }
+    }
+
+    /// Pass-1 edge sampling with lifecycle accounting.
+    fn offer_edge(&mut self, key: u64) {
+        match self.sampler.offer(key) {
+            BottomKEvent::Inserted => self.counters.admissions += 1,
+            BottomKEvent::InsertedEvicting(_) => {
+                self.counters.admissions += 1;
+                self.counters.evictions += 1;
+            }
+            BottomKEvent::AlreadyPresent => {}
+            BottomKEvent::Rejected => self.counters.rejections += 1,
         }
     }
 
@@ -180,6 +198,8 @@ impl TwoPassFourCycle {
                 all = res.into_items();
             }
         }
+        self.counters.pairs_stored += all.len() as u64;
+        self.counters.pairs_rejected += (self.wedges_total - all.len()) as u64;
         for w in all {
             let idx = self.wedges.len() as u32;
             let (a, b) = (w.a, w.b);
@@ -232,7 +252,7 @@ impl MultiPassAlgorithm for TwoPassFourCycle {
         match self.pass {
             0 => {
                 self.items += 1;
-                self.sampler.offer(pack_pair(src, dst));
+                self.offer_edge(pack_pair(src, dst));
             }
             _ => {
                 let mut buf = std::mem::take(&mut self.buf);
@@ -266,7 +286,7 @@ impl MultiPassAlgorithm for TwoPassFourCycle {
             0 => {
                 self.items += items.len() as u64;
                 for it in items {
-                    self.sampler.offer(pack_pair(it.src, it.dst));
+                    self.offer_edge(pack_pair(it.src, it.dst));
                 }
             }
             _ => {
@@ -293,6 +313,22 @@ impl MultiPassAlgorithm for TwoPassFourCycle {
                 self.buf = buf;
             }
         }
+    }
+
+    fn obs_counters(&self) -> Option<ObsCounters> {
+        let mut c = self.counters;
+        c.merge(&self.watcher.obs_counters());
+        // Saturation snapshot, taken at publication time: each bounded
+        // structure currently frozen at capacity counts once.
+        if self.sampler.capacity() > 0 && self.sampler.len() == self.sampler.capacity() {
+            c.freezes += 1;
+        }
+        if let Some(cap) = self.cfg.max_wedges {
+            if self.wedges_total > cap {
+                c.freezes += 1;
+            }
+        }
+        Some(c)
     }
 
     fn finish(self) -> FourCycleEstimate {
@@ -359,7 +395,7 @@ impl Checkpoint for TwoPassFourCycle {
         for key in self.sampler.keys() {
             write_u64(w, key)?;
         }
-        Ok(())
+        self.counters.save(w)
     }
 
     fn restore(r: &mut dyn Read) -> io::Result<Self> {
@@ -393,6 +429,7 @@ impl Checkpoint for TwoPassFourCycle {
         if algo.sampler.len() != n {
             return Err(corrupt("duplicate keys in the saved edge sample"));
         }
+        algo.counters = ObsCounters::restore(r)?;
         Ok(algo)
     }
 }

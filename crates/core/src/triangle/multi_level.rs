@@ -17,6 +17,7 @@
 
 use adjstream_graph::VertexId;
 use adjstream_stream::meter::SpaceUsage;
+use adjstream_stream::obs::ObsCounters;
 use adjstream_stream::runner::MultiPassAlgorithm;
 
 use crate::common::EdgeSampling;
@@ -120,6 +121,16 @@ impl MultiPassAlgorithm for MultiLevelTriangle {
         for l in &mut self.levels {
             l.end_pass(pass);
         }
+    }
+
+    fn obs_counters(&self) -> Option<ObsCounters> {
+        let mut c = ObsCounters::default();
+        for l in &self.levels {
+            if let Some(lc) = l.obs_counters() {
+                c.merge(&lc);
+            }
+        }
+        Some(c)
     }
 
     fn finish(self) -> MultiLevelEstimate {

@@ -26,6 +26,7 @@ use adjstream_stream::checkpoint::{
 use adjstream_stream::hashing::FastMap;
 use adjstream_stream::item::StreamItem;
 use adjstream_stream::meter::{hashmap_bytes, vec_bytes, SpaceUsage};
+use adjstream_stream::obs::ObsCounters;
 use adjstream_stream::runner::MultiPassAlgorithm;
 use adjstream_stream::sampling::{
     BottomKEvent, BottomKSampler, Reservoir, ReservoirEvent, ThresholdSampler,
@@ -158,6 +159,9 @@ pub struct TwoPassTriangle {
     watcher: PairWatcher,
     /// Scratch buffer for completion callbacks.
     completed_buf: Vec<u64>,
+    /// Sampler lifecycle counters (deterministic; see
+    /// [`MultiPassAlgorithm::obs_counters`]).
+    counters: ObsCounters,
 }
 
 impl TwoPassTriangle {
@@ -186,6 +190,7 @@ impl TwoPassTriangle {
             activations_vec_bytes: 0,
             watcher: PairWatcher::new(),
             completed_buf: Vec::new(),
+            counters: ObsCounters::default(),
         }
     }
 
@@ -239,12 +244,18 @@ impl TwoPassTriangle {
         let (u, v) = crate::common::unpack_pair(e_key);
         let (slab, gen) = self.allocate_with_gen([u, v, w]);
         match self.q.offer((slab, gen)) {
-            ReservoirEvent::Stored { .. } => self.attach(slab, gen),
+            ReservoirEvent::Stored { .. } => {
+                self.counters.pairs_stored += 1;
+                self.attach(slab, gen);
+            }
             ReservoirEvent::Replaced { evicted, .. } => {
+                self.counters.pairs_stored += 1;
+                self.counters.pairs_replaced += 1;
                 self.attach(slab, gen);
                 self.destroy(evicted.0, evicted.1);
             }
             ReservoirEvent::Rejected => {
+                self.counters.pairs_rejected += 1;
                 // Not sampled: roll the allocation back.
                 self.slab[slab as usize] = None;
                 self.free.push(slab);
@@ -330,19 +341,25 @@ impl TwoPassTriangle {
         let key = pack_pair(src, dst);
         match &mut self.sampler {
             Sampler::Threshold(t) => {
-                if t.accepts(key) && !self.s_edges.contains_key(&key) {
-                    self.s_edges.insert(
-                        key,
-                        EdgeInfo {
-                            first_pos: self.pos,
-                            discoveries: 0,
-                        },
-                    );
-                    self.watcher.watch(src, dst);
+                if t.accepts(key) {
+                    if !self.s_edges.contains_key(&key) {
+                        self.counters.admissions += 1;
+                        self.s_edges.insert(
+                            key,
+                            EdgeInfo {
+                                first_pos: self.pos,
+                                discoveries: 0,
+                            },
+                        );
+                        self.watcher.watch(src, dst);
+                    }
+                } else {
+                    self.counters.rejections += 1;
                 }
             }
             Sampler::BottomK(b) => match b.offer(key) {
                 BottomKEvent::Inserted => {
+                    self.counters.admissions += 1;
                     self.s_edges.insert(
                         key,
                         EdgeInfo {
@@ -353,6 +370,8 @@ impl TwoPassTriangle {
                     self.watcher.watch(src, dst);
                 }
                 BottomKEvent::InsertedEvicting(old) => {
+                    self.counters.admissions += 1;
+                    self.counters.evictions += 1;
                     self.s_edges.insert(
                         key,
                         EdgeInfo {
@@ -363,7 +382,8 @@ impl TwoPassTriangle {
                     self.watcher.watch(src, dst);
                     self.purge_edge(old);
                 }
-                BottomKEvent::AlreadyPresent | BottomKEvent::Rejected => {}
+                BottomKEvent::AlreadyPresent => {}
+                BottomKEvent::Rejected => self.counters.rejections += 1,
             },
         }
     }
@@ -479,6 +499,22 @@ impl MultiPassAlgorithm for TwoPassTriangle {
                 }
             }
         }
+    }
+
+    fn obs_counters(&self) -> Option<ObsCounters> {
+        let mut c = self.counters;
+        c.merge(&self.watcher.obs_counters());
+        // Saturation snapshot, taken at publication time: each bounded
+        // structure currently frozen at capacity counts once.
+        if let Sampler::BottomK(b) = &self.sampler {
+            if b.capacity() > 0 && b.len() == b.capacity() {
+                c.freezes += 1;
+            }
+        }
+        if self.q.capacity() > 0 && self.q.len() == self.q.capacity() {
+            c.freezes += 1;
+        }
+        Some(c)
     }
 
     fn finish(self) -> TriangleEstimate {
@@ -604,7 +640,8 @@ impl Checkpoint for TwoPassTriangle {
             write_u32(w, g)?;
             write_u8(w, slot)
         })?;
-        self.watcher.save(w)
+        self.watcher.save(w)?;
+        self.counters.save(w)
     }
 
     fn restore(r: &mut dyn Read) -> io::Result<Self> {
@@ -696,6 +733,7 @@ impl Checkpoint for TwoPassTriangle {
         let (activations, activations_vec_bytes) =
             restore_ref_map(r, 12, |r| Ok((read_u32(r)?, read_u32(r)?, read_u8(r)?)))?;
         let watcher = PairWatcher::restore(r)?;
+        let counters = ObsCounters::restore(r)?;
         let sampler = match cfg.edge_sampling {
             EdgeSampling::Threshold { p } => Sampler::Threshold(ThresholdSampler::new(seed, p)),
             EdgeSampling::BottomK { k } => {
@@ -728,6 +766,7 @@ impl Checkpoint for TwoPassTriangle {
             activations_vec_bytes,
             watcher,
             completed_buf: Vec::new(),
+            counters,
         })
     }
 }

@@ -87,6 +87,7 @@ use crate::checkpoint::{
 use crate::guard::{decode_mode, decode_policy, encode_mode, encode_policy, GuardPolicy, Guarded};
 use crate::item::StreamItem;
 use crate::meter::{vec_bytes, PeakTracker, SpaceUsage};
+use crate::obs::{Metrics, MetricsSnapshot, ObsCounters, PassMetrics};
 use crate::order::StreamOrder;
 use crate::runner::{
     drive_pass, drive_pass_slice, GuardStats, MultiPassAlgorithm, PassOrders, RunError,
@@ -144,6 +145,9 @@ pub struct BatchConfig {
     pub guard: Option<(GuardPolicy, ValidatorMode)>,
     /// Resource limits; default unlimited.
     pub budget: Budget,
+    /// Collect structured run metrics into [`BatchReport::metrics`].
+    /// Default off; turning it on never changes what the run computes.
+    pub metrics: bool,
 }
 
 impl Default for BatchConfig {
@@ -155,6 +159,7 @@ impl Default for BatchConfig {
             slice_dispatch: true,
             guard: None,
             budget: Budget::default(),
+            metrics: false,
         }
     }
 }
@@ -209,6 +214,9 @@ pub struct InstanceReport {
     pub items: usize,
     /// How the instance ended.
     pub outcome: InstanceOutcome,
+    /// Deterministic observability counters the instance's algorithm
+    /// reported via [`MultiPassAlgorithm::obs_counters`], if any.
+    pub counters: Option<ObsCounters>,
 }
 
 /// Execution summary of a batched run.
@@ -238,6 +246,9 @@ pub struct BatchReport {
     /// `Some(p)` when this run was restored from a checkpoint taken after
     /// `p` completed passes.
     pub resumed_from: Option<usize>,
+    /// Aggregate structured metrics, collected when
+    /// [`BatchConfig::metrics`] was set.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl BatchReport {
@@ -436,6 +447,7 @@ impl<A: MultiPassAlgorithm> InstanceState<A> {
     /// Finish the instance, producing its report and (for survivors) its
     /// output. `finish()` itself runs under `catch_unwind`.
     fn into_parts(mut self) -> (InstanceReport, Option<A::Output>) {
+        let counters = self.algo.as_ref().and_then(|a| a.obs_counters());
         let (outcome, output) = match self.status {
             InstanceStatus::Live => {
                 let algo = self.algo.take().expect("live instance has an algorithm");
@@ -461,6 +473,7 @@ impl<A: MultiPassAlgorithm> InstanceState<A> {
                 peak_state_bytes: self.peak.peak(),
                 items: self.items,
                 outcome,
+                counters,
             },
             output,
         )
@@ -848,6 +861,7 @@ impl BatchRunner {
             generations: 0,
         };
         let states = Self::make_states(instances, cfg);
+        let sink = Metrics::from_flag(cfg.metrics);
         Self::execute(
             states,
             contract,
@@ -856,6 +870,7 @@ impl BatchRunner {
             0,
             RunCarry::default(),
             None,
+            &sink,
             None,
         )
     }
@@ -882,6 +897,7 @@ impl BatchRunner {
             generations: 0,
         };
         let states = Self::make_states(instances, cfg);
+        let sink = Metrics::from_flag(cfg.metrics);
         Self::execute(
             states,
             contract,
@@ -890,6 +906,7 @@ impl BatchRunner {
             0,
             RunCarry::default(),
             None,
+            &sink,
             None,
         )
     }
@@ -921,9 +938,19 @@ impl BatchRunner {
             generations: 0,
         };
         let states = Self::make_states(instances, cfg);
+        let sink = Metrics::from_flag(cfg.metrics);
+        let hook_sink = sink.clone();
         let mut hook = |b: PassBoundary<'_, A>| -> Result<(), RunError> {
+            let t0 = hook_sink.is_enabled().then(Instant::now);
             let payload = encode_boundary(&b).map_err(ckpt_err)?;
-            write_checkpoint_file(path, &payload).map_err(ckpt_err)
+            write_checkpoint_file(path, &payload).map_err(ckpt_err)?;
+            if let Some(t0) = t0 {
+                hook_sink.record_checkpoint_write(
+                    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    payload.len() as u64,
+                );
+            }
+            Ok(())
         };
         Self::execute(
             states,
@@ -933,6 +960,7 @@ impl BatchRunner {
             0,
             RunCarry::default(),
             None,
+            &sink,
             Some(&mut hook),
         )
     }
@@ -958,9 +986,16 @@ impl BatchRunner {
         A: MultiPassAlgorithm + Checkpoint + Send,
         A::Output: Send,
     {
+        let sink = Metrics::from_flag(cfg.metrics);
+        let restore_t0 = sink.is_enabled().then(Instant::now);
         let payload = read_checkpoint_file(path).map_err(ckpt_err)?;
         let decoded: DecodedCheckpoint<A> =
             decode_boundary(&payload, cfg.budget.max_bytes_per_instance).map_err(ckpt_err)?;
+        if let Some(t0) = restore_t0 {
+            sink.record_checkpoint_restore(
+                u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
+        }
         orders.check(decoded.total_passes, decoded.same_order)?;
         let stored_guard = decoded
             .guard
@@ -985,9 +1020,18 @@ impl BatchRunner {
             resumed_from: Some(decoded.completed_passes),
         };
         let guard_blob = decoded.guard.map(|(_, _, blob)| blob);
+        let hook_sink = sink.clone();
         let mut hook = |b: PassBoundary<'_, A>| -> Result<(), RunError> {
+            let t0 = hook_sink.is_enabled().then(Instant::now);
             let payload = encode_boundary(&b).map_err(ckpt_err)?;
-            write_checkpoint_file(path, &payload).map_err(ckpt_err)
+            write_checkpoint_file(path, &payload).map_err(ckpt_err)?;
+            if let Some(t0) = t0 {
+                hook_sink.record_checkpoint_write(
+                    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    payload.len() as u64,
+                );
+            }
+            Ok(())
         };
         Self::execute(
             decoded.states,
@@ -997,6 +1041,7 @@ impl BatchRunner {
             decoded.completed_passes,
             carry,
             guard_blob,
+            &sink,
             Some(&mut hook),
         )
     }
@@ -1037,6 +1082,7 @@ impl BatchRunner {
         start_pass: usize,
         carry: RunCarry,
         guard_blob: Option<Vec<u8>>,
+        sink: &Metrics,
         mut ckpt: Option<BoundaryHook<'_, A>>,
     ) -> Result<BatchOutcome<A::Output>, RunError>
     where
@@ -1078,9 +1124,12 @@ impl BatchRunner {
         let mut peak = PeakTracker::new();
         peak.observe(carry.driver_peak);
         let mut processed = carry.processed;
+        let mut pass_metrics: Vec<PassMetrics> = Vec::new();
         let scope_result = crossbeam::thread::scope(|scope| -> Result<_, RunError> {
             for pass in start_pass..passes {
                 let items = source.items_for(pass);
+                let pass_t0 = sink.is_enabled().then(Instant::now);
+                let items_before = processed;
                 if threads > 1 {
                     let fanout = driven.fanout_mut();
                     let instance_states = std::mem::take(&mut fanout.states);
@@ -1112,6 +1161,22 @@ impl BatchRunner {
                 }
                 let res = driven.drive(pass, items, cfg.slice_dispatch, &mut peak, &mut processed);
                 driven.fanout_mut().join_pass_workers();
+                if let Some(t0) = pass_t0 {
+                    // Per-pass aggregate: `peak_bytes` is the batch's live
+                    // state across all instances at the boundary (the
+                    // residency a budget would see), not any single
+                    // instance's peak — those are in the per-instance
+                    // reports.
+                    pass_metrics.push(PassMetrics {
+                        pass: pass as u32,
+                        wall_nanos: u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                        items: (processed - items_before) as u64,
+                        slices: 0,
+                        lists: 0,
+                        peak_bytes: driven.fanout().total_live_bytes() as u64,
+                        series: Vec::new(),
+                    });
+                }
                 res?;
                 // Pass boundary: every instance is back on this thread.
                 if let Some(limit) = cfg.budget.max_total_bytes {
@@ -1153,6 +1218,27 @@ impl BatchRunner {
             per_instance.push(report);
             outputs.push(output);
         }
+        let metrics = sink.snapshot().map(|base| {
+            let mut counters = ObsCounters::default();
+            let mut instance_peak = 0usize;
+            for r in &per_instance {
+                if let Some(c) = &r.counters {
+                    counters.merge(c);
+                }
+                instance_peak = instance_peak.max(r.peak_state_bytes);
+            }
+            MetricsSnapshot {
+                schema: base.schema,
+                runs: n as u64,
+                passes: pass_metrics,
+                counters,
+                guard,
+                checkpoint: base.checkpoint,
+                retry: base.retry,
+                peak_state_bytes: instance_peak as u64,
+                items_processed: processed as u64,
+            }
+        });
         Ok(BatchOutcome {
             outputs,
             report: BatchReport {
@@ -1165,6 +1251,7 @@ impl BatchRunner {
                 per_instance,
                 guard,
                 resumed_from: carry.resumed_from,
+                metrics,
             },
         })
     }

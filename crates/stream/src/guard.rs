@@ -545,6 +545,10 @@ impl<A: MultiPassAlgorithm> MultiPassAlgorithm for Guarded<A> {
         Some(self.stats)
     }
 
+    fn obs_counters(&self) -> Option<crate::obs::ObsCounters> {
+        self.inner.obs_counters()
+    }
+
     fn finish(self) -> A::Output {
         self.inner.finish()
     }

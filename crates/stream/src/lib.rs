@@ -30,6 +30,11 @@
 //!   versioned, checksummed, atomically-written on-disk container behind
 //!   [`batch::BatchRunner::resume`],
 //! * [`meter::SpaceUsage`] — how algorithms report their live state size,
+//! * [`obs`] — structured run metrics: an enable-at-construction
+//!   [`obs::Metrics`] sink the drivers and algorithms report per-pass
+//!   timings, space time-series, and sampler/guard/checkpoint counters
+//!   into, exported as versioned one-line JSON and guaranteed not to
+//!   change what any run computes,
 //! * [`hashing`] and [`sampling`] — seeded hash families and the edge/pair
 //!   samplers (threshold, bottom-k, reservoir) that realize the paper's
 //!   "sample a uniform size-m′ subset" steps,
@@ -49,6 +54,7 @@ pub mod guard;
 pub mod hashing;
 pub mod item;
 pub mod meter;
+pub mod obs;
 pub mod order;
 pub mod runner;
 pub mod sampling;
@@ -66,10 +72,12 @@ pub use guard::{GuardPolicy, Guarded};
 pub use hashing::{FastBuildHasher, FastMap, FastSet};
 pub use item::StreamItem;
 pub use meter::SpaceUsage;
+pub use obs::{Metrics, MetricsSnapshot, ObsCounters, METRICS_SCHEMA_VERSION};
 pub use order::{StreamOrder, WithinListOrder};
 pub use runner::{
-    drive_pass_slice, run_item_passes, run_slice_passes, GuardStats, MultiPassAlgorithm,
-    PassOrders, RunError, RunReport, Runner,
+    drive_pass_slice, run_item_passes, run_item_passes_observed, run_slice_passes,
+    run_slice_passes_observed, GuardStats, MultiPassAlgorithm, PassOrders, RunError, RunReport,
+    Runner,
 };
 pub use trace::{ItemTrace, TraceError, ADJB_MAGIC, ADJB_VERSION};
 pub use validate::{validate_online, validate_stream, OnlineValidator, StreamError, ValidatorMode};

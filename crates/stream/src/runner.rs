@@ -14,6 +14,7 @@ use adjstream_graph::{Graph, VertexId};
 use crate::adjlist::AdjListStream;
 use crate::item::StreamItem;
 use crate::meter::{PeakTracker, SpaceUsage};
+use crate::obs::{Metrics, MetricsSnapshot, ObsCounters, RunObserver};
 use crate::order::StreamOrder;
 use crate::validate::StreamError;
 
@@ -101,6 +102,17 @@ pub trait MultiPassAlgorithm: SpaceUsage {
     /// Ingestion-guard statistics to publish in the [`RunReport`], if this
     /// algorithm collects any (see [`crate::guard::Guarded`]).
     fn guard_stats(&self) -> Option<GuardStats> {
+        None
+    }
+
+    /// Sampler/watcher lifecycle counters to publish in a
+    /// [`MetricsSnapshot`], if this algorithm accumulates any.
+    ///
+    /// The counters must be deterministic properties of the run —
+    /// maintained whether or not a metrics sink is attached — so
+    /// observability can never change what a run computes. Wrappers
+    /// ([`crate::guard::Guarded`], multi-level fan-outs) delegate or merge.
+    fn obs_counters(&self) -> Option<ObsCounters> {
         None
     }
 
@@ -253,7 +265,7 @@ pub struct GuardStats {
 }
 
 /// Execution summary of a run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunReport {
     /// High-water mark of the algorithm's reported state, in bytes, sampled
     /// at every adjacency-list boundary.
@@ -264,6 +276,13 @@ pub struct RunReport {
     pub passes: usize,
     /// Ingestion-guard counters, when the algorithm was wrapped in one.
     pub guard: Option<GuardStats>,
+    /// Structured observations of the run — `Some` only for the
+    /// `*_observed` entry points given an enabled [`Metrics`] sink. The
+    /// deterministic fields (`peak_state_bytes`, per-pass items/lists,
+    /// sampler counters, guard counters) duplicate what the report and
+    /// algorithm already expose; wall times are the only
+    /// non-reproducible content.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 /// Drive one pass of `items` through `algo`: announce the pass and every
@@ -285,13 +304,41 @@ where
     A: MultiPassAlgorithm,
     I: IntoIterator<Item = StreamItem>,
 {
+    drive_pass_observed(
+        algo,
+        pass,
+        items,
+        peak,
+        processed,
+        &mut RunObserver::disabled(),
+    )
+}
+
+/// [`drive_pass`] with an attached [`RunObserver`]. The observer is
+/// consulted only at the boundaries where the driver already samples
+/// state, so a disabled observer keeps the unobserved hot path.
+pub(crate) fn drive_pass_observed<A, I>(
+    algo: &mut A,
+    pass: usize,
+    items: I,
+    peak: &mut PeakTracker,
+    processed: &mut usize,
+    obs: &mut RunObserver,
+) -> Result<(), RunError>
+where
+    A: MultiPassAlgorithm,
+    I: IntoIterator<Item = StreamItem>,
+{
+    obs.begin_pass(pass, *processed);
     algo.begin_pass(pass);
     let mut current: Option<VertexId> = None;
     for item in items {
         if current != Some(item.src) {
             if let Some(prev) = current {
                 algo.end_list(prev);
-                peak.observe(algo.space_bytes());
+                let bytes = algo.space_bytes();
+                peak.observe(bytes);
+                obs.boundary(bytes, *processed);
             }
             algo.begin_list(item.src);
             current = Some(item.src);
@@ -307,10 +354,14 @@ where
     }
     if let Some(prev) = current {
         algo.end_list(prev);
-        peak.observe(algo.space_bytes());
+        let bytes = algo.space_bytes();
+        peak.observe(bytes);
+        obs.boundary(bytes, *processed);
     }
     algo.end_pass(pass);
-    peak.observe(algo.space_bytes());
+    let bytes = algo.space_bytes();
+    peak.observe(bytes);
+    obs.end_pass(bytes, *processed);
     if let Some(error) = algo.abort_error() {
         return Err(RunError::Invalid { pass, error });
     }
@@ -343,6 +394,30 @@ pub fn drive_pass_slice<A>(
 where
     A: MultiPassAlgorithm,
 {
+    drive_pass_slice_observed(
+        algo,
+        pass,
+        items,
+        peak,
+        processed,
+        &mut RunObserver::disabled(),
+    )
+}
+
+/// [`drive_pass_slice`] with an attached [`RunObserver`]; same
+/// boundary-only consultation contract as [`drive_pass_observed`].
+pub(crate) fn drive_pass_slice_observed<A>(
+    algo: &mut A,
+    pass: usize,
+    items: &[StreamItem],
+    peak: &mut PeakTracker,
+    processed: &mut usize,
+    obs: &mut RunObserver,
+) -> Result<(), RunError>
+where
+    A: MultiPassAlgorithm,
+{
+    obs.begin_pass(pass, *processed);
     algo.begin_pass(pass);
     let mut start = 0usize;
     while start < items.len() {
@@ -354,8 +429,11 @@ where
         algo.begin_list(src);
         algo.feed_slice(&items[start..end]);
         *processed += end - start;
+        obs.slice();
         algo.end_list(src);
-        peak.observe(algo.space_bytes());
+        let bytes = algo.space_bytes();
+        peak.observe(bytes);
+        obs.boundary(bytes, *processed);
         if let Some(error) = algo.abort_error() {
             return Err(RunError::Invalid { pass, error });
         }
@@ -365,7 +443,9 @@ where
         start = end;
     }
     algo.end_pass(pass);
-    peak.observe(algo.space_bytes());
+    let bytes = algo.space_bytes();
+    peak.observe(bytes);
+    obs.end_pass(bytes, *processed);
     if let Some(error) = algo.abort_error() {
         return Err(RunError::Invalid { pass, error });
     }
@@ -382,8 +462,25 @@ where
 /// corrupted sequences from [`crate::fault::FaultPlan`], which may replay
 /// *differently* per pass to model reorder faults.
 pub fn run_item_passes<A, F, I>(
+    algo: A,
+    items_for_pass: F,
+) -> Result<(A::Output, RunReport), RunError>
+where
+    A: MultiPassAlgorithm,
+    F: FnMut(usize) -> I,
+    I: IntoIterator<Item = StreamItem>,
+{
+    run_item_passes_observed(algo, items_for_pass, &Metrics::disabled())
+}
+
+/// [`run_item_passes`] reporting into a [`Metrics`] sink: with an enabled
+/// sink the returned [`RunReport::metrics`] carries the run's snapshot
+/// and the sink absorbs it; with a disabled sink this *is*
+/// [`run_item_passes`] — outputs and reports are bit-for-bit identical.
+pub fn run_item_passes_observed<A, F, I>(
     mut algo: A,
     mut items_for_pass: F,
+    sink: &Metrics,
 ) -> Result<(A::Output, RunReport), RunError>
 where
     A: MultiPassAlgorithm,
@@ -392,26 +489,48 @@ where
 {
     let mut peak = PeakTracker::new();
     let mut processed = 0usize;
+    let mut obs = RunObserver::for_sink(sink);
     let passes = algo.passes();
     for pass in 0..passes {
-        drive_pass(
+        drive_pass_observed(
             &mut algo,
             pass,
             items_for_pass(pass),
             &mut peak,
             &mut processed,
+            &mut obs,
         )?;
     }
+    Ok(finish_run(algo, peak, processed, passes, obs, sink))
+}
+
+/// Package a completed run: pull guard stats and sampler counters through
+/// the trait hooks, fold the observer into a snapshot, and absorb it into
+/// the sink.
+fn finish_run<A: MultiPassAlgorithm>(
+    algo: A,
+    peak: PeakTracker,
+    processed: usize,
+    passes: usize,
+    obs: RunObserver,
+    sink: &Metrics,
+) -> (A::Output, RunReport) {
     let guard = algo.guard_stats();
-    Ok((
+    let counters = algo.obs_counters();
+    let metrics = obs.into_snapshot(peak.peak(), processed, guard, counters);
+    if let Some(snap) = &metrics {
+        sink.absorb(snap);
+    }
+    (
         algo.finish(),
         RunReport {
             peak_state_bytes: peak.peak(),
             items_processed: processed,
             passes,
             guard,
+            metrics,
         },
-    ))
+    )
 }
 
 /// Run `algo` over explicit per-pass item slices with slice-batched
@@ -422,8 +541,24 @@ where
 /// `items_for_pass` is called once per pass and may return anything that
 /// derefs to a slice (a borrowed `&[StreamItem]`, a `Vec`, …).
 pub fn run_slice_passes<A, F, I>(
+    algo: A,
+    items_for_pass: F,
+) -> Result<(A::Output, RunReport), RunError>
+where
+    A: MultiPassAlgorithm,
+    F: FnMut(usize) -> I,
+    I: AsRef<[StreamItem]>,
+{
+    run_slice_passes_observed(algo, items_for_pass, &Metrics::disabled())
+}
+
+/// [`run_slice_passes`] reporting into a [`Metrics`] sink — the
+/// slice-dispatch counterpart of [`run_item_passes_observed`], with the
+/// same disabled-sink identity guarantee.
+pub fn run_slice_passes_observed<A, F, I>(
     mut algo: A,
     mut items_for_pass: F,
+    sink: &Metrics,
 ) -> Result<(A::Output, RunReport), RunError>
 where
     A: MultiPassAlgorithm,
@@ -432,21 +567,20 @@ where
 {
     let mut peak = PeakTracker::new();
     let mut processed = 0usize;
+    let mut obs = RunObserver::for_sink(sink);
     let passes = algo.passes();
     for pass in 0..passes {
         let items = items_for_pass(pass);
-        drive_pass_slice(&mut algo, pass, items.as_ref(), &mut peak, &mut processed)?;
+        drive_pass_slice_observed(
+            &mut algo,
+            pass,
+            items.as_ref(),
+            &mut peak,
+            &mut processed,
+            &mut obs,
+        )?;
     }
-    let guard = algo.guard_stats();
-    Ok((
-        algo.finish(),
-        RunReport {
-            peak_state_bytes: peak.peak(),
-            items_processed: processed,
-            passes,
-            guard,
-        },
-    ))
+    Ok(finish_run(algo, peak, processed, passes, obs, sink))
 }
 
 /// Drives algorithms over graphs and records space usage.
@@ -458,27 +592,38 @@ impl Runner {
     /// reporting failures as typed [`RunError`]s instead of panicking.
     pub fn try_run<A: MultiPassAlgorithm>(
         graph: &Graph,
+        algo: A,
+        orders: &PassOrders,
+    ) -> Result<(A::Output, RunReport), RunError> {
+        Self::try_run_observed(graph, algo, orders, &Metrics::disabled())
+    }
+
+    /// [`Runner::try_run`] reporting into a [`Metrics`] sink: an enabled
+    /// sink fills [`RunReport::metrics`] and absorbs the run's snapshot; a
+    /// disabled sink reproduces [`Runner::try_run`] bit for bit.
+    pub fn try_run_observed<A: MultiPassAlgorithm>(
+        graph: &Graph,
         mut algo: A,
         orders: &PassOrders,
+        sink: &Metrics,
     ) -> Result<(A::Output, RunReport), RunError> {
         orders.check(algo.passes(), algo.requires_same_order())?;
         let mut peak = PeakTracker::new();
         let mut processed = 0usize;
+        let mut obs = RunObserver::for_sink(sink);
         let passes = algo.passes();
         for pass in 0..passes {
             let stream = AdjListStream::new(graph, orders.order_for(pass).clone());
-            drive_pass(&mut algo, pass, stream.items(), &mut peak, &mut processed)?;
+            drive_pass_observed(
+                &mut algo,
+                pass,
+                stream.items(),
+                &mut peak,
+                &mut processed,
+                &mut obs,
+            )?;
         }
-        let guard = algo.guard_stats();
-        Ok((
-            algo.finish(),
-            RunReport {
-                peak_state_bytes: peak.peak(),
-                items_processed: processed,
-                passes,
-                guard,
-            },
-        ))
+        Ok(finish_run(algo, peak, processed, passes, obs, sink))
     }
 
     /// Run `algo` to completion over `graph` streamed per `orders`.

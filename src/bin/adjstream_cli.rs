@@ -184,10 +184,12 @@ const USAGE: &str = "usage:
   adjstream-cli estimate FILE --kind <triangles|c4> [--epsilon E] [--delta D] [--t-lower T] [--seed S]
                 [--engine batched|sequential] [--max-bytes N|auto] [--max-total-bytes N]
                 [--deadline-secs S] [--min-survivors Q] [--checkpoint-dir DIR] [--resume]
+                [--metrics-out FILE]
   adjstream-cli stream FILE [--seed S] [-o FILE]
   adjstream-cli validate-stream FILE [--mode offline|online|bounded] [--seed S] [--window W] [--retries N]
   adjstream-cli corrupt FILE --faults KIND[:N][,KIND[:N]...] [--seed S] [-o FILE] [--replay-o FILE]
   adjstream-cli estimate-stream FILE [--budget K] [--seed S] [--policy strict|repair|observe] [--retries N]
+                [--metrics-out FILE]
   adjstream-cli convert-trace FILE -o FILE [--format adjb|text]
   adjstream-cli gadget <fig-a|fig-b|fig-c|fig-d|fig-e> [--key value ...] [--answer yes|no] [-o FILE]
 
@@ -388,6 +390,21 @@ fn parse_budget_flags(
     Ok(budget)
 }
 
+/// Write a run's [`MetricsSnapshot`](adjstream::stream::MetricsSnapshot)
+/// as one-line JSON to `path`. Collection is enabled whenever
+/// `--metrics-out` is present, so a missing snapshot is an internal bug.
+fn write_metrics(
+    metrics: Option<&adjstream::stream::MetricsSnapshot>,
+    path: &str,
+) -> Result<(), CliFailure> {
+    let snap = metrics
+        .ok_or_else(|| CliFailure::io("run produced no metrics snapshot (internal error)"))?;
+    std::fs::write(path, format!("{}\n", snap.to_json()))
+        .map_err(|e| CliFailure::io(format!("cannot write metrics to {path}: {e}")))?;
+    eprintln!("metrics       written to {path}");
+    Ok(())
+}
+
 fn print_estimate(est: &CountEstimate, g: &Graph, acc: &Accuracy, suffix: &str) {
     println!("estimate      {:.1}{suffix}", est.count);
     println!("edge budget   {} of {}", est.budget, g.edge_count());
@@ -425,6 +442,7 @@ fn cmd_estimate(args: &[String]) -> Result<(), CliFailure> {
         ),
         None => None,
     };
+    let metrics_out = flags.get("metrics-out").cloned();
     let acc = Accuracy {
         epsilon,
         delta: get(&flags, "delta", 0.1)?,
@@ -433,6 +451,7 @@ fn cmd_estimate(args: &[String]) -> Result<(), CliFailure> {
         engine,
         budget,
         min_survivors,
+        collect_metrics: metrics_out.is_some(),
     };
     let order = StreamOrder::shuffled(g.vertex_count(), acc.seed);
     let kind = flags.get("kind").map(String::as_str).unwrap_or("triangles");
@@ -460,6 +479,9 @@ fn cmd_estimate(args: &[String]) -> Result<(), CliFailure> {
                 },
             };
             print_estimate(&est, &g, &acc, "");
+            if let Some(path) = &metrics_out {
+                write_metrics(est.metrics.as_ref(), path)?;
+            }
         }
         "c4" => {
             if checkpoint_dir.is_some() {
@@ -471,6 +493,9 @@ fn cmd_estimate(args: &[String]) -> Result<(), CliFailure> {
             let o2 = StreamOrder::shuffled(g.vertex_count(), acc.seed ^ 0xC4);
             let est = try_estimate_four_cycles(&g, [&order, &o2], t_lower, acc)?;
             print_estimate(&est, &g, &acc, " (O(1)-factor approximation)");
+            if let Some(path) = &metrics_out {
+                write_metrics(est.metrics.as_ref(), path)?;
+            }
         }
         other => return Err(CliFailure::usage(format!("unknown kind {other:?}"))),
     }
@@ -661,9 +686,11 @@ fn write_items(items: &[StreamItem], out: Option<&String>) -> Result<(), String>
 fn cmd_estimate_stream(args: &[String]) -> Result<(), CliFailure> {
     use adjstream::algo::common::EdgeSampling;
     use adjstream::algo::triangle::{TwoPassTriangle, TwoPassTriangleConfig};
-    use adjstream::stream::{GuardPolicy, Guarded};
+    use adjstream::stream::{run_slice_passes_observed, GuardPolicy, Guarded, Metrics};
     let path = args.first().ok_or("missing stream file")?;
     let flags = parse_flags(&args[1..])?;
+    let metrics_out = flags.get("metrics-out").cloned();
+    let sink = Metrics::from_flag(metrics_out.is_some());
     let policy = flags
         .get("policy")
         .map(|p| {
@@ -681,6 +708,7 @@ fn cmd_estimate_stream(args: &[String]) -> Result<(), CliFailure> {
     if attempts > 1 {
         eprintln!("note: read succeeded after {attempts} attempts");
     }
+    sink.record_retries(attempts as u64);
     let m = trace.edges();
     let budget: usize = get(&flags, "budget", (m / 10).max(16))?;
     let seed: u64 = get(&flags, "seed", 2019)?;
@@ -693,15 +721,15 @@ fn cmd_estimate_stream(args: &[String]) -> Result<(), CliFailure> {
     let (est, report) = match policy {
         None => {
             println!("stream        {} items, {m} edges (validated)", trace.len());
-            trace.run(algo)
+            run_slice_passes_observed(algo, |_pass| trace.items(), &sink)
+                .unwrap_or_else(|e| panic!("stream validation failed: {e}"))
         }
         Some(policy) => {
             println!(
                 "stream        {} items (guard policy: {policy})",
                 trace.len()
             );
-            trace
-                .try_run(Guarded::new(algo, policy))
+            run_slice_passes_observed(Guarded::new(algo, policy), |_pass| trace.items(), &sink)
                 .map_err(|e| CliFailure::from(EstimateError::Run(e)))?
         }
     };
@@ -714,6 +742,9 @@ fn cmd_estimate_stream(args: &[String]) -> Result<(), CliFailure> {
             stats.faults_detected, stats.items_repaired, stats.edges_quarantined
         );
         println!("guard state   {} bytes peak", stats.validator_peak_bytes);
+    }
+    if let Some(path) = &metrics_out {
+        write_metrics(report.metrics.as_ref(), path)?;
     }
     Ok(())
 }
@@ -1079,6 +1110,69 @@ mod tests {
         .unwrap_err();
         assert_eq!((err.exit, err.kind), (EXIT_IO, "io"));
         assert!(err.message.contains("gave up after 2"), "{}", err.message);
+    }
+
+    #[test]
+    fn metrics_out_writes_schema_versioned_json() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let gs = temp_graph("metrics");
+        let ss = dir
+            .join(format!("adjstream-cli-metrics-s-{pid}.txt"))
+            .to_string_lossy()
+            .to_string();
+        let m1 = dir
+            .join(format!("adjstream-cli-metrics-1-{pid}.json"))
+            .to_string_lossy()
+            .to_string();
+        let m2 = dir
+            .join(format!("adjstream-cli-metrics-2-{pid}.json"))
+            .to_string_lossy()
+            .to_string();
+        run(&args(&[
+            "estimate",
+            &gs,
+            "--t-lower",
+            "50",
+            "--metrics-out",
+            &m1,
+        ]))
+        .unwrap();
+        let body = std::fs::read_to_string(&m1).unwrap();
+        assert!(body.starts_with("{\"schema\": 1,"), "{body}");
+        assert!(body.contains("\"peak_state_bytes\":"), "{body}");
+        assert!(body.contains("\"sampler\":"), "{body}");
+        // Sequential engine reports through the same sink.
+        run(&args(&[
+            "estimate",
+            &gs,
+            "--t-lower",
+            "50",
+            "--engine",
+            "sequential",
+            "--metrics-out",
+            &m1,
+        ]))
+        .unwrap();
+        assert!(std::fs::read_to_string(&m1)
+            .unwrap()
+            .starts_with("{\"schema\": 1,"));
+        run(&args(&["stream", &gs, "--seed", "3", "-o", &ss])).unwrap();
+        run(&args(&[
+            "estimate-stream",
+            &ss,
+            "--budget",
+            "40",
+            "--metrics-out",
+            &m2,
+        ]))
+        .unwrap();
+        let body = std::fs::read_to_string(&m2).unwrap();
+        assert!(body.starts_with("{\"schema\": 1,"), "{body}");
+        assert!(body.contains("\"retry\":"), "{body}");
+        for f in [&gs, &ss, &m1, &m2] {
+            std::fs::remove_file(f).ok();
+        }
     }
 
     #[test]
