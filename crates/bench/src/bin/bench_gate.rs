@@ -1,5 +1,5 @@
-//! Warn-only bench-regression gate: compare freshly produced `BENCH_*.json`
-//! files against committed baselines and flag throughput drops.
+//! Bench-regression gate: compare freshly produced `BENCH_*.json` files
+//! against committed baselines and flag throughput drops.
 //!
 //! ```text
 //! bench_gate BASELINE.json CURRENT.json [BASELINE2.json CURRENT2.json ...]
@@ -9,23 +9,31 @@
 //! per line with string labels and an `items_per_sec` field; the gate
 //! matches rows across the two files by their concatenated string labels
 //! and compares throughput. A row is flagged when current throughput falls
-//! below `(1 − tolerance) ×` baseline (`BENCH_GATE_TOLERANCE`, default
-//! 0.25 — CI runners are noisy and this gate is advisory).
+//! below `(1 − tolerance) ×` baseline.
 //!
-//! The exit code is always 0 unless `BENCH_GATE_STRICT=1`, in which case
-//! any flagged row fails the run. Baselines live in
-//! `crates/bench/baselines/` and are refreshed deliberately, by committing
-//! a new file — never automatically.
+//! The tolerance is resolved per row, most specific wins: a `"tol"` field
+//! on the baseline row itself, else a top-level `"gate_tolerance"` field
+//! in the baseline file, else `BENCH_GATE_TOLERANCE`, else 0.25. Shared CI
+//! runners are noisy, so committed baselines carry generous file-level
+//! tolerances and reserve row-level `"tol"` for known-jittery cases.
+//!
+//! With `BENCH_GATE_STRICT=1` any flagged row fails the run (this is how
+//! CI invokes it); `BENCH_GATE_WARN_ONLY=1` is the escape hatch that
+//! downgrades a strict run back to advisory without editing the workflow.
+//! Baselines live in `crates/bench/baselines/` and are refreshed
+//! deliberately, by committing a new file — never automatically.
 
 use adjstream_bench::report::Table;
 use std::process::ExitCode;
 
 /// One bench row: its identifying label (the row's string field values
-/// joined with `/`) and its throughput.
+/// joined with `/`), its throughput, and an optional row-level tolerance
+/// override (`"tol"` on baseline rows).
 #[derive(Debug, PartialEq)]
 struct BenchRow {
     label: String,
     items_per_sec: f64,
+    tol: Option<f64>,
 }
 
 /// Extract `"key": "value"` string fields from a single row line, in
@@ -42,14 +50,34 @@ fn string_values(line: &str) -> Vec<&str> {
     out
 }
 
-/// Extract the number following `"items_per_sec": ` on the line.
-fn items_per_sec(line: &str) -> Option<f64> {
-    let idx = line.find("\"items_per_sec\":")?;
-    let after = line[idx + "\"items_per_sec\":".len()..].trim_start();
+/// Extract the number following `"<key>": ` in the text.
+fn num_field(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let idx = text.find(&needle)?;
+    let after = text[idx + needle.len()..].trim_start();
     let end = after
         .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
         .unwrap_or(after.len());
     after[..end].parse().ok()
+}
+
+/// Extract the number following `"items_per_sec": ` on the line.
+fn items_per_sec(line: &str) -> Option<f64> {
+    num_field(line, "items_per_sec")
+}
+
+/// A valid tolerance is a finite fraction strictly between 0 and 1.
+fn valid_tol(t: f64) -> Option<f64> {
+    (t.is_finite() && t > 0.0 && t < 1.0).then_some(t)
+}
+
+/// The baseline file's top-level `"gate_tolerance"` field, if present on
+/// a line of its own (i.e. not inside a row object).
+fn file_tolerance(text: &str) -> Option<f64> {
+    text.lines()
+        .filter(|l| !l.contains("items_per_sec"))
+        .find_map(|l| num_field(l, "gate_tolerance"))
+        .and_then(valid_tol)
 }
 
 /// Parse every row object carrying an `items_per_sec` field. The bench
@@ -66,16 +94,17 @@ fn parse_rows(text: &str) -> Vec<BenchRow> {
             Some(BenchRow {
                 label: labels.join("/"),
                 items_per_sec: ips,
+                tol: num_field(line, "tol").and_then(valid_tol),
             })
         })
         .collect()
 }
 
-fn tolerance() -> f64 {
+fn env_tolerance() -> f64 {
     std::env::var("BENCH_GATE_TOLERANCE")
         .ok()
         .and_then(|v| v.parse().ok())
-        .filter(|t: &f64| t.is_finite() && *t > 0.0 && *t < 1.0)
+        .and_then(valid_tol)
         .unwrap_or(0.25)
 }
 
@@ -85,14 +114,16 @@ fn main() -> ExitCode {
         eprintln!("usage: bench_gate BASELINE.json CURRENT.json [...]");
         return ExitCode::from(2);
     }
-    let tol = tolerance();
-    let strict = std::env::var("BENCH_GATE_STRICT").as_deref() == Ok("1");
+    let env_tol = env_tolerance();
+    let strict = std::env::var("BENCH_GATE_STRICT").as_deref() == Ok("1")
+        && std::env::var("BENCH_GATE_WARN_ONLY").as_deref() != Ok("1");
     let mut table = Table::new([
         "bench pair",
         "row",
         "baseline",
         "current",
         "ratio",
+        "tol",
         "status",
     ]);
     let mut regressions = 0usize;
@@ -105,7 +136,9 @@ fn main() -> ExitCode {
                 String::new()
             })
         };
-        let base_rows = parse_rows(&read(base_path));
+        let base_text = read(base_path);
+        let file_tol = file_tolerance(&base_text);
+        let base_rows = parse_rows(&base_text);
         let cur_rows = parse_rows(&read(cur_path));
         let pair_name = format!(
             "{} vs {}",
@@ -120,12 +153,15 @@ fn main() -> ExitCode {
                     format!("{:.3e}", b.items_per_sec),
                     "missing".into(),
                     "-".into(),
+                    "-".into(),
                     "MISSING".into(),
                 ]);
                 regressions += 1;
                 continue;
             };
             compared += 1;
+            // Most specific tolerance wins: row > file > env/default.
+            let tol = b.tol.or(file_tol).unwrap_or(env_tol);
             let ratio = c.items_per_sec / b.items_per_sec;
             let status = if ratio < 1.0 - tol {
                 regressions += 1;
@@ -139,14 +175,14 @@ fn main() -> ExitCode {
                 format!("{:.3e}", b.items_per_sec),
                 format!("{:.3e}", c.items_per_sec),
                 format!("{ratio:.3}"),
+                format!("{tol:.2}"),
                 status.into(),
             ]);
         }
     }
     eprintln!("{}", table.render());
     eprintln!(
-        "bench_gate: {compared} rows compared, {regressions} flagged \
-         (tolerance {tol:.2}, {})",
+        "bench_gate: {compared} rows compared, {regressions} flagged ({})",
         if strict { "strict" } else { "warn-only" }
     );
     if regressions > 0 && strict {
@@ -168,6 +204,26 @@ mod tests {
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].label, "plain");
         assert_eq!(rows[0].items_per_sec, 1_500_000.0);
+        assert_eq!(rows[0].tol, None);
+    }
+
+    #[test]
+    fn row_level_tol_is_parsed_and_validated() {
+        let row = "{\"variant\": \"noisy\", \"tol\": 0.7, \"items_per_sec\": 1e6}";
+        assert_eq!(parse_rows(row)[0].tol, Some(0.7));
+        let bad = "{\"variant\": \"noisy\", \"tol\": 1.7, \"items_per_sec\": 1e6}";
+        assert_eq!(parse_rows(bad)[0].tol, None);
+    }
+
+    #[test]
+    fn file_tolerance_reads_top_level_field_only() {
+        let text = "{\n  \"bench\": \"x\",\n  \"gate_tolerance\": 0.6,\n  \
+                    {\"variant\": \"a\", \"items_per_sec\": 1e6},\n}\n";
+        assert_eq!(file_tolerance(text), Some(0.6));
+        // A `gate_tolerance` that only appears inside a row line is ignored.
+        let inline = "{\"variant\": \"a\", \"gate_tolerance\": 0.9, \"items_per_sec\": 1e6}";
+        assert_eq!(file_tolerance(inline), None);
+        assert_eq!(file_tolerance("{}"), None);
     }
 
     #[test]

@@ -31,10 +31,31 @@ pub mod channel {
     #[derive(Debug)]
     pub struct SendError<T>(pub T);
 
+    /// Error returned by [`Sender::try_send`]: either the channel is at
+    /// capacity or the receiving side has been dropped. Carries the unsent
+    /// value back in both cases.
+    #[derive(Debug)]
+    pub enum TrySendError<T> {
+        /// The channel buffer is full (or, for a rendezvous channel, no
+        /// receiver is currently blocked in `recv`).
+        Full(T),
+        /// The receiving side has been dropped.
+        Disconnected(T),
+    }
+
     /// Error returned by [`Receiver::recv`] when every sender is gone and
     /// the buffer is drained.
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No value arrived within the timeout.
+        Timeout,
+        /// Every sender is gone and the buffer is drained.
+        Disconnected,
+    }
 
     impl<T> Sender<T> {
         /// Send `value`, blocking while the channel is at capacity.
@@ -42,6 +63,17 @@ pub mod channel {
             self.0
                 .send(value)
                 .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+
+        /// Attempt to send `value` without blocking; fails immediately with
+        /// [`TrySendError::Full`] when the channel is at capacity. This is
+        /// the primitive behind typed backpressure: a full intake queue is
+        /// reported to the caller instead of buffered without bound.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            self.0.try_send(value).map_err(|e| match e {
+                mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+            })
         }
     }
 
@@ -53,6 +85,22 @@ pub mod channel {
         /// sender is dropped.
         pub fn recv(&self) -> Result<T, RecvError> {
             self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Receive the next value, blocking for at most `timeout`.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+
+        /// Receive a value only if one is already buffered; never blocks.
+        pub fn try_recv(&self) -> Result<T, RecvTimeoutError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => RecvTimeoutError::Timeout,
+                mpsc::TryRecvError::Disconnected => RecvTimeoutError::Disconnected,
+            })
         }
 
         /// Blocking iterator over received values; ends when every sender
@@ -147,6 +195,37 @@ mod tests {
         drop(tx);
         assert_eq!(rx.recv(), Ok(7));
         assert_eq!(rx.recv(), Err(super::channel::RecvError));
+    }
+
+    #[test]
+    fn try_send_reports_full_without_blocking() {
+        let (tx, rx) = super::channel::bounded::<u8>(1);
+        assert!(tx.try_send(1).is_ok());
+        match tx.try_send(2) {
+            Err(super::channel::TrySendError::Full(2)) => {}
+            other => panic!("expected Full(2), got {other:?}"),
+        }
+        drop(rx);
+        match tx.try_send(3) {
+            Err(super::channel::TrySendError::Disconnected(3)) => {}
+            other => panic!("expected Disconnected(3), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recv_timeout_times_out_and_delivers() {
+        let (tx, rx) = super::channel::bounded::<u8>(1);
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(5)),
+            Err(super::channel::RecvTimeoutError::Timeout)
+        );
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_millis(5)), Ok(9));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(5)),
+            Err(super::channel::RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]

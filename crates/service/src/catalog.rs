@@ -1,0 +1,249 @@
+//! The trace catalog: named, validated `.adjb` traces jobs run against.
+//!
+//! Registration validates the trace eagerly (model conformance via
+//! [`ItemTrace::read`]) and records its dimensions; jobs then refer to
+//! traces by name, so a submission against a missing or since-deleted
+//! trace is a typed rejection rather than a worker-side I/O surprise.
+//! The catalog persists to `catalog.json` in the state directory and is
+//! reloaded on startup — entries whose backing file vanished are dropped
+//! with a warning rather than poisoning recovery.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use adjstream_stream::trace::ItemTrace;
+
+use crate::json::{obj, parse, Json};
+
+/// One registered trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatalogEntry {
+    /// Catalog name clients refer to.
+    pub name: String,
+    /// Filesystem path of the `.adjb` file.
+    pub path: PathBuf,
+    /// Distinct edges in the trace (each edge appears twice as items).
+    pub edges: usize,
+    /// Total stream items.
+    pub items: usize,
+}
+
+/// Why a registration was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// The file could not be read or failed adjacency-list validation.
+    InvalidTrace(String),
+    /// The name is already registered to a different path.
+    NameTaken(String),
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogError::InvalidTrace(m) => write!(f, "invalid trace: {m}"),
+            CatalogError::NameTaken(n) => write!(f, "name already registered: {n}"),
+        }
+    }
+}
+
+/// The in-memory catalog with on-disk persistence.
+pub struct Catalog {
+    state_dir: PathBuf,
+    entries: Mutex<HashMap<String, CatalogEntry>>,
+}
+
+impl Catalog {
+    /// Open (or create) the catalog persisted under `state_dir`.
+    pub fn open(state_dir: &Path) -> Catalog {
+        let mut entries = HashMap::new();
+        let file = state_dir.join("catalog.json");
+        if let Ok(text) = std::fs::read_to_string(&file) {
+            if let Ok(Json::Arr(items)) = parse(&text) {
+                for item in &items {
+                    let (Some(name), Some(path), Some(edges), Some(count)) = (
+                        item.str_field("name"),
+                        item.str_field("path"),
+                        item.u64_field("edges"),
+                        item.u64_field("items"),
+                    ) else {
+                        continue;
+                    };
+                    let path = PathBuf::from(path);
+                    // A trace deleted while the daemon was down is dropped;
+                    // jobs referencing it will fail typed, not crash.
+                    if !path.exists() {
+                        continue;
+                    }
+                    entries.insert(
+                        name.to_string(),
+                        CatalogEntry {
+                            name: name.to_string(),
+                            path,
+                            edges: edges as usize,
+                            items: count as usize,
+                        },
+                    );
+                }
+            }
+        }
+        Catalog {
+            state_dir: state_dir.to_path_buf(),
+            entries: Mutex::new(entries),
+        }
+    }
+
+    /// Register `path` under `name`, validating the trace eagerly.
+    /// Re-registering the same name with the same path is idempotent.
+    pub fn register(&self, name: &str, path: &Path) -> Result<CatalogEntry, CatalogError> {
+        let file = std::fs::File::open(path)
+            .map_err(|e| CatalogError::InvalidTrace(format!("{}: {e}", path.display())))?;
+        let trace = ItemTrace::read(std::io::BufReader::new(file))
+            .map_err(|e| CatalogError::InvalidTrace(e.to_string()))?;
+        let entry = CatalogEntry {
+            name: name.to_string(),
+            path: path.to_path_buf(),
+            edges: trace.edges(),
+            items: trace.len(),
+        };
+        {
+            let mut entries = self.entries.lock().expect("catalog lock");
+            if let Some(existing) = entries.get(name) {
+                if existing.path != entry.path {
+                    return Err(CatalogError::NameTaken(name.to_string()));
+                }
+            }
+            entries.insert(name.to_string(), entry.clone());
+        }
+        self.persist();
+        Ok(entry)
+    }
+
+    /// Look up a trace by name.
+    pub fn get(&self, name: &str) -> Option<CatalogEntry> {
+        self.entries
+            .lock()
+            .expect("catalog lock")
+            .get(name)
+            .cloned()
+    }
+
+    /// Load the items of a registered trace from disk. The trace was
+    /// validated at registration; this re-validates on read so on-disk
+    /// corruption since then surfaces as a typed error.
+    pub fn load_items(&self, name: &str) -> Result<ItemTrace, String> {
+        let entry = self
+            .get(name)
+            .ok_or_else(|| format!("unknown trace {name:?}"))?;
+        let file = std::fs::File::open(&entry.path)
+            .map_err(|e| format!("{}: {e}", entry.path.display()))?;
+        ItemTrace::read(std::io::BufReader::new(file)).map_err(|e| e.to_string())
+    }
+
+    /// All entries, sorted by name.
+    pub fn list(&self) -> Vec<CatalogEntry> {
+        let mut v: Vec<CatalogEntry> = self
+            .entries
+            .lock()
+            .expect("catalog lock")
+            .values()
+            .cloned()
+            .collect();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
+    }
+
+    fn persist(&self) {
+        let items: Vec<Json> = self
+            .list()
+            .into_iter()
+            .map(|e| {
+                obj(vec![
+                    ("name", Json::Str(e.name)),
+                    ("path", Json::Str(e.path.display().to_string())),
+                    ("edges", Json::Num(e.edges as f64)),
+                    ("items", Json::Num(e.items as f64)),
+                ])
+            })
+            .collect();
+        let path = self.state_dir.join("catalog.json");
+        let tmp = path.with_extension("json.tmp");
+        if std::fs::write(&tmp, format!("{}\n", Json::Arr(items))).is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adjstream_graph::gen;
+    use adjstream_stream::{AdjListStream, StreamOrder};
+
+    fn write_trace(dir: &Path, name: &str) -> PathBuf {
+        let g = gen::disjoint_cliques(3, 5);
+        let items = AdjListStream::new(&g, StreamOrder::natural(g.vertex_count())).collect_items();
+        let trace = ItemTrace::new(items).unwrap();
+        let path = dir.join(name);
+        let mut buf = Vec::new();
+        trace.write_adjb(&mut buf).unwrap();
+        std::fs::write(&path, buf).unwrap();
+        path
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("adjsvc-cat-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn register_validates_and_persists() {
+        let dir = tmp_dir("reg");
+        let path = write_trace(&dir, "g.adjb");
+        let cat = Catalog::open(&dir);
+        let entry = cat.register("g", &path).unwrap();
+        assert!(entry.edges > 0);
+        assert_eq!(entry.items, 2 * entry.edges);
+        // Reload from disk sees the same entry.
+        let cat2 = Catalog::open(&dir);
+        assert_eq!(cat2.get("g"), Some(entry));
+        // Unknown names miss.
+        assert_eq!(cat2.get("nope"), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn register_rejects_garbage_and_name_conflicts() {
+        let dir = tmp_dir("rej");
+        let good = write_trace(&dir, "g.adjb");
+        let bad = dir.join("bad.adjb");
+        std::fs::write(&bad, b"not a trace").unwrap();
+        let cat = Catalog::open(&dir);
+        assert!(matches!(
+            cat.register("bad", &bad),
+            Err(CatalogError::InvalidTrace(_))
+        ));
+        cat.register("g", &good).unwrap();
+        // Same name, same path: idempotent. Same name, new path: conflict.
+        cat.register("g", &good).unwrap();
+        let other = write_trace(&dir, "other.adjb");
+        assert!(matches!(
+            cat.register("g", &other),
+            Err(CatalogError::NameTaken(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reload_drops_vanished_traces() {
+        let dir = tmp_dir("gone");
+        let path = write_trace(&dir, "g.adjb");
+        Catalog::open(&dir).register("g", &path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        let cat = Catalog::open(&dir);
+        assert_eq!(cat.get("g"), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,466 @@
+//! A minimal JSON value type with a hand-rolled parser and serializer.
+//!
+//! The daemon's wire protocol is line-delimited JSON over a Unix socket,
+//! and the workspace is built offline — no `serde`. This module covers
+//! exactly what the protocol needs: objects, arrays, strings (with the
+//! standard escapes), finite numbers, booleans, and `null`. Object key
+//! order is preserved on both parse and serialize so responses are
+//! byte-stable for a given value.
+
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number; stored as `f64` (the protocol's integers all fit).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Look up a key in an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is a number that is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Convenience: `get(key)` then [`Json::as_str`].
+    pub fn str_field(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(Json::as_str)
+    }
+
+    /// Convenience: `get(key)` then [`Json::as_u64`].
+    pub fn u64_field(&self, key: &str) -> Option<u64> {
+        self.get(key).and_then(Json::as_u64)
+    }
+
+    /// Convenience: `get(key)` then [`Json::as_f64`].
+    pub fn f64_field(&self, key: &str) -> Option<f64> {
+        self.get(key).and_then(Json::as_f64)
+    }
+}
+
+/// Escape `s` into `out` as a JSON string literal (including the quotes).
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => f.write_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if !n.is_finite() {
+                    // JSON has no NaN/Inf; the protocol never produces them,
+                    // but a defensive null beats invalid output.
+                    f.write_str("null")
+                } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    // Shortest round-trippable form.
+                    write!(f, "{n:?}")
+                }
+            }
+            Json::Str(s) => {
+                let mut out = String::with_capacity(s.len() + 2);
+                write_escaped(&mut out, s);
+                f.write_str(&out)
+            }
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    v.fmt(f)?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    let mut key = String::with_capacity(k.len() + 2);
+                    write_escaped(&mut key, k);
+                    f.write_str(&key)?;
+                    f.write_str(":")?;
+                    v.fmt(f)?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Build an object from key/value pairs, preserving order.
+pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+    Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Parse one JSON document from `input`, rejecting trailing garbage.
+pub fn parse(input: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing characters at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self
+                .peek()
+                .ok_or_else(|| "unterminated string".to_string())?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by \uDC00–\uDFFF.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let low = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&low) {
+                                        return Err("invalid low surrogate".into());
+                                    }
+                                    let combined = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                                    char::from_u32(combined)
+                                        .ok_or_else(|| "invalid surrogate pair".to_string())?
+                                } else {
+                                    return Err("lone high surrogate".into());
+                                }
+                            } else if (0xDC00..0xE000).contains(&cp) {
+                                return Err("lone low surrogate".into());
+                            } else {
+                                char::from_u32(cp)
+                                    .ok_or_else(|| "invalid \\u escape".to_string())?
+                            };
+                            out.push(c);
+                        }
+                        other => return Err(format!("invalid escape '\\{}'", other as char)),
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8 sequences pass through verbatim; back
+                    // up and take the whole char from the source.
+                    self.pos -= 1;
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                    let c = rest.chars().next().expect("non-empty by peek");
+                    if (c as u32) < 0x20 {
+                        return Err("unescaped control character in string".into());
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err("truncated \\u escape".into());
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| "invalid \\u escape".to_string())?;
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| "invalid \\u escape".to_string())?;
+        self.pos += 4;
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|b| {
+            b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-'
+        }) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_protocol_shapes() {
+        let src = r#"{"op":"submit","trace":"web","kind":"triangles","t_lower":240,"epsilon":0.25,"chaos":null,"tags":["a","b"],"deep":{"x":true}}"#;
+        let v = parse(src).unwrap();
+        assert_eq!(v.str_field("op"), Some("submit"));
+        assert_eq!(v.u64_field("t_lower"), Some(240));
+        assert_eq!(v.f64_field("epsilon"), Some(0.25));
+        assert_eq!(v.get("chaos"), Some(&Json::Null));
+        assert_eq!(
+            v.get("tags").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
+        // Serialization preserves key order, so parse ∘ print is stable.
+        assert_eq!(parse(&v.to_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let v = Json::Str("a\"b\\c\nd\te\u{08}\u{0c}\u{1f}é🦀".to_string());
+        let printed = v.to_string();
+        assert_eq!(parse(&printed).unwrap(), v);
+        // Surrogate-pair escapes decode.
+        assert_eq!(parse(r#""🦀""#).unwrap(), Json::Str("🦀".to_string()));
+        assert!(parse(r#""\ud83e""#).is_err());
+    }
+
+    #[test]
+    fn numbers_parse_and_print() {
+        assert_eq!(parse("-3.5e2").unwrap(), Json::Num(-350.0));
+        assert_eq!(Json::Num(42.0).to_string(), "42");
+        assert_eq!(parse(&Json::Num(0.1).to_string()).unwrap(), Json::Num(0.1));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "tru",
+            "\"\u{01}\"",
+            "1 2",
+            "{\"a\":}",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn u64_field_rejects_fractions_and_negatives() {
+        let v = parse(r#"{"a":1.5,"b":-2,"c":7}"#).unwrap();
+        assert_eq!(v.u64_field("a"), None);
+        assert_eq!(v.u64_field("b"), None);
+        assert_eq!(v.u64_field("c"), Some(7));
+    }
+}

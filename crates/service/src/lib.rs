@@ -1,0 +1,35 @@
+//! `adjstream-service`: the crash-safe, backpressured resident estimation
+//! service behind the `adjstreamd` binary.
+//!
+//! The one-shot CLI answers one estimate per process; this crate turns
+//! the same engine — [`BatchJob`](adjstream_stream::BatchJob) stepping a
+//! shared two-pass replay one pass at a time — into a long-running
+//! multi-tenant job server:
+//!
+//! * [`catalog`] — named, validated `.adjb` traces jobs run against,
+//! * [`protocol`] — the line-delimited JSON protocol over a Unix socket,
+//! * [`job`] — job specs, the typed lifecycle state machine
+//!   (`Queued → Running → Suspended/Degraded/Failed/Done`), and the
+//!   on-disk manifests recovery replays,
+//! * [`server`] — bounded intake with typed backpressure, the priority
+//!   scheduler with checkpoint-based preemption, the worker pool, and
+//!   the crash-recovery scan,
+//! * [`json`] — the hand-rolled JSON parser the offline build requires.
+//!
+//! The paper's two-pass estimators keep only message-sized state between
+//! passes, which is exactly what makes job suspension, eviction, and
+//! crash recovery cheap here: a checkpoint at a pass boundary is small,
+//! and a resumed job is bit-for-bit identical to an uninterrupted one.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod job;
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use catalog::{Catalog, CatalogEntry, CatalogError};
+pub use job::{Chaos, JobBudget, JobId, JobKind, JobRecord, JobResult, JobSpec, JobState};
+pub use protocol::{parse_request, RejectReason, Request};
+pub use server::{Server, ServerHandle, ServiceConfig, ServiceCounters};

@@ -792,303 +792,79 @@ impl<A: MultiPassAlgorithm> Driven<A> {
     }
 }
 
-/// Driver-side counters carried across a checkpoint/resume boundary.
+/// Callback invoked at interior pass boundaries by [`BatchRunner::drive`];
+/// the checkpoint-writing hooks of the one-shot entry points live here.
+type BoundaryHook<'a, A> = dyn FnMut(&BatchJob<A>) -> Result<(), RunError> + 'a;
+
+/// Driver-side counters a job starts from: zero for a fresh run, the
+/// checkpointed values for a restored one.
 #[derive(Debug, Clone, Copy, Default)]
-struct RunCarry {
+struct JobStart {
+    completed: usize,
     processed: usize,
     driver_peak: usize,
     generations: usize,
     resumed_from: Option<usize>,
 }
 
-/// Everything visible at an interior pass boundary — what a checkpoint
-/// captures.
-struct PassBoundary<'a, A: MultiPassAlgorithm> {
-    completed_passes: usize,
+/// A batched run held *between* passes: the execution half of
+/// [`BatchRunner`], decoupled from pass-source ownership and the
+/// run-to-completion loop.
+///
+/// [`BatchRunner`]'s one-shot entry points construct a job and immediately
+/// loop it over a graph- or item-backed pass source. A long-running host —
+/// the `adjstreamd` estimation service — owns the loop itself instead: it
+/// feeds each pass's items via [`BatchJob::run_pass`], persists the
+/// boundary via [`BatchJob::write_checkpoint`], and may simply stop between
+/// passes (preemption, eviction, daemon shutdown), picking the job back up
+/// later — in the same process or after a crash — via
+/// [`BatchJob::restore_from_file`]. The per-pass execution — chunked event
+/// broadcast, sharded worker crews, panic quarantine, per-instance and
+/// batch-wide budget checks — is the *same code path* the one-shot drivers
+/// use, so stepped, suspended, and resumed runs produce bit-for-bit the
+/// per-instance outputs of an uninterrupted [`BatchRunner::try_run`].
+///
+/// The caller contract mirrors [`BatchRunner::resume`]: the items fed to
+/// each pass must describe the same stream the job was constructed (or
+/// checkpointed) against, and a restored job's [`BatchConfig`] must request
+/// the same guard configuration.
+pub struct BatchJob<A: MultiPassAlgorithm> {
+    driven: Driven<A>,
     total_passes: usize,
     same_order: bool,
-    states: &'a [InstanceState<A>],
-    guard: Option<(GuardPolicy, ValidatorMode, Vec<u8>)>,
+    completed: usize,
+    cfg: BatchConfig,
+    threads: usize,
+    shard_size: usize,
+    peak: PeakTracker,
     processed: usize,
-    driver_peak: usize,
-    generations: usize,
+    base_generations: usize,
+    source_generations: usize,
+    resumed_from: Option<usize>,
+    sink: Metrics,
+    pass_metrics: Vec<PassMetrics>,
 }
 
-/// Map a checkpoint-layer failure into the run-level error space.
-fn ckpt_err(e: impl std::fmt::Display) -> RunError {
-    RunError::Checkpoint {
-        message: e.to_string(),
-    }
-}
-
-/// Runs many instances of one algorithm over a single shared stream replay.
-/// See the module docs for the execution model.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct BatchRunner;
-
-type BoundaryHook<'h, A> = &'h mut dyn FnMut(PassBoundary<'_, A>) -> Result<(), RunError>;
-
-impl BatchRunner {
-    /// Run every instance in `instances` over `graph` streamed per
-    /// `orders`, generating each pass once.
-    ///
-    /// All instances must agree on `passes()` and `requires_same_order()`
-    /// (they are copies of one algorithm at different seeds); an empty
-    /// batch returns [`RunError::EmptyBatch`] and disagreeing instances
-    /// return [`RunError::MixedPassContracts`]. Order-contract violations
-    /// return the same typed [`RunError`]s as
-    /// [`Runner::try_run`](crate::runner::Runner::try_run); a strict shared
-    /// guard aborts the whole batch with [`RunError::Invalid`]. Individual
-    /// instance failures (panic, per-instance budget) do **not** fail the
-    /// batch: the instance is quarantined, its output slot is `None`, and
-    /// its [`InstanceReport::outcome`] says why.
-    pub fn try_run<A>(
-        graph: &Graph,
-        instances: Vec<A>,
-        orders: &PassOrders,
-        cfg: &BatchConfig,
-    ) -> Result<BatchOutcome<A::Output>, RunError>
-    where
-        A: MultiPassAlgorithm + Send,
-        A::Output: Send,
-    {
-        let contract = Self::contract(&instances)?;
-        orders.check(contract.0, contract.1)?;
-        let mut source = PassSource::Graph {
-            graph,
-            orders,
-            cache: None,
-            generations: 0,
-        };
-        let states = Self::make_states(instances, cfg);
+impl<A: MultiPassAlgorithm> BatchJob<A> {
+    /// Build a job over `instances` under `cfg`. All instances must agree
+    /// on `passes()` and `requires_same_order()`; an empty batch returns
+    /// [`RunError::EmptyBatch`] and disagreeing instances return
+    /// [`RunError::MixedPassContracts`]. No pass runs yet.
+    pub fn new(instances: Vec<A>, cfg: &BatchConfig) -> Result<Self, RunError> {
+        let contract = BatchRunner::contract(&instances)?;
+        let states = BatchRunner::make_states(instances, cfg);
         let sink = Metrics::from_flag(cfg.metrics);
-        Self::execute(
-            states,
-            contract,
-            cfg,
-            &mut source,
-            0,
-            RunCarry::default(),
-            None,
-            &sink,
-            None,
-        )
+        Self::assemble(states, contract, cfg, JobStart::default(), None, sink)
     }
 
-    /// Run every instance over explicit per-pass item sequences (which may
-    /// differ per pass, e.g. [`crate::fault::FaultPlan`] replays). No order
-    /// contract is checked — raw item sequences carry no declared order,
-    /// exactly as with [`crate::runner::run_item_passes`].
-    pub fn try_run_items<A, F>(
-        instances: Vec<A>,
-        supply: F,
-        cfg: &BatchConfig,
-    ) -> Result<BatchOutcome<A::Output>, RunError>
-    where
-        A: MultiPassAlgorithm + Send,
-        A::Output: Send,
-        F: FnMut(usize) -> Vec<StreamItem>,
-    {
-        let contract = Self::contract(&instances)?;
-        let mut supply = supply;
-        let mut source = PassSource::Items {
-            supply: Box::new(&mut supply),
-            current: Vec::new(),
-            generations: 0,
-        };
-        let states = Self::make_states(instances, cfg);
-        let sink = Metrics::from_flag(cfg.metrics);
-        Self::execute(
-            states,
-            contract,
-            cfg,
-            &mut source,
-            0,
-            RunCarry::default(),
-            None,
-            &sink,
-            None,
-        )
-    }
-
-    /// Like [`BatchRunner::try_run`], additionally writing a checkpoint of
-    /// the whole batch to `path` at every interior pass boundary (atomic
-    /// write: temp file + rename). A process killed between passes leaves a
-    /// complete checkpoint that [`BatchRunner::resume`] picks up.
-    ///
-    /// The checkpoint written at the last interior boundary is left in
-    /// place after a successful run, so callers can inspect or discard it.
-    pub fn try_run_checkpointed<A>(
-        graph: &Graph,
-        instances: Vec<A>,
-        orders: &PassOrders,
-        cfg: &BatchConfig,
-        path: &Path,
-    ) -> Result<BatchOutcome<A::Output>, RunError>
-    where
-        A: MultiPassAlgorithm + Checkpoint + Send,
-        A::Output: Send,
-    {
-        let contract = Self::contract(&instances)?;
-        orders.check(contract.0, contract.1)?;
-        let mut source = PassSource::Graph {
-            graph,
-            orders,
-            cache: None,
-            generations: 0,
-        };
-        let states = Self::make_states(instances, cfg);
-        let sink = Metrics::from_flag(cfg.metrics);
-        let hook_sink = sink.clone();
-        let mut hook = |b: PassBoundary<'_, A>| -> Result<(), RunError> {
-            let t0 = hook_sink.is_enabled().then(Instant::now);
-            let payload = encode_boundary(&b).map_err(ckpt_err)?;
-            write_checkpoint_file(path, &payload).map_err(ckpt_err)?;
-            if let Some(t0) = t0 {
-                hook_sink.record_checkpoint_write(
-                    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
-                    payload.len() as u64,
-                );
-            }
-            Ok(())
-        };
-        Self::execute(
-            states,
-            contract,
-            cfg,
-            &mut source,
-            0,
-            RunCarry::default(),
-            None,
-            &sink,
-            Some(&mut hook),
-        )
-    }
-
-    /// Resume a batch from a checkpoint written by
-    /// [`BatchRunner::try_run_checkpointed`], replaying only the remaining
-    /// passes. The resumed run produces bit-for-bit the per-instance
-    /// outputs of the uninterrupted run and keeps checkpointing to the same
-    /// `path` at later boundaries.
-    ///
-    /// `cfg` must request the same guard configuration the checkpointed run
-    /// used (the guard's cross-pass state is part of the checkpoint);
-    /// mismatches return [`RunError::Checkpoint`]. `orders` must describe
-    /// the same stream — that is unverifiable from the checkpoint alone and
-    /// is the caller's contract, exactly as seeds are.
-    pub fn resume<A>(
-        graph: &Graph,
-        orders: &PassOrders,
-        cfg: &BatchConfig,
-        path: &Path,
-    ) -> Result<BatchOutcome<A::Output>, RunError>
-    where
-        A: MultiPassAlgorithm + Checkpoint + Send,
-        A::Output: Send,
-    {
-        let sink = Metrics::from_flag(cfg.metrics);
-        let restore_t0 = sink.is_enabled().then(Instant::now);
-        let payload = read_checkpoint_file(path).map_err(ckpt_err)?;
-        let decoded: DecodedCheckpoint<A> =
-            decode_boundary(&payload, cfg.budget.max_bytes_per_instance).map_err(ckpt_err)?;
-        if let Some(t0) = restore_t0 {
-            sink.record_checkpoint_restore(
-                u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
-            );
-        }
-        orders.check(decoded.total_passes, decoded.same_order)?;
-        let stored_guard = decoded
-            .guard
-            .as_ref()
-            .map(|(policy, mode, _)| (*policy, *mode));
-        if cfg.guard != stored_guard {
-            return Err(ckpt_err(format!(
-                "guard config mismatch: checkpoint has {stored_guard:?}, config has {:?}",
-                cfg.guard
-            )));
-        }
-        let mut source = PassSource::Graph {
-            graph,
-            orders,
-            cache: None,
-            generations: 0,
-        };
-        let carry = RunCarry {
-            processed: decoded.processed,
-            driver_peak: decoded.driver_peak,
-            generations: decoded.generations,
-            resumed_from: Some(decoded.completed_passes),
-        };
-        let guard_blob = decoded.guard.map(|(_, _, blob)| blob);
-        let hook_sink = sink.clone();
-        let mut hook = |b: PassBoundary<'_, A>| -> Result<(), RunError> {
-            let t0 = hook_sink.is_enabled().then(Instant::now);
-            let payload = encode_boundary(&b).map_err(ckpt_err)?;
-            write_checkpoint_file(path, &payload).map_err(ckpt_err)?;
-            if let Some(t0) = t0 {
-                hook_sink.record_checkpoint_write(
-                    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
-                    payload.len() as u64,
-                );
-            }
-            Ok(())
-        };
-        Self::execute(
-            decoded.states,
-            (decoded.total_passes, decoded.same_order),
-            cfg,
-            &mut source,
-            decoded.completed_passes,
-            carry,
-            guard_blob,
-            &sink,
-            Some(&mut hook),
-        )
-    }
-
-    fn make_states<A: MultiPassAlgorithm>(
-        instances: Vec<A>,
-        cfg: &BatchConfig,
-    ) -> Vec<InstanceState<A>> {
-        let limit = cfg.budget.max_bytes_per_instance;
-        instances
-            .into_iter()
-            .enumerate()
-            .map(|(i, a)| InstanceState::new(a, i, limit))
-            .collect()
-    }
-
-    fn contract<A: MultiPassAlgorithm>(instances: &[A]) -> Result<(usize, bool), RunError> {
-        let Some(first) = instances.first() else {
-            return Err(RunError::EmptyBatch);
-        };
-        let passes = first.passes();
-        let same_order = first.requires_same_order();
-        if instances
-            .iter()
-            .any(|a| a.passes() != passes || a.requires_same_order() != same_order)
-        {
-            return Err(RunError::MixedPassContracts);
-        }
-        Ok((passes, same_order))
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn execute<A>(
+    fn assemble(
         mut states: Vec<InstanceState<A>>,
-        (passes, same_order): (usize, bool),
+        (total_passes, same_order): (usize, bool),
         cfg: &BatchConfig,
-        source: &mut PassSource<'_>,
-        start_pass: usize,
-        carry: RunCarry,
+        start: JobStart,
         guard_blob: Option<Vec<u8>>,
-        sink: &Metrics,
-        mut ckpt: Option<BoundaryHook<'_, A>>,
-    ) -> Result<BatchOutcome<A::Output>, RunError>
-    where
-        A: MultiPassAlgorithm + Send,
-        A::Output: Send,
-    {
+        sink: Metrics,
+    ) -> Result<Self, RunError> {
         let n = states.len();
         let threads = cfg.threads.clamp(1, n.max(1));
         let shard_size = n.div_ceil(threads.max(1)).max(1);
@@ -1100,7 +876,7 @@ impl BatchRunner {
             Instant::now().checked_add(d).map(|t| (t, limit_ms))
         });
         let fanout = FanOut {
-            passes,
+            passes: total_passes,
             same_order,
             chunk_events: cfg.chunk_events.max(1),
             buf: Vec::with_capacity(cfg.chunk_events.min(1 << 20)),
@@ -1110,7 +886,7 @@ impl BatchRunner {
             deadline,
             fatal: None,
         };
-        let mut driven = match cfg.guard {
+        let driven = match cfg.guard {
             None => Driven::Plain(fanout),
             Some((policy, mode)) => {
                 let mut g = Guarded::with_validator(fanout, policy, mode);
@@ -1122,93 +898,304 @@ impl BatchRunner {
             }
         };
         let mut peak = PeakTracker::new();
-        peak.observe(carry.driver_peak);
-        let mut processed = carry.processed;
-        let mut pass_metrics: Vec<PassMetrics> = Vec::new();
-        let scope_result = crossbeam::thread::scope(|scope| -> Result<_, RunError> {
-            for pass in start_pass..passes {
-                let items = source.items_for(pass);
-                let pass_t0 = sink.is_enabled().then(Instant::now);
-                let items_before = processed;
-                if threads > 1 {
-                    let fanout = driven.fanout_mut();
-                    let instance_states = std::mem::take(&mut fanout.states);
-                    let (done_tx, done_rx) = crossbeam::channel::bounded(threads);
-                    let mut senders = Vec::with_capacity(threads);
-                    let mut iter = instance_states.into_iter().peekable();
-                    while iter.peek().is_some() {
-                        let shard_states: Vec<InstanceState<A>> =
-                            iter.by_ref().take(shard_size).collect();
-                        let (tx, rx) =
-                            crossbeam::channel::bounded::<Arc<Chunk>>(cfg.channel_depth.max(1));
-                        senders.push(tx);
-                        let done_tx = done_tx.clone();
-                        scope.spawn(move |_| {
-                            let mut shard_states = shard_states;
-                            for chunk in rx.iter() {
-                                for st in shard_states.iter_mut() {
-                                    st.apply_chunk(&chunk);
-                                }
+        peak.observe(start.driver_peak);
+        Ok(BatchJob {
+            driven,
+            total_passes,
+            same_order,
+            completed: start.completed,
+            cfg: cfg.clone(),
+            threads,
+            shard_size,
+            peak,
+            processed: start.processed,
+            base_generations: start.generations,
+            source_generations: 0,
+            resumed_from: start.resumed_from,
+            sink,
+            pass_metrics: Vec::new(),
+        })
+    }
+
+    /// Restore a suspended job from the raw checkpoint `payload` (the
+    /// decoded contents of a file written by
+    /// [`BatchJob::write_checkpoint`]). `cfg` must request the same guard
+    /// configuration the checkpointed run used; mismatches return
+    /// [`RunError::Checkpoint`].
+    pub fn restore_from_payload(payload: &[u8], cfg: &BatchConfig) -> Result<Self, RunError>
+    where
+        A: Checkpoint,
+    {
+        Self::restore_inner(payload, cfg, Metrics::from_flag(cfg.metrics), None)
+    }
+
+    /// Restore a suspended job from the checkpoint file at `path`,
+    /// verifying the container's checksum. See
+    /// [`BatchJob::restore_from_payload`] for the config contract.
+    pub fn restore_from_file(path: &Path, cfg: &BatchConfig) -> Result<Self, RunError>
+    where
+        A: Checkpoint,
+    {
+        let sink = Metrics::from_flag(cfg.metrics);
+        let t0 = sink.is_enabled().then(Instant::now);
+        let payload = read_checkpoint_file(path).map_err(ckpt_err)?;
+        Self::restore_inner(&payload, cfg, sink, t0)
+    }
+
+    fn restore_inner(
+        payload: &[u8],
+        cfg: &BatchConfig,
+        sink: Metrics,
+        t0: Option<Instant>,
+    ) -> Result<Self, RunError>
+    where
+        A: Checkpoint,
+    {
+        let decoded: DecodedCheckpoint<A> =
+            decode_boundary(payload, cfg.budget.max_bytes_per_instance).map_err(ckpt_err)?;
+        if let Some(t0) = t0 {
+            sink.record_checkpoint_restore(
+                u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
+        }
+        let stored_guard = decoded
+            .guard
+            .as_ref()
+            .map(|(policy, mode, _)| (*policy, *mode));
+        if cfg.guard != stored_guard {
+            return Err(ckpt_err(format!(
+                "guard config mismatch: checkpoint has {stored_guard:?}, config has {:?}",
+                cfg.guard
+            )));
+        }
+        let guard_blob = decoded.guard.map(|(_, _, blob)| blob);
+        Self::assemble(
+            decoded.states,
+            (decoded.total_passes, decoded.same_order),
+            cfg,
+            JobStart {
+                completed: decoded.completed_passes,
+                processed: decoded.processed,
+                driver_peak: decoded.driver_peak,
+                generations: decoded.generations,
+                resumed_from: Some(decoded.completed_passes),
+            },
+            guard_blob,
+            sink,
+        )
+    }
+
+    /// Total stream passes the job's algorithm contract declares.
+    pub fn passes(&self) -> usize {
+        self.total_passes
+    }
+
+    /// Passes completed so far (including checkpointed passes of the run
+    /// this job was restored from).
+    pub fn completed_passes(&self) -> usize {
+        self.completed
+    }
+
+    /// Whether every pass has run; a complete job is ready to
+    /// [`BatchJob::finish`].
+    pub fn is_complete(&self) -> bool {
+        self.completed >= self.total_passes
+    }
+
+    /// Whether every pass must replay the same stream order.
+    pub fn requires_same_order(&self) -> bool {
+        self.same_order
+    }
+
+    /// `Some(p)` when this job was restored from a checkpoint taken after
+    /// `p` completed passes.
+    pub fn resumed_from(&self) -> Option<usize> {
+        self.resumed_from
+    }
+
+    /// Aggregate live state across the job's surviving instances — what a
+    /// host's admission controller charges the job for between passes.
+    pub fn total_live_bytes(&self) -> usize {
+        self.driven.fanout().total_live_bytes()
+    }
+
+    /// Record how many times the pass source actually generated an item
+    /// sequence for this job (on top of any generations already carried in
+    /// the checkpoint this job was restored from). Pure accounting for
+    /// [`BatchReport::stream_generations`] and the checkpoint payload;
+    /// never affects what the run computes.
+    pub fn set_source_generations(&mut self, generations: usize) {
+        self.source_generations = generations;
+    }
+
+    /// Run the next pass, fanning `items` — that pass's full item sequence
+    /// — out to every instance. On return every instance is back on the
+    /// calling thread: the boundary is observable ([`BatchJob::total_live_bytes`]),
+    /// persistable ([`BatchJob::write_checkpoint`]), and the host may
+    /// simply stop here to preempt the job. Batch-wide budget violations
+    /// (total bytes, deadline) and strict-guard aborts fail the job with a
+    /// typed [`RunError`]; per-instance failures quarantine the instance
+    /// and keep the job alive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job [`is_complete`](BatchJob::is_complete).
+    pub fn run_pass(&mut self, items: &[StreamItem]) -> Result<(), RunError>
+    where
+        A: Send,
+    {
+        assert!(
+            !self.is_complete(),
+            "run_pass on a complete job ({} of {} passes)",
+            self.completed,
+            self.total_passes
+        );
+        let pass = self.completed;
+        let pass_t0 = self.sink.is_enabled().then(Instant::now);
+        let items_before = self.processed;
+        let scope_result = crossbeam::thread::scope(|scope| -> Result<(), RunError> {
+            if self.threads > 1 {
+                let depth = self.cfg.channel_depth.max(1);
+                let fanout = self.driven.fanout_mut();
+                let instance_states = std::mem::take(&mut fanout.states);
+                let (done_tx, done_rx) = crossbeam::channel::bounded(self.threads);
+                let mut senders = Vec::with_capacity(self.threads);
+                let mut iter = instance_states.into_iter().peekable();
+                while iter.peek().is_some() {
+                    let shard_states: Vec<InstanceState<A>> =
+                        iter.by_ref().take(self.shard_size).collect();
+                    let (tx, rx) = crossbeam::channel::bounded::<Arc<Chunk>>(depth);
+                    senders.push(tx);
+                    let done_tx = done_tx.clone();
+                    scope.spawn(move |_| {
+                        let mut shard_states = shard_states;
+                        for chunk in rx.iter() {
+                            for st in shard_states.iter_mut() {
+                                st.apply_chunk(&chunk);
                             }
-                            let _ = done_tx.send(shard_states);
-                        });
-                    }
-                    drop(done_tx);
-                    fanout.workers = Some(PassWorkers {
-                        senders,
-                        done: done_rx,
+                        }
+                        let _ = done_tx.send(shard_states);
                     });
                 }
-                let res = driven.drive(pass, items, cfg.slice_dispatch, &mut peak, &mut processed);
-                driven.fanout_mut().join_pass_workers();
-                if let Some(t0) = pass_t0 {
-                    // Per-pass aggregate: `peak_bytes` is the batch's live
-                    // state across all instances at the boundary (the
-                    // residency a budget would see), not any single
-                    // instance's peak — those are in the per-instance
-                    // reports.
-                    pass_metrics.push(PassMetrics {
-                        pass: pass as u32,
-                        wall_nanos: u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
-                        items: (processed - items_before) as u64,
-                        slices: 0,
-                        lists: 0,
-                        peak_bytes: driven.fanout().total_live_bytes() as u64,
-                        series: Vec::new(),
-                    });
-                }
-                res?;
-                // Pass boundary: every instance is back on this thread.
-                if let Some(limit) = cfg.budget.max_total_bytes {
-                    let used = driven.fanout().total_live_bytes();
-                    if used > limit {
-                        return Err(RunError::SpaceBudgetExceeded { used, limit });
-                    }
-                }
-                if pass + 1 < passes {
-                    if let Some(hook) = ckpt.as_deref_mut() {
-                        let guard = driven.guard_snapshot()?;
-                        hook(PassBoundary {
-                            completed_passes: pass + 1,
-                            total_passes: passes,
-                            same_order,
-                            states: &driven.fanout().states,
-                            guard,
-                            processed,
-                            driver_peak: peak.peak(),
-                            generations: carry.generations + source.generations(),
-                        })?;
-                    }
-                }
+                drop(done_tx);
+                fanout.workers = Some(PassWorkers {
+                    senders,
+                    done: done_rx,
+                });
             }
-            Ok(())
+            let res = self.driven.drive(
+                pass,
+                items,
+                self.cfg.slice_dispatch,
+                &mut self.peak,
+                &mut self.processed,
+            );
+            self.driven.fanout_mut().join_pass_workers();
+            if let Some(t0) = pass_t0 {
+                // Per-pass aggregate: `peak_bytes` is the batch's live
+                // state across all instances at the boundary (the
+                // residency a budget would see), not any single
+                // instance's peak — those are in the per-instance
+                // reports.
+                self.pass_metrics.push(PassMetrics {
+                    pass: pass as u32,
+                    wall_nanos: u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    items: (self.processed - items_before) as u64,
+                    slices: 0,
+                    lists: 0,
+                    peak_bytes: self.driven.fanout().total_live_bytes() as u64,
+                    series: Vec::new(),
+                });
+            }
+            res
         });
         match scope_result {
             Ok(run_result) => run_result?,
             Err(panic) => std::panic::resume_unwind(panic),
         }
+        // Pass boundary: every instance is back on this thread.
+        if let Some(limit) = self.cfg.budget.max_total_bytes {
+            let used = self.driven.fanout().total_live_bytes();
+            if used > limit {
+                return Err(RunError::SpaceBudgetExceeded { used, limit });
+            }
+        }
+        self.completed = pass + 1;
+        Ok(())
+    }
+
+    /// Serialize the boundary — every live instance's state, every
+    /// quarantined outcome, the shared guard, the driver counters — as a
+    /// checkpoint payload. Only an incomplete job has a boundary to
+    /// capture; a complete job returns [`RunError::Checkpoint`].
+    pub fn checkpoint_payload(&self) -> Result<Vec<u8>, RunError>
+    where
+        A: Checkpoint,
+    {
+        if self.is_complete() {
+            return Err(ckpt_err("job already complete: nothing to checkpoint"));
+        }
+        let guard = self.driven.guard_snapshot()?;
+        encode_boundary(&PassBoundary {
+            completed_passes: self.completed,
+            total_passes: self.total_passes,
+            same_order: self.same_order,
+            states: &self.driven.fanout().states,
+            guard,
+            processed: self.processed,
+            driver_peak: self.peak.peak(),
+            generations: self.base_generations + self.source_generations,
+        })
+        .map_err(ckpt_err)
+    }
+
+    /// Write the boundary checkpoint to `path` atomically (temp file +
+    /// rename, checksummed container) — the persistence behind suspension,
+    /// eviction, and crash recovery.
+    pub fn write_checkpoint(&self, path: &Path) -> Result<(), RunError>
+    where
+        A: Checkpoint,
+    {
+        let t0 = self.sink.is_enabled().then(Instant::now);
+        let payload = self.checkpoint_payload()?;
+        write_checkpoint_file(path, &payload).map_err(ckpt_err)?;
+        if let Some(t0) = t0 {
+            self.sink.record_checkpoint_write(
+                u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                payload.len() as u64,
+            );
+        }
+        Ok(())
+    }
+
+    /// Disassemble a complete job into its outputs and report, exactly as
+    /// [`BatchRunner::try_run`] would return them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job is not [`is_complete`](BatchJob::is_complete).
+    pub fn finish(self) -> BatchOutcome<A::Output> {
+        assert!(
+            self.is_complete(),
+            "finish on an incomplete job ({} of {} passes)",
+            self.completed,
+            self.total_passes
+        );
+        let BatchJob {
+            driven,
+            total_passes,
+            threads,
+            processed,
+            base_generations,
+            source_generations,
+            resumed_from,
+            sink,
+            pass_metrics,
+            ..
+        } = self;
         let guard = driven.guard_stats();
         let fanout = driven.into_fanout();
+        let n = fanout.states.len();
         let mut outputs = Vec::with_capacity(n);
         let mut per_instance = Vec::with_capacity(n);
         let mut items_fanned_out = 0usize;
@@ -1239,21 +1226,221 @@ impl BatchRunner {
                 items_processed: processed as u64,
             }
         });
-        Ok(BatchOutcome {
+        BatchOutcome {
             outputs,
             report: BatchReport {
                 instances: n,
                 threads,
-                passes,
+                passes: total_passes,
                 stream_items: processed,
-                stream_generations: carry.generations + source.generations(),
+                stream_generations: base_generations + source_generations,
                 items_fanned_out,
                 per_instance,
                 guard,
-                resumed_from: carry.resumed_from,
+                resumed_from,
                 metrics,
             },
-        })
+        }
+    }
+}
+
+/// Everything visible at an interior pass boundary — what a checkpoint
+/// captures.
+struct PassBoundary<'a, A: MultiPassAlgorithm> {
+    completed_passes: usize,
+    total_passes: usize,
+    same_order: bool,
+    states: &'a [InstanceState<A>],
+    guard: Option<(GuardPolicy, ValidatorMode, Vec<u8>)>,
+    processed: usize,
+    driver_peak: usize,
+    generations: usize,
+}
+
+/// Map a checkpoint-layer failure into the run-level error space.
+fn ckpt_err(e: impl std::fmt::Display) -> RunError {
+    RunError::Checkpoint {
+        message: e.to_string(),
+    }
+}
+
+/// Runs many instances of one algorithm over a single shared stream replay.
+/// See the module docs for the execution model.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BatchRunner;
+
+impl BatchRunner {
+    /// Run every instance in `instances` over `graph` streamed per
+    /// `orders`, generating each pass once.
+    ///
+    /// All instances must agree on `passes()` and `requires_same_order()`
+    /// (they are copies of one algorithm at different seeds); an empty
+    /// batch returns [`RunError::EmptyBatch`] and disagreeing instances
+    /// return [`RunError::MixedPassContracts`]. Order-contract violations
+    /// return the same typed [`RunError`]s as
+    /// [`Runner::try_run`](crate::runner::Runner::try_run); a strict shared
+    /// guard aborts the whole batch with [`RunError::Invalid`]. Individual
+    /// instance failures (panic, per-instance budget) do **not** fail the
+    /// batch: the instance is quarantined, its output slot is `None`, and
+    /// its [`InstanceReport::outcome`] says why.
+    pub fn try_run<A>(
+        graph: &Graph,
+        instances: Vec<A>,
+        orders: &PassOrders,
+        cfg: &BatchConfig,
+    ) -> Result<BatchOutcome<A::Output>, RunError>
+    where
+        A: MultiPassAlgorithm + Send,
+        A::Output: Send,
+    {
+        let job = BatchJob::new(instances, cfg)?;
+        orders.check(job.passes(), job.requires_same_order())?;
+        let mut source = PassSource::Graph {
+            graph,
+            orders,
+            cache: None,
+            generations: 0,
+        };
+        Self::drive(job, &mut source, None)
+    }
+
+    /// Run every instance over explicit per-pass item sequences (which may
+    /// differ per pass, e.g. [`crate::fault::FaultPlan`] replays). No order
+    /// contract is checked — raw item sequences carry no declared order,
+    /// exactly as with [`crate::runner::run_item_passes`].
+    pub fn try_run_items<A, F>(
+        instances: Vec<A>,
+        supply: F,
+        cfg: &BatchConfig,
+    ) -> Result<BatchOutcome<A::Output>, RunError>
+    where
+        A: MultiPassAlgorithm + Send,
+        A::Output: Send,
+        F: FnMut(usize) -> Vec<StreamItem>,
+    {
+        let job = BatchJob::new(instances, cfg)?;
+        let mut supply = supply;
+        let mut source = PassSource::Items {
+            supply: Box::new(&mut supply),
+            current: Vec::new(),
+            generations: 0,
+        };
+        Self::drive(job, &mut source, None)
+    }
+
+    /// Like [`BatchRunner::try_run`], additionally writing a checkpoint of
+    /// the whole batch to `path` at every interior pass boundary (atomic
+    /// write: temp file + rename). A process killed between passes leaves a
+    /// complete checkpoint that [`BatchRunner::resume`] picks up.
+    ///
+    /// The checkpoint written at the last interior boundary is left in
+    /// place after a successful run, so callers can inspect or discard it.
+    pub fn try_run_checkpointed<A>(
+        graph: &Graph,
+        instances: Vec<A>,
+        orders: &PassOrders,
+        cfg: &BatchConfig,
+        path: &Path,
+    ) -> Result<BatchOutcome<A::Output>, RunError>
+    where
+        A: MultiPassAlgorithm + Checkpoint + Send,
+        A::Output: Send,
+    {
+        let job = BatchJob::new(instances, cfg)?;
+        orders.check(job.passes(), job.requires_same_order())?;
+        let mut source = PassSource::Graph {
+            graph,
+            orders,
+            cache: None,
+            generations: 0,
+        };
+        let mut hook = |job: &BatchJob<A>| job.write_checkpoint(path);
+        Self::drive(job, &mut source, Some(&mut hook))
+    }
+
+    /// Resume a batch from a checkpoint written by
+    /// [`BatchRunner::try_run_checkpointed`], replaying only the remaining
+    /// passes. The resumed run produces bit-for-bit the per-instance
+    /// outputs of the uninterrupted run and keeps checkpointing to the same
+    /// `path` at later boundaries.
+    ///
+    /// `cfg` must request the same guard configuration the checkpointed run
+    /// used (the guard's cross-pass state is part of the checkpoint);
+    /// mismatches return [`RunError::Checkpoint`]. `orders` must describe
+    /// the same stream — that is unverifiable from the checkpoint alone and
+    /// is the caller's contract, exactly as seeds are.
+    pub fn resume<A>(
+        graph: &Graph,
+        orders: &PassOrders,
+        cfg: &BatchConfig,
+        path: &Path,
+    ) -> Result<BatchOutcome<A::Output>, RunError>
+    where
+        A: MultiPassAlgorithm + Checkpoint + Send,
+        A::Output: Send,
+    {
+        let job = BatchJob::<A>::restore_from_file(path, cfg)?;
+        orders.check(job.passes(), job.requires_same_order())?;
+        let mut source = PassSource::Graph {
+            graph,
+            orders,
+            cache: None,
+            generations: 0,
+        };
+        let mut hook = |job: &BatchJob<A>| job.write_checkpoint(path);
+        Self::drive(job, &mut source, Some(&mut hook))
+    }
+
+    fn make_states<A: MultiPassAlgorithm>(
+        instances: Vec<A>,
+        cfg: &BatchConfig,
+    ) -> Vec<InstanceState<A>> {
+        let limit = cfg.budget.max_bytes_per_instance;
+        instances
+            .into_iter()
+            .enumerate()
+            .map(|(i, a)| InstanceState::new(a, i, limit))
+            .collect()
+    }
+
+    fn contract<A: MultiPassAlgorithm>(instances: &[A]) -> Result<(usize, bool), RunError> {
+        let Some(first) = instances.first() else {
+            return Err(RunError::EmptyBatch);
+        };
+        let passes = first.passes();
+        let same_order = first.requires_same_order();
+        if instances
+            .iter()
+            .any(|a| a.passes() != passes || a.requires_same_order() != same_order)
+        {
+            return Err(RunError::MixedPassContracts);
+        }
+        Ok((passes, same_order))
+    }
+
+    /// Loop `job` to completion over `source`, invoking `at_boundary`
+    /// (where the one-shot checkpoint hooks live) at every interior pass
+    /// boundary.
+    fn drive<A>(
+        mut job: BatchJob<A>,
+        source: &mut PassSource<'_>,
+        mut at_boundary: Option<&mut BoundaryHook<'_, A>>,
+    ) -> Result<BatchOutcome<A::Output>, RunError>
+    where
+        A: MultiPassAlgorithm + Send,
+        A::Output: Send,
+    {
+        while !job.is_complete() {
+            let items = source.items_for(job.completed_passes());
+            job.run_pass(items)?;
+            job.set_source_generations(source.generations());
+            if !job.is_complete() {
+                if let Some(hook) = at_boundary.as_deref_mut() {
+                    hook(&job)?;
+                }
+            }
+        }
+        Ok(job.finish())
     }
 }
 

@@ -196,6 +196,42 @@ pub fn read_checkpoint_file(path: &Path) -> Result<Vec<u8>, CheckpointError> {
     Ok(payload.to_vec())
 }
 
+/// Garbage-collect stale checkpoint files from `dir`.
+///
+/// A file is deleted when `is_candidate(path)` returns `true` *and* its
+/// modification time is older than `retention`. The candidate predicate is
+/// the caller's liveness policy — the CLI keeps any checkpoint a current
+/// invocation might resume, the daemon keeps any checkpoint whose job
+/// manifest is still non-terminal. Files whose metadata cannot be read
+/// (or whose clock skew puts them in the future) are left alone: GC must
+/// never turn a recoverable run into an unrecoverable one over an mtime
+/// oddity. Returns the number of files removed.
+pub fn gc_stale_checkpoints<F>(dir: &Path, retention: std::time::Duration, is_candidate: F) -> usize
+where
+    F: Fn(&Path) -> bool,
+{
+    let Ok(entries) = fs::read_dir(dir) else {
+        return 0;
+    };
+    let now = std::time::SystemTime::now();
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if !path.is_file() || !is_candidate(&path) {
+            continue;
+        }
+        let Ok(meta) = entry.metadata() else { continue };
+        let Ok(mtime) = meta.modified() else { continue };
+        let Ok(age) = now.duration_since(mtime) else {
+            continue;
+        };
+        if age > retention && fs::remove_file(&path).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
+}
+
 /// Build an [`io::ErrorKind::InvalidData`] error for structurally bad
 /// checkpoint payloads.
 pub fn corrupt(msg: impl Into<String>) -> io::Error {
@@ -442,6 +478,35 @@ mod tests {
         write_checkpoint_file(&path, b"v2").unwrap();
         assert_eq!(read_checkpoint_file(&path).unwrap(), b"v2");
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn gc_removes_only_stale_candidates() {
+        let dir = tmp_path("gc-dir");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let stale = dir.join("old.ckpt");
+        let fresh = dir.join("new.ckpt");
+        let protected = dir.join("live.ckpt");
+        for p in [&stale, &fresh, &protected] {
+            std::fs::write(p, b"x").unwrap();
+        }
+        // Let the files age past the mtime clock's granularity.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        // Zero retention makes every candidate "stale"; the predicate is
+        // what protects `live.ckpt`. `fresh` is excluded by the predicate
+        // too, standing in for a file the caller still owns.
+        let removed = gc_stale_checkpoints(&dir, std::time::Duration::ZERO, |p| {
+            p.file_name().is_some_and(|n| n == "old.ckpt")
+        });
+        assert_eq!(removed, 1);
+        assert!(!stale.exists());
+        assert!(fresh.exists() && protected.exists());
+        // A retention window longer than the files' age removes nothing.
+        let removed = gc_stale_checkpoints(&dir, std::time::Duration::from_secs(3600), |_| true);
+        assert_eq!(removed, 0);
+        assert!(fresh.exists() && protected.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -64,7 +64,8 @@ pub mod validate;
 pub use adjlist::AdjListStream;
 pub use arbitrary::ArbitraryOrderStream;
 pub use batch::{
-    BatchConfig, BatchOutcome, BatchReport, BatchRunner, Budget, InstanceOutcome, InstanceReport,
+    BatchConfig, BatchJob, BatchOutcome, BatchReport, BatchRunner, Budget, InstanceOutcome,
+    InstanceReport,
 };
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use fault::{CorruptedStream, FaultKind, FaultPlan, InjectedFault};

@@ -491,6 +491,7 @@ impl std::error::Error for RetryError {
 pub struct RetryingSource<F> {
     open: F,
     policy: RetryPolicy,
+    sleeper: Box<dyn FnMut(Duration)>,
 }
 
 impl<F> RetryingSource<F> {
@@ -501,7 +502,20 @@ impl<F> RetryingSource<F> {
 
     /// Wrap `open` with an explicit policy.
     pub fn with_policy(open: F, policy: RetryPolicy) -> Self {
-        RetryingSource { open, policy }
+        RetryingSource {
+            open,
+            policy,
+            sleeper: Box::new(std::thread::sleep),
+        }
+    }
+
+    /// Replace the backoff sleep with `sleeper`. Production code keeps the
+    /// default [`std::thread::sleep`]; tests inject a recorder so retry
+    /// schedules can be asserted deterministically without real
+    /// wall-clock sleeping.
+    pub fn with_sleeper(mut self, sleeper: impl FnMut(Duration) + 'static) -> Self {
+        self.sleeper = Box::new(sleeper);
+        self
     }
 
     /// Load and validate a trace, retrying transient failures. On success
@@ -533,7 +547,7 @@ impl<F> RetryingSource<F> {
         let mut last = None;
         for attempt in 0..attempts {
             if attempt > 0 {
-                std::thread::sleep(self.policy.backoff(attempt as u32 - 1, &mut rng));
+                (self.sleeper)(self.policy.backoff(attempt as u32 - 1, &mut rng));
             }
             let reader = match (self.open)() {
                 Ok(r) => r,
@@ -830,30 +844,47 @@ mod tests {
         assert!(ItemTrace::read("".as_bytes()).unwrap().is_empty());
     }
 
+    // Real-scale backoffs on purpose: every retry test injects a recording
+    // sleeper, so none of them spend wall-clock time sleeping.
     fn fast_policy(max_attempts: usize) -> RetryPolicy {
         RetryPolicy {
             max_attempts,
-            initial_backoff: Duration::from_micros(50),
-            max_backoff: Duration::from_micros(200),
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
             jitter_seed: 7,
         }
+    }
+
+    /// A sleeper that records the requested durations instead of sleeping.
+    fn recording_sleeper() -> (
+        std::rc::Rc<std::cell::RefCell<Vec<Duration>>>,
+        impl FnMut(Duration),
+    ) {
+        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let sink = std::rc::Rc::clone(&log);
+        (log, move |d| sink.borrow_mut().push(d))
     }
 
     #[test]
     fn retrying_source_survives_transient_faults() {
         let src = FlakySource::new(b"0 1\n1 0\n", 2, std::io::ErrorKind::ConnectionReset);
+        let (sleeps, rec) = recording_sleeper();
         let (trace, attempts) = RetryingSource::with_policy(|| Ok(src.reader()), fast_policy(4))
+            .with_sleeper(rec)
             .read_trace()
             .expect("2 faults fit in a 4-attempt budget");
         assert_eq!(trace.edges(), 1);
         assert_eq!(attempts, 3, "two failed attempts, then success");
         assert_eq!(src.failures_left(), 0);
+        assert_eq!(sleeps.borrow().len(), 2, "one backoff per failed attempt");
     }
 
     #[test]
     fn retrying_source_gives_up_with_a_typed_error() {
         let src = FlakySource::new(b"0 1\n1 0\n", 10, std::io::ErrorKind::TimedOut);
+        let (sleeps, rec) = recording_sleeper();
         let err = RetryingSource::with_policy(|| Ok(src.reader()), fast_policy(3))
+            .with_sleeper(rec)
             .read_trace()
             .expect_err("10 faults exhaust a 3-attempt budget");
         match err {
@@ -864,6 +895,35 @@ mod tests {
             other => panic!("expected GaveUp, got {other}"),
         }
         assert_eq!(src.failures_left(), 7, "only 3 tokens were consumed");
+        assert_eq!(sleeps.borrow().len(), 2);
+    }
+
+    #[test]
+    fn retry_schedule_is_seeded_and_deterministic() {
+        let run = |seed: u64| {
+            let src = FlakySource::new(b"0 1\n1 0\n", 3, std::io::ErrorKind::ConnectionReset);
+            let mut policy = fast_policy(4);
+            policy.jitter_seed = seed;
+            let (sleeps, rec) = recording_sleeper();
+            RetryingSource::with_policy(|| Ok(src.reader()), policy)
+                .with_sleeper(rec)
+                .read_trace()
+                .expect("3 faults fit in a 4-attempt budget");
+            let schedule = sleeps.borrow().clone();
+            schedule
+        };
+        let a = run(123);
+        let b = run(123);
+        let c = run(456);
+        assert_eq!(a, b, "same seed, same recorded schedule");
+        assert_ne!(a, c, "a different seed perturbs the jitter");
+        assert_eq!(a.len(), 3);
+        // The recorded schedule is exactly the policy's backoff stream.
+        let mut policy = fast_policy(4);
+        policy.jitter_seed = 123;
+        let mut rng = policy.jitter_seed | 1;
+        let want: Vec<Duration> = (0..3).map(|r| policy.backoff(r, &mut rng)).collect();
+        assert_eq!(a, want);
     }
 
     #[test]
@@ -884,7 +944,9 @@ mod tests {
         assert!(matches!(err, RetryError::Permanent(TraceError::Invalid(_))));
         // ... unless validation is skipped, in which case the load succeeds.
         let src = FlakySource::new(b"0 1\n0 2\n", 1, std::io::ErrorKind::TimedOut);
+        let (_sleeps, rec) = recording_sleeper();
         let (trace, attempts) = RetryingSource::with_policy(|| Ok(src.reader()), fast_policy(5))
+            .with_sleeper(rec)
             .read_trace_unchecked()
             .expect("unchecked read tolerates promise violations");
         assert_eq!(trace.len(), 2);
@@ -894,6 +956,7 @@ mod tests {
     #[test]
     fn failed_opens_are_retried_like_failed_reads() {
         let opens = AtomicUsize::new(0);
+        let (_sleeps, rec) = recording_sleeper();
         let (trace, attempts) = RetryingSource::with_policy(
             || {
                 if opens.fetch_add(1, Ordering::SeqCst) == 0 {
@@ -907,6 +970,7 @@ mod tests {
             },
             fast_policy(2),
         )
+        .with_sleeper(rec)
         .read_trace()
         .expect("second open succeeds");
         assert_eq!(trace.edges(), 1);

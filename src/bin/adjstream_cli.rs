@@ -29,6 +29,7 @@ use adjstream::graph::io::{load_edge_list, save_edge_list};
 use adjstream::graph::{exact, gen, Graph};
 use adjstream::lowerbound::gadgets as gd;
 use adjstream::lowerbound::problems::{Disj3Instance, DisjInstance, Pj3Instance};
+use adjstream::service::json::{self as sjson, Json};
 use adjstream::stream::batch::Budget;
 use adjstream::stream::trace::{read_trace_file_with_retry, ItemTrace, RetryError, RetryPolicy};
 use adjstream::stream::{validate_stream, AdjListStream, RunError, StreamItem, StreamOrder};
@@ -184,7 +185,7 @@ const USAGE: &str = "usage:
   adjstream-cli estimate FILE --kind <triangles|c4> [--epsilon E] [--delta D] [--t-lower T] [--seed S]
                 [--engine batched|sequential] [--max-bytes N|auto] [--max-total-bytes N]
                 [--deadline-secs S] [--min-survivors Q] [--checkpoint-dir DIR] [--resume]
-                [--metrics-out FILE]
+                [--job-id N] [--checkpoint-retention-secs S] [--metrics-out FILE]
   adjstream-cli stream FILE [--seed S] [-o FILE]
   adjstream-cli validate-stream FILE [--mode offline|online|bounded] [--seed S] [--window W] [--retries N]
   adjstream-cli corrupt FILE --faults KIND[:N][,KIND[:N]...] [--seed S] [-o FILE] [--replay-o FILE]
@@ -193,11 +194,19 @@ const USAGE: &str = "usage:
   adjstream-cli convert-trace FILE -o FILE [--format adjb|text]
   adjstream-cli gadget <fig-a|fig-b|fig-c|fig-d|fig-e> [--key value ...] [--answer yes|no] [-o FILE]
 
+daemon client (requires a running adjstreamd; all take --socket PATH):
+  adjstream-cli register FILE --name NAME --socket SOCK
+  adjstream-cli submit --socket SOCK --trace NAME [--kind triangles|c4|validate] [--t-lower T]
+                [--epsilon E] [--delta D] [--seed S] [--priority P] [--min-survivors Q]
+                [--deadline-ms MS] [--max-bytes N] [--max-total-bytes N] [--wait] [--poll-ms MS]
+  adjstream-cli status --socket SOCK [--id ID]
+  adjstream-cli cancel --socket SOCK --id ID
+
 fault kinds: drop-direction duplicate-item split-list self-loop corrupt-vertex truncate-tail reorder-pass
 exit codes: 0 ok | 2 usage | 3 invalid-stream | 4 degraded | 5 space-budget | 6 deadline | 7 checkpoint | 8 io";
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["resume"];
+const BOOLEAN_FLAGS: &[&str] = &["resume", "wait"];
 
 /// Parse `--key value` flags (plus `-o` and valueless booleans).
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -248,6 +257,10 @@ fn run(args: &[String]) -> Result<(), CliFailure> {
         "estimate-stream" => cmd_estimate_stream(rest),
         "convert-trace" => cmd_convert_trace(rest),
         "gadget" => cmd_gadget(rest),
+        "register" => cmd_register(rest),
+        "submit" => cmd_submit(rest),
+        "status" => cmd_status(rest),
+        "cancel" => cmd_cancel(rest),
         other => Err(CliFailure::usage(format!("unknown command {other:?}"))),
     }
 }
@@ -420,6 +433,17 @@ fn print_estimate(est: &CountEstimate, g: &Graph, acc: &Accuracy, suffix: &str) 
     }
 }
 
+/// FNV-1a over raw bytes: the stable default job id for checkpoint
+/// namespacing (`triangles-<id>.ckpt`), derived from the run identity.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
 fn cmd_estimate(args: &[String]) -> Result<(), CliFailure> {
     let g = load(args.first())?;
     let flags = parse_flags(&args[1..])?;
@@ -470,7 +494,42 @@ fn cmd_estimate(args: &[String]) -> Result<(), CliFailure> {
                     std::fs::create_dir_all(dir).map_err(|e| {
                         CliFailure::io(format!("cannot create checkpoint dir {dir}: {e}"))
                     })?;
-                    let path = std::path::Path::new(dir).join("triangles.ckpt");
+                    // Checkpoint files are namespaced by job id so runs
+                    // sharing a checkpoint dir never clobber each other.
+                    // The id defaults to a hash of the run identity
+                    // (input, t-lower, seed, epsilon) so a bare re-run with
+                    // --resume finds its own file; --job-id pins it.
+                    let job_id: u64 = match flags.get("job-id") {
+                        Some(v) => v
+                            .parse()
+                            .map_err(|_| CliFailure::usage(format!("invalid --job-id {v:?}")))?,
+                        None => {
+                            let input = args.first().map(String::as_str).unwrap_or("");
+                            fnv1a(
+                                format!("{input}|{t_lower}|{}|{}", acc.seed, acc.epsilon)
+                                    .as_bytes(),
+                            )
+                        }
+                    };
+                    let path =
+                        std::path::Path::new(dir).join(format!("triangles-{job_id:016x}.ckpt"));
+                    if let Some(secs) = flags.get("checkpoint-retention-secs") {
+                        let secs: u64 = secs.parse().map_err(|_| {
+                            CliFailure::usage(format!(
+                                "invalid --checkpoint-retention-secs {secs:?}"
+                            ))
+                        })?;
+                        use adjstream::stream::checkpoint::gc_stale_checkpoints;
+                        let keep = path.clone();
+                        let removed = gc_stale_checkpoints(
+                            std::path::Path::new(dir),
+                            std::time::Duration::from_secs(secs),
+                            move |p| p.extension().is_some_and(|e| e == "ckpt") && p != keep,
+                        );
+                        if removed > 0 {
+                            eprintln!("gc: removed {removed} stale checkpoint file(s)");
+                        }
+                    }
                     try_estimate_triangles_checkpointed(&g, &order, t_lower, acc, &path, resume)?
                 }
                 None => match t_lower_flag {
@@ -806,6 +865,213 @@ fn cmd_gadget(args: &[String]) -> Result<(), CliFailure> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// Daemon client (`register`/`submit`/`status`/`cancel`): each subcommand
+// writes one JSON request line over the adjstreamd Unix socket and reads
+// one response line back (see `adjstream::service::protocol`).
+// ---------------------------------------------------------------------------
+
+fn daemon_socket(flags: &HashMap<String, String>) -> Result<String, CliFailure> {
+    flags
+        .get("socket")
+        .cloned()
+        .ok_or_else(|| CliFailure::usage("missing required --socket (path to adjstreamd.sock)"))
+}
+
+/// Send one request line to the daemon, read the one-line response, and
+/// classify non-`ok` responses (typed rejections vs. daemon errors).
+fn daemon_request(socket: &str, request: &Json) -> Result<Json, CliFailure> {
+    use std::io::{BufRead, BufReader};
+    use std::os::unix::net::UnixStream;
+    let stream = UnixStream::connect(socket)
+        .map_err(|e| CliFailure::io(format!("cannot connect to daemon at {socket}: {e}")))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| CliFailure::io(format!("socket clone failed: {e}")))?;
+    writeln!(writer, "{request}")
+        .and_then(|()| writer.flush())
+        .map_err(|e| CliFailure::io(format!("socket write failed: {e}")))?;
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .map_err(|e| CliFailure::io(format!("socket read failed: {e}")))?;
+    if line.trim().is_empty() {
+        return Err(CliFailure::io(
+            "daemon closed the connection without replying",
+        ));
+    }
+    let response = sjson::parse(line.trim())
+        .map_err(|e| CliFailure::io(format!("unparseable daemon response: {e}")))?;
+    if response.get("ok").and_then(Json::as_bool) == Some(true) {
+        return Ok(response);
+    }
+    Err(daemon_failure(&response))
+}
+
+/// Map a non-`ok` daemon response onto a classified CLI failure. Typed
+/// backpressure rejections keep their reason slug as the message.
+fn daemon_failure(response: &Json) -> CliFailure {
+    let error = response.str_field("error").unwrap_or("unknown");
+    if error == "rejected" {
+        let reason = response.str_field("reason").unwrap_or("unspecified");
+        return CliFailure::new(
+            EXIT_IO,
+            "rejected",
+            format!("daemon rejected request: {reason}"),
+        );
+    }
+    let detail = response.str_field("detail").unwrap_or("");
+    CliFailure::new(EXIT_IO, "daemon", format!("daemon error {error}: {detail}"))
+}
+
+fn cmd_register(args: &[String]) -> Result<(), CliFailure> {
+    let (file, rest) = args
+        .split_first()
+        .ok_or_else(|| CliFailure::usage("register: missing trace file"))?;
+    let flags = parse_flags(rest)?;
+    let socket = daemon_socket(&flags)?;
+    let name = flags
+        .get("name")
+        .cloned()
+        .ok_or_else(|| CliFailure::usage("register: missing required --name"))?;
+    // The daemon opens the file itself, and its working directory may
+    // differ from ours — always send an absolute path.
+    let path = std::fs::canonicalize(file)
+        .map_err(|e| CliFailure::io(format!("cannot resolve {file}: {e}")))?;
+    let request = sjson::obj(vec![
+        ("op", Json::Str("register".into())),
+        ("name", Json::Str(name)),
+        ("path", Json::Str(path.display().to_string())),
+    ]);
+    println!("{}", daemon_request(&socket, &request)?);
+    Ok(())
+}
+
+fn cmd_submit(args: &[String]) -> Result<(), CliFailure> {
+    let flags = parse_flags(args)?;
+    let socket = daemon_socket(&flags)?;
+    let trace = flags
+        .get("trace")
+        .cloned()
+        .ok_or_else(|| CliFailure::usage("submit: missing required --trace"))?;
+    let kind = match flags.get("kind").map(String::as_str).unwrap_or("triangles") {
+        "c4" => "four-cycles", // local `estimate` spells it c4; the daemon says four-cycles
+        other => other,        // the daemon rejects unknown kinds
+    };
+    let mut fields = vec![
+        ("op", Json::Str("submit".into())),
+        ("trace", Json::Str(trace)),
+        ("kind", Json::Str(kind.into())),
+    ];
+    for (flag, field) in [
+        ("t-lower", "t_lower"),
+        ("seed", "seed"),
+        ("priority", "priority"),
+        ("min-survivors", "min_survivors"),
+        ("deadline-ms", "deadline_ms"),
+        ("max-bytes", "max_instance_bytes"),
+        ("max-total-bytes", "max_total_bytes"),
+    ] {
+        if let Some(v) = flags.get(flag) {
+            let n: u64 = v
+                .parse()
+                .map_err(|_| CliFailure::usage(format!("invalid --{flag} {v:?}")))?;
+            fields.push((field, Json::Num(n as f64)));
+        }
+    }
+    for flag in ["epsilon", "delta"] {
+        if let Some(v) = flags.get(flag) {
+            let n: f64 = v
+                .parse()
+                .map_err(|_| CliFailure::usage(format!("invalid --{flag} {v:?}")))?;
+            fields.push((flag, Json::Num(n)));
+        }
+    }
+    let response = daemon_request(&socket, &sjson::obj(fields))?;
+    if !flags.contains_key("wait") {
+        println!("{response}");
+        return Ok(());
+    }
+    let id = response
+        .str_field("id")
+        .map(str::to_string)
+        .ok_or_else(|| CliFailure::io("daemon response missing job id"))?;
+    let poll = std::time::Duration::from_millis(get(&flags, "poll-ms", 50u64)?);
+    wait_for_terminal(&socket, &id, poll)
+}
+
+/// Poll `status` until the job reaches a terminal state; print the final
+/// status line and map failure states onto the usual exit codes.
+fn wait_for_terminal(socket: &str, id: &str, poll: std::time::Duration) -> Result<(), CliFailure> {
+    let request = sjson::obj(vec![
+        ("op", Json::Str("status".into())),
+        ("id", Json::Str(id.to_string())),
+    ]);
+    loop {
+        let response = daemon_request(socket, &request)?;
+        match response.str_field("state").unwrap_or("unknown") {
+            "done" => {
+                println!("{response}");
+                return Ok(());
+            }
+            "degraded" => {
+                println!("{response}");
+                return Err(CliFailure::new(
+                    EXIT_DEGRADED,
+                    "degraded",
+                    format!("job {id} degraded: too few surviving repetitions"),
+                ));
+            }
+            "failed" => {
+                println!("{response}");
+                let reason = response
+                    .str_field("reason")
+                    .unwrap_or("unknown")
+                    .to_string();
+                let (exit, kind) = match reason.as_str() {
+                    "deadline" => (EXIT_DEADLINE, "deadline"),
+                    "space_budget" => (EXIT_SPACE, "space-budget"),
+                    "checkpoint" => (EXIT_CHECKPOINT, "checkpoint"),
+                    "invalid_stream" => (EXIT_INVALID_STREAM, "invalid-stream"),
+                    _ => (EXIT_IO, "failed"),
+                };
+                return Err(CliFailure::new(
+                    exit,
+                    kind,
+                    format!("job {id} failed: {reason}"),
+                ));
+            }
+            _ => std::thread::sleep(poll),
+        }
+    }
+}
+
+fn cmd_status(args: &[String]) -> Result<(), CliFailure> {
+    let flags = parse_flags(args)?;
+    let socket = daemon_socket(&flags)?;
+    let mut fields = vec![("op", Json::Str("status".into()))];
+    if let Some(id) = flags.get("id") {
+        fields.push(("id", Json::Str(id.clone())));
+    }
+    println!("{}", daemon_request(&socket, &sjson::obj(fields))?);
+    Ok(())
+}
+
+fn cmd_cancel(args: &[String]) -> Result<(), CliFailure> {
+    let flags = parse_flags(args)?;
+    let socket = daemon_socket(&flags)?;
+    let id = flags
+        .get("id")
+        .cloned()
+        .ok_or_else(|| CliFailure::usage("cancel: missing required --id"))?;
+    let request = sjson::obj(vec![
+        ("op", Json::Str("cancel".into())),
+        ("id", Json::Str(id)),
+    ]);
+    println!("{}", daemon_request(&socket, &request)?);
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1072,7 +1338,8 @@ mod tests {
         // --checkpoint-dir without --t-lower is a usage error.
         let err = run(&args(&["estimate", &gs, "--checkpoint-dir", &ds])).unwrap_err();
         assert!(err.message.contains("--t-lower"), "{}", err.message);
-        // A full checkpointed run succeeds and cleans up its file.
+        // A full checkpointed run succeeds and cleans up its file — the
+        // checkpoint name is namespaced by the (pinned) job id.
         run(&args(&[
             "estimate",
             &gs,
@@ -1080,9 +1347,17 @@ mod tests {
             "50",
             "--checkpoint-dir",
             &ds,
+            "--job-id",
+            "7",
         ]))
         .unwrap();
-        assert!(!dir.join("triangles.ckpt").exists());
+        assert!(!dir.join(format!("triangles-{:016x}.ckpt", 7)).exists());
+        let leftover: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "ckpt"))
+            .collect();
+        assert!(leftover.is_empty(), "stray checkpoints: {leftover:?}");
         // Resuming with no checkpoint on disk is a checkpoint failure.
         let err = run(&args(&[
             "estimate",

@@ -1,0 +1,162 @@
+//! `adjstreamd` — the resident estimation daemon.
+//!
+//! Clients register `.adjb` traces and submit estimate/validate jobs over
+//! a Unix socket speaking line-delimited JSON (see
+//! [`adjstream::service::protocol`]). The daemon enforces bounded intake
+//! with typed backpressure, schedules jobs onto a fixed worker pool with
+//! checkpoint-based preemption, and survives both graceful SIGTERM
+//! (drain: checkpoint every in-flight job, exit cleanly) and `kill -9`
+//! (on restart, the state-directory scan resumes every interrupted job
+//! bit-for-bit).
+//!
+//! ```text
+//! adjstreamd --state-dir DIR [--socket PATH] [--workers N]
+//!            [--queue-depth N] [--max-jobs N] [--memory-budget BYTES]
+//!            [--checkpoint-retention-secs S]
+//! ```
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use adjstream::service::{Server, ServiceConfig};
+use adjstream::stream::checkpoint::gc_stale_checkpoints;
+
+/// Set by the SIGTERM/SIGINT handler; the main loop polls it.
+static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    // Only async-signal-safe work here: one atomic store.
+    TERMINATE.store(true, Ordering::SeqCst);
+}
+
+/// Install `on_signal` for SIGTERM (15) and SIGINT (2) via the raw libc
+/// `signal(2)` symbol — the offline build has no `libc` crate, and the
+/// simple old-school API is all a drain flag needs.
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+        signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+    }
+}
+
+const USAGE: &str = "usage:
+  adjstreamd --state-dir DIR [--socket PATH] [--workers N] [--queue-depth N]
+             [--max-jobs N] [--memory-budget BYTES] [--checkpoint-retention-secs S]
+
+The daemon listens on the Unix socket (default: DIR/adjstreamd.sock) for
+line-delimited JSON requests: register, submit, status, cancel, metrics,
+traces, ping, shutdown. SIGTERM drains: every in-flight job is
+checkpointed at its pass boundary and resumes bit-for-bit on restart.";
+
+fn parse_args(args: &[String]) -> Result<(ServiceConfig, Option<u64>), String> {
+    let mut flags: HashMap<String, String> = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("unexpected argument {:?}", args[i]))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("flag --{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    let state_dir = flags
+        .get("state-dir")
+        .ok_or("missing required --state-dir")?;
+    let mut cfg = ServiceConfig::at(&PathBuf::from(state_dir));
+    if let Some(s) = flags.get("socket") {
+        cfg.socket = PathBuf::from(s);
+    }
+    let parse = |key: &str, default: usize| -> Result<usize, String> {
+        match flags.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid --{key} {v:?}")),
+        }
+    };
+    cfg.workers = parse("workers", cfg.workers)?.max(1);
+    cfg.queue_depth = parse("queue-depth", cfg.queue_depth)?.max(1);
+    cfg.max_jobs = parse("max-jobs", cfg.max_jobs)?.max(1);
+    cfg.memory_budget = match flags.get("memory-budget") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("invalid --memory-budget {v:?}"))?,
+        ),
+    };
+    let retention = match flags.get("checkpoint-retention-secs") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("invalid --checkpoint-retention-secs {v:?}"))?,
+        ),
+    };
+    Ok((cfg, retention))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let (cfg, retention) = match parse_args(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    install_signal_handlers();
+
+    if let Err(e) = std::fs::create_dir_all(&cfg.state_dir) {
+        eprintln!("error: cannot create state dir: {e}");
+        return ExitCode::from(8);
+    }
+    // Stale-checkpoint GC: orphaned `.ckpt` files (no live manifest) older
+    // than the retention window are deleted before recovery runs.
+    if let Some(secs) = retention {
+        let removed = gc_stale_checkpoints(&cfg.state_dir, Duration::from_secs(secs), |path| {
+            // A checkpoint is live while a non-terminal manifest exists for
+            // the same job stem.
+            path.extension().is_some_and(|e| e == "ckpt") && !path.with_extension("json").exists()
+        });
+        if removed > 0 {
+            eprintln!("gc: removed {removed} stale checkpoint file(s)");
+        }
+    }
+
+    let socket = cfg.socket.clone();
+    let handle = match Server::start(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: failed to start: {e}");
+            return ExitCode::from(8);
+        }
+    };
+    // Machine-readable readiness line; tests and the CI smoke job wait on it.
+    println!("{{\"ready\":true,\"socket\":\"{}\"}}", socket.display());
+
+    loop {
+        if TERMINATE.load(Ordering::SeqCst) || handle.shutdown_requested() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let counters = handle.shutdown();
+    println!(
+        "{{\"drained\":true,\"completed\":{},\"suspended\":{}}}",
+        counters.completed, counters.suspended
+    );
+    ExitCode::SUCCESS
+}

@@ -14,7 +14,9 @@
 //! * [`algo`] — the paper's algorithms and the baselines
 //!   ([`adjstream_core`]),
 //! * [`lowerbound`] — Section 5 gadgets and protocol simulation
-//!   ([`adjstream_lowerbound`]).
+//!   ([`adjstream_lowerbound`]),
+//! * [`service`] — the `adjstreamd` resident estimation service: trace
+//!   catalog, job scheduler, crash recovery ([`adjstream_service`]).
 //!
 //! ## Quickstart
 //!
@@ -44,6 +46,7 @@ pub mod paper;
 pub use adjstream_core as algo;
 pub use adjstream_graph as graph;
 pub use adjstream_lowerbound as lowerbound;
+pub use adjstream_service as service;
 pub use adjstream_stream as stream;
 
 /// Crate version, for examples that print provenance.

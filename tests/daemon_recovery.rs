@@ -1,0 +1,195 @@
+//! Crash-recovery drill for `adjstreamd`: SIGKILL the daemon mid-pass with
+//! three in-flight jobs, restart it over the same state directory, and
+//! require every resumed estimate to be bit-for-bit identical to an
+//! uninterrupted run of the same job spec.
+//!
+//! This is the no-warning variant of the drain test: `kill -9` gives the
+//! daemon no chance to checkpoint or mark anything, so recovery must work
+//! from whatever the pass-boundary checkpoints and manifests already on
+//! disk say.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use adjstream::graph::gen;
+use adjstream::service::json::{parse, Json};
+use adjstream::stream::trace::ItemTrace;
+use adjstream::stream::{AdjListStream, StreamOrder};
+
+const SEEDS: [u64; 3] = [101, 202, 303];
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("adjstreamd-rec-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_trace(dir: &Path) -> PathBuf {
+    let g = gen::disjoint_cliques(4, 6);
+    let items = AdjListStream::new(&g, StreamOrder::natural(g.vertex_count())).collect_items();
+    let trace = ItemTrace::new(items).unwrap();
+    let path = dir.join("g.adjb");
+    let mut buf = Vec::new();
+    trace.write_adjb(&mut buf).unwrap();
+    std::fs::write(&path, buf).unwrap();
+    path
+}
+
+// Every caller kills and waits on the child; the only escape is a test
+// panic, which tears the process down anyway.
+#[allow(clippy::zombie_processes)]
+fn spawn_daemon(state_dir: &Path) -> (Child, PathBuf) {
+    let child = Command::new(env!("CARGO_BIN_EXE_adjstreamd"))
+        .args([
+            "--state-dir",
+            &state_dir.display().to_string(),
+            "--workers",
+            "3",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("adjstreamd binary spawns");
+    let socket = state_dir.join("adjstreamd.sock");
+    // Readiness: the listener accepts connections.
+    let start = Instant::now();
+    loop {
+        if UnixStream::connect(&socket).is_ok() {
+            return (child, socket);
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "daemon never became ready"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn req(socket: &Path, line: &str) -> Json {
+    let stream = UnixStream::connect(socket).expect("daemon accepts connections");
+    let mut w = stream.try_clone().unwrap();
+    writeln!(w, "{line}").unwrap();
+    w.flush().unwrap();
+    let mut reply = String::new();
+    BufReader::new(stream).read_line(&mut reply).unwrap();
+    parse(reply.trim()).expect("daemon speaks valid JSON")
+}
+
+fn register(socket: &Path, trace: &Path) {
+    let reply = req(
+        socket,
+        &format!(
+            "{{\"op\":\"register\",\"name\":\"g\",\"path\":\"{}\"}}",
+            trace.display()
+        ),
+    );
+    assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+}
+
+fn submit(socket: &Path, seed: u64, delay_ms: u64) -> String {
+    let reply = req(
+        socket,
+        &format!(
+            "{{\"op\":\"submit\",\"trace\":\"g\",\"t_lower\":10,\"seed\":{seed},\
+             \"delay_ms_per_pass\":{delay_ms}}}"
+        ),
+    );
+    reply
+        .str_field("id")
+        .unwrap_or_else(|| panic!("submit reply has an id: {reply}"))
+        .to_string()
+}
+
+fn wait_done(socket: &Path, id: &str) -> Json {
+    let start = Instant::now();
+    loop {
+        let reply = req(socket, &format!("{{\"op\":\"status\",\"id\":\"{id}\"}}"));
+        match reply.str_field("state") {
+            Some("done") => return reply,
+            Some("degraded" | "failed") => panic!("job {id} settled badly: {reply}"),
+            _ => {
+                assert!(
+                    start.elapsed() < Duration::from_secs(120),
+                    "job {id} never finished: {reply}"
+                );
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+    }
+}
+
+fn estimate_bits(reply: &Json) -> String {
+    reply
+        .get("result")
+        .and_then(|r| r.str_field("estimate_bits"))
+        .unwrap_or_else(|| panic!("done status carries estimate_bits: {reply}"))
+        .to_string()
+}
+
+#[test]
+fn kill9_with_three_inflight_jobs_recovers_bit_identical() {
+    // Uninterrupted baselines: same trace, same seeds, no chaos delay.
+    let base_dir = tmp_dir("baseline");
+    let trace = write_trace(&base_dir);
+    let (mut child, socket) = spawn_daemon(&base_dir);
+    register(&socket, &trace);
+    let baselines: Vec<String> = SEEDS
+        .iter()
+        .map(|&seed| {
+            let id = submit(&socket, seed, 0);
+            estimate_bits(&wait_done(&socket, &id))
+        })
+        .collect();
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    // Crash run: three slow jobs in flight on three workers. Wait for all
+    // three pass-boundary checkpoints, then SIGKILL with no warning.
+    let crash_dir = tmp_dir("crash");
+    let trace = write_trace(&crash_dir);
+    let (mut child, socket) = spawn_daemon(&crash_dir);
+    register(&socket, &trace);
+    let ids: Vec<String> = SEEDS.iter().map(|&s| submit(&socket, s, 400)).collect();
+    let start = Instant::now();
+    while !ids
+        .iter()
+        .all(|id| crash_dir.join(format!("job-{id}.ckpt")).exists())
+    {
+        assert!(
+            start.elapsed() < Duration::from_secs(60),
+            "pass-boundary checkpoints never appeared"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    child.kill().unwrap(); // SIGKILL
+    child.wait().unwrap();
+
+    // Restart over the same state dir: the recovery scan must requeue all
+    // three and every resumed estimate must match its baseline exactly.
+    let (mut child, socket) = spawn_daemon(&crash_dir);
+    for (id, want) in ids.iter().zip(&baselines) {
+        let done = wait_done(&socket, id);
+        assert_eq!(
+            &estimate_bits(&done),
+            want,
+            "job {id} diverged after kill -9"
+        );
+        let resumed_from = done
+            .get("result")
+            .and_then(|r| r.f64_field("resumed_from"))
+            .map(|p| p as usize);
+        assert_eq!(
+            resumed_from,
+            Some(1),
+            "job {id} should resume from the pass-1 checkpoint: {done}"
+        );
+    }
+    child.kill().unwrap();
+    child.wait().unwrap();
+    let _ = std::fs::remove_dir_all(&base_dir);
+    let _ = std::fs::remove_dir_all(&crash_dir);
+}
