@@ -32,6 +32,7 @@
 
 pub mod amplify;
 pub mod common;
+pub mod dynamic;
 pub mod estimate;
 pub mod exact_stream;
 pub mod fourcycle;

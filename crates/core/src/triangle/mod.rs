@@ -7,7 +7,10 @@ mod one_pass;
 mod random_order;
 mod three_pass;
 mod triest;
+mod triest_fd;
 mod two_pass;
+
+pub(crate) use triest::SampleAdjacency;
 mod wedge_sampler;
 
 pub use distinguish::{DistinguishVerdict, TriangleDistinguisher};
@@ -16,5 +19,6 @@ pub use one_pass::{OnePassEstimate, OnePassTriangle};
 pub use random_order::{RandomOrderEstimate, RandomOrderTriangle};
 pub use three_pass::{ThreePassEstimate, ThreePassTriangle};
 pub use triest::{TriestBase, TriestEstimate};
+pub use triest_fd::TriestFd;
 pub use two_pass::{TriangleEstimate, TwoPassTriangle, TwoPassTriangleConfig};
 pub use wedge_sampler::{WedgeSamplerEstimate, WedgeSamplerTriangle};

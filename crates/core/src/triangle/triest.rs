@@ -17,10 +17,106 @@
 
 use adjstream_graph::{EdgeKey, VertexId};
 use adjstream_stream::arbitrary::EdgeStreamAlgorithm;
-use adjstream_stream::hashing::{FastMap, SplitMix64};
+use adjstream_stream::hashing::{FastMap, FastSet, SplitMix64};
 use adjstream_stream::meter::{hashmap_bytes, vec_bytes, SpaceUsage};
 
-use crate::common::count_common_neighbors;
+/// Adjacency of a *sampled* subgraph: vertex → multiset of neighbors.
+///
+/// Shared by [`TriestBase`] and the fully-dynamic
+/// [`super::TriestFd`]. Duplicate edge arrivals are representable (each
+/// `add` pushes one more occurrence), removal is multiset-consistent and
+/// *tolerant* — removing an edge that is not in the sample is a no-op
+/// reported via the return value, which is what TRIÈST-FD needs since
+/// deletions routinely target unsampled edges.
+#[derive(Default)]
+pub(crate) struct SampleAdjacency {
+    adj: FastMap<u32, Vec<u32>>,
+}
+
+impl SampleAdjacency {
+    /// Record one occurrence of `e` in the sample.
+    pub(crate) fn add(&mut self, e: EdgeKey) {
+        self.adj.entry(e.lo().0).or_default().push(e.hi().0);
+        self.adj.entry(e.hi().0).or_default().push(e.lo().0);
+    }
+
+    /// Remove one occurrence of `e` from the sample. Returns whether the
+    /// edge was present; an absent edge leaves the structure untouched.
+    pub(crate) fn remove(&mut self, e: EdgeKey) -> bool {
+        // Probe before mutating so a half-present edge (impossible via
+        // `add`, but cheap to defend against) is never half-removed.
+        let present = [(e.lo().0, e.hi().0), (e.hi().0, e.lo().0)]
+            .into_iter()
+            .all(|(a, b)| self.adj.get(&a).is_some_and(|list| list.contains(&b)));
+        if !present {
+            return false;
+        }
+        for (a, b) in [(e.lo().0, e.hi().0), (e.hi().0, e.lo().0)] {
+            let list = self.adj.get_mut(&a).expect("probed above");
+            let pos = list.iter().position(|&x| x == b).expect("probed above");
+            list.swap_remove(pos);
+            if list.is_empty() {
+                self.adj.remove(&a);
+            }
+        }
+        true
+    }
+
+    /// Number of *distinct* common neighbors of `u` and `v` in the sample.
+    ///
+    /// Distinctness matters: duplicate edge arrivals leave repeated
+    /// entries in the adjacency lists, and the naive
+    /// intersection-of-multisets over-counts each triangle once per
+    /// duplicate — the inflation audit in issue 7. Set semantics on both
+    /// sides pins the count to the number of triangle-closing vertices.
+    pub(crate) fn common_count(&self, u: VertexId, v: VertexId) -> u64 {
+        let (Some(nu), Some(nv)) = (self.adj.get(&u.0), self.adj.get(&v.0)) else {
+            return 0;
+        };
+        let (small, large) = if nu.len() <= nv.len() {
+            (nu, nv)
+        } else {
+            (nv, nu)
+        };
+        let mut probe: FastSet<u32> = large.iter().copied().collect();
+        let mut count = 0u64;
+        for &x in small {
+            // remove-on-hit: a vertex counts once even when duplicated in
+            // either list.
+            if probe.remove(&x) {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// The multiset of edges the adjacency currently encodes, as sorted
+    /// packed keys — each occurrence counted once, from the `lo` side.
+    /// The invariant checkers compare this against the reservoir.
+    pub(crate) fn edge_multiset(&self) -> Vec<u64> {
+        let mut edges: Vec<u64> = self
+            .adj
+            .iter()
+            .flat_map(|(&a, list)| {
+                list.iter()
+                    .filter(move |&&b| a < b)
+                    .map(move |&b| EdgeKey::new(VertexId(a), VertexId(b)).pack())
+            })
+            .collect();
+        edges.sort_unstable();
+        edges
+    }
+
+    /// Heap bytes of the adjacency structure. `hashmap_bytes` already
+    /// charges `size_of::<(u32, Vec<u32>)>()` per slot — including each
+    /// `Vec` *header* — so the per-list term is the buffer alone
+    /// (`capacity * 4`), **without** the 24-byte header that the old
+    /// accounting double-counted.
+    pub(crate) fn space_bytes(&self) -> usize {
+        let buffers: usize = self.adj.values().map(|v| v.capacity() * 4).sum();
+        hashmap_bytes(&self.adj) + buffers
+    }
+}
 
 /// Result of a [`TriestBase`] run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,8 +135,8 @@ pub struct TriestBase {
     capacity: usize,
     t: u64,
     reservoir: Vec<EdgeKey>,
-    /// Adjacency of the sampled subgraph: vertex → neighbors (in sample).
-    adj: FastMap<u32, Vec<u32>>,
+    /// Adjacency of the sampled subgraph.
+    adj: SampleAdjacency,
     estimate: f64,
     witnessed: u64,
     rng: SplitMix64,
@@ -54,7 +150,7 @@ impl TriestBase {
             capacity: m_prime,
             t: 0,
             reservoir: Vec::with_capacity(m_prime.min(1 << 20)),
-            adj: FastMap::default(),
+            adj: SampleAdjacency::default(),
             estimate: 0.0,
             witnessed: 0,
             rng: SplitMix64::new(seed),
@@ -71,35 +167,27 @@ impl TriestBase {
         }
     }
 
-    fn add_adj(&mut self, e: EdgeKey) {
-        self.adj.entry(e.lo().0).or_default().push(e.hi().0);
-        self.adj.entry(e.hi().0).or_default().push(e.lo().0);
-    }
-
-    fn remove_adj(&mut self, e: EdgeKey) {
-        for (a, b) in [(e.lo().0, e.hi().0), (e.hi().0, e.lo().0)] {
-            let list = self.adj.get_mut(&a).expect("adjacency present");
-            let pos = list.iter().position(|&x| x == b).expect("neighbor present");
-            list.swap_remove(pos);
-            if list.is_empty() {
-                self.adj.remove(&a);
-            }
-        }
-    }
-
-    /// Common neighbors of `u`, `v` in the sampled subgraph.
-    fn common_count(&self, u: VertexId, v: VertexId) -> u64 {
-        let (Some(nu), Some(nv)) = (self.adj.get(&u.0), self.adj.get(&v.0)) else {
-            return 0;
-        };
-        count_common_neighbors(nu, nv)
+    /// Check that the sampled adjacency is exactly the multiset of
+    /// reservoir edges (the reservoir ↔ adjacency bijection the property
+    /// tests drive), panicking with a description of the first violation.
+    pub fn assert_invariants(&self) {
+        assert!(
+            self.reservoir.len() <= self.capacity,
+            "reservoir over capacity"
+        );
+        let mut expected: Vec<u64> = self.reservoir.iter().map(|e| e.pack()).collect();
+        expected.sort_unstable();
+        assert_eq!(
+            self.adj.edge_multiset(),
+            expected,
+            "adjacency out of sync with reservoir"
+        );
     }
 }
 
 impl SpaceUsage for TriestBase {
     fn space_bytes(&self) -> usize {
-        let adj_inner: usize = self.adj.values().map(|v| v.capacity() * 4 + 24).sum();
-        vec_bytes(&self.reservoir) + hashmap_bytes(&self.adj) + adj_inner + 48
+        vec_bytes(&self.reservoir) + self.adj.space_bytes() + 48
     }
 }
 
@@ -109,7 +197,7 @@ impl EdgeStreamAlgorithm for TriestBase {
     fn edge(&mut self, e: EdgeKey) {
         self.t += 1;
         // Count triangles this edge closes within the current sample.
-        let c = self.common_count(e.lo(), e.hi());
+        let c = self.adj.common_count(e.lo(), e.hi());
         if c > 0 {
             self.witnessed += c;
             let m = self.capacity as f64;
@@ -120,13 +208,14 @@ impl EdgeStreamAlgorithm for TriestBase {
         // Reservoir-insert.
         if self.reservoir.len() < self.capacity {
             self.reservoir.push(e);
-            self.add_adj(e);
+            self.adj.add(e);
         } else {
             let j = self.next_below(self.t);
             if (j as usize) < self.capacity {
                 let old = std::mem::replace(&mut self.reservoir[j as usize], e);
-                self.remove_adj(old);
-                self.add_adj(e);
+                let removed = self.adj.remove(old);
+                debug_assert!(removed, "evicted edge was sampled");
+                self.adj.add(e);
             }
         }
     }
@@ -189,5 +278,68 @@ mod tests {
     #[should_panic(expected = "at least two")]
     fn rejects_tiny_reservoir() {
         TriestBase::new(1, 1);
+    }
+
+    fn ek(u: u32, v: u32) -> EdgeKey {
+        EdgeKey::new(VertexId(u), VertexId(v))
+    }
+
+    /// Regression (issue 7): removing an edge absent from the sample used
+    /// to panic via `expect("neighbor present")`; TRIÈST-FD deletions
+    /// routinely target unsampled edges, so removal must be tolerant.
+    #[test]
+    fn remove_is_tolerant_and_multiset_consistent() {
+        let mut adj = SampleAdjacency::default();
+        assert!(!adj.remove(ek(0, 1)), "empty sample: no-op remove");
+        adj.add(ek(0, 1));
+        assert!(!adj.remove(ek(0, 2)), "shared endpoint, absent edge");
+        assert!(!adj.remove(ek(2, 3)), "absent endpoints");
+        // Duplicate arrivals stack: two removes succeed, the third is a no-op.
+        adj.add(ek(0, 1));
+        assert!(adj.remove(ek(0, 1)));
+        assert!(adj.remove(ek(0, 1)));
+        assert!(!adj.remove(ek(0, 1)));
+        assert!(adj.adj.is_empty(), "all lists pruned after last removal");
+    }
+
+    /// Regression (issue 7): duplicate edge arrivals leave repeated
+    /// adjacency entries, and the old multiset intersection counted the
+    /// same closing vertex once per duplicate.
+    #[test]
+    fn common_count_is_distinct_under_duplicates() {
+        let mut adj = SampleAdjacency::default();
+        for e in [ek(0, 2), ek(1, 2), ek(0, 3), ek(1, 3)] {
+            adj.add(e);
+        }
+        assert_eq!(adj.common_count(VertexId(0), VertexId(1)), 2);
+        // Duplicate {0,2} and {1,2}: vertex 2 still closes one triangle.
+        adj.add(ek(0, 2));
+        adj.add(ek(1, 2));
+        assert_eq!(adj.common_count(VertexId(0), VertexId(1)), 2);
+        // Removing one duplicate keeps the remaining occurrence live.
+        assert!(adj.remove(ek(0, 2)));
+        assert_eq!(adj.common_count(VertexId(0), VertexId(1)), 2);
+        assert!(adj.remove(ek(0, 2)));
+        assert_eq!(adj.common_count(VertexId(0), VertexId(1)), 1);
+    }
+
+    /// Regression (issue 7): `space_bytes` charged each adjacency `Vec`
+    /// header twice — `hashmap_bytes` already includes the 24-byte header
+    /// in its per-slot `size_of::<(u32, Vec<u32>)>()`, and the inner term
+    /// added another 24 per list. Pin the accounting to: reservoir buffer
+    /// + map slots + list *buffers* only + fixed scalar overhead.
+    #[test]
+    fn space_bytes_counts_each_list_header_once() {
+        let mut alg = TriestBase::new(7, 8);
+        for e in [ek(0, 1), ek(1, 2), ek(2, 0), ek(3, 4)] {
+            alg.edge(e);
+        }
+        let buffers: usize = alg.adj.adj.values().map(|v| v.capacity() * 4).sum();
+        let expected = vec_bytes(&alg.reservoir) + hashmap_bytes(&alg.adj.adj) + buffers + 48;
+        assert_eq!(alg.space_bytes(), expected);
+        // The old accounting added 24 bytes per vertex on top.
+        let vertices = alg.adj.adj.len();
+        assert_eq!(vertices, 5);
+        assert_ne!(alg.space_bytes(), expected + 24 * vertices);
     }
 }

@@ -451,6 +451,33 @@ impl JobRecord {
     }
 }
 
+/// Whether `path` is a checkpoint file whose job no longer needs it —
+/// the liveness predicate of the daemon's stale-checkpoint GC.
+///
+/// A `.ckpt` is a GC candidate when its sibling manifest is missing
+/// (orphan) **or** parses to a terminal state (`done`/`failed`/
+/// `degraded`): a finished job never resumes, so its checkpoint is dead
+/// weight the moment the manifest records the terminal transition. A
+/// manifest that exists but cannot be parsed keeps the checkpoint — GC
+/// must never make recovery worse than doing nothing.
+///
+/// The old predicate (`!path.with_extension("json").exists()`) treated
+/// *any* sibling manifest as live, so checkpoints of completed jobs were
+/// retained forever alongside their manifests.
+pub fn stale_checkpoint_candidate(path: &Path) -> bool {
+    if path.extension().is_none_or(|e| e != "ckpt") {
+        return false;
+    }
+    let manifest = path.with_extension("json");
+    if !manifest.exists() {
+        return true; // orphan: no manifest will ever resume it
+    }
+    match JobRecord::load(&manifest) {
+        Some(rec) => rec.state.is_terminal(),
+        None => false, // unreadable manifest: be conservative, keep
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -536,6 +563,73 @@ mod tests {
         rec.persist(&dir).unwrap();
         let loaded = JobRecord::load(&rec.id.manifest_path(&dir)).unwrap();
         assert_eq!(loaded, rec);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Regression (issue 7): the GC liveness filter must parse manifest
+    /// *state*, not just test manifest existence — terminal jobs'
+    /// checkpoints are collectable, suspended jobs' are not, and garbage
+    /// manifests keep their checkpoints.
+    #[test]
+    fn stale_candidate_parses_manifest_state() {
+        let dir = std::env::temp_dir().join(format!("adjsvc-gc-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let persist = |id: u64, state: JobState| {
+            let rec = JobRecord {
+                id: JobId(id),
+                spec: spec(),
+                state,
+            };
+            rec.persist(&dir).unwrap();
+            let ckpt = rec.id.checkpoint_path(&dir);
+            std::fs::write(&ckpt, b"ckpt").unwrap();
+            ckpt
+        };
+        // Orphan: no manifest at all.
+        let orphan = JobId(1).checkpoint_path(&dir);
+        std::fs::write(&orphan, b"ckpt").unwrap();
+        assert!(stale_checkpoint_candidate(&orphan));
+        // Terminal manifests release their checkpoints...
+        let done = persist(
+            2,
+            JobState::Done {
+                result: JobResult {
+                    estimate: 1.0,
+                    estimate_bits: 1.0f64.to_bits(),
+                    survivors: 9,
+                    repetitions: 9,
+                    passes: 2,
+                    resumed_from: None,
+                },
+            },
+        );
+        let failed = persist(
+            3,
+            JobState::Failed {
+                reason: "deadline".into(),
+                detail: String::new(),
+            },
+        );
+        assert!(stale_checkpoint_candidate(&done));
+        assert!(stale_checkpoint_candidate(&failed));
+        // ...non-terminal manifests hold them...
+        let suspended = persist(
+            4,
+            JobState::Suspended {
+                pass: 1,
+                reason: "drain".into(),
+            },
+        );
+        let queued = persist(5, JobState::Queued);
+        assert!(!stale_checkpoint_candidate(&suspended));
+        assert!(!stale_checkpoint_candidate(&queued));
+        // ...an unparseable manifest keeps its checkpoint (conservative)...
+        let garbage = JobId(6).checkpoint_path(&dir);
+        std::fs::write(&garbage, b"ckpt").unwrap();
+        std::fs::write(JobId(6).manifest_path(&dir), b"{not json").unwrap();
+        assert!(!stale_checkpoint_candidate(&garbage));
+        // ...and non-checkpoint files are never candidates.
+        assert!(!stale_checkpoint_candidate(&JobId(2).manifest_path(&dir)));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

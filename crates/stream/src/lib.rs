@@ -39,7 +39,10 @@
 //!   samplers (threshold, bottom-k, reservoir) that realize the paper's
 //!   "sample a uniform size-m′ subset" steps,
 //! * [`estimator`] — median / median-of-means amplification used to turn
-//!   constant-probability estimators into `1 − δ` ones (Theorems 3.7, 4.6).
+//!   constant-probability estimators into `1 − δ` ones (Theorems 3.7, 4.6),
+//! * [`update`] — timestamped insert/delete update streams, the seeded
+//!   churn workload generator, and the batched update driver behind the
+//!   fully-dynamic estimators.
 
 #![warn(missing_docs)]
 
@@ -59,6 +62,7 @@ pub mod order;
 pub mod runner;
 pub mod sampling;
 pub mod trace;
+pub mod update;
 pub mod validate;
 
 pub use adjlist::AdjListStream;
@@ -81,4 +85,8 @@ pub use runner::{
     Runner,
 };
 pub use trace::{ItemTrace, TraceError, ADJB_MAGIC, ADJB_VERSION};
+pub use update::{
+    run_update_batches, ChurnConfig, UpdateAlgorithm, UpdateBatchReport, UpdateEvent,
+    UpdateParseError, UpdateRunReport, UpdateStream,
+};
 pub use validate::{validate_online, validate_stream, OnlineValidator, StreamError, ValidatorMode};

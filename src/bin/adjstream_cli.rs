@@ -191,6 +191,9 @@ const USAGE: &str = "usage:
   adjstream-cli corrupt FILE --faults KIND[:N][,KIND[:N]...] [--seed S] [-o FILE] [--replay-o FILE]
   adjstream-cli estimate-stream FILE [--budget K] [--seed S] [--policy strict|repair|observe] [--retries N]
                 [--metrics-out FILE]
+  adjstream-cli gen-updates FILE [--churn N] [--delete-fraction F] [--seed S] [-o FILE]
+  adjstream-cli update-stream FILE [--batch B] [--capacity M] [--seed S] [--verify]
+                [--window W] [--stride D] [--epsilon E] [--delta D] [--exact-windows]
   adjstream-cli convert-trace FILE -o FILE [--format adjb|text]
   adjstream-cli gadget <fig-a|fig-b|fig-c|fig-d|fig-e> [--key value ...] [--answer yes|no] [-o FILE]
 
@@ -206,7 +209,7 @@ fault kinds: drop-direction duplicate-item split-list self-loop corrupt-vertex t
 exit codes: 0 ok | 2 usage | 3 invalid-stream | 4 degraded | 5 space-budget | 6 deadline | 7 checkpoint | 8 io";
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["resume", "wait"];
+const BOOLEAN_FLAGS: &[&str] = &["resume", "wait", "verify", "exact-windows"];
 
 /// Parse `--key value` flags (plus `-o` and valueless booleans).
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -255,6 +258,8 @@ fn run(args: &[String]) -> Result<(), CliFailure> {
         "validate-stream" => cmd_validate_stream(rest),
         "corrupt" => cmd_corrupt(rest),
         "estimate-stream" => cmd_estimate_stream(rest),
+        "gen-updates" => cmd_gen_updates(rest),
+        "update-stream" => cmd_update_stream(rest),
         "convert-trace" => cmd_convert_trace(rest),
         "gadget" => cmd_gadget(rest),
         "register" => cmd_register(rest),
@@ -808,6 +813,146 @@ fn cmd_estimate_stream(args: &[String]) -> Result<(), CliFailure> {
     Ok(())
 }
 
+/// Generate a timestamped insert/delete trace from a graph file: a load
+/// phase inserting every edge in seeded random order, then `--churn`
+/// events swinging over the edge set.
+fn cmd_gen_updates(args: &[String]) -> Result<(), CliFailure> {
+    use adjstream::stream::update::{churn, ChurnConfig};
+    let (path, rest) = args
+        .split_first()
+        .ok_or("gen-updates: missing graph file")?;
+    let flags = parse_flags(rest)?;
+    let g = load(Some(path))?;
+    let cfg = ChurnConfig {
+        churn_events: get(&flags, "churn", g.edge_count())?,
+        delete_fraction: get(&flags, "delete-fraction", 0.5)?,
+        seed: get(&flags, "seed", 1)?,
+    };
+    let stream = churn(&g, &cfg);
+    let write = |w: &mut dyn Write| stream.write_text(w);
+    match flags.get("o") {
+        Some(out) => {
+            let mut f = std::fs::File::create(out).map_err(|e| CliFailure::io(e.to_string()))?;
+            write(&mut f).map_err(|e| CliFailure::io(e.to_string()))?;
+        }
+        None => {
+            let stdout = std::io::stdout();
+            write(&mut stdout.lock()).map_err(|e| CliFailure::io(e.to_string()))?;
+        }
+    }
+    let (ins, del) = stream.op_counts();
+    eprintln!(
+        "gen-updates: {} events (+{ins}/-{del}), {} live at end",
+        stream.len(),
+        stream.final_edges().len()
+    );
+    Ok(())
+}
+
+/// Maintain a triangle estimate over a dynamic update trace.
+///
+/// Default mode drives TRIÈST-FD in batches, printing the per-batch
+/// estimate and its delta; `--verify` replays the trace through the exact
+/// `O(m)`-space incremental counter and prints the per-batch recount next
+/// to each estimate. `--window W` switches to sliding-window mode: each
+/// `[start, start+W)` window of timestamps is re-fed to the two-pass
+/// estimator (or counted exactly with `--exact-windows`).
+fn cmd_update_stream(args: &[String]) -> Result<(), CliFailure> {
+    use adjstream::algo::dynamic::{windowed_estimates, ExactDynamicTriangles, WindowConfig};
+    use adjstream::algo::triangle::TriestFd;
+    use adjstream::stream::update::{run_update_batches, UpdateAlgorithm, UpdateStream};
+    let (path, rest) = args
+        .split_first()
+        .ok_or("update-stream: missing update trace file")?;
+    let flags = parse_flags(rest)?;
+    let text = std::fs::read_to_string(path).map_err(|e| CliFailure::io(e.to_string()))?;
+    let stream =
+        UpdateStream::parse_text(&text).map_err(|e| CliFailure::invalid_stream(e.to_string()))?;
+    if stream.is_empty() {
+        return Err(CliFailure::invalid_stream("update trace has no events"));
+    }
+    let seed: u64 = get(&flags, "seed", 2019)?;
+    let (ins, del) = stream.op_counts();
+    println!("updates       {} events (+{ins}/-{del})", stream.len());
+
+    if flags.contains_key("window") {
+        let width: u64 = get(&flags, "window", 0)?;
+        let stride: u64 = get(&flags, "stride", width)?;
+        let cfg = WindowConfig {
+            width,
+            stride,
+            acc: Accuracy {
+                epsilon: get(&flags, "epsilon", 0.2)?,
+                delta: get(&flags, "delta", 0.1)?,
+                seed,
+                ..Accuracy::default()
+            },
+            exact: flags.contains_key("exact-windows"),
+        };
+        if cfg.width == 0 || cfg.stride == 0 {
+            return Err(CliFailure::usage("--window/--stride must be positive"));
+        }
+        for w in windowed_estimates(&stream, &cfg) {
+            match w.estimate {
+                Ok(est) => println!(
+                    "window {:<4} ts [{}, {})  events {:<6} edges {:<6} estimate {est:.1}",
+                    w.window, w.ts_start, w.ts_end, w.events, w.edges
+                ),
+                Err(e) => println!(
+                    "window {:<4} ts [{}, {})  events {:<6} edges {:<6} degraded: {e}",
+                    w.window, w.ts_start, w.ts_end, w.events, w.edges
+                ),
+            }
+        }
+        return Ok(());
+    }
+
+    let batch: usize = get(&flags, "batch", 1000)?;
+    let capacity: usize = get(&flags, "capacity", (stream.len() / 10).max(64))?;
+    if capacity < 3 {
+        return Err(CliFailure::usage("--capacity must be at least 3"));
+    }
+    let mut fd = TriestFd::new(seed, capacity);
+    let report = run_update_batches(&stream, batch, &mut fd);
+    // --verify: replay through the exact incremental counter, batch-aligned,
+    // so every per-batch delta has a recount next to it.
+    let exact_per_batch: Option<Vec<f64>> = flags.contains_key("verify").then(|| {
+        let mut exact = ExactDynamicTriangles::new();
+        stream
+            .batches(batch)
+            .map(|events| {
+                events.iter().for_each(|ev| exact.apply(ev));
+                exact.estimate()
+            })
+            .collect()
+    });
+    for b in &report.batches {
+        let verify = match &exact_per_batch {
+            Some(exact) => format!("  exact {:.1}", exact[b.batch]),
+            None => String::new(),
+        };
+        println!(
+            "batch {:<4} events {:<6} +{}/-{}  estimate {:.1}  delta {:+.1}{verify}",
+            b.batch, b.events, b.inserts, b.deletes, b.estimate, b.delta
+        );
+    }
+    let (d_in, d_out) = fd.deletion_debt();
+    println!(
+        "capacity      {capacity} edges (sample {})",
+        fd.sample_size()
+    );
+    println!("debt          d_i {d_in}, d_o {d_out}");
+    println!("peak state    {} bytes", report.peak_state_bytes);
+    match exact_per_batch.as_deref().and_then(<[f64]>::last) {
+        Some(exact) => println!(
+            "final         estimate {:.1}  exact {exact:.1}",
+            fd.estimate()
+        ),
+        None => println!("final         estimate {:.1}", fd.estimate()),
+    }
+    Ok(())
+}
+
 fn cmd_gadget(args: &[String]) -> Result<(), CliFailure> {
     let (fig, rest) = args.split_first().ok_or("gadget: missing figure")?;
     let flags = parse_flags(rest)?;
@@ -1128,6 +1273,85 @@ mod tests {
         run(&args(&["estimate-stream", &ss, "--budget", "40"])).unwrap();
         std::fs::remove_file(&gpath).ok();
         std::fs::remove_file(&spath).ok();
+    }
+
+    #[test]
+    fn gen_updates_and_update_stream_pipeline() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let gs = dir
+            .join(format!("adjstream-cli-upd-g-{pid}.txt"))
+            .to_string_lossy()
+            .to_string();
+        let us = dir
+            .join(format!("adjstream-cli-upd-u-{pid}.txt"))
+            .to_string_lossy()
+            .to_string();
+        run(&args(&[
+            "gen", "cliques", "--s", "5", "--k", "6", "-o", &gs,
+        ]))
+        .unwrap();
+        run(&args(&[
+            "gen-updates",
+            &gs,
+            "--churn",
+            "100",
+            "--delete-fraction",
+            "0.4",
+            "--seed",
+            "3",
+            "-o",
+            &us,
+        ]))
+        .unwrap();
+        // Batched mode, with and without the exact cross-check.
+        run(&args(&["update-stream", &us, "--batch", "40"])).unwrap();
+        run(&args(&[
+            "update-stream",
+            &us,
+            "--batch",
+            "40",
+            "--capacity",
+            "1000",
+            "--verify",
+        ]))
+        .unwrap();
+        // Sliding-window mode, exact and estimated.
+        run(&args(&[
+            "update-stream",
+            &us,
+            "--window",
+            "60",
+            "--exact-windows",
+        ]))
+        .unwrap();
+        run(&args(&[
+            "update-stream",
+            &us,
+            "--window",
+            "120",
+            "--stride",
+            "60",
+            "--epsilon",
+            "0.3",
+        ]))
+        .unwrap();
+        // Bad flags and malformed traces are typed failures.
+        let err = run(&args(&["update-stream", &us, "--capacity", "2"])).unwrap_err();
+        assert_eq!(err.exit, EXIT_USAGE);
+        let err = run(&args(&["update-stream", &us, "--window", "0"])).unwrap_err();
+        assert_eq!(err.exit, EXIT_USAGE);
+        let bad = dir
+            .join(format!("adjstream-cli-upd-bad-{pid}.txt"))
+            .to_string_lossy()
+            .to_string();
+        std::fs::write(&bad, "+ 1 1 0\n").unwrap();
+        let err = run(&args(&["update-stream", &bad])).unwrap_err();
+        assert_eq!(err.exit, EXIT_INVALID_STREAM);
+        assert_eq!(err.kind, "invalid-stream");
+        std::fs::remove_file(&gs).ok();
+        std::fs::remove_file(&us).ok();
+        std::fs::remove_file(&bad).ok();
     }
 
     #[test]

@@ -21,6 +21,7 @@ use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
+use adjstream::service::job::stale_checkpoint_candidate;
 use adjstream::service::{Server, ServiceConfig};
 use adjstream::stream::checkpoint::gc_stale_checkpoints;
 
@@ -123,14 +124,18 @@ fn main() -> ExitCode {
         eprintln!("error: cannot create state dir: {e}");
         return ExitCode::from(8);
     }
-    // Stale-checkpoint GC: orphaned `.ckpt` files (no live manifest) older
-    // than the retention window are deleted before recovery runs.
+    // Stale-checkpoint GC: `.ckpt` files that no job will ever resume —
+    // orphans and checkpoints of terminal (done/failed/degraded) jobs —
+    // older than the retention window are deleted before recovery runs.
+    // A checkpoint is live while a *non-terminal* manifest exists for the
+    // same job stem; `stale_checkpoint_candidate` parses the manifest
+    // state to decide, keeping anything it cannot parse.
     if let Some(secs) = retention {
-        let removed = gc_stale_checkpoints(&cfg.state_dir, Duration::from_secs(secs), |path| {
-            // A checkpoint is live while a non-terminal manifest exists for
-            // the same job stem.
-            path.extension().is_some_and(|e| e == "ckpt") && !path.with_extension("json").exists()
-        });
+        let removed = gc_stale_checkpoints(
+            &cfg.state_dir,
+            Duration::from_secs(secs),
+            stale_checkpoint_candidate,
+        );
         if removed > 0 {
             eprintln!("gc: removed {removed} stale checkpoint file(s)");
         }

@@ -15,6 +15,7 @@ use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
 use adjstream::graph::gen;
+use adjstream::service::job::{JobId, JobRecord, JobResult, JobSpec, JobState};
 use adjstream::service::json::{parse, Json};
 use adjstream::stream::trace::ItemTrace;
 use adjstream::stream::{AdjListStream, StreamOrder};
@@ -128,6 +129,97 @@ fn estimate_bits(reply: &Json) -> String {
         .and_then(|r| r.str_field("estimate_bits"))
         .unwrap_or_else(|| panic!("done status carries estimate_bits: {reply}"))
         .to_string()
+}
+
+/// Regression (issue 7): the startup GC used to treat *any* sibling
+/// manifest as live, so checkpoints of completed jobs were never
+/// collected. The predicate now parses the manifest state: a terminal
+/// job's old checkpoint goes, a fresh one stays (retention), an orphan
+/// goes, and an unparseable manifest keeps its checkpoint.
+#[test]
+fn startup_gc_collects_terminal_job_checkpoints() {
+    let dir = tmp_dir("gc");
+    let persist = |id: u64, state: JobState| {
+        let rec = JobRecord {
+            id: JobId(id),
+            spec: JobSpec::default(),
+            state,
+        };
+        rec.persist(&dir).unwrap();
+        let ckpt = rec.id.checkpoint_path(&dir);
+        std::fs::write(&ckpt, b"ckpt").unwrap();
+        ckpt
+    };
+    let done_state = || JobState::Done {
+        result: JobResult {
+            estimate: 6.0,
+            estimate_bits: 6.0f64.to_bits(),
+            survivors: 9,
+            repetitions: 9,
+            passes: 2,
+            resumed_from: None,
+        },
+    };
+    let done_old = persist(1, done_state());
+    let failed_old = persist(
+        2,
+        JobState::Failed {
+            reason: "deadline".into(),
+            detail: String::new(),
+        },
+    );
+    let orphan_old = dir.join(format!("job-{}.ckpt", JobId(3)));
+    std::fs::write(&orphan_old, b"ckpt").unwrap();
+    let garbage_old = dir.join(format!("job-{}.ckpt", JobId(4)));
+    std::fs::write(&garbage_old, b"ckpt").unwrap();
+    std::fs::write(dir.join(format!("job-{}.json", JobId(4))), b"{not json").unwrap();
+    // Age everything past the 1-second retention window, then add one
+    // *fresh* terminal checkpoint that retention must protect.
+    std::thread::sleep(Duration::from_millis(1400));
+    let done_fresh = persist(5, done_state());
+
+    let child = Command::new(env!("CARGO_BIN_EXE_adjstreamd"))
+        .args([
+            "--state-dir",
+            &dir.display().to_string(),
+            "--checkpoint-retention-secs",
+            "1",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("adjstreamd binary spawns");
+    // GC runs before the listener opens, so readiness means it finished.
+    let socket = dir.join("adjstreamd.sock");
+    let start = Instant::now();
+    let mut child = child;
+    while UnixStream::connect(&socket).is_err() {
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "daemon never became ready"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    assert!(
+        !done_old.exists(),
+        "terminal job's old checkpoint collected"
+    );
+    assert!(
+        !failed_old.exists(),
+        "failed job's old checkpoint collected"
+    );
+    assert!(!orphan_old.exists(), "orphaned checkpoint collected");
+    assert!(
+        garbage_old.exists(),
+        "unparseable manifest keeps checkpoint"
+    );
+    assert!(done_fresh.exists(), "retention protects fresh checkpoints");
+    // Manifests themselves are never GC targets.
+    assert!(JobId(1).manifest_path(&dir).exists());
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

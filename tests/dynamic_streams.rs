@@ -1,0 +1,228 @@
+//! Property-based tests over the dynamic-streams subsystem: TRIÈST
+//! reservoir ↔ adjacency bijection under long insert/delete streams
+//! (with duplicate arrivals), TRIÈST-FD exactness and unbiasedness
+//! against exact recounts, per-batch delta cross-checks, and sliding-
+//! window semantics.
+
+use adjstream::algo::dynamic::{windowed_estimates, ExactDynamicTriangles, WindowConfig};
+use adjstream::algo::estimate::Accuracy;
+use adjstream::algo::triangle::{TriestBase, TriestFd};
+use adjstream::graph::{exact, gen, EdgeKey, Graph, GraphBuilder, VertexId};
+use adjstream::stream::arbitrary::EdgeStreamAlgorithm;
+use adjstream::stream::update::{
+    churn, run_update_batches, ChurnConfig, UpdateAlgorithm, UpdateEvent, UpdateOp, UpdateStream,
+};
+use proptest::prelude::*;
+
+/// Strategy: a raw edge script over a tiny vertex universe — booleans pick
+/// insert vs delete. Turned into a *valid* update stream (deletes target
+/// live edges, inserts target dead ones) by `materialize`; invalid steps
+/// are skipped, so long scripts still produce long mixed streams.
+fn update_script(n: u32, len: usize) -> impl Strategy<Value = Vec<(bool, u32, u32)>> {
+    prop::collection::vec((any::<bool>(), 0..n, 0..n), 1..len)
+}
+
+fn materialize(script: &[(bool, u32, u32)]) -> UpdateStream {
+    let mut live = std::collections::BTreeSet::new();
+    let mut events = Vec::new();
+    for (i, &(insert, u, v)) in script.iter().enumerate() {
+        if u == v {
+            continue;
+        }
+        let edge = EdgeKey::new(VertexId(u), VertexId(v));
+        let valid = if insert {
+            live.insert(edge.pack())
+        } else {
+            live.remove(&edge.pack())
+        };
+        if valid {
+            events.push(UpdateEvent {
+                op: if insert {
+                    UpdateOp::Insert
+                } else {
+                    UpdateOp::Delete
+                },
+                edge,
+                ts: i as u64,
+            });
+        }
+    }
+    UpdateStream::new(events)
+}
+
+fn final_graph(stream: &UpdateStream) -> Graph {
+    let edges = stream.final_edges();
+    let n = edges
+        .iter()
+        .map(|e| e.hi().0 as usize + 1)
+        .max()
+        .unwrap_or(0);
+    GraphBuilder::from_edges(n, edges.iter().map(|e| (e.lo().0, e.hi().0))).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// TRIÈST-base under arbitrary-order *multigraph* streams: duplicate
+    /// edge arrivals are legal input, and after every prefix the sampled
+    /// adjacency must remain the exact multiset of reservoir edges.
+    #[test]
+    fn triest_base_bijection_survives_duplicates(
+        edges in prop::collection::vec((0u32..12, 0u32..12), 1..200),
+        capacity in 2usize..40,
+        seed in 0u64..1000,
+    ) {
+        let mut alg = TriestBase::new(seed, capacity);
+        for (u, v) in edges {
+            if u != v {
+                alg.edge(EdgeKey::new(VertexId(u), VertexId(v)));
+            }
+        }
+        alg.assert_invariants();
+    }
+
+    /// TRIÈST-FD structural invariants hold after any valid insert/delete
+    /// stream: reservoir ↔ index bijection, reservoir ↔ adjacency
+    /// bijection, and `τ` equal to the sampled subgraph's triangle count.
+    #[test]
+    fn triest_fd_invariants_hold_after_any_valid_stream(
+        script in update_script(12, 250),
+        capacity in 3usize..40,
+        seed in 0u64..1000,
+    ) {
+        let stream = materialize(&script);
+        let mut alg = TriestFd::new(seed, capacity);
+        for ev in stream.events() {
+            alg.apply(ev);
+        }
+        alg.assert_invariants();
+        prop_assert_eq!(alg.live_edges(), stream.final_edges().len() as u64);
+    }
+
+    /// Full-reservoir-is-exact, extended to deletion streams: with
+    /// capacity ≥ every insertion the estimate equals the exact triangle
+    /// count of the final graph — per batch, not just at the end.
+    #[test]
+    fn full_reservoir_batches_match_exact_recount(
+        script in update_script(14, 220),
+        seed in 0u64..1000,
+    ) {
+        let stream = materialize(&script);
+        let mut fd = TriestFd::new(seed, stream.len().max(3));
+        let report = run_update_batches(&stream, 16, &mut fd);
+        let mut exact_alg = ExactDynamicTriangles::new();
+        for (b, events) in stream.batches(16).enumerate() {
+            events.iter().for_each(|ev| exact_alg.apply(ev));
+            prop_assert_eq!(
+                report.batches[b].estimate,
+                exact_alg.estimate(),
+                "batch {} delta diverged from exact recount",
+                b
+            );
+        }
+        fd.assert_invariants();
+        prop_assert_eq!(fd.estimate(), exact::count_triangles(&final_graph(&stream)) as f64);
+    }
+
+    /// The exact incremental counter agrees with a from-scratch recount on
+    /// every prefix boundary.
+    #[test]
+    fn exact_dynamic_tracks_recount_at_batch_boundaries(
+        script in update_script(10, 160),
+    ) {
+        let stream = materialize(&script);
+        let mut alg = ExactDynamicTriangles::new();
+        for events in stream.batches(20) {
+            events.iter().for_each(|ev| alg.apply(ev));
+        }
+        prop_assert_eq!(alg.triangles(), exact::count_triangles(&final_graph(&stream)));
+    }
+
+    /// Window-local semantics: each window's exact estimate equals an
+    /// independent replay of just that window's events.
+    #[test]
+    fn window_estimates_are_window_local(
+        script in update_script(10, 160),
+        width in 1u64..80,
+        stride in 1u64..80,
+    ) {
+        let stream = materialize(&script);
+        if stream.is_empty() {
+            return;
+        }
+        let cfg = WindowConfig {
+            width,
+            stride,
+            acc: Accuracy::default(),
+            exact: true,
+        };
+        for w in windowed_estimates(&stream, &cfg) {
+            let mut replay = ExactDynamicTriangles::new();
+            for ev in stream.slice_ts(w.ts_start, w.ts_end) {
+                replay.apply(ev);
+            }
+            prop_assert_eq!(*w.estimate.as_ref().unwrap(), replay.estimate());
+            prop_assert_eq!(w.edges, replay.edges());
+        }
+    }
+}
+
+/// TRIÈST-FD unbiasedness against the exact recount on a small dynamic
+/// graph: sub-sampled estimates (capacity ≪ live edges) averaged across
+/// seeds land within a tight band of the truth.
+#[test]
+fn triest_fd_subsampled_mean_matches_exact_recount() {
+    let g = gen::disjoint_cliques(6, 10);
+    let stream = churn(
+        &g,
+        &ChurnConfig {
+            churn_events: 350,
+            delete_fraction: 0.5,
+            seed: 31,
+        },
+    );
+    let truth = exact::count_triangles(&final_graph(&stream)) as f64;
+    assert!(truth > 0.0, "churn kept some triangles alive");
+    let reps = 250;
+    let mean: f64 = (0..reps)
+        .map(|seed| {
+            let mut fd = TriestFd::new(seed, 80);
+            run_update_batches(&stream, 50, &mut fd);
+            fd.estimate()
+        })
+        .sum::<f64>()
+        / reps as f64;
+    assert!(
+        (mean - truth).abs() < 0.15 * truth,
+        "mean {mean} vs exact recount {truth}"
+    );
+}
+
+/// The update driver's per-batch deltas telescope: summing them
+/// reproduces the final estimate bit-for-bit, on both estimators.
+#[test]
+fn batch_deltas_telescope_to_final_estimate() {
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+    let g = gen::gnm(60, 240, &mut rng);
+    let stream = churn(
+        &g,
+        &ChurnConfig {
+            churn_events: 500,
+            delete_fraction: 0.5,
+            seed: 8,
+        },
+    );
+    let mut fd = TriestFd::new(5, 64);
+    let fd_report = run_update_batches(&stream, 100, &mut fd);
+    let sum: f64 = fd_report.batches.iter().map(|b| b.delta).sum();
+    assert_eq!(sum, fd.estimate());
+    let mut exact_alg = ExactDynamicTriangles::new();
+    let exact_report = run_update_batches(&stream, 100, &mut exact_alg);
+    let sum: f64 = exact_report.batches.iter().map(|b| b.delta).sum();
+    assert_eq!(sum, exact_alg.estimate());
+    assert_eq!(fd_report.events, stream.len());
+    assert!(fd_report.peak_state_bytes > 0);
+    // The sub-sampled estimator's state must be far below the exact
+    // counter's full-graph state.
+    assert!(fd_report.peak_state_bytes < exact_report.peak_state_bytes);
+}
