@@ -31,6 +31,7 @@ use adjstream_core::estimate::{try_estimate_triangles_auto, Accuracy};
 use adjstream_core::triangle::TriestFd;
 use adjstream_graph::{gen, GraphBuilder};
 use adjstream_stream::update::{churn, run_update_batches, ChurnConfig, UpdateAlgorithm, UpdateOp};
+use adjstream_stream::update_trace::{parse_update_bytes, write_adjbu};
 use adjstream_stream::StreamOrder;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -106,6 +107,27 @@ fn main() {
     eprintln!("  exact {exact:.0}, wall {wall:.3}s");
     rows.push(Row {
         policy: "exact_dynamic",
+        wall_secs: wall,
+        items_per_sec: events as f64 / wall,
+        ns_per_update: wall * 1e9 / events as f64,
+    });
+
+    // `.adjbu` ingest: encode the churn trace once, then time the sniffing
+    // decoder end to end — checksum verification and event validation
+    // included. This is the load-time cost every daemon update job pays
+    // before its first batch.
+    eprintln!("update_throughput ({mode}): adjbu_ingest...");
+    let mut adjbu = Vec::new();
+    write_adjbu(&stream, &mut adjbu).expect("encode .adjbu");
+    let (wall, decoded) = timed(runs, || {
+        parse_update_bytes(&adjbu)
+            .expect("own encoding decodes")
+            .len() as f64
+    });
+    assert_eq!(decoded as usize, events, "decode returned every event");
+    eprintln!("  {events} events, wall {wall:.3}s");
+    rows.push(Row {
+        policy: "adjbu_ingest",
         wall_secs: wall,
         items_per_sec: events as f64 / wall,
         ns_per_update: wall * 1e9 / events as f64,

@@ -28,7 +28,12 @@
 //! exact — mirroring TRIÈST-base's full-reservoir behavior, now under
 //! deletions too.
 
+use std::io::{self, Read, Write};
+
 use adjstream_graph::EdgeKey;
+use adjstream_stream::checkpoint::{
+    corrupt, read_u64, read_usize, write_u64, write_usize, Checkpoint,
+};
 use adjstream_stream::hashing::{FastMap, SplitMix64};
 use adjstream_stream::meter::{hashmap_bytes, vec_bytes, SpaceUsage};
 use adjstream_stream::update::UpdateAlgorithm;
@@ -183,6 +188,82 @@ impl TriestFd {
         let omega = (self.capacity as u64).min(pop) as f64;
         let pop = pop as f64;
         (omega * (omega - 1.0) * (omega - 2.0)) / (pop * (pop - 1.0) * (pop - 2.0))
+    }
+}
+
+/// Batch-boundary persistence. The reservoir `Vec` is saved *in order* —
+/// eviction uses `swap_remove`, so slot order feeds back into which edge a
+/// future eviction removes, and bit-identical resume therefore needs the
+/// exact layout, not just the edge set. The `index` map and the sampled
+/// adjacency are reconstructed from the reservoir; `τ` is stored *and*
+/// recounted during the rebuild, so a payload whose stored `τ` disagrees
+/// with its own reservoir is rejected as corrupt instead of silently
+/// skewing every later estimate.
+impl Checkpoint for TriestFd {
+    fn save(&self, w: &mut dyn Write) -> io::Result<()> {
+        write_usize(w, self.capacity)?;
+        write_u64(w, self.s)?;
+        write_u64(w, self.d_in)?;
+        write_u64(w, self.d_out)?;
+        write_u64(w, self.tau)?;
+        write_u64(w, self.rng.state())?;
+        write_usize(w, self.reservoir.len())?;
+        for e in &self.reservoir {
+            write_u64(w, e.pack())?;
+        }
+        Ok(())
+    }
+
+    fn restore(r: &mut dyn Read) -> io::Result<Self> {
+        let capacity = read_usize(r)?;
+        if capacity < 3 {
+            return Err(corrupt(format!("reservoir capacity {capacity} below 3")));
+        }
+        let s = read_u64(r)?;
+        let d_in = read_u64(r)?;
+        let d_out = read_u64(r)?;
+        let tau = read_u64(r)?;
+        let rng = SplitMix64::from_state(read_u64(r)?);
+        let len = read_usize(r)?;
+        if len > capacity {
+            return Err(corrupt(format!(
+                "sample size {len} over capacity {capacity}"
+            )));
+        }
+        if len as u64 > s {
+            return Err(corrupt(format!("sample size {len} exceeds live edges {s}")));
+        }
+        let mut restored = TriestFd {
+            capacity,
+            s,
+            d_in,
+            d_out,
+            reservoir: Vec::with_capacity(len.min(1 << 20)),
+            index: FastMap::default(),
+            adj: SampleAdjacency::default(),
+            tau: 0,
+            rng,
+        };
+        for _ in 0..len {
+            let packed = read_u64(r)?;
+            // Validate before unpacking: EdgeKey::unpack debug-asserts
+            // lo < hi, and checkpoint bytes cross a trust boundary.
+            if (packed >> 32) as u32 >= packed as u32 {
+                return Err(corrupt(format!("malformed packed edge {packed:#018x}")));
+            }
+            let e = EdgeKey::unpack(packed);
+            if restored.index.contains_key(&packed) {
+                return Err(corrupt(format!("duplicate reservoir edge {e}")));
+            }
+            restored.sample_insert(e);
+        }
+        if restored.tau != tau {
+            return Err(corrupt(format!(
+                "stored τ = {tau} disagrees with reservoir recount {}",
+                restored.tau
+            )));
+        }
+        Ok(restored)
     }
 }
 
@@ -351,5 +432,88 @@ mod tests {
     #[should_panic(expected = "at least three")]
     fn rejects_tiny_reservoir() {
         TriestFd::new(1, 2);
+    }
+
+    /// Resume contract: a run checkpointed at an event boundary and
+    /// restored must produce *bit-identical* estimates for the remainder
+    /// of the stream — the reservoir layout, RNG state, debt counters, and
+    /// τ all survive the round trip.
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let g = gen::gnm(40, 200, &mut rng);
+        let stream = churn(
+            &g,
+            &ChurnConfig {
+                churn_events: 400,
+                delete_fraction: 0.6,
+                seed: 17,
+            },
+        );
+        for cut_frac in [1, 2, 3] {
+            let cut = stream.len() * cut_frac / 4;
+            // Uninterrupted run, recording post-cut estimates.
+            let mut whole = TriestFd::new(7, 48);
+            let mut expected = Vec::new();
+            for (i, ev) in stream.events().iter().enumerate() {
+                whole.apply(ev);
+                if i >= cut {
+                    expected.push(whole.estimate().to_bits());
+                }
+            }
+            // Interrupted run: checkpoint at `cut`, restore, finish.
+            let mut first = TriestFd::new(7, 48);
+            for ev in &stream.events()[..cut] {
+                first.apply(ev);
+            }
+            let mut buf = Vec::new();
+            first.save(&mut buf).unwrap();
+            let mut resumed = TriestFd::restore(&mut &buf[..]).unwrap();
+            resumed.assert_invariants();
+            let mut actual = Vec::new();
+            for ev in &stream.events()[cut..] {
+                resumed.apply(ev);
+                actual.push(resumed.estimate().to_bits());
+            }
+            assert_eq!(expected, actual, "cut at {cut}");
+            resumed.assert_invariants();
+            assert_eq!(resumed.deletion_debt(), whole.deletion_debt());
+            assert_eq!(resumed.live_edges(), whole.live_edges());
+        }
+    }
+
+    #[test]
+    fn restore_rejects_structural_garbage() {
+        let mut alg = TriestFd::new(3, 8);
+        for (i, (u, v)) in [(0, 1), (1, 2), (0, 2), (2, 3)].iter().enumerate() {
+            alg.insert(
+                adjstream_graph::EdgeKey::new((*u).into(), (*v).into()),
+                i as u64,
+            );
+        }
+        let mut good = Vec::new();
+        alg.save(&mut good).unwrap();
+
+        // Truncation.
+        assert!(TriestFd::restore(&mut &good[..good.len() - 4]).is_err());
+        // Undersized capacity.
+        let mut bad = good.clone();
+        bad[0] = 1;
+        assert!(TriestFd::restore(&mut &bad[..]).is_err());
+        // τ inconsistent with the reservoir (alg has one triangle).
+        let mut bad = good.clone();
+        let tau_at = 8 + 3 * 8; // capacity, s, d_in, d_out
+        bad[tau_at] = bad[tau_at].wrapping_add(1);
+        assert!(TriestFd::restore(&mut &bad[..]).is_err());
+        // Self-loop packed edge (lo == hi).
+        let mut bad = good.clone();
+        let first_edge_at = 8 * 7;
+        bad[first_edge_at..first_edge_at + 8]
+            .copy_from_slice(&(((5u64) << 32) | 5u64).to_le_bytes());
+        assert!(TriestFd::restore(&mut &bad[..]).is_err());
+        // The untouched payload still restores and passes invariants.
+        let restored = TriestFd::restore(&mut &good[..]).unwrap();
+        restored.assert_invariants();
+        assert_eq!(restored.sampled_triangles(), 1);
     }
 }

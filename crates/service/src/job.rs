@@ -20,6 +20,8 @@
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+use adjstream_stream::GuardPolicy;
+
 use crate::json::{obj, parse, Json};
 
 /// Job identifier: a dense sequence number, rendered as zero-padded hex so
@@ -52,6 +54,14 @@ impl JobId {
     pub fn checkpoint_path(&self, state_dir: &Path) -> PathBuf {
         state_dir.join(format!("job-{self}.ckpt"))
     }
+
+    /// Per-batch report sidecar for update jobs under `state_dir`,
+    /// written once when the job completes. The recovery chaos test
+    /// compares these files bit-for-bit between interrupted and
+    /// uninterrupted runs.
+    pub fn batches_path(&self, state_dir: &Path) -> PathBuf {
+        state_dir.join(format!("job-{self}.batches"))
+    }
 }
 
 /// What the job computes.
@@ -69,6 +79,19 @@ pub enum JobKind {
     },
     /// Adjacency-list model conformance check of the trace itself.
     Validate,
+    /// Fully-dynamic TRIÈST-FD triangle estimation over a registered
+    /// update trace, driven in batches with a checkpoint at every batch
+    /// boundary (the dynamic analogue of a pass boundary).
+    Update {
+        /// Events per batch; each boundary is a preemption/checkpoint
+        /// point and yields one per-batch estimate delta.
+        batch_size: usize,
+        /// TRIÈST-FD reservoir capacity `M'` (at least 3).
+        capacity: usize,
+        /// How the update guard reacts to invalid events (dead deletes,
+        /// duplicate inserts, timestamp regressions).
+        guard: GuardPolicy,
+    },
 }
 
 impl JobKind {
@@ -77,6 +100,7 @@ impl JobKind {
             JobKind::Triangles { .. } => "triangles",
             JobKind::FourCycles { .. } => "four-cycles",
             JobKind::Validate => "validate",
+            JobKind::Update { .. } => "update",
         }
     }
 }
@@ -290,6 +314,15 @@ impl JobRecord {
                 kind_fields.push(("t_lower", Json::Num(t_lower as f64)));
             }
             JobKind::Validate => {}
+            JobKind::Update {
+                batch_size,
+                capacity,
+                guard,
+            } => {
+                kind_fields.push(("batch_size", Json::Num(batch_size as f64)));
+                kind_fields.push(("capacity", Json::Num(capacity as f64)));
+                kind_fields.push(("guard", Json::Str(guard.to_string())));
+            }
         }
         let mut fields = vec![("id", Json::Str(self.id.to_string()))];
         fields.push(("trace", Json::Str(spec.trace.clone())));
@@ -373,6 +406,11 @@ impl JobRecord {
             "triangles" => JobKind::Triangles { t_lower: t_lower? },
             "four-cycles" => JobKind::FourCycles { t_lower: t_lower? },
             "validate" => JobKind::Validate,
+            "update" => JobKind::Update {
+                batch_size: v.u64_field("batch_size")? as usize,
+                capacity: v.u64_field("capacity")? as usize,
+                guard: GuardPolicy::parse(v.str_field("guard")?)?,
+            },
             _ => return None,
         };
         let spec = JobSpec {
@@ -545,6 +583,33 @@ mod tests {
                 id: JobId(42),
                 spec: spec(),
                 state,
+            };
+            let back = JobRecord::from_json(&rec.to_json()).expect("round trip");
+            assert_eq!(back, rec);
+        }
+    }
+
+    #[test]
+    fn update_kind_round_trips() {
+        for guard in [
+            GuardPolicy::Strict,
+            GuardPolicy::Repair,
+            GuardPolicy::Observe,
+        ] {
+            let rec = JobRecord {
+                id: JobId(9),
+                spec: JobSpec {
+                    kind: JobKind::Update {
+                        batch_size: 64,
+                        capacity: 500,
+                        guard,
+                    },
+                    ..spec()
+                },
+                state: JobState::Suspended {
+                    pass: 3,
+                    reason: "crash".into(),
+                },
             };
             let back = JobRecord::from_json(&rec.to_json()).expect("round trip");
             assert_eq!(back, rec);

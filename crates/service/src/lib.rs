@@ -6,7 +6,10 @@
 //! shared two-pass replay one pass at a time — into a long-running
 //! multi-tenant job server:
 //!
-//! * [`catalog`] — named, validated `.adjb` traces jobs run against,
+//! * [`catalog`] — named, validated, checksummed traces jobs run
+//!   against: static `.adjb` item traces and dynamic `.adjbu` update
+//!   traces, each with a recorded kind and [`checksum64`]
+//!   (re-verified at admission) — see [`catalog::TraceKind`],
 //! * [`protocol`] — the line-delimited JSON protocol over a Unix socket,
 //! * [`job`] — job specs, the typed lifecycle state machine
 //!   (`Queued → Running → Suspended/Degraded/Failed/Done`), and the
@@ -20,6 +23,14 @@
 //! passes, which is exactly what makes job suspension, eviction, and
 //! crash recovery cheap here: a checkpoint at a pass boundary is small,
 //! and a resumed job is bit-for-bit identical to an uninterrupted one.
+//!
+//! Update jobs ([`JobKind::Update`]) extend the same contract to the
+//! fully-dynamic TRIÈST-FD estimator: the stream is driven in batches,
+//! every batch boundary is a checkpoint (reservoir, deletion debt, RNG,
+//! and guard state), and a job resumed after `kill -9` produces
+//! per-batch estimates bit-identical to an uninterrupted run's.
+//!
+//! [`checksum64`]: adjstream_stream::hashing::checksum64
 
 #![warn(missing_docs)]
 
@@ -29,7 +40,7 @@ pub mod json;
 pub mod protocol;
 pub mod server;
 
-pub use catalog::{Catalog, CatalogEntry, CatalogError};
+pub use catalog::{Catalog, CatalogEntry, CatalogError, TraceKind};
 pub use job::{Chaos, JobBudget, JobId, JobKind, JobRecord, JobResult, JobSpec, JobState};
 pub use protocol::{parse_request, RejectReason, Request};
 pub use server::{Server, ServerHandle, ServiceConfig, ServiceCounters};

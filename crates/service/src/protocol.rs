@@ -19,6 +19,8 @@
 
 use std::path::PathBuf;
 
+use adjstream_stream::GuardPolicy;
+
 use crate::job::{Chaos, JobBudget, JobId, JobKind, JobSpec};
 use crate::json::{obj, parse, Json};
 
@@ -66,6 +68,12 @@ pub enum RejectReason {
     MemoryBudget,
     /// The referenced trace is not in the catalog.
     UnknownTrace,
+    /// The trace's bytes on disk no longer match the checksum recorded
+    /// at registration (swapped, corrupted, or vanished).
+    TraceChanged,
+    /// The job kind does not match the trace kind (an `update` job needs
+    /// an update trace; every other kind needs a static one).
+    KindMismatch,
     /// The daemon is draining for shutdown.
     Draining,
 }
@@ -78,6 +86,8 @@ impl RejectReason {
             RejectReason::TooManyJobs => "too_many_jobs",
             RejectReason::MemoryBudget => "memory_budget",
             RejectReason::UnknownTrace => "unknown_trace",
+            RejectReason::TraceChanged => "trace_changed",
+            RejectReason::KindMismatch => "kind_mismatch",
             RejectReason::Draining => "draining",
         }
     }
@@ -129,6 +139,29 @@ fn parse_submit(v: &Json) -> Result<JobSpec, String> {
             t_lower: v.u64_field("t_lower").unwrap_or(1),
         },
         "validate" => JobKind::Validate,
+        "update" => {
+            let batch_size = v.u64_field("batch_size").unwrap_or(256) as usize;
+            if batch_size == 0 {
+                return Err("batch_size must be positive".into());
+            }
+            let capacity = v.u64_field("capacity").unwrap_or(4096) as usize;
+            if capacity < 3 {
+                return Err(format!(
+                    "capacity must be at least 3 reservoir slots, got {capacity}"
+                ));
+            }
+            let guard = match v.str_field("guard") {
+                Some(s) => {
+                    GuardPolicy::parse(s).ok_or_else(|| format!("unknown guard policy {s:?}"))?
+                }
+                None => GuardPolicy::Repair,
+            };
+            JobKind::Update {
+                batch_size,
+                capacity,
+                guard,
+            }
+        }
         other => return Err(format!("unknown kind {other:?}")),
     };
     let defaults = JobSpec::default();
@@ -280,11 +313,47 @@ mod tests {
     }
 
     #[test]
+    fn submit_parses_update_jobs() {
+        let r = parse_request(r#"{"op":"submit","trace":"web","kind":"update"}"#).unwrap();
+        let Request::Submit(spec) = r else {
+            panic!("not a submit")
+        };
+        assert_eq!(
+            spec.kind,
+            JobKind::Update {
+                batch_size: 256,
+                capacity: 4096,
+                guard: GuardPolicy::Repair,
+            }
+        );
+
+        let r = parse_request(
+            r#"{"op":"submit","trace":"web","kind":"update","batch_size":50,
+                "capacity":300,"guard":"strict"}"#,
+        )
+        .unwrap();
+        let Request::Submit(spec) = r else {
+            panic!("not a submit")
+        };
+        assert_eq!(
+            spec.kind,
+            JobKind::Update {
+                batch_size: 50,
+                capacity: 300,
+                guard: GuardPolicy::Strict,
+            }
+        );
+    }
+
+    #[test]
     fn submit_rejects_bad_accuracy() {
         for bad in [
             r#"{"op":"submit","trace":"w","epsilon":0}"#,
             r#"{"op":"submit","trace":"w","delta":1}"#,
             r#"{"op":"submit","trace":"w","kind":"pentagons"}"#,
+            r#"{"op":"submit","trace":"w","kind":"update","batch_size":0}"#,
+            r#"{"op":"submit","trace":"w","kind":"update","capacity":2}"#,
+            r#"{"op":"submit","trace":"w","kind":"update","guard":"lenient"}"#,
             r#"{"op":"submit"}"#,
         ] {
             assert!(parse_request(bad).is_err(), "{bad} should fail");

@@ -39,15 +39,21 @@ use adjstream_core::amplify::{median_of_survivors, quorum};
 use adjstream_core::common::EdgeSampling;
 use adjstream_core::estimate::{four_cycle_budget, triangle_budget};
 use adjstream_core::fourcycle::{FourCycleEstimator, TwoPassFourCycle, TwoPassFourCycleConfig};
-use adjstream_core::triangle::{TwoPassTriangle, TwoPassTriangleConfig};
+use adjstream_core::triangle::{TriestFd, TwoPassTriangle, TwoPassTriangleConfig};
 use adjstream_stream::batch::{BatchConfig, BatchJob, Budget};
-use adjstream_stream::checkpoint::Checkpoint;
+use adjstream_stream::checkpoint::{
+    read_checkpoint_file, read_u64, read_usize, write_checkpoint_file, write_u64, write_usize,
+    Checkpoint,
+};
 use adjstream_stream::estimator::repetitions_for_confidence;
 use adjstream_stream::runner::{MultiPassAlgorithm, RunError};
 use adjstream_stream::trace::ItemTrace;
-use adjstream_stream::{validate_stream, MetricsSnapshot};
+use adjstream_stream::update_guard::GuardedUpdate;
+use adjstream_stream::{
+    validate_stream, GuardPolicy, MetricsSnapshot, SpaceUsage, UpdateAlgorithm,
+};
 
-use crate::catalog::Catalog;
+use crate::catalog::{Catalog, TraceKind};
 use crate::job::{JobId, JobKind, JobRecord, JobResult, JobSpec, JobState};
 use crate::json::{obj, Json};
 use crate::protocol::{
@@ -110,6 +116,14 @@ pub struct ServiceCounters {
     pub resumed: u64,
     /// Jobs re-queued by the crash-recovery scan.
     pub recovered: u64,
+    /// Catalog entries the startup scan dropped as malformed/vanished.
+    pub catalog_dropped: u64,
+    /// Update-job batches completed.
+    pub update_batches: u64,
+    /// Invalid update events the guard detected across completed jobs.
+    pub guard_detections: u64,
+    /// Invalid update events the guard dropped (Repair policy).
+    pub guard_dropped: u64,
 }
 
 struct JobEntry {
@@ -323,7 +337,11 @@ impl Server {
                 );
             }
         }
-        lock(&inner.counters).recovered = recovered.len() as u64;
+        {
+            let mut c = lock(&inner.counters);
+            c.recovered = recovered.len() as u64;
+            c.catalog_dropped = inner.catalog.dropped_entries();
+        }
 
         // Recovered jobs pre-seed the scheduler heap directly — they must
         // not compete with live submissions for intake-queue space.
@@ -432,8 +450,13 @@ fn dispatch_request(inner: &Arc<Inner>, req: Request) -> String {
         Request::Register { name, path } => match inner.catalog.register(&name, &path) {
             Ok(entry) => ok_response(vec![
                 ("name", Json::Str(entry.name)),
+                ("kind", Json::Str(entry.kind.name().into())),
                 ("edges", Json::Num(entry.edges as f64)),
                 ("items", Json::Num(entry.items as f64)),
+                (
+                    "checksum64",
+                    Json::Str(format!("{:016x}", entry.checksum64)),
+                ),
             ]),
             Err(e) => error_response("register_failed", &e.to_string()),
         },
@@ -445,8 +468,10 @@ fn dispatch_request(inner: &Arc<Inner>, req: Request) -> String {
                 .map(|e| {
                     obj(vec![
                         ("name", Json::Str(e.name)),
+                        ("kind", Json::Str(e.kind.name().into())),
                         ("edges", Json::Num(e.edges as f64)),
                         ("items", Json::Num(e.items as f64)),
+                        ("checksum64", Json::Str(format!("{:016x}", e.checksum64))),
                     ])
                 })
                 .collect();
@@ -471,8 +496,20 @@ fn submit(inner: &Arc<Inner>, spec: JobSpec) -> String {
     if inner.draining.load(Ordering::SeqCst) {
         return reject(inner, RejectReason::Draining);
     }
-    if inner.catalog.get(&spec.trace).is_none() {
+    let Some(entry) = inner.catalog.get(&spec.trace) else {
         return reject(inner, RejectReason::UnknownTrace);
+    };
+    // The job kind must match the trace kind: update jobs consume update
+    // traces, every static estimator consumes item traces.
+    let wants_update = matches!(spec.kind, JobKind::Update { .. });
+    if wants_update != (entry.kind == TraceKind::Update) {
+        return reject(inner, RejectReason::KindMismatch);
+    }
+    // Admission re-verifies the checksum recorded at registration: a
+    // trace swapped or corrupted since then is a typed rejection, never
+    // an estimate over bytes nobody vetted.
+    if inner.catalog.verify_checksum(&spec.trace).is_err() {
+        return reject(inner, RejectReason::TraceChanged);
     }
     let (resident, declared_bytes) = inner.residency();
     if resident >= inner.cfg.max_jobs {
@@ -624,6 +661,10 @@ fn metrics(inner: &Arc<Inner>) -> String {
                 ("suspended", Json::Num(c.suspended as f64)),
                 ("resumed", Json::Num(c.resumed as f64)),
                 ("recovered", Json::Num(c.recovered as f64)),
+                ("catalog_dropped", Json::Num(c.catalog_dropped as f64)),
+                ("update_batches", Json::Num(c.update_batches as f64)),
+                ("guard_detections", Json::Num(c.guard_detections as f64)),
+                ("guard_dropped", Json::Num(c.guard_dropped as f64)),
             ]),
         ),
         ("metrics", merged),
@@ -852,6 +893,20 @@ fn execute_job(inner: &Arc<Inner>, id: u64) -> bool {
         let Some(e) = jobs.get(&id) else { return false };
         (Arc::clone(&e.evict), Arc::clone(&e.cancelled))
     };
+    // Update jobs run the batched dynamic path; everything else replays a
+    // static item trace through the pass-based batch engine.
+    if let JobKind::Update {
+        batch_size,
+        capacity,
+        guard,
+    } = spec.kind
+    {
+        let segment = run_update_job(
+            inner, id, &spec, &evict, &cancelled, batch_size, capacity, guard,
+        );
+        return settle_segment(inner, id, segment);
+    }
+
     let trace = match inner.catalog.load_items(&spec.trace) {
         Ok(t) => t,
         Err(e) => {
@@ -909,8 +964,15 @@ fn execute_job(inner: &Arc<Inner>, id: u64) -> bool {
                 |out| out.estimate,
             )
         }
+        JobKind::Update { .. } => unreachable!("update jobs dispatched above"),
     };
 
+    settle_segment(inner, id, segment)
+}
+
+/// Persist a finished/suspended execution segment; returns `true` when
+/// the scheduler should requeue the job (preemption).
+fn settle_segment(inner: &Arc<Inner>, id: u64, segment: Segment) -> bool {
     match segment {
         Segment::Terminal(state) => {
             let _ = std::fs::remove_file(JobId(id).checkpoint_path(&inner.cfg.state_dir));
@@ -948,6 +1010,347 @@ fn run_validate(trace: &ItemTrace) -> Segment {
             detail: e.to_string(),
         }),
     }
+}
+
+/// One completed update batch, as carried in the job checkpoint and the
+/// `.batches` sidecar. `estimate_bits` is the exact bit pattern of the
+/// post-batch estimate — the recovery chaos test compares these, so
+/// "bit-identical per-batch deltas" is literal.
+#[derive(Clone, Copy)]
+struct BatchRow {
+    events: u64,
+    inserts: u64,
+    ts_end: u64,
+    estimate_bits: u64,
+    delta_bits: u64,
+}
+
+/// Serialize the update-job checkpoint payload: progress cursor, the
+/// per-batch ledger so far, then the guarded estimator's own state.
+fn encode_update_ckpt(
+    next_batch: usize,
+    previous: f64,
+    rows: &[BatchRow],
+    guard: &GuardedUpdate<TriestFd>,
+) -> std::io::Result<Vec<u8>> {
+    let mut payload = Vec::new();
+    write_usize(&mut payload, next_batch)?;
+    write_u64(&mut payload, previous.to_bits())?;
+    write_usize(&mut payload, rows.len())?;
+    for row in rows {
+        write_u64(&mut payload, row.events)?;
+        write_u64(&mut payload, row.inserts)?;
+        write_u64(&mut payload, row.ts_end)?;
+        write_u64(&mut payload, row.estimate_bits)?;
+        write_u64(&mut payload, row.delta_bits)?;
+    }
+    guard.save(&mut payload)?;
+    Ok(payload)
+}
+
+#[allow(clippy::type_complexity)]
+fn decode_update_ckpt(
+    payload: &[u8],
+) -> std::io::Result<(usize, f64, Vec<BatchRow>, GuardedUpdate<TriestFd>)> {
+    let r = &mut &payload[..];
+    let next_batch = read_usize(r)?;
+    let previous = f64::from_bits(read_u64(r)?);
+    let n = read_usize(r)?;
+    let mut rows = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        rows.push(BatchRow {
+            events: read_u64(r)?,
+            inserts: read_u64(r)?,
+            ts_end: read_u64(r)?,
+            estimate_bits: read_u64(r)?,
+            delta_bits: read_u64(r)?,
+        });
+    }
+    let guard = GuardedUpdate::<TriestFd>::restore(r)?;
+    Ok((next_batch, previous, rows, guard))
+}
+
+/// Write the per-batch sidecar an update job leaves next to its manifest:
+/// one JSON document with every batch's estimate bits and the guard's
+/// final tallies. Atomic (tmp + rename), same as manifests.
+fn write_batches_sidecar(
+    path: &Path,
+    id: JobId,
+    trace: &str,
+    rows: &[BatchRow],
+    guard: &GuardedUpdate<TriestFd>,
+) {
+    let batches: Vec<Json> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            obj(vec![
+                ("batch", Json::Num(i as f64)),
+                ("events", Json::Num(row.events as f64)),
+                ("inserts", Json::Num(row.inserts as f64)),
+                (
+                    "deletes",
+                    Json::Num(row.events.saturating_sub(row.inserts) as f64),
+                ),
+                ("ts_end", Json::Num(row.ts_end as f64)),
+                (
+                    "estimate_bits",
+                    Json::Str(format!("{:016x}", row.estimate_bits)),
+                ),
+                ("delta_bits", Json::Str(format!("{:016x}", row.delta_bits))),
+            ])
+        })
+        .collect();
+    let stats = guard.stats();
+    let doc = obj(vec![
+        ("id", Json::Str(id.to_string())),
+        ("trace", Json::Str(trace.to_string())),
+        ("policy", Json::Str(guard.policy().to_string())),
+        ("batches", Json::Arr(batches)),
+        (
+            "guard",
+            obj(vec![
+                ("events", Json::Num(stats.events as f64)),
+                ("detections", Json::Num(stats.detections as f64)),
+                (
+                    "duplicate_inserts",
+                    Json::Num(stats.duplicate_inserts as f64),
+                ),
+                ("dead_deletes", Json::Num(stats.dead_deletes as f64)),
+                ("ts_regressions", Json::Num(stats.ts_regressions as f64)),
+                ("dropped", Json::Num(stats.dropped as f64)),
+                ("repaired_ts", Json::Num(stats.repaired_ts as f64)),
+            ]),
+        ),
+    ]);
+    let tmp = path.with_extension("batches.tmp");
+    if std::fs::write(&tmp, format!("{doc}\n")).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
+}
+
+/// Execute (or resume) a batched TRIÈST-FD update job. Every batch
+/// boundary is a checkpoint: eviction, drain, and `kill -9` all land on
+/// one, so the resumed run's remaining per-batch estimates are
+/// bit-identical to an uninterrupted run's.
+#[allow(clippy::too_many_arguments)]
+fn run_update_job(
+    inner: &Arc<Inner>,
+    id: u64,
+    spec: &JobSpec,
+    evict: &AtomicBool,
+    cancelled: &AtomicBool,
+    batch_size: usize,
+    capacity: usize,
+    policy: GuardPolicy,
+) -> Segment {
+    let stream = match inner.catalog.load_updates(&spec.trace) {
+        Ok(s) => s,
+        Err(e) => {
+            return Segment::Terminal(JobState::Failed {
+                reason: "trace_unavailable".into(),
+                detail: e,
+            })
+        }
+    };
+    let events = stream.events();
+    let batch_size = batch_size.max(1);
+    let total_batches = events.len().div_ceil(batch_size);
+    let ckpt = JobId(id).checkpoint_path(&inner.cfg.state_dir);
+
+    // Resume from the batch-boundary checkpoint when one survived; a
+    // truncated or corrupt file is discarded and the job recomputes from
+    // scratch — seeded determinism makes both roads produce identical
+    // bits.
+    let mut resumed_from = None;
+    let (mut next_batch, mut previous, mut rows, mut guard) = match read_checkpoint_file(&ckpt)
+        .ok()
+        .and_then(|payload| decode_update_ckpt(&payload).ok())
+    {
+        Some(state) => {
+            lock(&inner.counters).resumed += 1;
+            resumed_from = Some(state.0);
+            state
+        }
+        None => {
+            let _ = std::fs::remove_file(&ckpt);
+            let guard = GuardedUpdate::new(TriestFd::new(spec.seed, capacity), policy);
+            let previous = guard.estimate();
+            (0, previous, Vec::new(), guard)
+        }
+    };
+
+    let deadline = spec
+        .budget
+        .deadline_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+
+    while next_batch < total_batches {
+        inner.set_state(id, JobState::Running { pass: next_batch });
+
+        if cancelled.load(Ordering::SeqCst) {
+            let _ = std::fs::remove_file(&ckpt);
+            return Segment::Terminal(JobState::Failed {
+                reason: "cancelled".into(),
+                detail: format!("cancelled before batch {next_batch}"),
+            });
+        }
+        if evict.swap(false, Ordering::SeqCst) {
+            match encode_update_ckpt(next_batch, previous, &rows, &guard)
+                .map_err(adjstream_stream::CheckpointError::Io)
+                .and_then(|payload| write_checkpoint_file(&ckpt, &payload))
+            {
+                Ok(()) => {}
+                Err(e) => {
+                    return Segment::Terminal(JobState::Failed {
+                        reason: "checkpoint".into(),
+                        detail: e.to_string(),
+                    })
+                }
+            }
+            let draining = inner.draining.load(Ordering::SeqCst);
+            return Segment::Suspended {
+                pass: next_batch,
+                reason: if draining { "drain" } else { "preempted" }.into(),
+                requeue: !draining,
+            };
+        }
+
+        // Chaos: widen the batch with a delay (sliced so drain/evict
+        // during the sleep still suspends at this boundary).
+        let mut remaining = spec.chaos.delay_ms_per_pass;
+        while remaining > 0 {
+            let slice = remaining.min(10);
+            std::thread::sleep(Duration::from_millis(slice));
+            remaining -= slice;
+            if evict.load(Ordering::SeqCst) || cancelled.load(Ordering::SeqCst) {
+                break;
+            }
+        }
+        if cancelled.load(Ordering::SeqCst) {
+            let _ = std::fs::remove_file(&ckpt);
+            return Segment::Terminal(JobState::Failed {
+                reason: "cancelled".into(),
+                detail: format!("cancelled before batch {next_batch}"),
+            });
+        }
+        if evict.swap(false, Ordering::SeqCst) {
+            match encode_update_ckpt(next_batch, previous, &rows, &guard)
+                .map_err(adjstream_stream::CheckpointError::Io)
+                .and_then(|payload| write_checkpoint_file(&ckpt, &payload))
+            {
+                Ok(()) => {}
+                Err(e) => {
+                    return Segment::Terminal(JobState::Failed {
+                        reason: "checkpoint".into(),
+                        detail: e.to_string(),
+                    })
+                }
+            }
+            let draining = inner.draining.load(Ordering::SeqCst);
+            return Segment::Suspended {
+                pass: next_batch,
+                reason: if draining { "drain" } else { "preempted" }.into(),
+                requeue: !draining,
+            };
+        }
+
+        // Chaos: simulated worker crash before this batch, caught by the
+        // pool's unwind barrier and mapped to `Failed{worker_panic}`.
+        if spec.chaos.panic_in_pass == Some(next_batch) {
+            panic!("chaos: injected worker panic before batch {next_batch}");
+        }
+
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            let _ = std::fs::remove_file(&ckpt);
+            return Segment::Terminal(JobState::Failed {
+                reason: "deadline".into(),
+                detail: format!(
+                    "deadline of {} ms expired before batch {next_batch}",
+                    spec.budget.deadline_ms.unwrap_or(0)
+                ),
+            });
+        }
+
+        let start = next_batch * batch_size;
+        let chunk = &events[start..events.len().min(start + batch_size)];
+        let mut inserts = 0u64;
+        for ev in chunk {
+            if ev.op == adjstream_stream::update::UpdateOp::Insert {
+                inserts += 1;
+            }
+            // Under Strict the first invalid event is a typed terminal
+            // failure; Repair/Observe never return an error here.
+            if let Err(v) = guard.apply_event(ev) {
+                let _ = std::fs::remove_file(&ckpt);
+                return Segment::Terminal(JobState::Failed {
+                    reason: "guard_violation".into(),
+                    detail: v.to_string(),
+                });
+            }
+        }
+        if let Some(limit) = spec.budget.max_total_bytes {
+            let used = guard.space_bytes();
+            if used > limit {
+                let _ = std::fs::remove_file(&ckpt);
+                return Segment::Terminal(JobState::Failed {
+                    reason: "space_budget".into(),
+                    detail: format!("update state used {used} bytes, limit {limit}"),
+                });
+            }
+        }
+        let estimate = guard.estimate();
+        rows.push(BatchRow {
+            events: chunk.len() as u64,
+            inserts,
+            ts_end: chunk.last().map(|e| e.ts).unwrap_or(0),
+            estimate_bits: estimate.to_bits(),
+            delta_bits: (estimate - previous).to_bits(),
+        });
+        previous = estimate;
+        next_batch += 1;
+        lock(&inner.counters).update_batches += 1;
+
+        if next_batch < total_batches {
+            match encode_update_ckpt(next_batch, previous, &rows, &guard)
+                .map_err(adjstream_stream::CheckpointError::Io)
+                .and_then(|payload| write_checkpoint_file(&ckpt, &payload))
+            {
+                Ok(()) => {}
+                Err(e) => {
+                    return Segment::Terminal(JobState::Failed {
+                        reason: "checkpoint".into(),
+                        detail: e.to_string(),
+                    })
+                }
+            }
+        }
+    }
+
+    let stats = guard.stats();
+    {
+        let mut c = lock(&inner.counters);
+        c.guard_detections += stats.detections as u64;
+        c.guard_dropped += stats.dropped as u64;
+    }
+    write_batches_sidecar(
+        &JobId(id).batches_path(&inner.cfg.state_dir),
+        JobId(id),
+        &spec.trace,
+        &rows,
+        &guard,
+    );
+    let estimate = guard.estimate();
+    Segment::Terminal(JobState::Done {
+        result: JobResult {
+            estimate,
+            estimate_bits: estimate.to_bits(),
+            survivors: 1,
+            repetitions: 1,
+            passes: total_batches,
+            resumed_from,
+        },
+    })
 }
 
 /// Map a batch-engine error onto the job's typed failure vocabulary.

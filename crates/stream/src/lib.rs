@@ -42,7 +42,13 @@
 //!   constant-probability estimators into `1 − δ` ones (Theorems 3.7, 4.6),
 //! * [`update`] — timestamped insert/delete update streams, the seeded
 //!   churn workload generator, and the batched update driver behind the
-//!   fully-dynamic estimators.
+//!   fully-dynamic estimators,
+//! * [`update_trace`] — the checksummed `.adjbu` binary container for
+//!   update traces, with a format-sniffing reader accepting text too,
+//! * [`update_fault`] and [`update_guard`] — the dynamic counterparts of
+//!   [`fault`]/[`guard`]: seeded injection of update-semantics violations
+//!   and the [`update_guard::GuardedUpdate`] adapter that vets every
+//!   insert/delete before it reaches a fully-dynamic estimator.
 
 #![warn(missing_docs)]
 
@@ -63,6 +69,9 @@ pub mod runner;
 pub mod sampling;
 pub mod trace;
 pub mod update;
+pub mod update_fault;
+pub mod update_guard;
+pub mod update_trace;
 pub mod validate;
 
 pub use adjlist::AdjListStream;
@@ -88,5 +97,13 @@ pub use trace::{ItemTrace, TraceError, ADJB_MAGIC, ADJB_VERSION};
 pub use update::{
     run_update_batches, ChurnConfig, UpdateAlgorithm, UpdateBatchReport, UpdateEvent,
     UpdateParseError, UpdateRunReport, UpdateStream,
+};
+pub use update_fault::{
+    CorruptedUpdateStream, InjectedUpdateFault, UpdateFaultKind, UpdateFaultPlan,
+};
+pub use update_guard::{run_guarded_updates, GuardedUpdate, UpdateGuardStats, UpdateViolation};
+pub use update_trace::{
+    is_adjbu, parse_update_bytes, read_updates, write_adjbu, UpdateTraceError, ADJBU_MAGIC,
+    ADJBU_VERSION,
 };
 pub use validate::{validate_online, validate_stream, OnlineValidator, StreamError, ValidatorMode};

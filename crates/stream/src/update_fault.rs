@@ -1,0 +1,584 @@
+//! Deterministic, seed-driven fault injection for update streams.
+//!
+//! The dynamic counterpart of [`crate::fault`]: an [`UpdateFaultPlan`] is a
+//! seeded, composable recipe of update-semantics violations — deletions of
+//! dead edges, duplicate insertions, timestamp regressions, flipped ops,
+//! corrupted endpoints — applied to a *valid* event sequence. Every
+//! injection is recorded with the event position where a guard must detect
+//! it and the number of detections it is expected to cause, so tests can
+//! reconcile [`UpdateGuardStats`](crate::update_guard::UpdateGuardStats)
+//! against the plan exactly.
+//!
+//! Faults are applied in a fixed canonical order (event-inserting and
+//! value-rewriting kinds first, then the order/timestamp kinds), and each
+//! injection is *self-contained*: targets are chosen so one fault's
+//! expected-detection arithmetic is not altered by another (e.g. an op flip
+//! only targets the last event of its edge, so no downstream event of that
+//! edge turns invalid as a side effect). A fault whose preconditions cannot
+//! be met is recorded in [`CorruptedUpdateStream::skipped`] rather than
+//! injected partially.
+
+use std::collections::{HashMap, HashSet};
+
+use adjstream_graph::{EdgeKey, VertexId};
+
+use crate::hashing::SplitMix64;
+use crate::update::{UpdateEvent, UpdateOp, UpdateStream};
+
+/// The classes of update-semantics violation an [`UpdateFaultPlan`] can
+/// inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UpdateFaultKind {
+    /// Re-delete an edge right after a valid deletion → one `DeadDelete`.
+    DeleteDead,
+    /// Repeat an insertion right after the original → one
+    /// `DuplicateInsert`.
+    DuplicateInsert,
+    /// Delete an edge no event ever inserted → one `DeadDelete`.
+    OrphanDelete,
+    /// Flip the op of its edge's last event: the flipped insert deletes a
+    /// dead edge, the flipped delete re-inserts a live one → one detection
+    /// either way.
+    OpFlip,
+    /// Rewrite one endpoint of its edge's last deletion to a fresh vertex
+    /// → one `DeadDelete` (the rewritten edge was never live).
+    CorruptEndpoint,
+    /// Swap two adjacent events with strictly increasing timestamps (and
+    /// distinct edges) → one `TimestampRegression` at the later position.
+    SwapAdjacent,
+    /// Rewrite one event's timestamp below its predecessor's → one
+    /// `TimestampRegression`.
+    TimestampRegression,
+}
+
+impl std::fmt::Display for UpdateFaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            UpdateFaultKind::DeleteDead => "delete-dead",
+            UpdateFaultKind::DuplicateInsert => "duplicate-insert",
+            UpdateFaultKind::OrphanDelete => "orphan-delete",
+            UpdateFaultKind::OpFlip => "op-flip",
+            UpdateFaultKind::CorruptEndpoint => "corrupt-endpoint",
+            UpdateFaultKind::SwapAdjacent => "swap-adjacent",
+            UpdateFaultKind::TimestampRegression => "ts-regression",
+        };
+        f.write_str(s)
+    }
+}
+
+impl UpdateFaultKind {
+    /// Parse the CLI spelling produced by [`Display`](std::fmt::Display).
+    pub fn parse(s: &str) -> Option<UpdateFaultKind> {
+        Some(match s {
+            "delete-dead" => UpdateFaultKind::DeleteDead,
+            "duplicate-insert" => UpdateFaultKind::DuplicateInsert,
+            "orphan-delete" => UpdateFaultKind::OrphanDelete,
+            "op-flip" => UpdateFaultKind::OpFlip,
+            "corrupt-endpoint" => UpdateFaultKind::CorruptEndpoint,
+            "swap-adjacent" => UpdateFaultKind::SwapAdjacent,
+            "ts-regression" => UpdateFaultKind::TimestampRegression,
+            _ => return None,
+        })
+    }
+
+    /// Every fault kind, in canonical application order: kinds that insert
+    /// or rewrite events first (positions still shift), then the
+    /// order/timestamp kinds over the settled layout.
+    pub const ALL: [UpdateFaultKind; 7] = [
+        UpdateFaultKind::DeleteDead,
+        UpdateFaultKind::DuplicateInsert,
+        UpdateFaultKind::OrphanDelete,
+        UpdateFaultKind::OpFlip,
+        UpdateFaultKind::CorruptEndpoint,
+        UpdateFaultKind::SwapAdjacent,
+        UpdateFaultKind::TimestampRegression,
+    ];
+}
+
+/// A seeded, composable recipe of update-stream violations.
+#[derive(Debug, Clone)]
+pub struct UpdateFaultPlan {
+    seed: u64,
+    counts: HashMap<UpdateFaultKind, usize>,
+}
+
+impl UpdateFaultPlan {
+    /// An empty plan drawing all randomness from `seed`.
+    pub fn new(seed: u64) -> Self {
+        UpdateFaultPlan {
+            seed,
+            counts: HashMap::new(),
+        }
+    }
+
+    /// Request `count` more injections of `kind` (builder style).
+    pub fn with(mut self, kind: UpdateFaultKind, count: usize) -> Self {
+        *self.counts.entry(kind).or_insert(0) += count;
+        self
+    }
+
+    /// The seed this plan replays from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of injections requested for `kind`.
+    pub fn count(&self, kind: UpdateFaultKind) -> usize {
+        self.counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Total injections requested.
+    pub fn total(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// Corrupt a valid update stream according to the plan.
+    pub fn apply(&self, stream: &UpdateStream) -> CorruptedUpdateStream {
+        UpdateInjector::new(self, stream.events().to_vec()).run()
+    }
+}
+
+/// One successfully injected update fault.
+#[derive(Debug, Clone)]
+pub struct InjectedUpdateFault {
+    /// What was injected.
+    pub kind: UpdateFaultKind,
+    /// 0-based event position where a guard detects the violation (final
+    /// coordinates, after all injections of the plan).
+    pub position: usize,
+    /// Detections a guard is expected to raise for this fault (always 1 —
+    /// targets are chosen so faults stay self-contained — but kept explicit
+    /// so the reconciliation arithmetic mirrors [`crate::fault`]).
+    pub expected_detections: usize,
+    /// Human-readable account (edges/positions involved).
+    pub description: String,
+}
+
+/// A corrupted event sequence plus the ledger of what was done to it.
+///
+/// Unlike [`UpdateStream`], the events here may violate every invariant the
+/// stream type enforces — that is the point — so they are exposed as a raw
+/// slice for [`crate::update_guard::GuardedUpdate`] to vet.
+#[derive(Debug, Clone)]
+pub struct CorruptedUpdateStream {
+    events: Vec<UpdateEvent>,
+    injected: Vec<InjectedUpdateFault>,
+    skipped: Vec<UpdateFaultKind>,
+}
+
+impl CorruptedUpdateStream {
+    /// The corrupted event sequence.
+    pub fn events(&self) -> &[UpdateEvent] {
+        &self.events
+    }
+
+    /// Ledger of injected faults.
+    pub fn injected(&self) -> &[InjectedUpdateFault] {
+        &self.injected
+    }
+
+    /// Requested faults whose preconditions the stream could not meet.
+    pub fn skipped(&self) -> &[UpdateFaultKind] {
+        &self.skipped
+    }
+
+    /// Sum of per-fault expected detections.
+    pub fn expected_detections(&self) -> usize {
+        self.injected.iter().map(|f| f.expected_detections).sum()
+    }
+
+    /// Position of the earliest injected violation, `None` when the plan
+    /// injected nothing — where a strict guard must stop.
+    pub fn first_position(&self) -> Option<usize> {
+        self.injected.iter().map(|f| f.position).min()
+    }
+}
+
+/// Working state of one `UpdateFaultPlan::apply` call.
+struct UpdateInjector<'p> {
+    plan: &'p UpdateFaultPlan,
+    rng: SplitMix64,
+    events: Vec<UpdateEvent>,
+    /// Edges already consumed by a fault; injections never share an edge,
+    /// which is what keeps each fault's detection count independent.
+    used_edges: HashSet<u64>,
+    /// Positions (final coordinates) whose timestamps a fault relies on —
+    /// the order/timestamp kinds keep a one-event buffer around each.
+    ts_touched: HashSet<usize>,
+    fresh_id: u32,
+    injected: Vec<InjectedUpdateFault>,
+    skipped: Vec<UpdateFaultKind>,
+}
+
+impl<'p> UpdateInjector<'p> {
+    fn new(plan: &'p UpdateFaultPlan, events: Vec<UpdateEvent>) -> Self {
+        let fresh_id = events
+            .iter()
+            .map(|e| e.edge.hi().0)
+            .max()
+            .map_or(0, |m| m.saturating_add(1));
+        UpdateInjector {
+            plan,
+            rng: SplitMix64::new(plan.seed),
+            events,
+            used_edges: HashSet::new(),
+            ts_touched: HashSet::new(),
+            fresh_id,
+            injected: Vec::new(),
+            skipped: Vec::new(),
+        }
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.rng.next_u64() % n as u64) as usize
+    }
+
+    fn pick<T: Copy>(&mut self, candidates: &[T]) -> Option<T> {
+        if candidates.is_empty() {
+            None
+        } else {
+            Some(candidates[self.below(candidates.len())])
+        }
+    }
+
+    /// 0-based index of the last event touching each edge.
+    fn last_occurrence(&self) -> HashMap<u64, usize> {
+        let mut last = HashMap::new();
+        for (i, ev) in self.events.iter().enumerate() {
+            last.insert(ev.edge.pack(), i);
+        }
+        last
+    }
+
+    fn fresh_vertex(&mut self) -> VertexId {
+        let v = VertexId(self.fresh_id);
+        self.fresh_id = self.fresh_id.saturating_add(1);
+        v
+    }
+
+    fn record(&mut self, kind: UpdateFaultKind, position: usize, description: String) {
+        self.injected.push(InjectedUpdateFault {
+            kind,
+            position,
+            expected_detections: 1,
+            description,
+        });
+    }
+
+    /// Insert `ev` at `at`, shifting previously recorded positions.
+    fn insert_event(&mut self, at: usize, ev: UpdateEvent) {
+        self.events.insert(at, ev);
+        for f in &mut self.injected {
+            if f.position >= at {
+                f.position += 1;
+            }
+        }
+    }
+
+    fn run(mut self) -> CorruptedUpdateStream {
+        for kind in UpdateFaultKind::ALL {
+            for _ in 0..self.plan.count(kind) {
+                let ok = match kind {
+                    UpdateFaultKind::DeleteDead => self.delete_dead(),
+                    UpdateFaultKind::DuplicateInsert => self.duplicate_insert(),
+                    UpdateFaultKind::OrphanDelete => self.orphan_delete(),
+                    UpdateFaultKind::OpFlip => self.op_flip(),
+                    UpdateFaultKind::CorruptEndpoint => self.corrupt_endpoint(),
+                    UpdateFaultKind::SwapAdjacent => self.swap_adjacent(),
+                    UpdateFaultKind::TimestampRegression => self.ts_regression(),
+                };
+                if !ok {
+                    self.skipped.push(kind);
+                }
+            }
+        }
+        CorruptedUpdateStream {
+            events: self.events,
+            injected: self.injected,
+            skipped: self.skipped,
+        }
+    }
+
+    /// Duplicate a valid deletion: the copy targets an edge that just died.
+    fn delete_dead(&mut self) -> bool {
+        let candidates: Vec<usize> = (0..self.events.len())
+            .filter(|&i| {
+                self.events[i].op == UpdateOp::Delete
+                    && !self.used_edges.contains(&self.events[i].edge.pack())
+            })
+            .collect();
+        let Some(i) = self.pick(&candidates) else {
+            return false;
+        };
+        let original = self.events[i];
+        self.used_edges.insert(original.edge.pack());
+        self.insert_event(
+            i + 1,
+            UpdateEvent {
+                op: UpdateOp::Delete,
+                edge: original.edge,
+                ts: original.ts,
+            },
+        );
+        self.record(
+            UpdateFaultKind::DeleteDead,
+            i + 1,
+            format!("re-deleted dead edge {} at event {}", original.edge, i + 1),
+        );
+        true
+    }
+
+    /// Duplicate a valid insertion: the copy targets an edge already live.
+    fn duplicate_insert(&mut self) -> bool {
+        let candidates: Vec<usize> = (0..self.events.len())
+            .filter(|&i| {
+                self.events[i].op == UpdateOp::Insert
+                    && !self.used_edges.contains(&self.events[i].edge.pack())
+            })
+            .collect();
+        let Some(i) = self.pick(&candidates) else {
+            return false;
+        };
+        let original = self.events[i];
+        self.used_edges.insert(original.edge.pack());
+        self.insert_event(
+            i + 1,
+            UpdateEvent {
+                op: UpdateOp::Insert,
+                edge: original.edge,
+                ts: original.ts,
+            },
+        );
+        self.record(
+            UpdateFaultKind::DuplicateInsert,
+            i + 1,
+            format!("re-inserted live edge {} at event {}", original.edge, i + 1),
+        );
+        true
+    }
+
+    /// Delete an edge built from fresh vertex ids — never inserted.
+    fn orphan_delete(&mut self) -> bool {
+        if self.events.is_empty() {
+            return false;
+        }
+        let at = self.below(self.events.len());
+        let ts = self.events[at].ts;
+        let (u, v) = (self.fresh_vertex(), self.fresh_vertex());
+        let edge = EdgeKey::new(u, v);
+        self.used_edges.insert(edge.pack());
+        self.insert_event(
+            at,
+            UpdateEvent {
+                op: UpdateOp::Delete,
+                edge,
+                ts,
+            },
+        );
+        self.record(
+            UpdateFaultKind::OrphanDelete,
+            at,
+            format!("deleted never-inserted edge {edge} at event {at}"),
+        );
+        true
+    }
+
+    /// Flip the op of an edge's *last* event, so no downstream event of the
+    /// same edge is invalidated as a side effect.
+    fn op_flip(&mut self) -> bool {
+        let last = self.last_occurrence();
+        let candidates: Vec<usize> = (0..self.events.len())
+            .filter(|&i| {
+                let key = self.events[i].edge.pack();
+                last.get(&key) == Some(&i) && !self.used_edges.contains(&key)
+            })
+            .collect();
+        let Some(i) = self.pick(&candidates) else {
+            return false;
+        };
+        let old_op = self.events[i].op;
+        self.events[i].op = match old_op {
+            UpdateOp::Insert => UpdateOp::Delete,
+            UpdateOp::Delete => UpdateOp::Insert,
+        };
+        self.used_edges.insert(self.events[i].edge.pack());
+        let edge = self.events[i].edge;
+        self.record(
+            UpdateFaultKind::OpFlip,
+            i,
+            format!(
+                "flipped {old_op} {edge} to {} at event {i}",
+                self.events[i].op
+            ),
+        );
+        true
+    }
+
+    /// Rewrite one endpoint of an edge's last deletion to a fresh vertex:
+    /// the rewritten edge was never live, and the true edge (left live by
+    /// the lost deletion) has no later events to invalidate.
+    fn corrupt_endpoint(&mut self) -> bool {
+        let last = self.last_occurrence();
+        let candidates: Vec<usize> = (0..self.events.len())
+            .filter(|&i| {
+                let key = self.events[i].edge.pack();
+                self.events[i].op == UpdateOp::Delete
+                    && last.get(&key) == Some(&i)
+                    && !self.used_edges.contains(&key)
+            })
+            .collect();
+        let Some(i) = self.pick(&candidates) else {
+            return false;
+        };
+        let old = self.events[i].edge;
+        let corrupted = EdgeKey::new(old.lo(), self.fresh_vertex());
+        self.events[i].edge = corrupted;
+        self.used_edges.insert(old.pack());
+        self.used_edges.insert(corrupted.pack());
+        self.record(
+            UpdateFaultKind::CorruptEndpoint,
+            i,
+            format!("rewrote delete {old} as {corrupted} at event {i}"),
+        );
+        true
+    }
+
+    /// Swap adjacent events with strictly increasing timestamps and
+    /// distinct edges: one regression at the later slot, no semantic
+    /// violation.
+    fn swap_adjacent(&mut self) -> bool {
+        let candidates: Vec<usize> = (0..self.events.len().saturating_sub(1))
+            .filter(|&i| {
+                let (a, b) = (self.events[i], self.events[i + 1]);
+                a.ts < b.ts
+                    && a.edge != b.edge
+                    && !self.used_edges.contains(&a.edge.pack())
+                    && !self.used_edges.contains(&b.edge.pack())
+                    && !(i.saturating_sub(1)..=i + 2).any(|p| self.ts_touched.contains(&p))
+            })
+            .collect();
+        let Some(i) = self.pick(&candidates) else {
+            return false;
+        };
+        self.events.swap(i, i + 1);
+        for p in i.saturating_sub(1)..=i + 2 {
+            self.ts_touched.insert(p);
+        }
+        self.record(
+            UpdateFaultKind::SwapAdjacent,
+            i + 1,
+            format!("swapped events {i} and {} (timestamps regress)", i + 1),
+        );
+        true
+    }
+
+    /// Rewrite one event's timestamp to just below its predecessor's. The
+    /// successor's timestamp is at least the predecessor's (valid input),
+    /// so exactly one regression appears.
+    fn ts_regression(&mut self) -> bool {
+        let candidates: Vec<usize> = (1..self.events.len())
+            .filter(|&i| {
+                self.events[i - 1].ts >= 1
+                    && self.events[i].ts >= self.events[i - 1].ts
+                    && !(i - 1..=i + 1).any(|p| self.ts_touched.contains(&p))
+            })
+            .collect();
+        let Some(i) = self.pick(&candidates) else {
+            return false;
+        };
+        let previous = self.events[i - 1].ts;
+        let old = self.events[i].ts;
+        self.events[i].ts = previous - 1;
+        for p in i - 1..=i + 1 {
+            self.ts_touched.insert(p);
+        }
+        self.record(
+            UpdateFaultKind::TimestampRegression,
+            i,
+            format!("event {i}: timestamp {old} rewritten to {}", previous - 1),
+        );
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::{churn, ChurnConfig};
+    use adjstream_graph::gen;
+
+    fn base_stream(seed: u64) -> UpdateStream {
+        let g = gen::disjoint_cliques(4, 6);
+        churn(
+            &g,
+            &ChurnConfig {
+                churn_events: 120,
+                delete_fraction: 0.6,
+                seed,
+            },
+        )
+    }
+
+    #[test]
+    fn plans_are_replayable() {
+        let s = base_stream(3);
+        let plan = UpdateFaultPlan::new(42)
+            .with(UpdateFaultKind::DeleteDead, 2)
+            .with(UpdateFaultKind::OpFlip, 1);
+        let a = plan.apply(&s);
+        let b = plan.apply(&s);
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.injected().len(), 3);
+        assert!(a.skipped().is_empty());
+        assert_eq!(a.expected_detections(), 3);
+    }
+
+    #[test]
+    fn empty_plan_is_identity() {
+        let s = base_stream(9);
+        let c = UpdateFaultPlan::new(7).apply(&s);
+        assert_eq!(c.events(), s.events());
+        assert!(c.injected().is_empty());
+        assert_eq!(c.first_position(), None);
+    }
+
+    #[test]
+    fn every_kind_injects_on_a_churn_stream() {
+        let s = base_stream(11);
+        for kind in UpdateFaultKind::ALL {
+            for seed in 0..5 {
+                let c = UpdateFaultPlan::new(seed).with(kind, 1).apply(&s);
+                assert!(c.skipped().is_empty(), "{kind} skipped at seed {seed}");
+                assert_eq!(c.injected().len(), 1, "{kind}");
+                assert_eq!(c.expected_detections(), 1, "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        for kind in UpdateFaultKind::ALL {
+            assert_eq!(UpdateFaultKind::parse(&kind.to_string()), Some(kind));
+        }
+        assert_eq!(UpdateFaultKind::parse("no-such-fault"), None);
+    }
+
+    #[test]
+    fn composed_plans_account_for_all_faults() {
+        let s = base_stream(21);
+        let plan = UpdateFaultPlan::new(77)
+            .with(UpdateFaultKind::DeleteDead, 2)
+            .with(UpdateFaultKind::DuplicateInsert, 2)
+            .with(UpdateFaultKind::OrphanDelete, 1)
+            .with(UpdateFaultKind::SwapAdjacent, 1);
+        let c = plan.apply(&s);
+        assert!(c.skipped().is_empty());
+        assert_eq!(c.injected().len(), 6);
+        assert_eq!(c.expected_detections(), 6);
+        // Recorded positions point at the injected violations in final
+        // coordinates.
+        let first = c.first_position().unwrap();
+        assert!(first < c.events().len());
+    }
+}

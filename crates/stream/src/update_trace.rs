@@ -1,0 +1,372 @@
+//! `.adjbu` — the checksummed binary container for update traces.
+//!
+//! The text format of [`crate::update`] is convenient to author but slow to
+//! parse and silently tolerant of torn writes (a truncated file is just a
+//! shorter stream). Registered daemon traces need the same integrity story
+//! as static `.adjb` files, so this module mirrors [`crate::trace`] for
+//! [`UpdateStream`]s:
+//!
+//! ```text
+//! magic    8 bytes   b"ADJBUPDT"
+//! version  u32 LE    ADJBU_VERSION
+//! payload:
+//!   count  u64 LE    number of events
+//!   event  17 bytes  op u8 (0 insert, 1 delete), lo u32 LE, hi u32 LE,
+//!                    ts u64 LE — repeated `count` times
+//! check    u64 LE    checksum64(payload)
+//! ```
+//!
+//! [`read_updates`] sniffs the first eight bytes: the magic selects the
+//! binary decoder, anything else falls through to the text parser, so every
+//! consumer (CLI, daemon, benches) accepts both formats through one entry
+//! point. Rejection is typed — [`UpdateTraceError::Truncated`],
+//! [`UpdateTraceError::ChecksumMismatch`],
+//! [`UpdateTraceError::UnsupportedVersion`] — and decoded events pass the
+//! same semantic checks as the text parser (no self-loops, non-decreasing
+//! timestamps), reported with the 1-based event index in the
+//! [`UpdateParseError`]'s `line` field.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use adjstream_graph::{EdgeKey, VertexId};
+
+use crate::hashing::checksum64;
+use crate::update::{UpdateEvent, UpdateOp, UpdateParseError, UpdateStream};
+
+/// Magic bytes opening every `.adjbu` binary update trace.
+pub const ADJBU_MAGIC: [u8; 8] = *b"ADJBUPDT";
+
+/// Current `.adjbu` format version; readers reject anything else with
+/// [`UpdateTraceError::UnsupportedVersion`].
+pub const ADJBU_VERSION: u32 = 1;
+
+/// Bytes per encoded event: op tag, two endpoints, timestamp.
+const EVENT_BYTES: usize = 1 + 4 + 4 + 8;
+
+/// Why an update trace (binary or text) was rejected.
+#[derive(Debug)]
+pub enum UpdateTraceError {
+    /// The underlying I/O operation failed.
+    Io(io::Error),
+    /// The text parser rejected a line, or a decoded binary event violated
+    /// update-stream semantics (for binary traces the error's `line` is the
+    /// 1-based event index).
+    Parse(UpdateParseError),
+    /// The file's format version is not readable by this build.
+    UnsupportedVersion {
+        /// Version recorded in the file.
+        found: u32,
+        /// Version this build writes and reads.
+        supported: u32,
+    },
+    /// The file ended before the declared events + checksum.
+    Truncated,
+    /// The payload bytes do not hash to the recorded checksum.
+    ChecksumMismatch {
+        /// Checksum recorded in the file.
+        expected: u64,
+        /// Checksum of the bytes actually present.
+        actual: u64,
+    },
+    /// An event's op tag was neither 0 (insert) nor 1 (delete).
+    BadOp {
+        /// 1-based event index.
+        event: usize,
+        /// The tag byte found.
+        found: u8,
+    },
+}
+
+impl fmt::Display for UpdateTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateTraceError::Io(e) => write!(f, "update trace I/O error: {e}"),
+            UpdateTraceError::Parse(e) => write!(f, "invalid update trace: {e}"),
+            UpdateTraceError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported .adjbu version {found} (this build reads {supported})"
+            ),
+            UpdateTraceError::Truncated => write!(f, ".adjbu file is truncated"),
+            UpdateTraceError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                ".adjbu payload corrupt: checksum {actual:#018x} != recorded {expected:#018x}"
+            ),
+            UpdateTraceError::BadOp { event, found } => {
+                write!(f, "event {event}: bad op tag {found} (expected 0 or 1)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UpdateTraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            UpdateTraceError::Io(e) => Some(e),
+            UpdateTraceError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for UpdateTraceError {
+    fn from(e: io::Error) -> Self {
+        UpdateTraceError::Io(e)
+    }
+}
+
+impl From<UpdateParseError> for UpdateTraceError {
+    fn from(e: UpdateParseError) -> Self {
+        UpdateTraceError::Parse(e)
+    }
+}
+
+/// Whether `bytes` begins with the `.adjbu` magic — the same sniff
+/// [`parse_update_bytes`] performs, exposed for catalog-style kind
+/// detection that must not pay for a full decode.
+pub fn is_adjbu(bytes: &[u8]) -> bool {
+    bytes.len() >= ADJBU_MAGIC.len() && bytes[..ADJBU_MAGIC.len()] == ADJBU_MAGIC
+}
+
+/// Serialize `stream` in the `.adjbu` container format.
+pub fn write_adjbu(stream: &UpdateStream, w: &mut dyn Write) -> io::Result<()> {
+    let mut payload = Vec::with_capacity(8 + stream.len() * EVENT_BYTES);
+    payload.extend_from_slice(&(stream.len() as u64).to_le_bytes());
+    for ev in stream.events() {
+        payload.push(match ev.op {
+            UpdateOp::Insert => 0,
+            UpdateOp::Delete => 1,
+        });
+        payload.extend_from_slice(&ev.edge.lo().0.to_le_bytes());
+        payload.extend_from_slice(&ev.edge.hi().0.to_le_bytes());
+        payload.extend_from_slice(&ev.ts.to_le_bytes());
+    }
+    w.write_all(&ADJBU_MAGIC)?;
+    w.write_all(&ADJBU_VERSION.to_le_bytes())?;
+    w.write_all(&payload)?;
+    w.write_all(&checksum64(&payload).to_le_bytes())?;
+    w.flush()
+}
+
+/// Parse an update trace from raw bytes, sniffing the format: the
+/// [`ADJBU_MAGIC`] prefix selects the binary decoder, anything else is
+/// handed to [`UpdateStream::parse_text`].
+pub fn parse_update_bytes(bytes: &[u8]) -> Result<UpdateStream, UpdateTraceError> {
+    match bytes.strip_prefix(&ADJBU_MAGIC) {
+        Some(rest) => decode_adjbu(rest),
+        None => {
+            let text = std::str::from_utf8(bytes).map_err(|_| UpdateTraceError::Truncated)?;
+            Ok(UpdateStream::parse_text(text)?)
+        }
+    }
+}
+
+/// Read an update trace from `r`, sniffing binary vs text (see
+/// [`parse_update_bytes`]).
+pub fn read_updates<R: Read>(mut r: R) -> Result<UpdateStream, UpdateTraceError> {
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    parse_update_bytes(&bytes)
+}
+
+/// Decode the post-magic portion of a `.adjbu` file.
+fn decode_adjbu(rest: &[u8]) -> Result<UpdateStream, UpdateTraceError> {
+    let take = |range: std::ops::Range<usize>| rest.get(range).ok_or(UpdateTraceError::Truncated);
+    let read_u32_at = |at: usize| -> Result<u32, UpdateTraceError> {
+        Ok(u32::from_le_bytes(take(at..at + 4)?.try_into().expect("4")))
+    };
+    let read_u64_at = |at: usize| -> Result<u64, UpdateTraceError> {
+        Ok(u64::from_le_bytes(take(at..at + 8)?.try_into().expect("8")))
+    };
+
+    let version = read_u32_at(0)?;
+    if version != ADJBU_VERSION {
+        return Err(UpdateTraceError::UnsupportedVersion {
+            found: version,
+            supported: ADJBU_VERSION,
+        });
+    }
+    let payload_start = 4;
+    let count = read_u64_at(payload_start)?;
+    let count_usize = usize::try_from(count).map_err(|_| UpdateTraceError::Truncated)?;
+    let events_len = count_usize
+        .checked_mul(EVENT_BYTES)
+        .ok_or(UpdateTraceError::Truncated)?;
+    let payload_end = payload_start
+        .checked_add(8)
+        .and_then(|v| v.checked_add(events_len))
+        .ok_or(UpdateTraceError::Truncated)?;
+    let payload = take(payload_start..payload_end)?;
+    let expected = read_u64_at(payload_end)?;
+    let actual = checksum64(payload);
+    if actual != expected {
+        return Err(UpdateTraceError::ChecksumMismatch { expected, actual });
+    }
+
+    let mut events = Vec::with_capacity(count_usize.min(1 << 20));
+    let mut prev_ts = 0u64;
+    for i in 0..count_usize {
+        let at = payload_start + 8 + i * EVENT_BYTES;
+        let op = match rest[at] {
+            0 => UpdateOp::Insert,
+            1 => UpdateOp::Delete,
+            found => {
+                return Err(UpdateTraceError::BadOp {
+                    event: i + 1,
+                    found,
+                })
+            }
+        };
+        let lo = read_u32_at(at + 1)?;
+        let hi = read_u32_at(at + 5)?;
+        let ts = read_u64_at(at + 9)?;
+        if lo == hi {
+            return Err(UpdateParseError::SelfLoop {
+                line: i + 1,
+                vertex: lo,
+            }
+            .into());
+        }
+        if i > 0 && ts < prev_ts {
+            return Err(UpdateParseError::TimestampRegression {
+                line: i + 1,
+                previous: prev_ts,
+                found: ts,
+            }
+            .into());
+        }
+        prev_ts = ts;
+        events.push(UpdateEvent {
+            op,
+            edge: EdgeKey::new(VertexId(lo), VertexId(hi)),
+            ts,
+        });
+    }
+    Ok(UpdateStream::new(events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::{churn, ChurnConfig};
+    use adjstream_graph::gen;
+
+    fn sample_stream() -> UpdateStream {
+        let g = gen::disjoint_cliques(3, 6);
+        churn(
+            &g,
+            &ChurnConfig {
+                churn_events: 80,
+                delete_fraction: 0.5,
+                seed: 5,
+            },
+        )
+    }
+
+    fn encode(s: &UpdateStream) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_adjbu(s, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let s = sample_stream();
+        let bytes = encode(&s);
+        assert!(is_adjbu(&bytes));
+        assert_eq!(parse_update_bytes(&bytes).unwrap(), s);
+        assert_eq!(read_updates(&bytes[..]).unwrap(), s);
+    }
+
+    #[test]
+    fn sniffs_text_without_magic() {
+        let s = sample_stream();
+        let mut text = Vec::new();
+        s.write_text(&mut text).unwrap();
+        assert!(!is_adjbu(&text));
+        assert_eq!(parse_update_bytes(&text).unwrap(), s);
+    }
+
+    #[test]
+    fn empty_stream_round_trips() {
+        let s = UpdateStream::default();
+        assert_eq!(parse_update_bytes(&encode(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn version_is_checked() {
+        let mut bytes = encode(&sample_stream());
+        bytes[8] = 0xFE; // version LSB
+        assert!(matches!(
+            parse_update_bytes(&bytes),
+            Err(UpdateTraceError::UnsupportedVersion { found, supported: 1 }) if found != 1
+        ));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = encode(&sample_stream());
+        for cut in [bytes.len() - 1, bytes.len() - 9, 13] {
+            assert!(
+                matches!(
+                    parse_update_bytes(&bytes[..cut]),
+                    Err(UpdateTraceError::Truncated)
+                ),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flip_fails_checksum() {
+        let mut bytes = encode(&sample_stream());
+        let mid = 12 + bytes.len() / 2 % (bytes.len() - 20);
+        bytes[mid] ^= 0x10;
+        assert!(matches!(
+            parse_update_bytes(&bytes),
+            Err(UpdateTraceError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn semantic_violations_reject_with_event_index() {
+        // Hand-build payloads: self-loop at event 2, regression at event 2.
+        let build = |events: &[(u8, u32, u32, u64)]| {
+            let mut payload = Vec::new();
+            payload.extend_from_slice(&(events.len() as u64).to_le_bytes());
+            for &(op, lo, hi, ts) in events {
+                payload.push(op);
+                payload.extend_from_slice(&lo.to_le_bytes());
+                payload.extend_from_slice(&hi.to_le_bytes());
+                payload.extend_from_slice(&ts.to_le_bytes());
+            }
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(&ADJBU_MAGIC);
+            bytes.extend_from_slice(&ADJBU_VERSION.to_le_bytes());
+            bytes.extend_from_slice(&payload);
+            bytes.extend_from_slice(&checksum64(&payload).to_le_bytes());
+            bytes
+        };
+        assert!(matches!(
+            parse_update_bytes(&build(&[(0, 0, 1, 0), (0, 4, 4, 1)])),
+            Err(UpdateTraceError::Parse(UpdateParseError::SelfLoop {
+                line: 2,
+                vertex: 4
+            }))
+        ));
+        assert!(matches!(
+            parse_update_bytes(&build(&[(0, 0, 1, 7), (0, 1, 2, 3)])),
+            Err(UpdateTraceError::Parse(
+                UpdateParseError::TimestampRegression {
+                    line: 2,
+                    previous: 7,
+                    found: 3
+                }
+            ))
+        ));
+        assert!(matches!(
+            parse_update_bytes(&build(&[(9, 0, 1, 0)])),
+            Err(UpdateTraceError::BadOp { event: 1, found: 9 })
+        ));
+    }
+}

@@ -1,0 +1,79 @@
+//! Guarded-update degradation, live: inject the seeded dynamic fault
+//! matrix into a churned insert/delete stream and watch the guard
+//! policies react — `Strict` aborts at the first violation with its
+//! typed position, `Repair` drops the invalid events and clamps
+//! regressed timestamps, and the full-capacity TRIÈST-FD estimate
+//! degrades gracefully with the fault rate instead of panicking or
+//! silently drifting.
+//!
+//! ```sh
+//! cargo run --release --example update_guard_degradation
+//! ```
+
+use adjstream::algo::dynamic::ExactDynamicTriangles;
+use adjstream::algo::triangle::TriestFd;
+use adjstream::graph::gen;
+use adjstream::stream::update::{churn, ChurnConfig, UpdateAlgorithm};
+use adjstream::stream::{
+    run_guarded_updates, GuardPolicy, GuardedUpdate, UpdateFaultKind, UpdateFaultPlan,
+};
+
+fn main() {
+    // 40 disjoint K12 put every edge in exactly 10 triangles, so the cost
+    // of each lost or phantom edge is known; the churn tail keeps the
+    // final graph a strict subset with real deletion history.
+    let g = gen::disjoint_cliques(12, 40);
+    let stream = churn(
+        &g,
+        &ChurnConfig {
+            churn_events: 2000,
+            delete_fraction: 0.4,
+            seed: 11,
+        },
+    );
+    let events = stream.len();
+    let mut exact = ExactDynamicTriangles::new();
+    for ev in stream.events() {
+        exact.apply(ev);
+    }
+    let truth = exact.estimate();
+    println!("stream: {events} events, final T = {truth}\n");
+
+    // Strict: the first injected violation aborts with a typed position.
+    let c = UpdateFaultPlan::new(1)
+        .with(UpdateFaultKind::OrphanDelete, 1)
+        .apply(&stream);
+    let mut guard = GuardedUpdate::new(TriestFd::new(7, events.max(3)), GuardPolicy::Strict);
+    let err = run_guarded_updates(c.events(), 200, &mut guard).expect_err("strict must reject");
+    println!("strict under 1 orphan delete: {err}\n");
+
+    // Repair: sweep the fault rate with an even mix of all seven kinds
+    // and watch the full-capacity estimate degrade gracefully while the
+    // guard accounts for every injected violation.
+    println!(
+        "{:>6}  {:>10}  {:>8}  {:>8}  {:>10}  {:>9}",
+        "faults", "fault rate", "detected", "dropped", "estimate", "rel error"
+    );
+    for per_kind in [0usize, 1, 2, 4, 7] {
+        let mut plan = UpdateFaultPlan::new(41);
+        for kind in UpdateFaultKind::ALL {
+            plan = plan.with(kind, per_kind);
+        }
+        let c = plan.apply(&stream);
+        let mut guard = GuardedUpdate::new(TriestFd::new(7, events.max(3)), GuardPolicy::Repair);
+        run_guarded_updates(c.events(), 200, &mut guard).expect("repair must survive");
+        let stats = guard.stats();
+        assert_eq!(stats.detections, c.expected_detections());
+        let est = guard.estimate();
+        println!(
+            "{:>6}  {:>9.2}%  {:>8}  {:>8}  {:>10.0}  {:>8.2}%",
+            c.injected().len(),
+            100.0 * c.injected().len() as f64 / events as f64,
+            stats.detections,
+            stats.dropped,
+            est,
+            100.0 * (est - truth).abs() / truth.max(1.0),
+        );
+    }
+    println!("\nevery injected violation detected; estimate drift stays linear in the fault rate");
+}

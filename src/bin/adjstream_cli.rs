@@ -192,16 +192,19 @@ const USAGE: &str = "usage:
   adjstream-cli estimate-stream FILE [--budget K] [--seed S] [--policy strict|repair|observe] [--retries N]
                 [--metrics-out FILE]
   adjstream-cli gen-updates FILE [--churn N] [--delete-fraction F] [--seed S] [-o FILE]
+                [--format text|adjbu]
   adjstream-cli update-stream FILE [--batch B] [--capacity M] [--seed S] [--verify]
                 [--window W] [--stride D] [--epsilon E] [--delta D] [--exact-windows]
   adjstream-cli convert-trace FILE -o FILE [--format adjb|text]
+  adjstream-cli convert-updates FILE -o FILE [--format adjbu|text]
   adjstream-cli gadget <fig-a|fig-b|fig-c|fig-d|fig-e> [--key value ...] [--answer yes|no] [-o FILE]
 
 daemon client (requires a running adjstreamd; all take --socket PATH):
   adjstream-cli register FILE --name NAME --socket SOCK
-  adjstream-cli submit --socket SOCK --trace NAME [--kind triangles|c4|validate] [--t-lower T]
+  adjstream-cli submit --socket SOCK --trace NAME [--kind triangles|c4|validate|update] [--t-lower T]
                 [--epsilon E] [--delta D] [--seed S] [--priority P] [--min-survivors Q]
                 [--deadline-ms MS] [--max-bytes N] [--max-total-bytes N] [--wait] [--poll-ms MS]
+                [--batch-size B] [--capacity M] [--guard strict|repair|observe]  (update jobs)
   adjstream-cli status --socket SOCK [--id ID]
   adjstream-cli cancel --socket SOCK --id ID
 
@@ -261,6 +264,7 @@ fn run(args: &[String]) -> Result<(), CliFailure> {
         "gen-updates" => cmd_gen_updates(rest),
         "update-stream" => cmd_update_stream(rest),
         "convert-trace" => cmd_convert_trace(rest),
+        "convert-updates" => cmd_convert_updates(rest),
         "gadget" => cmd_gadget(rest),
         "register" => cmd_register(rest),
         "submit" => cmd_submit(rest),
@@ -724,6 +728,38 @@ fn cmd_convert_trace(args: &[String]) -> Result<(), CliFailure> {
     Ok(())
 }
 
+/// Convert an update trace between the text dialect and the checksummed
+/// `.adjbu` binary container. Input format is sniffed from the bytes, so
+/// both directions (and a re-encode of the same format) work.
+fn cmd_convert_updates(args: &[String]) -> Result<(), CliFailure> {
+    use adjstream::stream::update_trace::{parse_update_bytes, write_adjbu, UpdateTraceError};
+    let path = args.first().ok_or("missing update trace file")?;
+    let flags = parse_flags(&args[1..])?;
+    let format = flags.get("format").map(String::as_str).unwrap_or("adjbu");
+    let bytes = std::fs::read(path).map_err(|e| CliFailure::io(e.to_string()))?;
+    let stream = parse_update_bytes(&bytes).map_err(|e| match e {
+        UpdateTraceError::Io(inner) => CliFailure::io(inner.to_string()),
+        other => CliFailure::invalid_stream(other.to_string()),
+    })?;
+    let out = flags.get("o").ok_or("convert-updates: missing -o OUTPUT")?;
+    let f = std::fs::File::create(out).map_err(|e| CliFailure::io(e.to_string()))?;
+    let mut w = std::io::BufWriter::new(f);
+    match format {
+        "adjbu" => write_adjbu(&stream, &mut w).map_err(|e| CliFailure::io(e.to_string()))?,
+        "text" => stream
+            .write_text(&mut w)
+            .map_err(|e| CliFailure::io(e.to_string()))?,
+        other => {
+            return Err(CliFailure::usage(format!(
+                "--format must be adjbu|text, got {other:?}"
+            )))
+        }
+    }
+    w.flush().map_err(|e| CliFailure::io(e.to_string()))?;
+    eprintln!("wrote {} update events as {format} to {out}", stream.len());
+    Ok(())
+}
+
 fn write_items(items: &[StreamItem], out: Option<&String>) -> Result<(), String> {
     let write = |w: &mut dyn Write| -> std::io::Result<()> {
         let mut w = std::io::BufWriter::new(w);
@@ -829,7 +865,15 @@ fn cmd_gen_updates(args: &[String]) -> Result<(), CliFailure> {
         seed: get(&flags, "seed", 1)?,
     };
     let stream = churn(&g, &cfg);
-    let write = |w: &mut dyn Write| stream.write_text(w);
+    let format = flags.get("format").map(String::as_str).unwrap_or("text");
+    let write = |w: &mut dyn Write| match format {
+        "text" => stream.write_text(w),
+        "adjbu" => adjstream::stream::update_trace::write_adjbu(&stream, w),
+        _ => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("--format must be text|adjbu, got {format:?}"),
+        )),
+    };
     match flags.get("o") {
         Some(out) => {
             let mut f = std::fs::File::create(out).map_err(|e| CliFailure::io(e.to_string()))?;
@@ -860,14 +904,16 @@ fn cmd_gen_updates(args: &[String]) -> Result<(), CliFailure> {
 fn cmd_update_stream(args: &[String]) -> Result<(), CliFailure> {
     use adjstream::algo::dynamic::{windowed_estimates, ExactDynamicTriangles, WindowConfig};
     use adjstream::algo::triangle::TriestFd;
-    use adjstream::stream::update::{run_update_batches, UpdateAlgorithm, UpdateStream};
+    use adjstream::stream::update::{run_update_batches, UpdateAlgorithm};
     let (path, rest) = args
         .split_first()
         .ok_or("update-stream: missing update trace file")?;
     let flags = parse_flags(rest)?;
-    let text = std::fs::read_to_string(path).map_err(|e| CliFailure::io(e.to_string()))?;
-    let stream =
-        UpdateStream::parse_text(&text).map_err(|e| CliFailure::invalid_stream(e.to_string()))?;
+    // Sniffing reader: binary `.adjbu` (checksum-verified) and the text
+    // dialect both load through the same path.
+    let bytes = std::fs::read(path).map_err(|e| CliFailure::io(e.to_string()))?;
+    let stream = adjstream::stream::update_trace::parse_update_bytes(&bytes)
+        .map_err(|e| CliFailure::invalid_stream(e.to_string()))?;
     if stream.is_empty() {
         return Err(CliFailure::invalid_stream("update trace has no events"));
     }
@@ -1108,6 +1154,14 @@ fn cmd_submit(args: &[String]) -> Result<(), CliFailure> {
         ("trace", Json::Str(trace)),
         ("kind", Json::Str(kind.into())),
     ];
+    if let Some(guard) = flags.get("guard") {
+        if !matches!(guard.as_str(), "strict" | "repair" | "observe") {
+            return Err(CliFailure::usage(format!(
+                "--guard must be strict|repair|observe, got {guard:?}"
+            )));
+        }
+        fields.push(("guard", Json::Str(guard.clone())));
+    }
     for (flag, field) in [
         ("t-lower", "t_lower"),
         ("seed", "seed"),
@@ -1116,6 +1170,8 @@ fn cmd_submit(args: &[String]) -> Result<(), CliFailure> {
         ("deadline-ms", "deadline_ms"),
         ("max-bytes", "max_instance_bytes"),
         ("max-total-bytes", "max_total_bytes"),
+        ("batch-size", "batch_size"),
+        ("capacity", "capacity"),
     ] {
         if let Some(v) = flags.get(flag) {
             let n: u64 = v

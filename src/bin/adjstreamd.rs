@@ -1,13 +1,18 @@
 //! `adjstreamd` — the resident estimation daemon.
 //!
-//! Clients register `.adjb` traces and submit estimate/validate jobs over
-//! a Unix socket speaking line-delimited JSON (see
-//! [`adjstream::service::protocol`]). The daemon enforces bounded intake
-//! with typed backpressure, schedules jobs onto a fixed worker pool with
-//! checkpoint-based preemption, and survives both graceful SIGTERM
-//! (drain: checkpoint every in-flight job, exit cleanly) and `kill -9`
-//! (on restart, the state-directory scan resumes every interrupted job
-//! bit-for-bit).
+//! Clients register traces — static `.adjb` item traces and dynamic
+//! `.adjbu` update traces, each recorded with its kind and checksum —
+//! and submit estimate/validate/update jobs over a Unix socket speaking
+//! line-delimited JSON (see [`adjstream::service::protocol`]). The
+//! daemon enforces bounded intake with typed backpressure (including
+//! `kind_mismatch` and `trace_changed` rejections at admission),
+//! schedules jobs onto a fixed worker pool with checkpoint-based
+//! preemption, and survives both graceful SIGTERM (drain: checkpoint
+//! every in-flight job, exit cleanly) and `kill -9` (on restart, the
+//! state-directory scan resumes every interrupted job bit-for-bit).
+//! Update jobs drive TRIÈST-FD in batches behind the update guard; every
+//! batch boundary is a checkpoint, so a resumed update job's remaining
+//! per-batch estimates are bit-identical to an uninterrupted run's.
 //!
 //! ```text
 //! adjstreamd --state-dir DIR [--socket PATH] [--workers N]
@@ -54,8 +59,11 @@ const USAGE: &str = "usage:
 
 The daemon listens on the Unix socket (default: DIR/adjstreamd.sock) for
 line-delimited JSON requests: register, submit, status, cancel, metrics,
-traces, ping, shutdown. SIGTERM drains: every in-flight job is
-checkpointed at its pass boundary and resumes bit-for-bit on restart.";
+traces, ping, shutdown. Registered traces may be static .adjb item
+traces or dynamic .adjbu update traces; update jobs (kind \"update\")
+run batched TRIEST-FD behind the update guard. SIGTERM drains: every
+in-flight job is checkpointed at its pass (or batch) boundary and
+resumes bit-for-bit on restart.";
 
 fn parse_args(args: &[String]) -> Result<(ServiceConfig, Option<u64>), String> {
     let mut flags: HashMap<String, String> = HashMap::new();

@@ -1,0 +1,252 @@
+//! Crash-recovery drill for *update jobs*: SIGKILL the daemon while a
+//! batched TRIÈST-FD job is mid-trace, restart it over the same state
+//! directory, and require the resumed job's per-batch estimate ledger —
+//! the `.batches` sidecar — to be bit-for-bit identical to an
+//! uninterrupted run of the same spec. Also exercises the admission-time
+//! kind checks: a static estimate job against an `.adjbu` trace is a
+//! typed `kind_mismatch` rejection, and a trace that changes on disk
+//! after registration is a typed `trace_changed` rejection.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use adjstream::graph::gen;
+use adjstream::service::json::{parse, Json};
+use adjstream::stream::update::{churn, ChurnConfig};
+use adjstream::stream::write_adjbu;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 4242;
+const BATCH_SIZE: usize = 64;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("adjstreamd-upd-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_update_trace(dir: &Path) -> PathBuf {
+    let mut rng = StdRng::seed_from_u64(9);
+    let g = gen::gnm(60, 200, &mut rng);
+    let stream = churn(
+        &g,
+        &ChurnConfig {
+            churn_events: 600,
+            delete_fraction: 0.4,
+            seed: 17,
+        },
+    );
+    let path = dir.join("u.adjbu");
+    let mut buf = Vec::new();
+    write_adjbu(&stream, &mut buf).unwrap();
+    std::fs::write(&path, buf).unwrap();
+    path
+}
+
+// Every caller kills and waits on the child; the only escape is a test
+// panic, which tears the process down anyway.
+#[allow(clippy::zombie_processes)]
+fn spawn_daemon(state_dir: &Path) -> (Child, PathBuf) {
+    let child = Command::new(env!("CARGO_BIN_EXE_adjstreamd"))
+        .args(["--state-dir", &state_dir.display().to_string()])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("adjstreamd binary spawns");
+    let socket = state_dir.join("adjstreamd.sock");
+    let start = Instant::now();
+    loop {
+        if UnixStream::connect(&socket).is_ok() {
+            return (child, socket);
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "daemon never became ready"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn req(socket: &Path, line: &str) -> Json {
+    let stream = UnixStream::connect(socket).expect("daemon accepts connections");
+    let mut w = stream.try_clone().unwrap();
+    writeln!(w, "{line}").unwrap();
+    w.flush().unwrap();
+    let mut reply = String::new();
+    BufReader::new(stream).read_line(&mut reply).unwrap();
+    parse(reply.trim()).expect("daemon speaks valid JSON")
+}
+
+fn register(socket: &Path, trace: &Path) -> Json {
+    let reply = req(
+        socket,
+        &format!(
+            "{{\"op\":\"register\",\"name\":\"u\",\"path\":\"{}\"}}",
+            trace.display()
+        ),
+    );
+    assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+    reply
+}
+
+fn submit_update(socket: &Path, delay_ms: u64) -> String {
+    let reply = req(
+        socket,
+        &format!(
+            "{{\"op\":\"submit\",\"trace\":\"u\",\"kind\":\"update\",\"seed\":{SEED},\
+             \"batch_size\":{BATCH_SIZE},\"capacity\":128,\"guard\":\"repair\",\
+             \"delay_ms_per_pass\":{delay_ms}}}"
+        ),
+    );
+    reply
+        .str_field("id")
+        .unwrap_or_else(|| panic!("submit reply has an id: {reply}"))
+        .to_string()
+}
+
+fn wait_done(socket: &Path, id: &str) -> Json {
+    let start = Instant::now();
+    loop {
+        let reply = req(socket, &format!("{{\"op\":\"status\",\"id\":\"{id}\"}}"));
+        match reply.str_field("state") {
+            Some("done") => return reply,
+            Some("degraded" | "failed") => panic!("job {id} settled badly: {reply}"),
+            _ => {
+                assert!(
+                    start.elapsed() < Duration::from_secs(120),
+                    "job {id} never finished: {reply}"
+                );
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+    }
+}
+
+/// The per-batch ledger the daemon writes next to the manifest at
+/// completion, stripped of the run-specific job id.
+fn sidecar_ledger(state_dir: &Path, id: &str) -> (Json, Json) {
+    let bytes = std::fs::read(state_dir.join(format!("job-{id}.batches")))
+        .expect("completed update job wrote its .batches sidecar");
+    let doc = parse(std::str::from_utf8(&bytes).unwrap().trim()).unwrap();
+    let batches = doc.get("batches").expect("sidecar has batches").clone();
+    let guard = doc.get("guard").expect("sidecar has guard stats").clone();
+    (batches, guard)
+}
+
+#[test]
+fn update_job_kill9_resumes_bit_identical_batches() {
+    // Uninterrupted baseline.
+    let base_dir = tmp_dir("baseline");
+    let trace = write_update_trace(&base_dir);
+    let (mut child, socket) = spawn_daemon(&base_dir);
+    let reg = register(&socket, &trace);
+    assert_eq!(reg.str_field("kind"), Some("update"), "{reg}");
+
+    // Admission-time kind check: a static triangles job against the
+    // `.adjbu` trace is refused with the typed reason, not run.
+    let mismatch = req(
+        &socket,
+        &format!("{{\"op\":\"submit\",\"trace\":\"u\",\"t_lower\":10,\"seed\":{SEED}}}"),
+    );
+    assert_eq!(
+        mismatch.str_field("reason"),
+        Some("kind_mismatch"),
+        "{mismatch}"
+    );
+
+    let base_id = submit_update(&socket, 0);
+    let done = wait_done(&socket, &base_id);
+    let base_bits = done
+        .get("result")
+        .and_then(|r| r.str_field("estimate_bits"))
+        .expect("done status carries estimate_bits")
+        .to_string();
+    let (base_batches, base_guard) = sidecar_ledger(&base_dir, &base_id);
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    // Crash run: slow the job down (the chaos delay is sliced across each
+    // batch), wait for the first batch-boundary checkpoint, then SIGKILL.
+    let crash_dir = tmp_dir("crash");
+    let trace = write_update_trace(&crash_dir);
+    let (mut child, socket) = spawn_daemon(&crash_dir);
+    register(&socket, &trace);
+    let id = submit_update(&socket, 300);
+    let ckpt = crash_dir.join(format!("job-{id}.ckpt"));
+    let start = Instant::now();
+    while !ckpt.exists() {
+        assert!(
+            start.elapsed() < Duration::from_secs(60),
+            "batch-boundary checkpoint never appeared"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    child.kill().unwrap(); // SIGKILL — no drain, no warning.
+    child.wait().unwrap();
+
+    // Restart over the same state dir: recovery requeues the job, the
+    // worker resumes from the checkpointed batch, and both the final
+    // estimate and the complete per-batch ledger match the baseline
+    // bit-for-bit.
+    let (mut child, socket) = spawn_daemon(&crash_dir);
+    let done = wait_done(&socket, &id);
+    let result = done.get("result").expect("done status has result");
+    assert_eq!(
+        result.str_field("estimate_bits"),
+        Some(base_bits.as_str()),
+        "resumed update job diverged after kill -9: {done}"
+    );
+    let resumed_from = result.f64_field("resumed_from").map(|p| p as usize);
+    assert!(
+        resumed_from.is_some_and(|b| b >= 1),
+        "job should resume from a batch-boundary checkpoint: {done}"
+    );
+    let (batches, guard) = sidecar_ledger(&crash_dir, &id);
+    assert_eq!(batches, base_batches, "per-batch ledger diverged");
+    assert_eq!(guard, base_guard, "guard stats diverged");
+    child.kill().unwrap();
+    child.wait().unwrap();
+    let _ = std::fs::remove_dir_all(&base_dir);
+    let _ = std::fs::remove_dir_all(&crash_dir);
+}
+
+/// A registered trace rewritten on disk no longer matches its recorded
+/// checksum: admission refuses the job with `trace_changed` instead of
+/// running against bytes nobody vetted.
+#[test]
+fn swapped_trace_is_rejected_at_admission() {
+    let dir = tmp_dir("swap");
+    let trace = write_update_trace(&dir);
+    let (mut child, socket) = spawn_daemon(&dir);
+    register(&socket, &trace);
+    // Rewrite the file with different (still valid) contents.
+    let mut rng = StdRng::seed_from_u64(99);
+    let g = gen::gnm(20, 40, &mut rng);
+    let other = churn(
+        &g,
+        &ChurnConfig {
+            churn_events: 50,
+            delete_fraction: 0.3,
+            seed: 1,
+        },
+    );
+    let mut buf = Vec::new();
+    write_adjbu(&other, &mut buf).unwrap();
+    std::fs::write(&trace, buf).unwrap();
+    let reply = req(
+        &socket,
+        &format!(
+            "{{\"op\":\"submit\",\"trace\":\"u\",\"kind\":\"update\",\"seed\":{SEED},\
+             \"batch_size\":{BATCH_SIZE},\"capacity\":128}}"
+        ),
+    );
+    assert_eq!(reply.str_field("reason"), Some("trace_changed"), "{reply}");
+    child.kill().unwrap();
+    child.wait().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
