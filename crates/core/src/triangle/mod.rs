@@ -5,6 +5,7 @@ mod distinguish;
 mod multi_level;
 mod one_pass;
 mod random_order;
+mod sharded;
 mod three_pass;
 mod triest;
 mod triest_fd;
@@ -17,6 +18,7 @@ pub use distinguish::{DistinguishVerdict, TriangleDistinguisher};
 pub use multi_level::{MultiLevelEstimate, MultiLevelTriangle};
 pub use one_pass::{OnePassEstimate, OnePassTriangle};
 pub use random_order::{RandomOrderEstimate, RandomOrderTriangle};
+pub use sharded::{ShardedTriangle, ShardedTriangleConfig};
 pub use three_pass::{ThreePassEstimate, ThreePassTriangle};
 pub use triest::{TriestBase, TriestEstimate};
 pub use triest_fd::TriestFd;

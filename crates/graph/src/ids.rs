@@ -13,7 +13,12 @@ use std::fmt;
 /// The newtype exists to keep vertex indices from being confused with counts,
 /// positions in the stream, or sample sizes, all of which are also integers
 /// and all of which circulate through the same algorithms.
+///
+/// `repr(transparent)` guarantees the layout *is* a `u32`, which the binary
+/// trace reader relies on to reinterpret little-endian `(u32, u32)` pair
+/// buffers as stream items without a decode pass.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct VertexId(pub u32);
 
 impl VertexId {

@@ -156,6 +156,12 @@ pub struct JobSpec {
     /// Collect a [`MetricsSnapshot`](adjstream_stream::MetricsSnapshot)
     /// for this job and fold it into the daemon's aggregate.
     pub collect_metrics: bool,
+    /// Graph shards for triangles jobs (1 = unsharded). Sharded
+    /// repetitions partition the trace by list-owner vertex and merge
+    /// per-shard state at every pass boundary — the estimate is
+    /// bit-identical to the unsharded sharded-estimator run. Preemption
+    /// and chaos are observed between repetitions, not mid-pass.
+    pub shards: usize,
 }
 
 impl Default for JobSpec {
@@ -171,6 +177,7 @@ impl Default for JobSpec {
             budget: JobBudget::default(),
             chaos: Chaos::default(),
             collect_metrics: false,
+            shards: 1,
         }
     }
 }
@@ -372,6 +379,7 @@ impl JobRecord {
                 Json::Num(spec.chaos.delay_ms_per_pass as f64),
             ),
             ("collect_metrics", Json::Bool(spec.collect_metrics)),
+            ("shards", Json::Num(spec.shards as f64)),
             ("state", Json::Str(self.state.name().to_string())),
         ]);
         match &self.state {
@@ -446,6 +454,9 @@ impl JobRecord {
                 .get("collect_metrics")
                 .and_then(Json::as_bool)
                 .unwrap_or(false),
+            // Manifests written before sharding landed have no field:
+            // they were unsharded.
+            shards: v.u64_field("shards").unwrap_or(1).max(1) as usize,
         };
         let state = match v.str_field("state")? {
             "queued" => JobState::Queued,
@@ -539,6 +550,7 @@ mod tests {
                 delay_ms_per_pass: 25,
             },
             collect_metrics: true,
+            shards: 3,
         }
     }
 

@@ -175,6 +175,10 @@ fn parse_submit(v: &Json) -> Result<JobSpec, String> {
     if !(delta > 0.0 && delta < 1.0) {
         return Err(format!("delta must be in (0, 1), got {delta}"));
     }
+    let shards = v.u64_field("shards").unwrap_or(defaults.shards as u64);
+    if shards == 0 {
+        return Err("shards must be at least 1".to_string());
+    }
     Ok(JobSpec {
         trace,
         kind,
@@ -211,6 +215,7 @@ fn parse_submit(v: &Json) -> Result<JobSpec, String> {
             .get("collect_metrics")
             .and_then(Json::as_bool)
             .unwrap_or(false),
+        shards: shards as usize,
     })
 }
 

@@ -39,7 +39,9 @@ use adjstream_core::amplify::{median_of_survivors, quorum};
 use adjstream_core::common::EdgeSampling;
 use adjstream_core::estimate::{four_cycle_budget, triangle_budget};
 use adjstream_core::fourcycle::{FourCycleEstimator, TwoPassFourCycle, TwoPassFourCycleConfig};
-use adjstream_core::triangle::{TriestFd, TwoPassTriangle, TwoPassTriangleConfig};
+use adjstream_core::triangle::{
+    ShardedTriangle, ShardedTriangleConfig, TriestFd, TwoPassTriangle, TwoPassTriangleConfig,
+};
 use adjstream_stream::batch::{BatchConfig, BatchJob, Budget};
 use adjstream_stream::checkpoint::{
     read_checkpoint_file, read_u64, read_usize, write_checkpoint_file, write_u64, write_usize,
@@ -47,10 +49,11 @@ use adjstream_stream::checkpoint::{
 };
 use adjstream_stream::estimator::repetitions_for_confidence;
 use adjstream_stream::runner::{MultiPassAlgorithm, RunError};
+use adjstream_stream::shard::{run_sharded, ShardPlan};
 use adjstream_stream::trace::ItemTrace;
 use adjstream_stream::update_guard::GuardedUpdate;
 use adjstream_stream::{
-    validate_stream, GuardPolicy, MetricsSnapshot, SpaceUsage, UpdateAlgorithm,
+    validate_stream, GuardPolicy, Metrics, MetricsSnapshot, SpaceUsage, UpdateAlgorithm,
 };
 
 use crate::catalog::{Catalog, TraceKind};
@@ -923,6 +926,10 @@ fn execute_job(inner: &Arc<Inner>, id: u64) -> bool {
 
     let segment = match spec.kind {
         JobKind::Validate => run_validate(&trace),
+        JobKind::Triangles { t_lower } if spec.shards > 1 => {
+            let budget = triangle_budget(trace.edges(), t_lower, spec.epsilon);
+            run_sharded_triangles(inner, id, &spec, &trace, &cancelled, budget)
+        }
         JobKind::Triangles { t_lower } => {
             let budget = triangle_budget(trace.edges(), t_lower, spec.epsilon);
             run_estimate(
@@ -1364,6 +1371,86 @@ fn failure_from(e: &RunError) -> JobState {
     JobState::Failed {
         reason: reason.into(),
         detail: e.to_string(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+/// Graph-sharded execution of a triangles job (`spec.shards > 1`): each
+/// repetition partitions the trace by list-owner vertex and runs the
+/// shard-mergeable three-pass estimator, one worker thread per shard,
+/// merging per-shard state at every pass boundary. The median over
+/// repetitions amplifies confidence exactly as in the unsharded path.
+///
+/// Sharded repetitions run to completion: cancellation is honored at
+/// repetition boundaries, and preemption/chaos hooks are not observed
+/// mid-pass (the per-repetition work is bounded, so the scheduler regains
+/// control quickly). `max_instance_bytes` is enforced against each
+/// repetition's merged peak: an over-budget repetition is quarantined,
+/// mirroring the batch engine's per-instance kill.
+fn run_sharded_triangles(
+    inner: &Arc<Inner>,
+    id: u64,
+    spec: &JobSpec,
+    trace: &ItemTrace,
+    cancelled: &AtomicBool,
+    budget: usize,
+) -> Segment {
+    let reps = repetitions_for_confidence(spec.delta);
+    let required = spec
+        .min_survivors
+        .unwrap_or_else(|| quorum(reps))
+        .clamp(1, reps);
+    let plan = ShardPlan::build(trace.items(), spec.shards);
+    let sink = Metrics::from_flag(spec.collect_metrics);
+    let mut runs: Vec<Option<f64>> = Vec::with_capacity(reps);
+    for i in 0..reps {
+        if cancelled.load(Ordering::SeqCst) {
+            return Segment::Terminal(JobState::Failed {
+                reason: "cancelled".into(),
+                detail: format!("cancelled before repetition {i}"),
+            });
+        }
+        inner.set_state(id, JobState::Running { pass: 0 });
+        let cfg = ShardedTriangleConfig {
+            seed: spec.seed.wrapping_add(i as u64),
+            edge_sampling: EdgeSampling::BottomK { k: budget },
+            pair_capacity: budget,
+        };
+        match run_sharded(ShardedTriangle::new(cfg), &plan, trace.items(), &sink) {
+            Ok((out, report)) => {
+                let over = spec
+                    .budget
+                    .max_instance_bytes
+                    .is_some_and(|limit| report.peak_state_bytes > limit);
+                runs.push((!over).then_some(out.estimate));
+            }
+            Err(e) => {
+                return Segment::Terminal(JobState::Failed {
+                    reason: "shard_failed".into(),
+                    detail: e.to_string(),
+                });
+            }
+        }
+    }
+    if let Some(snap) = sink.snapshot() {
+        inner.absorb_metrics(&snap);
+    }
+    let survivors = runs.iter().flatten().count();
+    match median_of_survivors(&runs, required) {
+        Ok(report) => Segment::Terminal(JobState::Done {
+            result: JobResult {
+                estimate: report.median,
+                estimate_bits: report.median.to_bits(),
+                survivors,
+                repetitions: reps,
+                passes: 3,
+                resumed_from: None,
+            },
+        }),
+        Err(d) => Segment::Terminal(JobState::Degraded {
+            survivors: d.survivors,
+            required: d.required,
+        }),
     }
 }
 

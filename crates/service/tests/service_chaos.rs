@@ -401,3 +401,30 @@ fn drain_restart_resumes_bit_identical_and_truncation_recomputes() {
     );
     handle.shutdown();
 }
+
+#[test]
+fn sharded_triangle_jobs_are_shard_count_invariant() {
+    let (handle, socket) = start("sharded", |cfg| {
+        cfg.workers = 1;
+    });
+
+    // A zero shard count is a typed protocol error, not a wedge.
+    let reply = submit(&socket, ",\"shards\":0");
+    assert_eq!(reply.get("ok"), Some(&Json::Bool(false)), "{reply}");
+
+    // The same seeded job at 2, 4, and 8 shards must settle done with
+    // bit-identical estimates: the shard merge is exact, so N is purely a
+    // deployment knob.
+    let seed = chaos_seed(77);
+    let mut bits = Vec::new();
+    for shards in [2u64, 4, 8] {
+        let reply = submit(&socket, &format!(",\"seed\":{seed},\"shards\":{shards}"));
+        assert_eq!(reply.str_field("state"), Some("queued"), "{reply}");
+        let done = wait_terminal(&socket, &job_id(&reply));
+        assert_eq!(done.str_field("state"), Some("done"), "{done}");
+        bits.push(estimate_bits(&done));
+    }
+    assert_eq!(bits[0], bits[1], "2 shards vs 4 shards");
+    assert_eq!(bits[1], bits[2], "4 shards vs 8 shards");
+    handle.shutdown();
+}

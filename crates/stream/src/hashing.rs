@@ -99,33 +99,104 @@ impl HashFn {
 /// file-backed replay re-verifies a trace's checksum on every pass. Detects
 /// corruption (any flipped bit reaches the output); not cryptographic.
 pub fn checksum64(bytes: &[u8]) -> u64 {
-    let mut lanes = [
-        0x243F_6A88_85A3_08D3u64,
-        0x1319_8A2E_0370_7344,
-        0xA409_3822_299F_31D0,
-        0x082E_FA98_EC4E_6C89,
-    ];
-    let mut blocks = bytes.chunks_exact(32);
-    for block in &mut blocks {
+    let mut ck = Checksum64::new();
+    ck.update(bytes);
+    ck.finalize()
+}
+
+/// Streaming state of [`checksum64`]: feed the input in arbitrary windows
+/// via [`update`](Checksum64::update) and the final digest is byte-for-byte
+/// identical to a single [`checksum64`] call over the concatenation.
+///
+/// This is what lets mmap-backed replay verify a multi-gigabyte `.adjb`
+/// container in bounded windows — touching pages incrementally instead of
+/// forcing the whole file resident before the first item is served — while
+/// keeping the exact on-disk checksum format.
+#[derive(Debug, Clone)]
+pub struct Checksum64 {
+    lanes: [u64; 4],
+    /// Partial 32-byte block carried between `update` calls.
+    pending: [u8; 32],
+    pending_len: usize,
+    /// Total bytes absorbed (folded into the final digest).
+    len: u64,
+}
+
+impl Default for Checksum64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Checksum64 {
+    /// Fresh checksum state.
+    pub fn new() -> Self {
+        Checksum64 {
+            lanes: [
+                0x243F_6A88_85A3_08D3u64,
+                0x1319_8A2E_0370_7344,
+                0xA409_3822_299F_31D0,
+                0x082E_FA98_EC4E_6C89,
+            ],
+            pending: [0u8; 32],
+            pending_len: 0,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn absorb_block(lanes: &mut [u64; 4], block: &[u8]) {
         for (lane, word) in lanes.iter_mut().zip(block.chunks_exact(8)) {
             *lane = finalize(*lane ^ u64::from_le_bytes(word.try_into().expect("8 bytes")));
         }
     }
-    let rem = blocks.remainder();
-    if !rem.is_empty() {
-        // Zero-pad the tail block; the length fold below distinguishes
-        // inputs that differ only in trailing zero bytes.
-        let mut tail = [0u8; 32];
-        tail[..rem.len()].copy_from_slice(rem);
-        for (lane, word) in lanes.iter_mut().zip(tail.chunks_exact(8)) {
-            *lane = finalize(*lane ^ u64::from_le_bytes(word.try_into().expect("8 bytes")));
+
+    /// Absorb the next window of input.
+    pub fn update(&mut self, mut bytes: &[u8]) {
+        self.len += bytes.len() as u64;
+        if self.pending_len > 0 {
+            let need = 32 - self.pending_len;
+            let take = need.min(bytes.len());
+            self.pending[self.pending_len..self.pending_len + take].copy_from_slice(&bytes[..take]);
+            self.pending_len += take;
+            bytes = &bytes[take..];
+            if self.pending_len < 32 {
+                return;
+            }
+            let block = self.pending;
+            Self::absorb_block(&mut self.lanes, &block);
+            self.pending_len = 0;
         }
+        let mut blocks = bytes.chunks_exact(32);
+        for block in &mut blocks {
+            Self::absorb_block(&mut self.lanes, block);
+        }
+        let rem = blocks.remainder();
+        self.pending[..rem.len()].copy_from_slice(rem);
+        self.pending_len = rem.len();
     }
-    let mut acc = bytes.len() as u64;
-    for lane in lanes {
-        acc = finalize(acc ^ lane);
+
+    /// Bytes absorbed so far.
+    pub fn bytes_absorbed(&self) -> u64 {
+        self.len
     }
-    acc
+
+    /// Finish: digest of everything absorbed, identical to
+    /// [`checksum64`] over the same bytes.
+    pub fn finalize(mut self) -> u64 {
+        if self.pending_len > 0 {
+            // Zero-pad the tail block; the length fold below distinguishes
+            // inputs that differ only in trailing zero bytes.
+            self.pending[self.pending_len..].fill(0);
+            let block = self.pending;
+            Self::absorb_block(&mut self.lanes, &block);
+        }
+        let mut acc = self.len;
+        for lane in self.lanes {
+            acc = finalize(acc ^ lane);
+        }
+        acc
+    }
 }
 
 /// Seed of the default [`FastBuildHasher`]. Fixed, so two maps built with
@@ -343,6 +414,32 @@ mod tests {
                 corrupted[at] ^= 1 << bit;
             }
         }
+    }
+
+    #[test]
+    fn windowed_checksum_matches_one_shot_for_every_split() {
+        let data: Vec<u8> = (0..200u16)
+            .map(|i| (i.wrapping_mul(31) % 251) as u8)
+            .collect();
+        let want = checksum64(&data);
+        // Every single split point, including block-misaligned ones.
+        for split in 0..=data.len() {
+            let mut ck = Checksum64::new();
+            ck.update(&data[..split]);
+            ck.update(&data[split..]);
+            assert_eq!(ck.finalize(), want, "split at {split}");
+        }
+        // Many tiny windows of coprime-to-32 width.
+        let mut ck = Checksum64::new();
+        for chunk in data.chunks(7) {
+            ck.update(chunk);
+        }
+        assert_eq!(ck.bytes_absorbed(), data.len() as u64);
+        assert_eq!(ck.finalize(), want);
+        // Empty input and empty updates.
+        let mut ck = Checksum64::new();
+        ck.update(b"");
+        assert_eq!(ck.finalize(), checksum64(b""));
     }
 
     #[test]

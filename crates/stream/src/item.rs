@@ -7,7 +7,13 @@ use adjstream_graph::{EdgeKey, VertexId};
 ///
 /// Every undirected edge `{x, y}` contributes two items over the course of a
 /// pass: `xy` inside `x`'s list and `yx` inside `y`'s list.
+///
+/// `repr(C)` pins the layout to two consecutive `u32`s (`src` then `dst`),
+/// exactly the on-disk pair encoding of the `.adjb` container, so
+/// little-endian targets can reinterpret a mapped pair region as
+/// `&[StreamItem]` instead of decoding it pair by pair.
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(C)]
 pub struct StreamItem {
     /// The vertex whose adjacency list this item belongs to.
     pub src: VertexId,

@@ -29,6 +29,13 @@
 //! * [`checkpoint`] — the [`checkpoint::Checkpoint`] trait and the
 //!   versioned, checksummed, atomically-written on-disk container behind
 //!   [`batch::BatchRunner::resume`],
+//! * [`shard`] — graph-sharded scale-out: [`shard::ShardPlan`] partitions a
+//!   trace by list-owner vertex and [`shard::run_sharded`] executes a
+//!   [`shard::ShardAlgorithm`] per shard (threads or one checkpointed pass
+//!   per process), merging per-pass partial states into results
+//!   bit-identical to the sequential driver,
+//! * [`mmapfile`] — [`mmapfile::MappedTrace`], zero-copy mmap-backed
+//!   `.adjb` replay with windowed checksum verification,
 //! * [`meter::SpaceUsage`] — how algorithms report their live state size,
 //! * [`obs`] — structured run metrics: an enable-at-construction
 //!   [`obs::Metrics`] sink the drivers and algorithms report per-pass
@@ -63,10 +70,12 @@ pub mod guard;
 pub mod hashing;
 pub mod item;
 pub mod meter;
+pub mod mmapfile;
 pub mod obs;
 pub mod order;
 pub mod runner;
 pub mod sampling;
+pub mod shard;
 pub mod trace;
 pub mod update;
 pub mod update_fault;
@@ -86,6 +95,7 @@ pub use guard::{GuardPolicy, Guarded};
 pub use hashing::{FastBuildHasher, FastMap, FastSet};
 pub use item::StreamItem;
 pub use meter::SpaceUsage;
+pub use mmapfile::{MappedTrace, VerifyCursor};
 pub use obs::{Metrics, MetricsSnapshot, ObsCounters, METRICS_SCHEMA_VERSION};
 pub use order::{StreamOrder, WithinListOrder};
 pub use runner::{
@@ -93,6 +103,7 @@ pub use runner::{
     run_slice_passes_observed, GuardStats, MultiPassAlgorithm, PassOrders, RunError, RunReport,
     Runner,
 };
+pub use shard::{run_sharded, run_sharded_hooked, ShardAlgorithm, ShardError, ShardPlan, ShardRun};
 pub use trace::{ItemTrace, TraceError, ADJB_MAGIC, ADJB_VERSION};
 pub use update::{
     run_update_batches, ChurnConfig, UpdateAlgorithm, UpdateBatchReport, UpdateEvent,

@@ -288,6 +288,52 @@ impl MetricsSnapshot {
         self.items_processed += other.items_processed;
     }
 
+    /// Fold `other` — the snapshot of a *concurrently executed graph
+    /// shard* of the same run — into `self`.
+    ///
+    /// [`MetricsSnapshot::merge`] models sequential repetitions: walls and
+    /// run counts add. Shards of one run overlap in time and replicate
+    /// pass-boundary state rather than adding to it, so here per-pass wall
+    /// time and residency take the **max** over shards (the run is as slow
+    /// and as resident as its slowest, biggest shard) while items, slices,
+    /// and lists **sum** (each shard drove a disjoint share of the trace's
+    /// lists). `runs` takes the max — N shards are still one run.
+    pub fn merge_concurrent(&mut self, other: &MetricsSnapshot) {
+        self.runs = self.runs.max(other.runs);
+        for op in &other.passes {
+            if self.passes.iter().all(|p| p.pass != op.pass) {
+                let at = self.passes.partition_point(|p| p.pass < op.pass);
+                self.passes.insert(at, op.clone());
+                continue;
+            }
+            let p = self
+                .passes
+                .iter_mut()
+                .find(|p| p.pass == op.pass)
+                .expect("pass present");
+            p.wall_nanos = p.wall_nanos.max(op.wall_nanos);
+            p.items += op.items;
+            p.slices += op.slices;
+            p.lists += op.lists;
+            if op.peak_bytes > p.peak_bytes {
+                p.series = op.series.clone();
+            }
+            p.peak_bytes = p.peak_bytes.max(op.peak_bytes);
+        }
+        self.counters.merge(&other.counters);
+        self.guard = merge_guard(self.guard, other.guard);
+        self.checkpoint.writes += other.checkpoint.writes;
+        self.checkpoint.write_nanos += other.checkpoint.write_nanos;
+        self.checkpoint.write_bytes += other.checkpoint.write_bytes;
+        self.checkpoint.restores += other.checkpoint.restores;
+        self.checkpoint.restore_nanos += other.checkpoint.restore_nanos;
+        self.retry.operations += other.retry.operations;
+        self.retry.attempts += other.retry.attempts;
+        self.retry.retries += other.retry.retries;
+        self.peak_state_bytes = self.peak_state_bytes.max(other.peak_state_bytes);
+        self.items_processed += other.items_processed;
+    }
+
     /// Serialize as one line of JSON. Every key is a static identifier and
     /// every value an integer, so no escaping is needed; the first key is
     /// always `"schema"`.
@@ -691,6 +737,41 @@ mod tests {
         assert_eq!(a.passes[1].pass, 1);
         assert_eq!(a.peak_state_bytes, 128);
         assert_eq!(a.items_processed, 240);
+    }
+
+    #[test]
+    fn merge_concurrent_maxes_walls_and_residency_sums_work() {
+        let shard = |wall, items, lists, peak| MetricsSnapshot {
+            runs: 1,
+            passes: vec![PassMetrics {
+                pass: 0,
+                wall_nanos: wall,
+                items,
+                slices: lists,
+                lists,
+                peak_bytes: peak,
+                series: vec![SpacePoint { items, bytes: peak }],
+            }],
+            peak_state_bytes: peak,
+            items_processed: items,
+            ..MetricsSnapshot::default()
+        };
+        let mut a = shard(10, 100, 4, 64);
+        a.merge_concurrent(&shard(25, 60, 3, 48));
+        // One run, not two: shards replicate the run, they don't repeat it.
+        assert_eq!(a.runs, 1);
+        let p = &a.passes[0];
+        // Wall and residency are maxes over the overlapping shards...
+        assert_eq!(p.wall_nanos, 25);
+        assert_eq!(p.peak_bytes, 64);
+        assert_eq!(a.peak_state_bytes, 64);
+        // ...while the disjoint work shares sum to the whole trace.
+        assert_eq!(p.items, 160);
+        assert_eq!(p.slices, 7);
+        assert_eq!(p.lists, 7);
+        assert_eq!(a.items_processed, 160);
+        // The higher-peak shard's space series is kept.
+        assert_eq!(p.series[0].bytes, 64);
     }
 
     #[test]

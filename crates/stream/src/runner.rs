@@ -422,10 +422,7 @@ where
     let mut start = 0usize;
     while start < items.len() {
         let src = items[start].src;
-        let mut end = start + 1;
-        while end < items.len() && items[end].src == src {
-            end += 1;
-        }
+        let end = find_run_end(items, start);
         algo.begin_list(src);
         algo.feed_slice(&items[start..end]);
         *processed += end - start;
@@ -453,6 +450,35 @@ where
         return Err(err);
     }
     Ok(())
+}
+
+/// End (exclusive) of the maximal same-source run starting at `start`.
+///
+/// This boundary scan is the per-item hot loop of slice dispatch — every
+/// trace item is examined here exactly once per pass. The body compares
+/// eight sources per iteration with the branch hoisted out of the lane:
+/// each lane folds its mismatch bit into a mask, and the single branch per
+/// 8-item block tests the mask. On long runs (the common case for dense
+/// adjacency lists) this retires ~1 branch per 8 items instead of 1 per
+/// item, and the compiler is free to vectorize the compare/shift lanes.
+#[inline]
+pub(crate) fn find_run_end(items: &[StreamItem], start: usize) -> usize {
+    let src = items[start].src;
+    let mut i = start + 1;
+    while i + 8 <= items.len() {
+        let mut mask = 0u32;
+        for lane in 0..8 {
+            mask |= u32::from(items[i + lane].src != src) << lane;
+        }
+        if mask != 0 {
+            return i + mask.trailing_zeros() as usize;
+        }
+        i += 8;
+    }
+    while i < items.len() && items[i].src == src {
+        i += 1;
+    }
+    i
 }
 
 /// Run `algo` over explicit per-pass item sequences produced by

@@ -268,13 +268,46 @@ impl ItemTrace {
                 run_total,
             });
         }
-        let mut items = Vec::with_capacity(n);
-        for pair in take(pairs_start..runs_at)?.chunks_exact(8) {
-            let src = u32::from_le_bytes(pair[0..4].try_into().expect("4 bytes"));
-            let dst = u32::from_le_bytes(pair[4..8].try_into().expect("4 bytes"));
-            items.push(StreamItem::new(VertexId(src), VertexId(dst)));
+        Ok(Self::decode_pairs(take(pairs_start..runs_at)?, n))
+    }
+
+    /// Decode the `(u32 src, u32 dst)` little-endian pair region into items.
+    ///
+    /// On little-endian targets `StreamItem`'s `repr(C)` layout *is* the
+    /// on-disk encoding, so the whole region is materialized with one
+    /// `memcpy` instead of a bounds-checked per-pair push loop — the
+    /// dominant cost of `.adjb` decode on 10⁸-item traces. Other targets
+    /// keep the portable per-pair loop.
+    fn decode_pairs(pairs: &[u8], n: usize) -> Vec<StreamItem> {
+        debug_assert_eq!(pairs.len(), n * 8);
+        #[cfg(target_endian = "little")]
+        {
+            let mut items = Vec::<StreamItem>::with_capacity(n);
+            // SAFETY: `StreamItem` is `repr(C)` over two `repr(transparent)`
+            // u32 newtypes (size 8, no padding, every bit pattern valid),
+            // the source region holds exactly `n` such 8-byte records, and
+            // the destination allocation holds `n` items. Byte-wise copy is
+            // value-preserving because the encoding is little-endian.
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    pairs.as_ptr(),
+                    items.as_mut_ptr().cast::<u8>(),
+                    n * 8,
+                );
+                items.set_len(n);
+            }
+            items
         }
-        Ok(items)
+        #[cfg(not(target_endian = "little"))]
+        {
+            let mut items = Vec::with_capacity(n);
+            for pair in pairs.chunks_exact(8) {
+                let src = u32::from_le_bytes(pair[0..4].try_into().expect("4 bytes"));
+                let dst = u32::from_le_bytes(pair[4..8].try_into().expect("4 bytes"));
+                items.push(StreamItem::new(VertexId(src), VertexId(dst)));
+            }
+            items
+        }
     }
 
     /// Parse the text form, reusing one line buffer across the whole file
@@ -320,11 +353,7 @@ impl ItemTrace {
         let mut run_lens: Vec<u32> = Vec::new();
         let mut i = 0usize;
         while i < self.items.len() {
-            let src = self.items[i].src;
-            let mut j = i + 1;
-            while j < self.items.len() && self.items[j].src == src {
-                j += 1;
-            }
+            let j = crate::runner::find_run_end(&self.items, i);
             let len = u32::try_from(j - i).map_err(|_| {
                 std::io::Error::new(
                     std::io::ErrorKind::InvalidInput,
@@ -535,7 +564,24 @@ impl<F> RetryingSource<F> {
         self.run_attempts(ItemTrace::read_unchecked)
     }
 
-    fn run_attempts<R: Read>(
+    /// Like [`Self::read_trace`]/[`read_trace_unchecked`] but for openers
+    /// yielding the source's complete bytes (e.g. `std::fs::read`): decode
+    /// happens in place via [`ItemTrace::from_bytes`], so a binary `.adjb`
+    /// source costs one exact-size byte buffer plus the item vector —
+    /// instead of the byte buffer, a second drain copy through the generic
+    /// reader path, *and* the item vector.
+    pub fn read_trace_bytes(self, validate: bool) -> Result<(ItemTrace, usize), RetryError>
+    where
+        F: FnMut() -> std::io::Result<Vec<u8>>,
+    {
+        if validate {
+            self.run_attempts(|bytes: Vec<u8>| ItemTrace::from_bytes(&bytes))
+        } else {
+            self.run_attempts(|bytes: Vec<u8>| ItemTrace::from_bytes_unchecked(&bytes))
+        }
+    }
+
+    fn run_attempts<R>(
         mut self,
         parse: impl Fn(R) -> Result<ItemTrace, TraceError>,
     ) -> Result<(ItemTrace, usize), RetryError>
@@ -570,18 +616,18 @@ impl<F> RetryingSource<F> {
 }
 
 /// Load a trace file with retries — the file-backed convenience entry the
-/// CLI uses. `validate` selects [`ItemTrace::read`] vs `read_unchecked`.
+/// CLI uses. `validate` selects promise validation on or off.
+///
+/// The file is slurped with one exact-size `std::fs::read` per attempt and
+/// decoded in place through [`ItemTrace::from_bytes`]: binary `.adjb` files
+/// skip the generic reader drain that used to buffer the payload a second
+/// time before decoding.
 pub fn read_trace_file_with_retry(
     path: &std::path::Path,
     policy: RetryPolicy,
     validate: bool,
 ) -> Result<(ItemTrace, usize), RetryError> {
-    let source = RetryingSource::with_policy(|| std::fs::File::open(path), policy);
-    if validate {
-        source.read_trace()
-    } else {
-        source.read_trace_unchecked()
-    }
+    RetryingSource::with_policy(|| std::fs::read(path), policy).read_trace_bytes(validate)
 }
 
 /// A fault-injection shim: hands out readers over fixed bytes where the

@@ -190,7 +190,7 @@ const USAGE: &str = "usage:
   adjstream-cli validate-stream FILE [--mode offline|online|bounded] [--seed S] [--window W] [--retries N]
   adjstream-cli corrupt FILE --faults KIND[:N][,KIND[:N]...] [--seed S] [-o FILE] [--replay-o FILE]
   adjstream-cli estimate-stream FILE [--budget K] [--seed S] [--policy strict|repair|observe] [--retries N]
-                [--metrics-out FILE]
+                [--metrics-out FILE] [--shards N] [--shard-procs] [--mmap]
   adjstream-cli gen-updates FILE [--churn N] [--delete-fraction F] [--seed S] [-o FILE]
                 [--format text|adjbu]
   adjstream-cli update-stream FILE [--batch B] [--capacity M] [--seed S] [--verify]
@@ -202,7 +202,7 @@ const USAGE: &str = "usage:
 daemon client (requires a running adjstreamd; all take --socket PATH):
   adjstream-cli register FILE --name NAME --socket SOCK
   adjstream-cli submit --socket SOCK --trace NAME [--kind triangles|c4|validate|update] [--t-lower T]
-                [--epsilon E] [--delta D] [--seed S] [--priority P] [--min-survivors Q]
+                [--epsilon E] [--delta D] [--seed S] [--priority P] [--min-survivors Q] [--shards N]
                 [--deadline-ms MS] [--max-bytes N] [--max-total-bytes N] [--wait] [--poll-ms MS]
                 [--batch-size B] [--capacity M] [--guard strict|repair|observe]  (update jobs)
   adjstream-cli status --socket SOCK [--id ID]
@@ -212,7 +212,14 @@ fault kinds: drop-direction duplicate-item split-list self-loop corrupt-vertex t
 exit codes: 0 ok | 2 usage | 3 invalid-stream | 4 degraded | 5 space-budget | 6 deadline | 7 checkpoint | 8 io";
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["resume", "wait", "verify", "exact-windows"];
+const BOOLEAN_FLAGS: &[&str] = &[
+    "resume",
+    "wait",
+    "verify",
+    "exact-windows",
+    "shard-procs",
+    "mmap",
+];
 
 /// Parse `--key value` flags (plus `-o` and valueless booleans).
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -261,6 +268,9 @@ fn run(args: &[String]) -> Result<(), CliFailure> {
         "validate-stream" => cmd_validate_stream(rest),
         "corrupt" => cmd_corrupt(rest),
         "estimate-stream" => cmd_estimate_stream(rest),
+        // Hidden: one shard x one pass, spawned by `estimate-stream
+        // --shard-procs`. Not part of the public surface.
+        "shard-worker" => cmd_shard_worker(rest),
         "gen-updates" => cmd_gen_updates(rest),
         "update-stream" => cmd_update_stream(rest),
         "convert-trace" => cmd_convert_trace(rest),
@@ -789,6 +799,14 @@ fn cmd_estimate_stream(args: &[String]) -> Result<(), CliFailure> {
     use adjstream::stream::{run_slice_passes_observed, GuardPolicy, Guarded, Metrics};
     let path = args.first().ok_or("missing stream file")?;
     let flags = parse_flags(&args[1..])?;
+    // Any scale-out flag routes to the graph-sharded path; the plain
+    // invocation keeps the original two-pass estimator untouched.
+    if flags.contains_key("shards")
+        || flags.contains_key("shard-procs")
+        || flags.contains_key("mmap")
+    {
+        return cmd_estimate_stream_sharded(path, &flags);
+    }
     let metrics_out = flags.get("metrics-out").cloned();
     let sink = Metrics::from_flag(metrics_out.is_some());
     let policy = flags
@@ -846,6 +864,489 @@ fn cmd_estimate_stream(args: &[String]) -> Result<(), CliFailure> {
     if let Some(path) = &metrics_out {
         write_metrics(report.metrics.as_ref(), path)?;
     }
+    Ok(())
+}
+
+/// Window (bytes) for incremental checksum verification of mmapped traces.
+const MMAP_VERIFY_WINDOW: usize = 1 << 20;
+
+/// Map a trace open/verify error onto the CLI's exit-code taxonomy.
+fn trace_failure(e: adjstream::stream::TraceError) -> CliFailure {
+    match &e {
+        adjstream::stream::TraceError::Io(_) => CliFailure::io(e.to_string()),
+        _ => CliFailure::invalid_stream(e.to_string()),
+    }
+}
+
+/// Map a checkpoint-container failure (the shard-merge wire format) onto
+/// the checkpoint exit code.
+fn checkpoint_failure(e: adjstream::stream::CheckpointError) -> CliFailure {
+    CliFailure::new(EXIT_CHECKPOINT, "checkpoint", e.to_string())
+}
+
+/// Map a sharded-execution failure onto the CLI's exit-code taxonomy:
+/// run errors keep their usual classification, boundary aborts (deferred
+/// verification) are invalid-stream, everything else is I/O.
+fn shard_failure(e: adjstream::stream::ShardError) -> CliFailure {
+    use adjstream::stream::ShardError;
+    match e {
+        ShardError::Run(r) => CliFailure::from(EstimateError::Run(r)),
+        boundary @ ShardError::Boundary { .. } => CliFailure::invalid_stream(boundary.to_string()),
+        other => CliFailure::io(other.to_string()),
+    }
+}
+
+/// Where sharded estimation replays items from: an owned in-memory trace
+/// or an mmapped `.adjb` file served straight from the page cache.
+enum ShardSource {
+    Owned(ItemTrace),
+    Mapped(adjstream::stream::MappedTrace),
+}
+
+impl ShardSource {
+    fn items(&self) -> &[StreamItem] {
+        match self {
+            ShardSource::Owned(t) => t.items(),
+            ShardSource::Mapped(m) => m.items(),
+        }
+    }
+}
+
+/// One-pass item collector. Run through [`adjstream::stream::Guarded`] it
+/// materializes the *repaired* stream, so a guard policy is applied once,
+/// upstream of the shard split, and every shard replays the same
+/// promise-valid trace.
+#[derive(Default)]
+struct CollectItems {
+    items: Vec<StreamItem>,
+}
+
+impl adjstream::stream::SpaceUsage for CollectItems {
+    fn space_bytes(&self) -> usize {
+        self.items.len() * std::mem::size_of::<StreamItem>()
+    }
+}
+
+impl adjstream::stream::MultiPassAlgorithm for CollectItems {
+    type Output = Vec<StreamItem>;
+
+    fn passes(&self) -> usize {
+        1
+    }
+
+    fn begin_pass(&mut self, _pass: usize) {}
+
+    fn item(&mut self, src: adjstream::graph::VertexId, dst: adjstream::graph::VertexId) {
+        self.items.push(StreamItem::new(src, dst));
+    }
+
+    fn finish(self) -> Vec<StreamItem> {
+        self.items
+    }
+}
+
+/// The scale-out variant of `estimate-stream`: partition the trace by
+/// list-owner vertex (`--shards N`), run the shard-mergeable three-pass
+/// estimator one worker per shard — threads by default, one process per
+/// shard under `--shard-procs` — and, under `--mmap`, replay the `.adjb`
+/// file zero-copy with checksum verification deferred to the first pass
+/// boundary so first-item latency never pays for the whole file.
+fn cmd_estimate_stream_sharded(
+    path: &str,
+    flags: &HashMap<String, String>,
+) -> Result<(), CliFailure> {
+    use adjstream::algo::common::EdgeSampling;
+    use adjstream::algo::triangle::{ShardedTriangle, ShardedTriangleConfig};
+    use adjstream::stream::{
+        run_sharded_hooked, run_slice_passes, GuardPolicy, Guarded, MappedTrace, Metrics,
+        ShardError, ShardPlan,
+    };
+
+    let shards: usize = get(flags, "shards", 1)?;
+    if shards == 0 {
+        return Err(CliFailure::usage("--shards must be >= 1"));
+    }
+    let procs = flags.contains_key("shard-procs");
+    let use_mmap = flags.contains_key("mmap");
+    let metrics_out = flags.get("metrics-out").cloned();
+    let sink = Metrics::from_flag(metrics_out.is_some());
+    let policy = flags
+        .get("policy")
+        .map(|p| {
+            GuardPolicy::parse(p)
+                .ok_or(format!("--policy must be strict|repair|observe, got {p:?}"))
+        })
+        .transpose()?;
+
+    // Acquire the item stream. The mmapped path defers checksum and
+    // promise validation to the first pass boundary (unless a guard
+    // policy forces a whole-file repair pre-pass anyway); the owned path
+    // validates at read exactly like the unsharded command.
+    let source = if use_mmap {
+        let mut mapped = MappedTrace::open(std::path::Path::new(path)).map_err(trace_failure)?;
+        if policy.is_some() {
+            mapped
+                .verify_all(MMAP_VERIFY_WINDOW)
+                .map_err(trace_failure)?;
+        }
+        ShardSource::Mapped(mapped)
+    } else {
+        let (trace, attempts) = read_trace_file_with_retry(
+            std::path::Path::new(path),
+            RetryPolicy::with_retries(get(flags, "retries", 0usize)?),
+            policy.is_none(),
+        )?;
+        if attempts > 1 {
+            eprintln!("note: read succeeded after {attempts} attempts");
+        }
+        sink.record_retries(attempts as u64);
+        ShardSource::Owned(trace)
+    };
+    let raw_items = source.items();
+
+    // With a guard policy the stream is repaired ONCE, upstream of the
+    // shard split, so every shard replays the same promise-valid items.
+    let mut guard_stats = None;
+    let repaired: Option<Vec<StreamItem>> = match policy {
+        Some(policy) => {
+            let (fixed, rep) =
+                run_slice_passes(Guarded::new(CollectItems::default(), policy), |_pass| {
+                    raw_items
+                })
+                .map_err(|e| CliFailure::from(EstimateError::Run(e)))?;
+            guard_stats = rep.guard;
+            Some(fixed)
+        }
+        None => None,
+    };
+    let items: &[StreamItem] = repaired.as_deref().unwrap_or(raw_items);
+
+    let m = items.len() / 2;
+    let budget: usize = get(flags, "budget", (m / 10).max(16))?;
+    let seed: u64 = get(flags, "seed", 2019)?;
+    let cfg = ShardedTriangleConfig {
+        seed,
+        edge_sampling: EdgeSampling::BottomK { k: budget },
+        pair_capacity: budget,
+    };
+    let plan = ShardPlan::build(items, shards);
+
+    match policy {
+        Some(policy) => println!(
+            "stream        {} items (guard policy: {policy}, repaired upstream)",
+            items.len()
+        ),
+        None => println!(
+            "stream        {} items, {m} edges ({})",
+            items.len(),
+            if use_mmap {
+                "mmap, verify deferred"
+            } else {
+                "validated"
+            }
+        ),
+    }
+    println!(
+        "shards        {} lists over {shards} shard(s), {} mode{}",
+        plan.total_runs(),
+        if procs { "process" } else { "thread" },
+        if use_mmap { ", mmap replay" } else { "" }
+    );
+
+    // Deferred mmap verification: pass 0 serves straight from the page
+    // cache; at the first pass boundary the windowed checksum (and the
+    // promise check, which the owned path did at read time) completes
+    // over the now-resident pages. A mismatch aborts before pass 1 can
+    // act on anything derived from corrupt bytes.
+    let mut cursor = match &source {
+        ShardSource::Mapped(mapped) if !mapped.is_verified() => Some(mapped.verify_cursor()),
+        _ => None,
+    };
+    let deferred_promise = use_mmap && policy.is_none();
+    let after_pass = |pass: usize| -> Result<(), ShardError> {
+        if pass != 0 {
+            return Ok(());
+        }
+        if let Some(cur) = cursor.take() {
+            cur.finish(MMAP_VERIFY_WINDOW)
+                .map_err(|e| ShardError::Boundary {
+                    pass,
+                    detail: e.to_string(),
+                })?;
+        }
+        if deferred_promise {
+            validate_stream(items.iter().copied()).map_err(|e| ShardError::Boundary {
+                pass,
+                detail: format!("adjacency-list promise violated: {e}"),
+            })?;
+        }
+        Ok(())
+    };
+
+    let (est, peak, metrics) = if procs {
+        run_shard_procs(
+            path,
+            &plan,
+            cfg,
+            use_mmap,
+            repaired.as_deref(),
+            &sink,
+            after_pass,
+        )?
+    } else {
+        let (est, report) =
+            run_sharded_hooked(ShardedTriangle::new(cfg), &plan, items, &sink, after_pass)
+                .map_err(shard_failure)?;
+        (est, report.peak_state_bytes, report.metrics)
+    };
+
+    println!("estimate      {:.1}", est.estimate);
+    println!("edge budget   {budget}");
+    println!("peak state    {peak} bytes (max over shards)");
+    if let Some(stats) = guard_stats {
+        println!(
+            "guard         {} faults detected, {} items repaired, {} edges quarantined",
+            stats.faults_detected, stats.items_repaired, stats.edges_quarantined
+        );
+        println!("guard state   {} bytes peak", stats.validator_peak_bytes);
+    }
+    if let Some(out) = &metrics_out {
+        let mut snap = metrics;
+        if let Some(s) = snap.as_mut() {
+            // The repair pre-pass ran outside the sharded driver; fold its
+            // guard counters in so --metrics-out stays truthful.
+            if s.guard.is_none() {
+                s.guard = guard_stats;
+            }
+        }
+        write_metrics(snap.as_ref(), out)?;
+    }
+    Ok(())
+}
+
+/// Process-per-shard execution: per pass, broadcast the boundary state as
+/// a checkpoint file, spawn one `shard-worker` process per shard, and
+/// merge the partial blobs the workers write back. Per-shard metrics are
+/// folded with the concurrent-merge rule (residency max, throughput sums).
+fn run_shard_procs<F>(
+    trace_path: &str,
+    plan: &adjstream::stream::ShardPlan,
+    cfg: adjstream::algo::triangle::ShardedTriangleConfig,
+    use_mmap: bool,
+    repaired: Option<&[StreamItem]>,
+    sink: &adjstream::stream::Metrics,
+    mut after_pass: F,
+) -> Result<
+    (
+        adjstream::algo::triangle::TriangleEstimate,
+        usize,
+        Option<adjstream::stream::MetricsSnapshot>,
+    ),
+    CliFailure,
+>
+where
+    F: FnMut(usize) -> Result<(), adjstream::stream::ShardError>,
+{
+    use adjstream::algo::triangle::ShardedTriangle;
+    use adjstream::stream::checkpoint::{read_checkpoint_file, write_checkpoint_file};
+    use adjstream::stream::obs::PassMetrics;
+    use adjstream::stream::shard::merge_shard_states;
+    use adjstream::stream::{
+        Checkpoint, MetricsSnapshot, MultiPassAlgorithm, METRICS_SCHEMA_VERSION,
+    };
+
+    let tmp = std::env::temp_dir().join(format!("adjstream-shards-{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).map_err(|e| CliFailure::io(e.to_string()))?;
+    // A repaired stream exists only in this process; persist it so the
+    // workers replay the same promise-valid trace the parent planned.
+    let worker_trace = match repaired {
+        Some(fixed) => {
+            let p = tmp.join("repaired.adjb");
+            let trace = ItemTrace::new_unchecked(fixed.to_vec());
+            let mut f = std::fs::File::create(&p).map_err(|e| CliFailure::io(e.to_string()))?;
+            trace
+                .write_adjb(&mut f)
+                .map_err(|e| CliFailure::io(e.to_string()))?;
+            p
+        }
+        None => std::path::PathBuf::from(trace_path),
+    };
+    let shards = plan.shard_count();
+    let exe = std::env::current_exe().map_err(|e| CliFailure::io(e.to_string()))?;
+    let collect = sink.is_enabled();
+    let mut algo = ShardedTriangle::new(cfg);
+    let passes = MultiPassAlgorithm::passes(&algo);
+    let mut pass_rows: Vec<PassMetrics> = Vec::new();
+    let mut peak_overall = 0usize;
+    let mut processed_total = 0u64;
+    for pass in 0..passes {
+        let mut base = Vec::new();
+        algo.save(&mut base)
+            .map_err(|e| CliFailure::io(e.to_string()))?;
+        let base_path = tmp.join(format!("pass{pass}.base.ckpt"));
+        write_checkpoint_file(&base_path, &base).map_err(checkpoint_failure)?;
+        let t0 = std::time::Instant::now();
+        let mut children = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let out = tmp.join(format!("pass{pass}.shard{shard}.ckpt"));
+            let mut cmd = std::process::Command::new(&exe);
+            cmd.arg("shard-worker")
+                .arg(&worker_trace)
+                .arg("--shard")
+                .arg(shard.to_string())
+                .arg("--shards")
+                .arg(shards.to_string())
+                .arg("--pass")
+                .arg(pass.to_string())
+                .arg("--state")
+                .arg(&base_path)
+                .arg("--out")
+                .arg(&out);
+            if use_mmap {
+                cmd.arg("--mmap");
+            }
+            let child = cmd
+                .spawn()
+                .map_err(|e| CliFailure::io(format!("spawn shard {shard} worker: {e}")))?;
+            children.push((shard, out, child));
+        }
+        let mut blobs: Vec<Vec<u8>> = Vec::with_capacity(shards);
+        let mut acc: Option<MetricsSnapshot> = None;
+        for (shard, out, mut child) in children {
+            let status = child.wait().map_err(|e| CliFailure::io(e.to_string()))?;
+            if !status.success() {
+                let code = status.code().map(|c| c as u8).unwrap_or(EXIT_IO);
+                let _ = std::fs::remove_dir_all(&tmp);
+                return Err(CliFailure::new(
+                    code,
+                    "shard-worker",
+                    format!("shard {shard} worker failed in pass {pass} (exit {code})"),
+                ));
+            }
+            let payload = read_checkpoint_file(&out).map_err(checkpoint_failure)?;
+            if payload.len() < 32 {
+                let _ = std::fs::remove_dir_all(&tmp);
+                return Err(CliFailure::io(format!(
+                    "shard {shard} worker wrote a short payload"
+                )));
+            }
+            let word = |i: usize| u64::from_le_bytes(payload[i * 8..i * 8 + 8].try_into().unwrap());
+            let (w_peak, w_items, w_lists, w_slices) = (word(0), word(1), word(2), word(3));
+            peak_overall = peak_overall.max(w_peak as usize);
+            processed_total += w_items;
+            if collect {
+                let shard_snap = MetricsSnapshot {
+                    passes: vec![PassMetrics {
+                        pass: pass as u32,
+                        items: w_items,
+                        slices: w_slices,
+                        lists: w_lists,
+                        peak_bytes: w_peak,
+                        ..PassMetrics::default()
+                    }],
+                    peak_state_bytes: w_peak,
+                    items_processed: w_items,
+                    ..MetricsSnapshot::default()
+                };
+                match acc.as_mut() {
+                    Some(a) => a.merge_concurrent(&shard_snap),
+                    None => acc = Some(shard_snap),
+                }
+            }
+            blobs.push(payload[32..].to_vec());
+        }
+        algo = merge_shard_states::<ShardedTriangle>(&blobs, pass).map_err(|e| {
+            let _ = std::fs::remove_dir_all(&tmp);
+            shard_failure(e)
+        })?;
+        after_pass(pass).map_err(|e| {
+            let _ = std::fs::remove_dir_all(&tmp);
+            shard_failure(e)
+        })?;
+        if collect {
+            let mut row = acc
+                .and_then(|a| a.passes.into_iter().next())
+                .unwrap_or_default();
+            row.pass = pass as u32;
+            // Individual worker walls aren't visible to the parent; the
+            // batch wall bounds the max over the concurrent workers.
+            row.wall_nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            pass_rows.push(row);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&tmp);
+    let counters = algo.obs_counters();
+    let metrics = collect.then(|| MetricsSnapshot {
+        schema: METRICS_SCHEMA_VERSION,
+        runs: 1,
+        passes: pass_rows,
+        counters: counters.unwrap_or_default(),
+        guard: None,
+        checkpoint: Default::default(),
+        retry: Default::default(),
+        peak_state_bytes: peak_overall as u64,
+        items_processed: processed_total,
+    });
+    if let Some(snap) = &metrics {
+        sink.absorb(snap);
+    }
+    Ok((algo.finish(), peak_overall, metrics))
+}
+
+/// Hidden subcommand: one shard x one pass of a sharded `estimate-stream`,
+/// spawned by the `--shard-procs` parent. Restores the pass-boundary state
+/// blob, drives only this shard's adjacency lists (rebuilding the same
+/// deterministic plan from the trace), and writes back
+/// `[peak, items, lists, slices]` as little-endian u64s followed by the
+/// re-serialized partial state — all through the checksummed checkpoint
+/// container, which doubles as the shard-merge wire format.
+fn cmd_shard_worker(args: &[String]) -> Result<(), CliFailure> {
+    use adjstream::algo::triangle::ShardedTriangle;
+    use adjstream::stream::checkpoint::{read_checkpoint_file, write_checkpoint_file};
+    use adjstream::stream::shard::run_shard_pass_blob;
+    use adjstream::stream::{MappedTrace, ShardPlan};
+
+    let path = args.first().ok_or("shard-worker: missing trace file")?;
+    let flags = parse_flags(&args[1..])?;
+    let shard: usize = get(&flags, "shard", 0)?;
+    let shards: usize = get(&flags, "shards", 1)?;
+    let pass: usize = get(&flags, "pass", 0)?;
+    let state = flags.get("state").ok_or("shard-worker: missing --state")?;
+    let out = flags.get("out").ok_or("shard-worker: missing --out")?;
+    if shards == 0 || shard >= shards {
+        return Err(CliFailure::usage("shard-worker: --shard out of range"));
+    }
+    // The parent owns validation (deferred or upstream repair); workers
+    // replay without re-validating the promise.
+    let source = if flags.contains_key("mmap") {
+        ShardSource::Mapped(
+            MappedTrace::open(std::path::Path::new(path.as_str())).map_err(trace_failure)?,
+        )
+    } else {
+        let (trace, _) = read_trace_file_with_retry(
+            std::path::Path::new(path.as_str()),
+            RetryPolicy::with_retries(0),
+            false,
+        )?;
+        ShardSource::Owned(trace)
+    };
+    let items = source.items();
+    let plan = ShardPlan::build(items, shards);
+    let base = read_checkpoint_file(std::path::Path::new(state)).map_err(checkpoint_failure)?;
+    let (blob, stats) =
+        run_shard_pass_blob::<ShardedTriangle>(&base, pass, items, plan.runs_for(shard))
+            .map_err(shard_failure)?;
+    let mut payload = Vec::with_capacity(32 + blob.len());
+    for v in [
+        stats.peak_state_bytes as u64,
+        stats.items_processed as u64,
+        stats.lists,
+        stats.slices,
+    ] {
+        payload.extend_from_slice(&v.to_le_bytes());
+    }
+    payload.extend_from_slice(&blob);
+    write_checkpoint_file(std::path::Path::new(out), &payload).map_err(checkpoint_failure)?;
     Ok(())
 }
 
@@ -1172,6 +1673,7 @@ fn cmd_submit(args: &[String]) -> Result<(), CliFailure> {
         ("max-total-bytes", "max_total_bytes"),
         ("batch-size", "batch_size"),
         ("capacity", "capacity"),
+        ("shards", "shards"),
     ] {
         if let Some(v) = flags.get(flag) {
             let n: u64 = v
@@ -1329,6 +1831,92 @@ mod tests {
         run(&args(&["estimate-stream", &ss, "--budget", "40"])).unwrap();
         std::fs::remove_file(&gpath).ok();
         std::fs::remove_file(&spath).ok();
+    }
+
+    #[test]
+    fn sharded_estimate_stream_runs_all_in_process_modes() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let gs = dir
+            .join(format!("adjstream-cli-shard-g-{pid}.txt"))
+            .to_string_lossy()
+            .to_string();
+        let ss = dir
+            .join(format!("adjstream-cli-shard-s-{pid}.txt"))
+            .to_string_lossy()
+            .to_string();
+        let bs = dir
+            .join(format!("adjstream-cli-shard-{pid}.adjb"))
+            .to_string_lossy()
+            .to_string();
+        let ms = dir
+            .join(format!("adjstream-cli-shard-{pid}.metrics.json"))
+            .to_string_lossy()
+            .to_string();
+        run(&args(&[
+            "gen", "gnm", "--n", "60", "--m", "240", "--seed", "5", "-o", &gs,
+        ]))
+        .unwrap();
+        run(&args(&["stream", &gs, "--seed", "3", "-o", &ss])).unwrap();
+        run(&args(&[
+            "convert-trace",
+            &ss,
+            "-o",
+            &bs,
+            "--format",
+            "adjb",
+        ]))
+        .unwrap();
+        // Thread mode over the owned text trace and the binary trace.
+        run(&args(&[
+            "estimate-stream",
+            &ss,
+            "--shards",
+            "2",
+            "--budget",
+            "40",
+        ]))
+        .unwrap();
+        run(&args(&[
+            "estimate-stream",
+            &bs,
+            "--shards",
+            "4",
+            "--budget",
+            "40",
+        ]))
+        .unwrap();
+        // Zero-copy mmap replay with deferred verification, plus metrics.
+        run(&args(&[
+            "estimate-stream",
+            &bs,
+            "--shards",
+            "4",
+            "--mmap",
+            "--budget",
+            "40",
+            "--metrics-out",
+            &ms,
+        ]))
+        .unwrap();
+        let metrics = std::fs::read_to_string(&ms).unwrap();
+        assert!(metrics.contains("\"passes\""));
+        // Guard policy repairs upstream of the shard split.
+        run(&args(&[
+            "estimate-stream",
+            &bs,
+            "--shards",
+            "2",
+            "--policy",
+            "repair",
+        ]))
+        .unwrap();
+        // --shards 0 is a usage error; mmap needs a binary trace.
+        assert!(run(&args(&["estimate-stream", &bs, "--shards", "0"])).is_err());
+        assert!(run(&args(&["estimate-stream", &ss, "--mmap"])).is_err());
+        for p in [&gs, &ss, &bs, &ms] {
+            std::fs::remove_file(p).ok();
+        }
     }
 
     #[test]
