@@ -17,5 +17,6 @@
 #![warn(missing_docs)]
 
 pub mod report;
+pub mod scenario;
 pub mod sweeps;
 pub mod workloads;

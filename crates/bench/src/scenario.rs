@@ -1,0 +1,257 @@
+//! The real-world scenario corpus: seeded, checksummed stream workloads.
+//!
+//! Every estimate this repo produced before this module came from
+//! synthetic gnm traces; the paper's bounds (Theorems 3.7/4.6) are about
+//! how `T`, `Δ`, and *arrival order* drive space — the dimensions a
+//! corpus of real-world-shaped instances stresses. Each [`Scenario`]
+//! fixes one point in that space as a concrete item trace:
+//!
+//! * `power-law` — Chung–Lu with exponent 2.3, the degree shape of web /
+//!   social graphs (heavy hubs, heavy per-edge triangle counts),
+//! * `high-girth` — projective-plane incidence graphs, girth 6 and
+//!   provably zero triangles (the estimator must say 0, not "small"),
+//! * `planted` — triangle-free bipartite background plus `t` disjoint
+//!   planted triangles: exact known truth with independent `m` and `T`,
+//! * `temporal` — preferential attachment streamed in vertex-arrival
+//!   order, the layout a crawl or a log replay actually produces,
+//! * `adversarial` — hubs-last list order, the adversary's choice that
+//!   starves early-wedge context (Section 1.2's "order is adversarial").
+//!
+//! Scenarios are pure functions of their seed: the item trace, its
+//! [`Scenario::checksum`], and the exact truth reproduce bit-for-bit on
+//! every host, which is what lets the cross-mode conformance harness
+//! (`scenario_matrix`) assert *bit-identical* estimates rather than
+//! approximate agreement.
+
+use adjstream_graph::{exact, gen, Graph};
+use adjstream_stream::adjlist::AdjListStream;
+use adjstream_stream::adversarial;
+use adjstream_stream::hashing::Checksum64;
+use adjstream_stream::{StreamItem, StreamOrder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Schema version stamped into `CORPUS.json`.
+pub const CORPUS_SCHEMA_VERSION: u32 = 1;
+
+/// Corpus size tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// One small scenario — the PR-time CI smoke leg.
+    Smoke,
+    /// One scenario per family, small enough for a nightly job.
+    Reduced,
+    /// Two per family at larger sizes.
+    Full,
+}
+
+impl Scale {
+    /// Parse the CLI spelling.
+    pub fn parse(s: &str) -> Option<Scale> {
+        Some(match s {
+            "smoke" => Scale::Smoke,
+            "reduced" => Scale::Reduced,
+            "full" => Scale::Full,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Scale::Smoke => "smoke",
+            Scale::Reduced => "reduced",
+            Scale::Full => "full",
+        })
+    }
+}
+
+/// One corpus entry: a named, seeded, checksummed item trace with its
+/// exact triangle count.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Unique display name, e.g. `power-law(n=400,s=11)`.
+    pub name: String,
+    /// Family tag (one of the five module-doc families).
+    pub family: &'static str,
+    /// The seed everything below derives from.
+    pub seed: u64,
+    /// The adjacency-list stream.
+    pub items: Vec<StreamItem>,
+    /// [`trace_checksum`] of `items` — pins the exact byte content.
+    pub checksum: u64,
+    /// Exact triangle count of the underlying graph.
+    pub truth: u64,
+}
+
+/// Checksum of an item sequence: the 8-byte little-endian `(src, dst)`
+/// encoding fed through the streaming [`Checksum64`] — the same digest
+/// `.adjb` files record for their pair region prefix, usable to pin a
+/// trace without serializing it.
+pub fn trace_checksum(items: &[StreamItem]) -> u64 {
+    let mut h = Checksum64::new();
+    let mut buf = [0u8; 8];
+    for it in items {
+        buf[..4].copy_from_slice(&it.src.0.to_le_bytes());
+        buf[4..].copy_from_slice(&it.dst.0.to_le_bytes());
+        h.update(&buf);
+    }
+    h.finalize()
+}
+
+fn scenario(
+    name: String,
+    family: &'static str,
+    seed: u64,
+    g: &Graph,
+    order: StreamOrder,
+) -> Scenario {
+    let items = AdjListStream::new(g, order).collect_items();
+    Scenario {
+        checksum: trace_checksum(&items),
+        truth: exact::count_triangles(g),
+        name,
+        family,
+        seed,
+        items,
+    }
+}
+
+/// Power-law (Chung–Lu, exponent 2.3) graph in seeded-shuffled order.
+pub fn power_law(n: usize, avg_deg: f64, seed: u64) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = gen::chung_lu(n, 2.3, avg_deg, &mut rng);
+    let order = StreamOrder::shuffled(g.vertex_count(), seed ^ 0x50_57);
+    scenario(
+        format!("power-law(n={n},s={seed})"),
+        "power-law",
+        seed,
+        &g,
+        order,
+    )
+}
+
+/// Projective-plane incidence graph (girth 6 ⇒ zero triangles).
+pub fn high_girth(min_size: usize, seed: u64) -> Scenario {
+    let q = gen::plane_order_for(min_size);
+    let g = gen::projective_plane_incidence(q);
+    let order = StreamOrder::shuffled(g.vertex_count(), seed ^ 0x61_72);
+    scenario(
+        format!("high-girth(q={q},s={seed})"),
+        "high-girth",
+        seed,
+        &g,
+        order,
+    )
+}
+
+/// Bipartite background plus `t` planted triangles: truth exactly `t`.
+pub fn planted(m_bg: usize, t: usize, seed: u64) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let side = ((m_bg as f64).sqrt() as usize * 2).max(16);
+    let g = gen::planted_triangles_on_bipartite(side, side, m_bg.min(side * side), t, &mut rng);
+    let order = StreamOrder::shuffled(g.vertex_count(), seed ^ 0x70_6C);
+    scenario(
+        format!("planted(m={m_bg},T={t},s={seed})"),
+        "planted",
+        seed,
+        &g,
+        order,
+    )
+}
+
+/// Preferential attachment in vertex-arrival (temporal) order: list `i`
+/// streams `i`-th, neighbors in id order — a crawl replay.
+pub fn temporal(n: usize, k: usize, seed: u64) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = gen::barabasi_albert(n, k, &mut rng);
+    let order = StreamOrder::natural(g.vertex_count());
+    scenario(
+        format!("temporal(n={n},k={k},s={seed})"),
+        "temporal",
+        seed,
+        &g,
+        order,
+    )
+}
+
+/// Power-law graph in the hubs-last adversarial order.
+pub fn adversarial_order(n: usize, avg_deg: f64, seed: u64) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = gen::chung_lu(n, 2.3, avg_deg, &mut rng);
+    let order = adversarial::hubs_last(&g);
+    scenario(
+        format!("adversarial(n={n},s={seed})"),
+        "adversarial",
+        seed,
+        &g,
+        order,
+    )
+}
+
+/// The corpus at a given scale. Deterministic: same scale ⇒ same
+/// scenarios, same checksums, on every host.
+pub fn corpus(scale: Scale) -> Vec<Scenario> {
+    match scale {
+        Scale::Smoke => vec![planted(160, 12, 11)],
+        Scale::Reduced => vec![
+            power_law(400, 6.0, 11),
+            high_girth(300, 11),
+            planted(600, 40, 11),
+            temporal(400, 4, 11),
+            adversarial_order(400, 6.0, 11),
+        ],
+        Scale::Full => vec![
+            power_law(2000, 8.0, 11),
+            power_law(4000, 6.0, 23),
+            high_girth(1000, 11),
+            high_girth(2400, 23),
+            planted(4000, 120, 11),
+            planted(8000, 500, 23),
+            temporal(2000, 6, 11),
+            temporal(4000, 4, 23),
+            adversarial_order(2000, 8.0, 11),
+            adversarial_order(4000, 6.0, 23),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adjstream_stream::validate::validate_stream;
+
+    #[test]
+    fn corpus_is_deterministic_and_promise_valid() {
+        let a = corpus(Scale::Reduced);
+        let b = corpus(Scale::Reduced);
+        assert_eq!(a.len(), 5);
+        let families: std::collections::BTreeSet<_> = a.iter().map(|s| s.family).collect();
+        assert_eq!(families.len(), 5, "one scenario per family");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.checksum, y.checksum, "{} not reproducible", x.name);
+            assert_eq!(x.items, y.items);
+            assert!(
+                validate_stream(x.items.iter().copied()).is_ok(),
+                "{} violates the promise",
+                x.name
+            );
+        }
+    }
+
+    #[test]
+    fn known_truths() {
+        assert_eq!(planted(200, 17, 3).truth, 17);
+        assert_eq!(high_girth(200, 3).truth, 0, "girth 6 has no triangles");
+    }
+
+    #[test]
+    fn checksum_pins_content_and_order() {
+        let s = planted(100, 5, 1);
+        let mut reversed = s.items.clone();
+        reversed.reverse();
+        assert_ne!(trace_checksum(&reversed), s.checksum);
+        assert_eq!(trace_checksum(&s.items), s.checksum);
+    }
+}

@@ -1,0 +1,576 @@
+//! Streaming SNAP edge-list importer: bounded-memory external grouping.
+//!
+//! [`read_edge_list`](crate::io::read_edge_list) materializes the whole
+//! graph before anything downstream can run, which caps imports at the
+//! machine's RAM. Real corpora (SNAP exports routinely reach 10⁸ edges)
+//! need the adjacency-list *stream* — each undirected edge once per
+//! endpoint's list, lists contiguous — without ever holding the edge set
+//! in memory. This module provides that: a single parse pass scatters
+//! 8-byte `(owner, neighbor)` records into on-disk buckets partitioned by
+//! a seeded hash of the list-owner vertex, then each bucket is loaded,
+//! stably sorted, grouped, and emitted in turn. Peak memory is
+//! `O(vertices + items / buckets)` — the id-densification map plus one
+//! bucket — independent of the edge count.
+//!
+//! Determinism: the emitted list order is ascending `(key(owner), owner)`
+//! where `key` is a SplitMix64 hash of the seed and the owner's dense id.
+//! Buckets partition the *key range* monotonically (multiply-shift), so
+//! concatenating buckets `0..B` in order yields the same global order for
+//! every bucket count: output bytes are a pure function of the input text
+//! and the seed. Within each list, neighbors keep input-appearance order
+//! (the scatter appends in input order and the per-bucket sort is stable).
+//!
+//! Policy flags handle the two ways real edge lists deviate from the
+//! model's simple-graph promise: duplicate edges (including files that
+//! list both `x y` and `y x` — the scatter emits both directions for every
+//! input line, so either spelling of a repeat surfaces as a duplicate
+//! neighbor in both lists) and self-loops. Each can be dropped (default),
+//! kept (producing a trace that deliberately violates the promise, for
+//! guard/fault corpora), or treated as a hard error.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::PathBuf;
+
+use crate::VertexId;
+
+/// Importer semantics version. Bump whenever the grouping order, the
+/// bucketing key, or a policy's observable output changes — cached
+/// imported fixtures (the nightly corpus workflow keys its cache on this
+/// value) must be invalidated when the bytes an import produces change.
+pub const IMPORT_VERSION: u32 = 1;
+
+/// What to do with a duplicate edge (the same undirected edge appearing
+/// more than once in the input, in either orientation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DupPolicy {
+    /// Keep the first occurrence, silently drop repeats (counted in
+    /// [`ImportStats::duplicate_items_dropped`]). The default: SNAP
+    /// exports commonly list an edge once per direction.
+    #[default]
+    Drop,
+    /// Keep every occurrence. The resulting trace has duplicate neighbors
+    /// and violates the simple-graph promise — useful as guard-test input.
+    Keep,
+    /// Fail the import on the first duplicate.
+    Error,
+}
+
+/// What to do with a self-loop (`x x`) in the input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelfLoopPolicy {
+    /// Drop it (counted in [`ImportStats::self_loops_dropped`]). Default.
+    #[default]
+    Drop,
+    /// Emit it as a single `(x, x)` item in `x`'s list. Violates the
+    /// promise; useful as guard-test input.
+    Keep,
+    /// Fail the import on the first self-loop.
+    Error,
+}
+
+impl DupPolicy {
+    /// Parse the CLI spelling.
+    pub fn parse(s: &str) -> Option<DupPolicy> {
+        Some(match s {
+            "drop" => DupPolicy::Drop,
+            "keep" => DupPolicy::Keep,
+            "error" => DupPolicy::Error,
+            _ => return None,
+        })
+    }
+}
+
+impl SelfLoopPolicy {
+    /// Parse the CLI spelling.
+    pub fn parse(s: &str) -> Option<SelfLoopPolicy> {
+        Some(match s {
+            "drop" => SelfLoopPolicy::Drop,
+            "keep" => SelfLoopPolicy::Keep,
+            "error" => SelfLoopPolicy::Error,
+            _ => return None,
+        })
+    }
+}
+
+/// Importer knobs.
+#[derive(Debug, Clone)]
+pub struct ImportConfig {
+    /// Seed for the list-order key. Same input + same seed ⇒ identical
+    /// output bytes; different seeds permute the list order.
+    pub seed: u64,
+    /// On-disk scatter buckets. More buckets shrink the per-bucket
+    /// in-memory working set (`≈ items / buckets` records); the output is
+    /// byte-identical for every bucket count ≥ 1.
+    pub buckets: usize,
+    /// Duplicate-edge policy.
+    pub dups: DupPolicy,
+    /// Self-loop policy.
+    pub self_loops: SelfLoopPolicy,
+    /// Directory for the scatter buckets; `None` uses the system temp dir.
+    pub tmp_dir: Option<PathBuf>,
+}
+
+impl Default for ImportConfig {
+    fn default() -> Self {
+        ImportConfig {
+            seed: 2019,
+            buckets: 64,
+            dups: DupPolicy::default(),
+            self_loops: SelfLoopPolicy::default(),
+            tmp_dir: None,
+        }
+    }
+}
+
+/// What an import read, dropped, and emitted.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ImportStats {
+    /// Input lines read (including comments and blanks).
+    pub lines: u64,
+    /// Comment / blank lines skipped.
+    pub lines_skipped: u64,
+    /// Edge lines parsed (before any policy applied).
+    pub edges_read: u64,
+    /// Distinct vertices seen.
+    pub vertices: u32,
+    /// Directed stream items emitted.
+    pub items: u64,
+    /// Adjacency lists emitted (vertices with at least one neighbor).
+    pub lists: u64,
+    /// Directed items dropped by [`DupPolicy::Drop`] (two per duplicate
+    /// undirected edge — one from each endpoint's list).
+    pub duplicate_items_dropped: u64,
+    /// Self-loop lines dropped by [`SelfLoopPolicy::Drop`].
+    pub self_loops_dropped: u64,
+}
+
+/// Why an import failed.
+#[derive(Debug)]
+pub enum ImportError {
+    /// The underlying I/O failed (input, scatter buckets, or output).
+    Io(io::Error),
+    /// A non-comment line did not parse as two integer vertex ids.
+    Malformed {
+        /// 1-based input line number.
+        line: u64,
+        /// The offending line (truncated for display).
+        content: String,
+    },
+    /// A duplicate edge under [`DupPolicy::Error`].
+    DuplicateEdge {
+        /// Raw input ids of the repeated edge.
+        edge: (u64, u64),
+    },
+    /// A self-loop under [`SelfLoopPolicy::Error`].
+    SelfLoop {
+        /// 1-based input line number.
+        line: u64,
+        /// The looping raw id.
+        id: u64,
+    },
+    /// More than `u32::MAX` distinct vertices.
+    TooManyVertices,
+}
+
+impl std::fmt::Display for ImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImportError::Io(e) => write!(f, "import I/O error: {e}"),
+            ImportError::Malformed { line, content } => {
+                write!(f, "line {line}: expected two integer ids, got {content:?}")
+            }
+            ImportError::DuplicateEdge { edge } => {
+                write!(f, "duplicate edge {} {} (policy: error)", edge.0, edge.1)
+            }
+            ImportError::SelfLoop { line, id } => {
+                write!(f, "line {line}: self-loop {id} {id} (policy: error)")
+            }
+            ImportError::TooManyVertices => write!(f, "more than 2^32 - 1 distinct vertices"),
+        }
+    }
+}
+
+impl std::error::Error for ImportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ImportError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ImportError {
+    fn from(e: io::Error) -> Self {
+        ImportError::Io(e)
+    }
+}
+
+/// SplitMix64 finalizer — the list-order key. Pure in `(seed, owner)`.
+fn order_key(seed: u64, owner: u32) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(u64::from(owner).wrapping_mul(0x2545_F491_4F6C_DD1D));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Monotone range partition: `key ↦ floor(key · buckets / 2⁶⁴)`. Bucket
+/// indices are non-decreasing in the key, which is what makes the output
+/// independent of the bucket count.
+fn bucket_of(key: u64, buckets: usize) -> usize {
+    ((u128::from(key) * buckets as u128) >> 64) as usize
+}
+
+/// The on-disk scatter area: one record file per bucket, removed on drop.
+struct Buckets {
+    dir: PathBuf,
+    writers: Vec<BufWriter<File>>,
+}
+
+impl Buckets {
+    fn create(cfg: &ImportConfig) -> io::Result<Buckets> {
+        let base = cfg.tmp_dir.clone().unwrap_or_else(std::env::temp_dir);
+        // A collision-resistant-enough name without a clock: pid plus a
+        // process-wide counter.
+        static NONCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let nonce = NONCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = base.join(format!(
+            "adjb-import-{}-{}-{:x}",
+            std::process::id(),
+            nonce,
+            cfg.seed
+        ));
+        std::fs::create_dir_all(&dir)?;
+        let mut writers = Vec::with_capacity(cfg.buckets);
+        for b in 0..cfg.buckets.max(1) {
+            let f = File::create(dir.join(format!("bucket-{b:04}.rec")))?;
+            writers.push(BufWriter::new(f));
+        }
+        Ok(Buckets { dir, writers })
+    }
+
+    fn scatter(&mut self, key: u64, owner: u32, neighbor: u32) -> io::Result<()> {
+        let b = bucket_of(key, self.writers.len());
+        let mut rec = [0u8; 8];
+        rec[..4].copy_from_slice(&owner.to_le_bytes());
+        rec[4..].copy_from_slice(&neighbor.to_le_bytes());
+        self.writers[b].write_all(&rec)
+    }
+
+    fn load(&mut self, b: usize) -> io::Result<Vec<(u32, u32)>> {
+        self.writers[b].flush()?;
+        let path = self.dir.join(format!("bucket-{b:04}.rec"));
+        let mut reader = BufReader::new(File::open(&path)?);
+        let mut records = Vec::new();
+        let mut rec = [0u8; 8];
+        loop {
+            match reader.read_exact(&mut rec) {
+                Ok(()) => records.push((
+                    u32::from_le_bytes(rec[..4].try_into().expect("4 bytes")),
+                    u32::from_le_bytes(rec[4..].try_into().expect("4 bytes")),
+                )),
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(records)
+    }
+}
+
+impl Drop for Buckets {
+    fn drop(&mut self) {
+        self.writers.clear(); // close handles before unlinking
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Stream a SNAP-style edge list into grouped adjacency lists.
+///
+/// `emit` is called once per non-empty list, in the final stream order
+/// (ascending `(order_key, owner)`), with the owner's dense id and its
+/// neighbors. Raw u64 input ids are densified to `0..vertices` in
+/// first-appearance order; the mapping is returned alongside the stats as
+/// `original_ids[dense] = raw`.
+///
+/// Memory: `O(vertices)` for the id map plus `O(items / buckets)` for the
+/// bucket being grouped. Everything else stays on disk.
+pub fn import_edge_list<R, F>(
+    input: R,
+    cfg: &ImportConfig,
+    mut emit: F,
+) -> Result<(ImportStats, Vec<u64>), ImportError>
+where
+    R: BufRead,
+    F: FnMut(VertexId, &[VertexId]) -> Result<(), ImportError>,
+{
+    let mut stats = ImportStats::default();
+    let mut dense: HashMap<u64, u32> = HashMap::new();
+    let mut original_ids: Vec<u64> = Vec::new();
+    let mut buckets = Buckets::create(cfg)?;
+
+    // Phase 1: parse and scatter both directions of every kept edge.
+    let mut line_no = 0u64;
+    for line in input.lines() {
+        let line = line?;
+        line_no += 1;
+        stats.lines = line_no;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            stats.lines_skipped += 1;
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let (Some(a), Some(b)) = (parts.next(), parts.next()) else {
+            return Err(malformed(line_no, trimmed));
+        };
+        let (Ok(a), Ok(b)) = (a.parse::<u64>(), b.parse::<u64>()) else {
+            return Err(malformed(line_no, trimmed));
+        };
+        stats.edges_read += 1;
+        if a == b {
+            match cfg.self_loops {
+                SelfLoopPolicy::Drop => {
+                    stats.self_loops_dropped += 1;
+                    continue;
+                }
+                SelfLoopPolicy::Error => {
+                    return Err(ImportError::SelfLoop {
+                        line: line_no,
+                        id: a,
+                    })
+                }
+                SelfLoopPolicy::Keep => {
+                    let x = densify(a, &mut dense, &mut original_ids)?;
+                    buckets.scatter(order_key(cfg.seed, x), x, x)?;
+                    continue;
+                }
+            }
+        }
+        let u = densify(a, &mut dense, &mut original_ids)?;
+        let v = densify(b, &mut dense, &mut original_ids)?;
+        buckets.scatter(order_key(cfg.seed, u), u, v)?;
+        buckets.scatter(order_key(cfg.seed, v), v, u)?;
+    }
+    stats.vertices = original_ids.len() as u32;
+
+    // Phase 2: group each bucket, dedup per policy, emit in key order.
+    let mut list: Vec<VertexId> = Vec::new();
+    let mut seen: HashMap<u32, ()> = HashMap::new();
+    for b in 0..buckets.writers.len() {
+        let mut records = buckets.load(b)?;
+        // Stable sort keeps input-appearance order within each list.
+        records.sort_by_key(|&(owner, _)| (order_key(cfg.seed, owner), owner));
+        let mut i = 0;
+        while i < records.len() {
+            let owner = records[i].0;
+            list.clear();
+            seen.clear();
+            while i < records.len() && records[i].0 == owner {
+                let nb = records[i].1;
+                i += 1;
+                let duplicate = seen.insert(nb, ()).is_some();
+                // A kept self-loop appears once per input line; repeats of
+                // it are duplicates like any other neighbor.
+                if duplicate {
+                    match cfg.dups {
+                        DupPolicy::Drop => {
+                            stats.duplicate_items_dropped += 1;
+                            continue;
+                        }
+                        DupPolicy::Error => {
+                            return Err(ImportError::DuplicateEdge {
+                                edge: (original_ids[owner as usize], original_ids[nb as usize]),
+                            })
+                        }
+                        DupPolicy::Keep => {}
+                    }
+                }
+                list.push(VertexId(nb));
+            }
+            if !list.is_empty() {
+                stats.lists += 1;
+                stats.items += list.len() as u64;
+                emit(VertexId(owner), &list)?;
+            }
+        }
+    }
+    Ok((stats, original_ids))
+}
+
+fn densify(
+    raw: u64,
+    dense: &mut HashMap<u64, u32>,
+    original_ids: &mut Vec<u64>,
+) -> Result<u32, ImportError> {
+    if let Some(&d) = dense.get(&raw) {
+        return Ok(d);
+    }
+    if original_ids.len() >= u32::MAX as usize {
+        return Err(ImportError::TooManyVertices);
+    }
+    let d = original_ids.len() as u32;
+    dense.insert(raw, d);
+    original_ids.push(raw);
+    Ok(d)
+}
+
+fn malformed(line: u64, content: &str) -> ImportError {
+    let mut content = content.to_string();
+    content.truncate(80);
+    ImportError::Malformed { line, content }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    type Collected = (ImportStats, Vec<u64>, Vec<(u32, Vec<u32>)>);
+
+    fn collect(text: &str, cfg: &ImportConfig) -> Result<Collected, ImportError> {
+        let mut lists = Vec::new();
+        let (stats, ids) = import_edge_list(Cursor::new(text.as_bytes()), cfg, |owner, nbrs| {
+            lists.push((owner.0, nbrs.iter().map(|v| v.0).collect()));
+            Ok(())
+        })?;
+        Ok((stats, ids, lists))
+    }
+
+    #[test]
+    fn groups_both_directions_of_every_edge() {
+        let (stats, ids, lists) = collect("# c\n10 20\n20 30\n", &ImportConfig::default()).unwrap();
+        assert_eq!(stats.edges_read, 2);
+        assert_eq!(stats.items, 4);
+        assert_eq!(stats.lists, 3);
+        assert_eq!(ids, vec![10, 20, 30]);
+        let mut adj: Vec<(u32, Vec<u32>)> = lists;
+        adj.sort_by_key(|(o, _)| *o);
+        assert_eq!(adj, vec![(0, vec![1]), (1, vec![0, 2]), (2, vec![1])]);
+    }
+
+    #[test]
+    fn output_is_identical_for_every_bucket_count() {
+        let text = "1 2\n3 4\n2 3\n5 1\n4 5\n2 5\n1 3\n";
+        let want = collect(
+            text,
+            &ImportConfig {
+                buckets: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for buckets in [2, 3, 7, 64] {
+            let got = collect(
+                text,
+                &ImportConfig {
+                    buckets,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(got, want, "diverged at {buckets} buckets");
+        }
+    }
+
+    #[test]
+    fn seed_permutes_list_order_but_not_content() {
+        let text = "1 2\n2 3\n3 1\n";
+        let a = collect(
+            text,
+            &ImportConfig {
+                seed: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let b = collect(
+            text,
+            &ImportConfig {
+                seed: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(a.0, b.0, "stats are seed-independent");
+        let sorted = |mut l: Vec<(u32, Vec<u32>)>| {
+            l.sort_by_key(|(o, _)| *o);
+            l
+        };
+        assert_eq!(sorted(a.2), sorted(b.2));
+    }
+
+    #[test]
+    fn dup_policies() {
+        // Edge 1-2 appears twice forward and once reversed.
+        let text = "1 2\n1 2\n2 1\n1 3\n";
+        let (stats, _, lists) = collect(text, &ImportConfig::default()).unwrap();
+        assert_eq!(stats.duplicate_items_dropped, 4); // 2 repeats × 2 directions
+        let adj: std::collections::BTreeMap<u32, Vec<u32>> = lists.into_iter().collect();
+        assert_eq!(adj[&0], vec![1, 2]);
+        assert_eq!(adj[&1], vec![0]);
+
+        let keep = ImportConfig {
+            dups: DupPolicy::Keep,
+            ..Default::default()
+        };
+        let (stats, _, lists) = collect(text, &keep).unwrap();
+        assert_eq!(stats.duplicate_items_dropped, 0);
+        let adj: std::collections::BTreeMap<u32, Vec<u32>> = lists.into_iter().collect();
+        assert_eq!(adj[&0], vec![1, 1, 1, 2]);
+
+        let err = ImportConfig {
+            dups: DupPolicy::Error,
+            ..Default::default()
+        };
+        assert!(matches!(
+            collect(text, &err),
+            Err(ImportError::DuplicateEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn self_loop_policies() {
+        let text = "1 1\n1 2\n";
+        let (stats, _, _) = collect(text, &ImportConfig::default()).unwrap();
+        assert_eq!(stats.self_loops_dropped, 1);
+
+        let keep = ImportConfig {
+            self_loops: SelfLoopPolicy::Keep,
+            ..Default::default()
+        };
+        let (stats, _, lists) = collect(text, &keep).unwrap();
+        assert_eq!(stats.self_loops_dropped, 0);
+        assert_eq!(stats.items, 3);
+        let adj: std::collections::BTreeMap<u32, Vec<u32>> = lists.into_iter().collect();
+        assert_eq!(adj[&0], vec![0, 1]);
+
+        let err = ImportConfig {
+            self_loops: SelfLoopPolicy::Error,
+            ..Default::default()
+        };
+        assert!(matches!(
+            collect(text, &err),
+            Err(ImportError::SelfLoop { line: 1, id: 1 })
+        ));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_position() {
+        let err = collect("1 2\nnot an edge\n", &ImportConfig::default()).unwrap_err();
+        match err {
+            ImportError::Malformed { line, .. } => assert_eq!(line, 2),
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_imports_zero_lists() {
+        let (stats, ids, lists) = collect("# only comments\n\n", &ImportConfig::default()).unwrap();
+        assert_eq!(stats.items, 0);
+        assert!(ids.is_empty());
+        assert!(lists.is_empty());
+    }
+}

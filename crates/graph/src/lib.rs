@@ -27,6 +27,7 @@ pub mod csr;
 pub mod exact;
 pub mod gen;
 pub mod ids;
+pub mod import;
 pub mod io;
 
 pub use builder::{BuildError, GraphBuilder};

@@ -68,6 +68,7 @@ pub mod estimator;
 pub mod fault;
 pub mod guard;
 pub mod hashing;
+pub mod import;
 pub mod item;
 pub mod meter;
 pub mod mmapfile;

@@ -775,6 +775,88 @@ mod tests {
     }
 
     #[test]
+    fn merge_concurrent_with_empty_snapshots_is_identity() {
+        let shard = |wall, items, lists, peak| MetricsSnapshot {
+            runs: 1,
+            passes: vec![PassMetrics {
+                pass: 0,
+                wall_nanos: wall,
+                items,
+                slices: lists,
+                lists,
+                peak_bytes: peak,
+                series: vec![SpacePoint { items, bytes: peak }],
+            }],
+            peak_state_bytes: peak,
+            items_processed: items,
+            ..MetricsSnapshot::default()
+        };
+        // empty ⊕ empty = empty.
+        let mut e = MetricsSnapshot::default();
+        e.merge_concurrent(&MetricsSnapshot::default());
+        assert_eq!(e, MetricsSnapshot::default());
+        // empty ⊕ x = x: the empty snapshot is the identity on the left...
+        let x = shard(10, 100, 4, 64);
+        let mut a = MetricsSnapshot::default();
+        a.merge_concurrent(&x);
+        assert_eq!(a, x);
+        // ...and on the right.
+        let mut b = x.clone();
+        b.merge_concurrent(&MetricsSnapshot::default());
+        assert_eq!(b, x);
+    }
+
+    #[test]
+    fn merge_concurrent_single_shard_replays_the_sequential_profile() {
+        // A 1-shard plan replicates the sequential execution: folding its
+        // lone snapshot into a fresh accumulator must reproduce it field
+        // for field — max-walls, summed residency, kept series and all.
+        let single = MetricsSnapshot {
+            runs: 1,
+            passes: vec![
+                PassMetrics {
+                    pass: 0,
+                    wall_nanos: 42,
+                    items: 200,
+                    slices: 9,
+                    lists: 9,
+                    peak_bytes: 96,
+                    series: vec![SpacePoint {
+                        items: 50,
+                        bytes: 96,
+                    }],
+                },
+                PassMetrics {
+                    pass: 1,
+                    wall_nanos: 17,
+                    items: 200,
+                    slices: 9,
+                    lists: 9,
+                    peak_bytes: 32,
+                    series: vec![SpacePoint {
+                        items: 50,
+                        bytes: 32,
+                    }],
+                },
+            ],
+            peak_state_bytes: 96,
+            items_processed: 400,
+            ..MetricsSnapshot::default()
+        };
+        let mut acc = MetricsSnapshot::default();
+        acc.merge_concurrent(&single);
+        assert_eq!(acc, single);
+        // Folding the same shard twice is NOT idempotent (items sum) —
+        // pin the doubling so accidental re-merges can't hide.
+        acc.merge_concurrent(&single);
+        assert_eq!(acc.runs, 1);
+        assert_eq!(acc.passes[0].items, 400);
+        assert_eq!(acc.passes[0].wall_nanos, 42);
+        assert_eq!(acc.peak_state_bytes, 96);
+        assert_eq!(acc.items_processed, 800);
+    }
+
+    #[test]
     fn series_decimates_with_stride_doubling() {
         let mut s = SeriesBuilder::new();
         for i in 0..1000u64 {

@@ -76,6 +76,11 @@ pub enum UpdateTraceError {
         /// The tag byte found.
         found: u8,
     },
+    /// The file has neither the `.adjbu` magic nor valid UTF-8 text — it
+    /// is not an update trace in any dialect this build reads. (Distinct
+    /// from [`UpdateTraceError::Truncated`], which means a *binary* trace
+    /// ended early.)
+    NotText,
 }
 
 impl fmt::Display for UpdateTraceError {
@@ -94,6 +99,9 @@ impl fmt::Display for UpdateTraceError {
             ),
             UpdateTraceError::BadOp { event, found } => {
                 write!(f, "event {event}: bad op tag {found} (expected 0 or 1)")
+            }
+            UpdateTraceError::NotText => {
+                write!(f, "not an update trace: no .adjbu magic and not UTF-8 text")
             }
         }
     }
@@ -155,7 +163,11 @@ pub fn parse_update_bytes(bytes: &[u8]) -> Result<UpdateStream, UpdateTraceError
     match bytes.strip_prefix(&ADJBU_MAGIC) {
         Some(rest) => decode_adjbu(rest),
         None => {
-            let text = std::str::from_utf8(bytes).map_err(|_| UpdateTraceError::Truncated)?;
+            // A zero-length file is the empty text trace, not a truncated
+            // binary one — the magic never began, so there is nothing to
+            // have cut short. Likewise non-UTF-8 bytes are "not a trace at
+            // all" rather than Truncated.
+            let text = std::str::from_utf8(bytes).map_err(|_| UpdateTraceError::NotText)?;
             Ok(UpdateStream::parse_text(text)?)
         }
     }
@@ -285,6 +297,22 @@ mod tests {
         s.write_text(&mut text).unwrap();
         assert!(!is_adjbu(&text));
         assert_eq!(parse_update_bytes(&text).unwrap(), s);
+    }
+
+    #[test]
+    fn zero_length_input_is_the_empty_update_trace() {
+        // Regression: an empty file used to fall into the binary error
+        // path on some callers; it is a valid (empty) text trace.
+        let s = parse_update_bytes(b"").unwrap();
+        assert!(s.is_empty());
+        let s = read_updates(&b""[..]).unwrap();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn non_utf8_without_magic_is_not_text_not_truncated() {
+        let err = parse_update_bytes(&[0xFF, 0xFE, 0x00, 0x01]).unwrap_err();
+        assert!(matches!(err, UpdateTraceError::NotText), "got {err:?}");
     }
 
     #[test]

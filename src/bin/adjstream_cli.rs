@@ -191,6 +191,8 @@ const USAGE: &str = "usage:
   adjstream-cli corrupt FILE --faults KIND[:N][,KIND[:N]...] [--seed S] [-o FILE] [--replay-o FILE]
   adjstream-cli estimate-stream FILE [--budget K] [--seed S] [--policy strict|repair|observe] [--retries N]
                 [--metrics-out FILE] [--shards N] [--shard-procs] [--mmap]
+  adjstream-cli import-edges EDGES.txt -o FILE.adjb [--seed S] [--buckets B]
+                [--dups drop|keep|error] [--self-loops drop|keep|error] [--json]
   adjstream-cli gen-updates FILE [--churn N] [--delete-fraction F] [--seed S] [-o FILE]
                 [--format text|adjbu]
   adjstream-cli update-stream FILE [--batch B] [--capacity M] [--seed S] [--verify]
@@ -219,6 +221,7 @@ const BOOLEAN_FLAGS: &[&str] = &[
     "exact-windows",
     "shard-procs",
     "mmap",
+    "json",
 ];
 
 /// Parse `--key value` flags (plus `-o` and valueless booleans).
@@ -268,6 +271,7 @@ fn run(args: &[String]) -> Result<(), CliFailure> {
         "validate-stream" => cmd_validate_stream(rest),
         "corrupt" => cmd_corrupt(rest),
         "estimate-stream" => cmd_estimate_stream(rest),
+        "import-edges" => cmd_import_edges(rest),
         // Hidden: one shard x one pass, spawned by `estimate-stream
         // --shard-procs`. Not part of the public surface.
         "shard-worker" => cmd_shard_worker(rest),
@@ -1394,6 +1398,81 @@ fn cmd_gen_updates(args: &[String]) -> Result<(), CliFailure> {
     Ok(())
 }
 
+/// Import a SNAP-style edge list into a checksummed `.adjb` trace,
+/// streaming: the edge set never resides in memory (bucketed external
+/// grouping by list-owner vertex). Output bytes are deterministic for a
+/// given input + `--seed`, for every `--buckets` count.
+fn cmd_import_edges(args: &[String]) -> Result<(), CliFailure> {
+    use adjstream::graph::import::{DupPolicy, ImportConfig, ImportError, SelfLoopPolicy};
+    use adjstream::stream::import::{import_edge_list_to_adjb, AdjbImportError};
+    let (path, rest) = args
+        .split_first()
+        .ok_or("import-edges: missing edge list file")?;
+    let flags = parse_flags(rest)?;
+    let out = flags
+        .get("o")
+        .ok_or("import-edges: missing -o OUTPUT.adjb")?;
+    let dups = match flags.get("dups").map(String::as_str) {
+        None => DupPolicy::default(),
+        Some(s) => DupPolicy::parse(s)
+            .ok_or_else(|| CliFailure::usage(format!("bad --dups {s:?} (drop|keep|error)")))?,
+    };
+    let self_loops = match flags.get("self-loops").map(String::as_str) {
+        None => SelfLoopPolicy::default(),
+        Some(s) => SelfLoopPolicy::parse(s).ok_or_else(|| {
+            CliFailure::usage(format!("bad --self-loops {s:?} (drop|keep|error)"))
+        })?,
+    };
+    let cfg = ImportConfig {
+        seed: get(&flags, "seed", 2019)?,
+        buckets: get::<usize>(&flags, "buckets", 64)?.max(1),
+        dups,
+        self_loops,
+        tmp_dir: None,
+    };
+    let input = std::fs::File::open(path).map_err(|e| CliFailure::io(e.to_string()))?;
+    let report = import_edge_list_to_adjb(
+        std::io::BufReader::new(input),
+        std::path::Path::new(out),
+        &cfg,
+    )
+    .map_err(|e| match e {
+        AdjbImportError::Import(ImportError::Io(inner)) => CliFailure::io(inner.to_string()),
+        AdjbImportError::Io(inner) => CliFailure::io(inner.to_string()),
+        AdjbImportError::Import(inner) => CliFailure::invalid_stream(inner.to_string()),
+    })?;
+    let s = &report.stats;
+    if flags.contains_key("json") {
+        println!(
+            "{{\"schema\":1,\"vertices\":{},\"edges_read\":{},\"items\":{},\"lists\":{},\
+             \"duplicate_items_dropped\":{},\"self_loops_dropped\":{},\"lines_skipped\":{},\
+             \"checksum\":\"{:#018x}\",\"bytes\":{},\"seed\":{},\"buckets\":{}}}",
+            s.vertices,
+            s.edges_read,
+            s.items,
+            s.lists,
+            s.duplicate_items_dropped,
+            s.self_loops_dropped,
+            s.lines_skipped,
+            report.checksum,
+            report.bytes_written,
+            cfg.seed,
+            cfg.buckets
+        );
+    } else {
+        println!("vertices      {}", s.vertices);
+        println!("edges read    {}", s.edges_read);
+        println!("items         {} in {} lists", s.items, s.lists);
+        println!(
+            "dropped       {} duplicate items, {} self-loops",
+            s.duplicate_items_dropped, s.self_loops_dropped
+        );
+        println!("checksum      {:#018x}", report.checksum);
+        println!("bytes         {}", report.bytes_written);
+    }
+    Ok(())
+}
+
 /// Maintain a triangle estimate over a dynamic update trace.
 ///
 /// Default mode drives TRIÈST-FD in batches, printing the per-batch
@@ -1415,9 +1494,10 @@ fn cmd_update_stream(args: &[String]) -> Result<(), CliFailure> {
     let bytes = std::fs::read(path).map_err(|e| CliFailure::io(e.to_string()))?;
     let stream = adjstream::stream::update_trace::parse_update_bytes(&bytes)
         .map_err(|e| CliFailure::invalid_stream(e.to_string()))?;
-    if stream.is_empty() {
-        return Err(CliFailure::invalid_stream("update trace has no events"));
-    }
+    // An empty trace (e.g. a zero-length file) is a valid stream with no
+    // events: the summary below reports 0 events and a 0.0 estimate
+    // rather than failing — a daemon registering a just-created trace
+    // file must not see a typed rejection.
     let seed: u64 = get(&flags, "seed", 2019)?;
     let (ins, del) = stream.op_counts();
     println!("updates       {} events (+{ins}/-{del})", stream.len());
@@ -1916,6 +1996,72 @@ mod tests {
         assert!(run(&args(&["estimate-stream", &ss, "--mmap"])).is_err());
         for p in [&gs, &ss, &bs, &ms] {
             std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn update_stream_accepts_a_zero_length_trace() {
+        // Regression: a zero-length file is the empty update trace — a
+        // successful run with 0 events, not exit 3.
+        let path = std::env::temp_dir()
+            .join(format!("adjstream-cli-empty-{}.txt", std::process::id()))
+            .to_string_lossy()
+            .to_string();
+        std::fs::write(&path, b"").unwrap();
+        run(&args(&["update-stream", &path])).unwrap();
+        run(&args(&["update-stream", &path, "--verify"])).unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn import_edges_round_trips_and_is_deterministic() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let edges = dir.join(format!("adjstream-cli-imp-{pid}.txt"));
+        // A triangle on raw SNAP-style ids plus a duplicate and a loop.
+        std::fs::write(
+            &edges,
+            "# comment\n100 200\n200 300\n300 100\n100 200\n7 7\n",
+        )
+        .unwrap();
+        let edges = edges.to_string_lossy().to_string();
+        let out_a = dir
+            .join(format!("adjstream-cli-imp-a-{pid}.adjb"))
+            .to_string_lossy()
+            .to_string();
+        let out_b = dir
+            .join(format!("adjstream-cli-imp-b-{pid}.adjb"))
+            .to_string_lossy()
+            .to_string();
+        run(&args(&["import-edges", &edges, "-o", &out_a, "--json"])).unwrap();
+        // Different bucket count, same seed: identical bytes.
+        run(&args(&[
+            "import-edges",
+            &edges,
+            "-o",
+            &out_b,
+            "--buckets",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&out_a).unwrap(),
+            std::fs::read(&out_b).unwrap()
+        );
+        // The import feeds straight into the estimation pipeline.
+        run(&args(&["estimate-stream", &out_a, "--budget", "64"])).unwrap();
+        // Policy errors surface as invalid-stream.
+        assert!(run(&args(&[
+            "import-edges",
+            &edges,
+            "-o",
+            &out_b,
+            "--dups",
+            "error"
+        ]))
+        .is_err());
+        for f in [&edges, &out_a, &out_b] {
+            let _ = std::fs::remove_file(f);
         }
     }
 
